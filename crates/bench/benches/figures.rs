@@ -1,0 +1,41 @@
+//! `cargo bench -p cq-bench --bench figures` regenerates every table and
+//! figure of the paper at the `CQ_SCALE` size (default `quick`). This is a
+//! custom-harness bench target (not criterion): its "benchmark" *is* the
+//! experiment suite, and its output is the paper-shaped markdown.
+
+use cq_bench::{experiments, Scale};
+use std::time::Instant;
+
+fn main() {
+    // `cargo bench` passes --bench; ignore all args.
+    let scale = Scale::from_env();
+    let t0 = Instant::now();
+    let sections: Vec<(&str, Box<dyn Fn() -> String>)> = vec![
+        ("table1", Box::new(experiments::tables::table1)),
+        ("table2", Box::new(move || experiments::tables::table2(scale))),
+        ("fig6", Box::new(move || experiments::fig6::run(scale))),
+        (
+            "fig7a",
+            Box::new(move || experiments::fig7::run(experiments::fig7::Variant::Cifar10, scale)),
+        ),
+        (
+            "fig7b",
+            Box::new(move || experiments::fig7::run(experiments::fig7::Variant::Cifar100, scale)),
+        ),
+        ("table3", Box::new(move || experiments::tables::table3(scale))),
+        ("fig8", Box::new(move || experiments::fig8::run(scale))),
+        ("fig9", Box::new(move || experiments::fig9::run(scale))),
+        ("fig10", Box::new(move || experiments::fig10::run(scale))),
+        ("ablations", Box::new(move || experiments::ablations::run(scale))),
+    ];
+    for (name, f) in sections {
+        let t = Instant::now();
+        let report = f();
+        println!("{report}");
+        println!("[{name} regenerated in {:.1}s]\n", t.elapsed().as_secs_f64());
+    }
+    println!(
+        "All tables and figures regenerated in {:.1}s at {scale:?} scale.",
+        t0.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,4 @@
+//! Runs the ablation studies (ADC resolution, array size).
+fn main() {
+    println!("{}", cq_bench::experiments::ablations::run(cq_bench::Scale::from_env()));
+}

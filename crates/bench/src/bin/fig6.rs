@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 6 (partial-sum distribution analysis).
+fn main() {
+    println!("{}", cq_bench::experiments::fig6::run(cq_bench::Scale::from_env()));
+}

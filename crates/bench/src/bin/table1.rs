@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table I (related-work comparison).
+fn main() {
+    println!("{}", cq_bench::experiments::tables::table1());
+}

@@ -1,0 +1,85 @@
+//! **Fig. 10** — inference accuracy under memory-cell variation
+//! (`w_var = w·e^θ`, θ ~ N(0, σ), Eq. (5)) for the five compared schemes,
+//! σ swept over 0…0.25. The paper's finding: the column-wise scheme keeps
+//! the highest accuracy at every variation level.
+
+use crate::experiments::{run_scheme, setting_data};
+use crate::{markdown_table, pct, ExperimentSetting, Scale};
+use cq_cim::FIG10_SIGMAS;
+use cq_core::{set_variation, QuantScheme, VariationMode};
+use cq_train::evaluate;
+
+/// Number of noise seeds averaged per (scheme, σ) point.
+fn seeds_for(scale: Scale) -> u64 {
+    match scale {
+        Scale::Ci => 1,
+        Scale::Quick => 3,
+        Scale::Full => 5,
+    }
+}
+
+/// Runs the experiment and returns the markdown report.
+///
+/// At `Full` scale this uses the paper's binary-ADC CIFAR-10 setting; at
+/// reduced scales it uses the 3-bit-ADC CIFAR-100 setting so every scheme
+/// sits in the trainable regime and the robustness *curves* are
+/// interpretable (documented substitution, see EXPERIMENTS.md).
+pub fn run(scale: Scale) -> String {
+    let setting = if scale == Scale::Full {
+        ExperimentSetting::cifar10(scale, 100)
+    } else {
+        ExperimentSetting::cifar100(scale, 100)
+    };
+    let nseeds = seeds_for(scale);
+    let mut out = String::from("## Fig. 10 — robustness to memory-cell variation\n\n");
+    out.push_str(&format!(
+        "Setting: {} | {:?} scale | {} noise seed(s) per point | per-weight log-normal (Eq. 5)\n\n",
+        setting.name, scale, nseeds
+    ));
+
+    let (_, test_ds) = setting_data(&setting);
+    let mut rows = Vec::new();
+    let mut ours_curve = Vec::new();
+    let mut best_related_curve = vec![f32::NEG_INFINITY; FIG10_SIGMAS.len()];
+    for scheme in QuantScheme::all_compared() {
+        let (mut net, _) = run_scheme(&setting, &scheme, 101);
+        let mut row = vec![scheme.label.clone()];
+        for (si, &sigma) in FIG10_SIGMAS.iter().enumerate() {
+            let mut acc_sum = 0.0f32;
+            for seed in 0..nseeds {
+                set_variation(
+                    &mut net,
+                    (sigma > 0.0).then_some(sigma),
+                    VariationMode::PerWeight,
+                    0xF16_10 + seed,
+                );
+                acc_sum += evaluate(&mut net, &test_ds, setting.train.batch_size);
+            }
+            set_variation(&mut net, None, VariationMode::PerWeight, 0);
+            let acc = acc_sum / nseeds as f32;
+            row.push(pct(acc));
+            if scheme.label == "Ours" {
+                ours_curve.push(acc);
+            } else {
+                best_related_curve[si] = best_related_curve[si].max(acc);
+            }
+        }
+        rows.push(row);
+    }
+    let headers: Vec<String> = std::iter::once("scheme".to_string())
+        .chain(FIG10_SIGMAS.iter().map(|s| format!("σ={s:.2}")))
+        .collect();
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    out.push_str(&markdown_table(&headers_ref, &rows));
+
+    let wins = ours_curve
+        .iter()
+        .zip(&best_related_curve)
+        .filter(|(o, r)| o >= r)
+        .count();
+    out.push_str(&format!(
+        "\nOurs leads the related works at {wins}/{} variation levels (paper: all levels).\n",
+        FIG10_SIGMAS.len()
+    ));
+    out
+}

@@ -1,0 +1,87 @@
+//! **Table I** (related-work comparison), **Table II** (experimental
+//! settings), and **Table III** (ResNet-18 / ImageNet accuracy).
+
+use crate::experiments::{run_fp, run_scheme};
+use crate::{markdown_table, pct, ExperimentSetting, Scale};
+use cq_core::QuantScheme;
+
+/// Table I: the qualitative scheme comparison, generated from the same
+/// scheme objects the experiments run.
+pub fn table1() -> String {
+    let mut out = String::from("## Table I — related works on partial-sum quantization\n\n");
+    out.push_str(
+        "| scheme | W gran | W from scratch | W learnable s | P gran | P from scratch | P learnable s |\n",
+    );
+    out.push_str("|---|---|---|---|---|---|---|\n");
+    for s in QuantScheme::all_compared() {
+        out.push_str(&s.table1_row());
+        out.push('\n');
+    }
+    out
+}
+
+/// Table II: the three experimental settings at the given scale (bit
+/// precisions always match the paper; model/data sizes scale).
+pub fn table2(scale: Scale) -> String {
+    let mut out = String::from("## Table II — experimental settings\n\n");
+    let mut rows = Vec::new();
+    for s in ExperimentSetting::all(scale, 42) {
+        rows.push(vec![
+            s.name.clone(),
+            format!("ResNet-{} ({} cls)", s.model.depth(), s.model.num_classes),
+            format!("{}b", s.cim.act_bits),
+            format!("{}b ({}b/cell)", s.cim.weight_bits, s.cim.cell_bits),
+            if s.cim.psum_bits == 1 { "binary".into() } else { format!("{}b", s.cim.psum_bits) },
+            format!("{}x{}", s.cim.array_rows, s.cim.array_cols),
+            format!("{} epochs from scratch", s.train.epochs),
+        ]);
+    }
+    out.push_str(&markdown_table(
+        &["dataset", "model", "activation", "weight", "partial-sum", "array", "training"],
+        &rows,
+    ));
+    out.push_str(&format!(
+        "\nScale: {:?} (CQ_SCALE=full restores the paper's 128x128/256x256 arrays and ResNet-20/18)\n",
+        scale
+    ));
+    out
+}
+
+/// Table III: the five compared schemes plus the full-precision reference
+/// on the ImageNet (synthetic) setting.
+pub fn table3(scale: Scale) -> String {
+    let setting = ExperimentSetting::imagenet(scale, 110);
+    let mut out = String::from("## Table III — ResNet-18 on ImageNet (synthetic stand-in)\n\n");
+    out.push_str(&format!("Setting: {} | {:?} scale\n\n", setting.name, scale));
+
+    let fp = run_fp(&setting, 111);
+    let mut rows = vec![vec![
+        "Full-precision".into(),
+        "-".into(),
+        "-".into(),
+        pct(fp.final_test_acc()),
+    ]];
+    let mut best_related = f32::NEG_INFINITY;
+    let mut ours = 0.0f32;
+    for scheme in QuantScheme::all_compared() {
+        let (_, result) = run_scheme(&setting, &scheme, 112);
+        let acc = result.final_test_acc();
+        if scheme.label == "Ours" {
+            ours = acc;
+        } else {
+            best_related = best_related.max(acc);
+        }
+        rows.push(vec![
+            scheme.label.clone(),
+            format!("{}/{}", scheme.w_gran.letter(), scheme.p_gran.letter()),
+            format!("{}", scheme.method),
+            pct(acc),
+        ]);
+    }
+    out.push_str(&markdown_table(&["scheme", "gran (W/P)", "method", "top-1"], &rows));
+    out.push_str(&format!(
+        "\nOurs vs best related: {:+.2} pp (paper reports +1.01 pp on real ImageNet)\n",
+        100.0 * (ours - best_related)
+    ));
+    out
+}

@@ -1,0 +1,85 @@
+//! Per-layer cost accounting: arrays, cells, ADC conversions, dequantization
+//! multiplications, and first-order energy. Reporting only — none of these
+//! numbers feed back into accuracy.
+
+use crate::{dequant_mults, AdcCostModel, CimConfig, TilingPlan};
+use cq_quant::Granularity;
+
+/// Cost summary of one convolution layer mapped onto a CIM macro.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerCost {
+    /// Arrays used (row tiles × column tiles).
+    pub arrays: usize,
+    /// Memory cells occupied (including per-split columns).
+    pub cells: usize,
+    /// ADC conversions needed per output pixel (one per physical column).
+    pub adc_conversions_per_pixel: usize,
+    /// Dequantization multiplications per layer (paper Fig. 8 x-axis).
+    pub dequant_mults: usize,
+    /// ADC energy per output pixel, picojoules.
+    pub adc_energy_pj_per_pixel: f64,
+    /// Fraction of array rows used by the kernel-intact tiling.
+    pub row_utilization: f64,
+}
+
+/// Computes the cost of a layer under a weight/psum granularity pair.
+pub fn layer_cost(
+    plan: &TilingPlan,
+    cfg: &CimConfig,
+    w_gran: Granularity,
+    p_gran: Granularity,
+) -> LayerCost {
+    let model = AdcCostModel::default();
+    let physical_columns = plan.num_splits * plan.num_row_tiles * plan.out_ch;
+    LayerCost {
+        arrays: plan.num_arrays(),
+        cells: plan.rows_used * physical_columns / plan.num_row_tiles * plan.num_row_tiles,
+        adc_conversions_per_pixel: physical_columns,
+        dequant_mults: dequant_mults(plan, w_gran, p_gran),
+        adc_energy_pj_per_pixel: physical_columns as f64 * model.energy_fj(cfg.psum_bits)
+            / 1000.0,
+        row_utilization: plan.row_utilization(cfg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Granularity::{Column, Layer};
+
+    #[test]
+    fn cost_scales_with_tiling() {
+        let cfg = CimConfig::cifar10();
+        let small = TilingPlan::new(&cfg, 16, 16, 3, 3);
+        let large = TilingPlan::new(&cfg, 64, 64, 3, 3);
+        let cs = layer_cost(&small, &cfg, Column, Column);
+        let cl = layer_cost(&large, &cfg, Column, Column);
+        assert!(cl.arrays > cs.arrays);
+        assert!(cl.adc_conversions_per_pixel > cs.adc_conversions_per_pixel);
+        assert!(cl.adc_energy_pj_per_pixel > cs.adc_energy_pj_per_pixel);
+    }
+
+    #[test]
+    fn dequant_matches_overhead_model() {
+        let cfg = CimConfig::cifar10();
+        let plan = TilingPlan::new(&cfg, 16, 8, 3, 3);
+        assert_eq!(layer_cost(&plan, &cfg, Layer, Layer).dequant_mults, 1);
+        assert_eq!(
+            layer_cost(&plan, &cfg, Column, Column).dequant_mults,
+            plan.num_splits * plan.num_row_tiles * plan.out_ch
+        );
+    }
+
+    #[test]
+    fn binary_adc_is_cheapest() {
+        let c10 = CimConfig::cifar10(); // 1b ADC
+        let c100 = CimConfig::cifar100(); // 3b ADC
+        let p10 = TilingPlan::new(&c10, 16, 16, 3, 3);
+        let p100 = TilingPlan::new(&c100, 16, 16, 3, 3);
+        let e10 = layer_cost(&p10, &c10, Column, Column).adc_energy_pj_per_pixel
+            / layer_cost(&p10, &c10, Column, Column).adc_conversions_per_pixel as f64;
+        let e100 = layer_cost(&p100, &c100, Column, Column).adc_energy_pj_per_pixel
+            / layer_cost(&p100, &c100, Column, Column).adc_conversions_per_pixel as f64;
+        assert!(e10 < e100, "per-conversion energy: 1b {e10} vs 3b {e100}");
+    }
+}

@@ -1,0 +1,582 @@
+//! The explicit crossbar inference engine: programs quantized weights into
+//! [`Crossbar`] arrays per the kernel-intact [`TilingPlan`], drives im2col
+//! patches through the wordlines, digitizes every physical column with an
+//! [`Adc`] referenced to that column's scale factor, shift-and-adds the
+//! bit-splits, and applies the merged `s_w · s_p` dequantization
+//! (paper Fig. 3 / Fig. 4(d)).
+//!
+//! This is the slow, hardware-shaped twin of the fast group-convolution
+//! emulation in `cq-core`. The two paths are required to agree **exactly**
+//! (same f32 operation order) at zero variation; integration tests enforce
+//! this.
+
+use crate::{Adc, Crossbar, TilingPlan};
+use cq_quant::{BitSplit, QuantFormat};
+use cq_tensor::{conv_out_dim, CqRng, Tensor};
+
+/// A fully-quantized convolution layer description, with every scale factor
+/// resolved to dense per-column tables. Produced by `cq-core` from a
+/// trained `CimConv2d`.
+#[derive(Debug, Clone)]
+pub struct QuantizedConv {
+    /// Integer weights `[OC, Cin, KH, KW]` in the signed weight range.
+    pub w_int: Tensor,
+    /// Bit-split geometry.
+    pub bit_split: BitSplit,
+    /// Array tiling plan.
+    pub plan: TilingPlan,
+    /// Convolution stride.
+    pub stride: usize,
+    /// Convolution zero padding.
+    pub pad: usize,
+    /// Activation scale `s_a` (layer-wise).
+    pub act_scale: f32,
+    /// Weight scale per logical column, indexed `[g · OC + oc]`
+    /// (`g` = row tile). Layer-/array-wise schemes repeat the shared value.
+    pub weight_scales: Vec<f32>,
+    /// Partial-sum scale per physical column, indexed
+    /// `[(s · G + g) · OC + oc]`. Ignored when `psum_quant` is false.
+    pub psum_scales: Vec<f32>,
+    /// ADC output format.
+    pub psum_format: QuantFormat,
+    /// Whether partial sums are quantized (false = ideal ADC bypass).
+    pub psum_quant: bool,
+    /// Optional per-output-channel bias, applied after dequantization.
+    pub bias: Option<Vec<f32>>,
+}
+
+impl QuantizedConv {
+    /// Validates the internal consistency of the description.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any size mismatch or non-integral / out-of-range weight.
+    pub fn validate(&self) {
+        let p = &self.plan;
+        assert_eq!(
+            self.w_int.shape(),
+            &[p.out_ch, p.in_ch, p.kh, p.kw],
+            "w_int shape vs plan"
+        );
+        assert_eq!(
+            self.weight_scales.len(),
+            p.num_row_tiles * p.out_ch,
+            "weight scale table"
+        );
+        if self.psum_quant {
+            assert_eq!(
+                self.psum_scales.len(),
+                p.num_splits * p.num_row_tiles * p.out_ch,
+                "psum scale table"
+            );
+        }
+        if let Some(b) = &self.bias {
+            assert_eq!(b.len(), p.out_ch, "bias length");
+        }
+        let half = (1i64 << (self.bit_split.weight_bits() - 1)) as f32;
+        for &w in self.w_int.data() {
+            assert_eq!(w, w.round(), "non-integral weight {w}");
+            assert!((-half..half).contains(&w), "weight {w} out of range");
+        }
+        assert!(self.act_scale > 0.0, "activation scale");
+    }
+
+    /// Weight scale of logical column (row tile `g`, output channel `oc`).
+    #[inline]
+    pub fn weight_scale(&self, g: usize, oc: usize) -> f32 {
+        self.weight_scales[g * self.plan.out_ch + oc]
+    }
+
+    /// Partial-sum scale of physical column (split `s`, row tile `g`,
+    /// output channel `oc`).
+    #[inline]
+    pub fn psum_scale(&self, s: usize, g: usize, oc: usize) -> f32 {
+        self.psum_scales[(s * self.plan.num_row_tiles + g) * self.plan.out_ch + oc]
+    }
+}
+
+/// A convolution layer programmed onto crossbar arrays.
+#[derive(Debug, Clone)]
+pub struct CrossbarLayer {
+    desc: QuantizedConv,
+    /// Arrays indexed `[g · num_col_tiles + t]`.
+    arrays: Vec<Crossbar>,
+    adc: Adc,
+}
+
+impl CrossbarLayer {
+    /// Programs the quantized weights into crossbars.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the description is inconsistent (see
+    /// [`QuantizedConv::validate`]).
+    pub fn new(desc: QuantizedConv) -> Self {
+        desc.validate();
+        let p = desc.plan.clone();
+        let ns = p.num_splits;
+        let kk = p.kh * p.kw;
+        let mut arrays = Vec::with_capacity(p.num_arrays());
+        for g in 0..p.num_row_tiles {
+            let chans = p.channels_of_row_tile(g);
+            for t in 0..p.num_col_tiles {
+                let ocs = p.outputs_of_col_tile(t);
+                let mut xb = Crossbar::new(p.rows_used, ocs.len() * ns);
+                for (local_oc, oc) in ocs.clone().enumerate() {
+                    for s in 0..ns {
+                        let col = local_oc * ns + s;
+                        for (c_local, cin) in chans.clone().enumerate() {
+                            for ki in 0..p.kh {
+                                for kj in 0..p.kw {
+                                    let w = desc.w_int.data()
+                                        [desc.w_int.idx4(oc, cin, ki, kj)];
+                                    let v = desc.bit_split.split_value(w as i32, s) as f32;
+                                    xb.program(c_local * kk + ki * p.kw + kj, col, v);
+                                }
+                            }
+                        }
+                    }
+                }
+                arrays.push(xb);
+            }
+        }
+        let adc = Adc::new(desc.psum_format);
+        Self { desc, arrays, adc }
+    }
+
+    /// The layer description.
+    pub fn desc(&self) -> &QuantizedConv {
+        &self.desc
+    }
+
+    /// The programmed arrays (row-tile-major).
+    pub fn arrays(&self) -> &[Crossbar] {
+        &self.arrays
+    }
+
+    /// Applies per-cell log-normal variation to every array (Eq. (5)).
+    pub fn apply_variation(&mut self, sigma: f32, rng: &mut CqRng) {
+        for xb in &mut self.arrays {
+            xb.apply_variation(sigma, rng);
+        }
+    }
+
+    /// Total programmed (non-zero) cells across all arrays.
+    pub fn programmed_cells(&self) -> usize {
+        self.arrays.iter().map(Crossbar::programmed_cells).sum()
+    }
+
+    /// Runs inference on integer activations `a_int` (`[B, Cin, H, W]`,
+    /// values on the unsigned activation grid) and returns the dequantized
+    /// output `[B, OC, OH, OW]` including the activation scale and bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shape mismatches the plan.
+    pub fn forward(&self, a_int: &Tensor) -> Tensor {
+        let p = &self.desc.plan;
+        assert_eq!(a_int.rank(), 4, "input must be [B,C,H,W]");
+        assert_eq!(a_int.dim(1), p.in_ch, "input channels vs plan");
+        let (b, h, w) = (a_int.dim(0), a_int.dim(2), a_int.dim(3));
+        let oh = conv_out_dim(h, p.kh, self.desc.stride, self.desc.pad);
+        let ow = conv_out_dim(w, p.kw, self.desc.stride, self.desc.pad);
+        let ns = p.num_splits;
+        let kk = p.kh * p.kw;
+        let mut out = Tensor::zeros(&[b, p.out_ch, oh, ow]);
+
+        let mut patch = vec![0.0f32; p.rows_used];
+        // Per (row tile, col tile) analog column currents for one pixel.
+        let mut macs: Vec<Vec<f32>> =
+            self.arrays.iter().map(|xb| vec![0.0f32; xb.cols()]).collect();
+        let mut acc = vec![0.0f32; p.out_ch];
+
+        for bi in 0..b {
+            for ohi in 0..oh {
+                for owi in 0..ow {
+                    // Drive every array with its channel slice of the patch.
+                    for g in 0..p.num_row_tiles {
+                        let chans = p.channels_of_row_tile(g);
+                        patch.fill(0.0);
+                        for (c_local, cin) in chans.enumerate() {
+                            for ki in 0..p.kh {
+                                for kj in 0..p.kw {
+                                    let ih = (ohi * self.desc.stride + ki) as isize
+                                        - self.desc.pad as isize;
+                                    let iw = (owi * self.desc.stride + kj) as isize
+                                        - self.desc.pad as isize;
+                                    if ih < 0
+                                        || iw < 0
+                                        || ih as usize >= h
+                                        || iw as usize >= w
+                                    {
+                                        continue;
+                                    }
+                                    patch[c_local * kk + ki * p.kw + kj] = a_int.data()
+                                        [a_int.idx4(bi, cin, ih as usize, iw as usize)];
+                                }
+                            }
+                        }
+                        for t in 0..p.num_col_tiles {
+                            let a = g * p.num_col_tiles + t;
+                            self.arrays[a].mac_into(&patch, &mut macs[a]);
+                        }
+                    }
+                    // Shift-and-add with per-column ADC + dequantization.
+                    // Accumulation order (split outer, row tile inner)
+                    // matches the fast emulation path bit-for-bit.
+                    acc.fill(0.0);
+                    for s in 0..ns {
+                        let shift = self.desc.bit_split.shift_weight(s);
+                        for g in 0..p.num_row_tiles {
+                            for t in 0..p.num_col_tiles {
+                                let a = g * p.num_col_tiles + t;
+                                for (local_oc, oc) in
+                                    p.outputs_of_col_tile(t).enumerate()
+                                {
+                                    let analog = macs[a][local_oc * ns + s];
+                                    let sw = self.desc.weight_scale(g, oc);
+                                    let contrib = if self.desc.psum_quant {
+                                        let sp = self.desc.psum_scale(s, g, oc);
+                                        let pq = self.adc.convert(analog, sp);
+                                        ((pq * sp) * sw) * shift
+                                    } else {
+                                        (analog * sw) * shift
+                                    };
+                                    acc[oc] += contrib;
+                                }
+                            }
+                        }
+                    }
+                    for oc in 0..p.out_ch {
+                        let mut y = acc[oc] * self.desc.act_scale;
+                        if let Some(bias) = &self.desc.bias {
+                            y += bias[oc];
+                        }
+                        let oi = out.idx4(bi, oc, ohi, owi);
+                        out.data_mut()[oi] = y;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl CrossbarLayer {
+    /// Bit-serial input execution: activations are driven `dac_bits` at a
+    /// time (LSB first), every input slice's column current is digitized
+    /// separately, and the slice results are shift-and-added digitally —
+    /// the narrow-DAC operating mode of bit-scalable CIM macros
+    /// (paper Fig. 2(b)).
+    ///
+    /// Each input slice `j` is converted against a reference scaled to its
+    /// significance, `s_p / 2^(db·(n_j−1−j))`, so the most significant
+    /// slice sees the column's trained full-scale reference.
+    ///
+    /// With `dac_bits ≥` the activation precision this reduces to exactly
+    /// [`CrossbarLayer::forward`] (single slice); with the ADC bypassed it
+    /// is exact for any `dac_bits` (shift-and-add reconstruction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dac_bits == 0`, any activation is negative/non-integral,
+    /// or the input shape mismatches the plan.
+    pub fn forward_bit_serial(&self, a_int: &Tensor, dac_bits: u32, act_bits: u32) -> Tensor {
+        assert!(dac_bits >= 1, "dac_bits must be positive");
+        assert!(act_bits >= dac_bits, "act_bits {act_bits} < dac_bits {dac_bits}");
+        let num_in_slices = act_bits.div_ceil(dac_bits) as usize;
+        let p = &self.desc.plan;
+        assert_eq!(a_int.rank(), 4, "input must be [B,C,H,W]");
+        assert_eq!(a_int.dim(1), p.in_ch, "input channels vs plan");
+        let (b, h, w) = (a_int.dim(0), a_int.dim(2), a_int.dim(3));
+        let oh = conv_out_dim(h, p.kh, self.desc.stride, self.desc.pad);
+        let ow = conv_out_dim(w, p.kw, self.desc.stride, self.desc.pad);
+        let ns = p.num_splits;
+        let kk = p.kh * p.kw;
+        let mut out = Tensor::zeros(&[b, p.out_ch, oh, ow]);
+        let mut patch = vec![0.0f32; p.rows_used];
+        let mut macs: Vec<Vec<f32>> =
+            self.arrays.iter().map(|xb| vec![0.0f32; xb.cols()]).collect();
+        let mut acc = vec![0.0f32; p.out_ch];
+
+        for bi in 0..b {
+            for ohi in 0..oh {
+                for owi in 0..ow {
+                    acc.fill(0.0);
+                    for j in 0..num_in_slices {
+                        let in_shift = (1u64 << (dac_bits as usize * j)) as f32;
+                        // Reference scaling: MSB slice uses the trained sp.
+                        let ref_div =
+                            (1u64 << (dac_bits as usize * (num_in_slices - 1 - j))) as f32;
+                        // Drive each array with this input slice.
+                        for g in 0..p.num_row_tiles {
+                            let chans = p.channels_of_row_tile(g);
+                            patch.fill(0.0);
+                            for (c_local, cin) in chans.enumerate() {
+                                for ki in 0..p.kh {
+                                    for kj in 0..p.kw {
+                                        let ih = (ohi * self.desc.stride + ki) as isize
+                                            - self.desc.pad as isize;
+                                        let iw = (owi * self.desc.stride + kj) as isize
+                                            - self.desc.pad as isize;
+                                        if ih < 0
+                                            || iw < 0
+                                            || ih as usize >= h
+                                            || iw as usize >= w
+                                        {
+                                            continue;
+                                        }
+                                        let a = a_int.data()
+                                            [a_int.idx4(bi, cin, ih as usize, iw as usize)];
+                                        debug_assert!(a >= 0.0 && a == a.round());
+                                        let slice = ((a as u64
+                                            >> (dac_bits as usize * j))
+                                            & ((1u64 << dac_bits) - 1))
+                                            as f32;
+                                        patch[c_local * kk + ki * p.kw + kj] = slice;
+                                    }
+                                }
+                            }
+                            for t in 0..p.num_col_tiles {
+                                let a = g * p.num_col_tiles + t;
+                                self.arrays[a].mac_into(&patch, &mut macs[a]);
+                            }
+                        }
+                        for s in 0..ns {
+                            let shift = self.desc.bit_split.shift_weight(s);
+                            for g in 0..p.num_row_tiles {
+                                for t in 0..p.num_col_tiles {
+                                    let a = g * p.num_col_tiles + t;
+                                    for (local_oc, oc) in
+                                        p.outputs_of_col_tile(t).enumerate()
+                                    {
+                                        let analog = macs[a][local_oc * ns + s];
+                                        let sw = self.desc.weight_scale(g, oc);
+                                        let contrib = if self.desc.psum_quant {
+                                            let sp =
+                                                self.desc.psum_scale(s, g, oc) / ref_div;
+                                            let pq = self.adc.convert(analog, sp);
+                                            (((pq * sp) * sw) * shift) * in_shift
+                                        } else {
+                                            (((analog * sw) * shift)) * in_shift
+                                        };
+                                        acc[oc] += contrib;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    for oc in 0..p.out_ch {
+                        let mut y = acc[oc] * self.desc.act_scale;
+                        if let Some(bias) = &self.desc.bias {
+                            y += bias[oc];
+                        }
+                        let oi = out.idx4(bi, oc, ohi, owi);
+                        out.data_mut()[oi] = y;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CimConfig;
+    use cq_tensor::conv2d;
+
+    /// Builds a small quantized conv with identity-ish scales.
+    fn small_desc(psum_quant: bool) -> QuantizedConv {
+        let cfg = CimConfig::tiny(); // 32x32 arrays, w3 a3 p3, 1b cells -> 3 splits
+        let (in_ch, out_ch, k) = (7, 5, 3); // 7 channels -> 3/array, 3 row tiles
+        let plan = TilingPlan::new(&cfg, in_ch, out_ch, k, k);
+        let mut rng = CqRng::new(42);
+        let w_int = rng
+            .uniform_tensor(&[out_ch, in_ch, k, k], -4.0, 4.0)
+            .map(|v| v.floor().clamp(-4.0, 3.0));
+        let weight_scales: Vec<f32> = (0..plan.num_row_tiles * out_ch)
+            .map(|i| 0.02 + 0.003 * i as f32)
+            .collect();
+        let psum_scales: Vec<f32> = (0..plan.num_splits * plan.num_row_tiles * out_ch)
+            .map(|i| 1.0 + 0.1 * (i % 7) as f32)
+            .collect();
+        QuantizedConv {
+            w_int,
+            bit_split: cfg.bit_split(),
+            plan,
+            stride: 1,
+            pad: 1,
+            act_scale: 0.05,
+            weight_scales,
+            psum_scales,
+            psum_format: cfg.psum_format(),
+            psum_quant,
+            bias: None,
+        }
+    }
+
+    /// With the ADC bypassed, the crossbar path must equal an exact
+    /// dequantized convolution: y = s_a * conv(a_int, s_w ⊙ w_int).
+    #[test]
+    fn bypass_adc_equals_reference_conv() {
+        let desc = small_desc(false);
+        let layer = CrossbarLayer::new(desc.clone());
+        let mut rng = CqRng::new(7);
+        let a_int = rng.uniform_tensor(&[2, 7, 6, 6], 0.0, 8.0).map(f32::floor);
+        let got = layer.forward(&a_int);
+
+        // Reference: scale each weight by its logical column's s_w.
+        let p = &desc.plan;
+        let mut w_scaled = desc.w_int.clone();
+        for oc in 0..p.out_ch {
+            for cin in 0..p.in_ch {
+                let g = p.row_tile_of_channel(cin);
+                let sw = desc.weight_scale(g, oc);
+                for ki in 0..p.kh {
+                    for kj in 0..p.kw {
+                        let i = w_scaled.idx4(oc, cin, ki, kj);
+                        w_scaled.data_mut()[i] *= sw;
+                    }
+                }
+            }
+        }
+        let want = conv2d(&a_int, &w_scaled, 1, 1).scale(desc.act_scale);
+        assert!(
+            got.allclose(&want, 1e-4),
+            "max diff {}",
+            got.max_abs_diff(&want)
+        );
+    }
+
+    /// Bit-split decomposition inside the arrays must be exact: the
+    /// shift-and-add of split MACs equals the MAC of the full weight.
+    #[test]
+    fn shift_add_reconstructs_full_weight_mac() {
+        let desc = small_desc(false);
+        let layer = CrossbarLayer::new(desc.clone());
+        let p = &desc.plan;
+        // Drive a single array (g=0, t=0) with an arbitrary patch.
+        let mut rng = CqRng::new(3);
+        let patch: Vec<f32> = (0..p.rows_used).map(|_| rng.below(8) as f32).collect();
+        let currents = layer.arrays()[0].mac(&patch);
+        let ns = p.num_splits;
+        let kk = p.kh * p.kw;
+        for (local_oc, oc) in p.outputs_of_col_tile(0).enumerate() {
+            let combined: f32 = (0..ns)
+                .map(|s| currents[local_oc * ns + s] * desc.bit_split.shift_weight(s))
+                .sum();
+            // Full-precision integer MAC over the same channels.
+            let mut want = 0.0f32;
+            for (c_local, cin) in p.channels_of_row_tile(0).enumerate() {
+                for ki in 0..p.kh {
+                    for kj in 0..p.kw {
+                        want += patch[c_local * kk + ki * p.kw + kj]
+                            * desc.w_int.data()[desc.w_int.idx4(oc, cin, ki, kj)];
+                    }
+                }
+            }
+            assert_eq!(combined, want, "oc {oc}");
+        }
+    }
+
+    /// ADC clipping must saturate extreme partial sums.
+    #[test]
+    fn adc_path_clamps_to_range() {
+        let mut desc = small_desc(true);
+        // Absurdly small psum scales force every column into saturation.
+        desc.psum_scales.iter_mut().for_each(|s| *s = 1e-3);
+        let layer = CrossbarLayer::new(desc.clone());
+        let a_int = Tensor::full(&[1, 7, 5, 5], 7.0);
+        let y = layer.forward(&a_int);
+        // Every quantized psum is ±Qn/Qp; output stays finite and small.
+        assert!(y.max_abs() < 1.0, "saturated output should be tiny, got {}", y.max_abs());
+    }
+
+    #[test]
+    fn variation_perturbs_output_monotonically_in_expectation() {
+        let desc = small_desc(true);
+        let clean = CrossbarLayer::new(desc.clone());
+        let mut rng = CqRng::new(11);
+        let a_int = rng.uniform_tensor(&[1, 7, 5, 5], 0.0, 8.0).map(f32::floor);
+        let y0 = clean.forward(&a_int);
+        let mut devs = Vec::new();
+        for sigma in [0.05f32, 0.25] {
+            let mut sum = 0.0;
+            for seed in 0..3u64 {
+                let mut noisy = CrossbarLayer::new(desc.clone());
+                noisy.apply_variation(sigma, &mut CqRng::new(100 + seed));
+                sum += noisy.forward(&a_int).max_abs_diff(&y0);
+            }
+            devs.push(sum / 3.0);
+        }
+        assert!(devs[1] > devs[0], "larger sigma should deviate more: {devs:?}");
+        assert!(devs[0] > 0.0);
+    }
+
+    /// With the ADC bypassed, bit-serial input execution must reconstruct
+    /// the multi-bit result exactly for every DAC width.
+    #[test]
+    fn bit_serial_exact_without_adc() {
+        let desc = small_desc(false);
+        let layer = CrossbarLayer::new(desc);
+        let mut rng = CqRng::new(17);
+        let a_int = rng.uniform_tensor(&[1, 7, 5, 5], 0.0, 8.0).map(f32::floor);
+        let full = layer.forward(&a_int);
+        for dac_bits in 1..=3u32 {
+            let bs = layer.forward_bit_serial(&a_int, dac_bits, 3);
+            assert!(
+                bs.allclose(&full, 1e-4),
+                "dac_bits={dac_bits}: max diff {}",
+                bs.max_abs_diff(&full)
+            );
+        }
+    }
+
+    /// With a full-width DAC (single input slice), bit-serial equals the
+    /// plain path bit for bit, ADC included.
+    #[test]
+    fn bit_serial_full_width_matches_plain_path() {
+        let desc = small_desc(true);
+        let layer = CrossbarLayer::new(desc);
+        let mut rng = CqRng::new(19);
+        let a_int = rng.uniform_tensor(&[1, 7, 5, 5], 0.0, 8.0).map(f32::floor);
+        let plain = layer.forward(&a_int);
+        let serial = layer.forward_bit_serial(&a_int, 3, 3);
+        assert_eq!(plain, serial);
+    }
+
+    /// Narrow-DAC execution with live ADCs quantizes each input slice
+    /// separately — output differs from the wide-DAC path but remains
+    /// strongly correlated.
+    #[test]
+    fn bit_serial_with_adc_stays_correlated() {
+        let desc = small_desc(true);
+        let layer = CrossbarLayer::new(desc);
+        let mut rng = CqRng::new(23);
+        let a_int = rng.uniform_tensor(&[1, 7, 5, 5], 0.0, 8.0).map(f32::floor);
+        let wide = layer.forward(&a_int);
+        let serial = layer.forward_bit_serial(&a_int, 1, 3);
+        assert_ne!(wide, serial);
+        let cos = wide.mul(&serial).sum()
+            / (wide.sq_sum().sqrt() * serial.sq_sum().sqrt()).max(1e-9);
+        assert!(cos > 0.6, "bit-serial output decorrelated: {cos}");
+    }
+
+    #[test]
+    fn programmed_cells_counted() {
+        let desc = small_desc(false);
+        let layer = CrossbarLayer::new(desc);
+        assert!(layer.programmed_cells() > 0);
+        assert_eq!(layer.arrays().len(), 3); // 3 row tiles x 1 col tile
+    }
+
+    #[test]
+    #[should_panic(expected = "weight scale table")]
+    fn bad_scale_table_panics() {
+        let mut desc = small_desc(false);
+        desc.weight_scales.pop();
+        let _ = CrossbarLayer::new(desc);
+    }
+}

@@ -1,0 +1,388 @@
+//! The paper's **kernel-intact array tiling** (Sec. III-C, Fig. 2(a) and
+//! Fig. 5).
+//!
+//! A convolution weight `[OC, Cin, K, K]` is im2col-stretched so each
+//! logical column holds one kernel of length `Cin·K²`. Rows beyond the
+//! array height must be tiled; the naive im2col tiling cuts kernels at
+//! arbitrary row boundaries, while the paper's method chooses the tiling
+//! stride so that *whole kernels* (a whole number of input channels) land
+//! in each array. Each row tile then becomes one **group** of a group
+//! convolution, which is what removes the sequential-array indexing
+//! bottleneck.
+//!
+//! Columns are tiled too: every logical column occupies `n_split` physical
+//! columns (one per bit-split), so an array fits
+//! `floor(cols / n_split)` output channels.
+
+use crate::CimConfig;
+use cq_quant::{Granularity, GroupLayout};
+use std::ops::Range;
+
+/// Placement of one convolution layer onto CIM arrays.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TilingPlan {
+    /// Input channels of the layer.
+    pub in_ch: usize,
+    /// Output channels of the layer.
+    pub out_ch: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Input channels whose stretched kernels fit in one array
+    /// (`floor(rows / (kh·kw))`, capped at `in_ch`).
+    pub ch_per_array: usize,
+    /// Number of row tiles (`n_array` in the paper's row direction).
+    pub num_row_tiles: usize,
+    /// `ch_per_array · num_row_tiles ≥ in_ch`; trailing channels of the
+    /// last tile are zero-padded.
+    pub padded_in_ch: usize,
+    /// Rows actually used in each array (`ch_per_array · kh · kw`).
+    pub rows_used: usize,
+    /// Number of bit-splits (physical columns per logical column).
+    pub num_splits: usize,
+    /// Output channels per column tile (`floor(cols / n_split)`, capped at
+    /// `out_ch`).
+    pub oc_per_col_tile: usize,
+    /// Number of column tiles.
+    pub num_col_tiles: usize,
+}
+
+impl TilingPlan {
+    /// Plans the kernel-intact tiling of a `[out_ch, in_ch, kh, kw]` conv
+    /// layer onto arrays described by `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a single stretched kernel (`kh·kw` rows) does not fit in
+    /// one array, or any dimension is zero.
+    pub fn new(cfg: &CimConfig, in_ch: usize, out_ch: usize, kh: usize, kw: usize) -> Self {
+        cfg.validate();
+        assert!(in_ch > 0 && out_ch > 0 && kh > 0 && kw > 0, "empty layer");
+        let kk = kh * kw;
+        assert!(
+            kk <= cfg.array_rows,
+            "a {kh}x{kw} kernel needs {kk} rows but the array has {} — kernel-intact tiling impossible",
+            cfg.array_rows
+        );
+        let ch_per_array = (cfg.array_rows / kk).min(in_ch);
+        let num_row_tiles = in_ch.div_ceil(ch_per_array);
+        let num_splits = cfg.num_splits();
+        assert!(
+            num_splits <= cfg.array_cols,
+            "one logical column needs {num_splits} physical columns but the array has {}",
+            cfg.array_cols
+        );
+        let oc_per_col_tile = (cfg.array_cols / num_splits).min(out_ch);
+        let num_col_tiles = out_ch.div_ceil(oc_per_col_tile);
+        TilingPlan {
+            in_ch,
+            out_ch,
+            kh,
+            kw,
+            ch_per_array,
+            num_row_tiles,
+            padded_in_ch: ch_per_array * num_row_tiles,
+            rows_used: ch_per_array * kk,
+            num_splits,
+            oc_per_col_tile,
+            num_col_tiles,
+        }
+    }
+
+    /// Total number of arrays: row tiles × column tiles.
+    pub fn num_arrays(&self) -> usize {
+        self.num_row_tiles * self.num_col_tiles
+    }
+
+    /// Row tile holding input channel `cin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cin >= in_ch`.
+    pub fn row_tile_of_channel(&self, cin: usize) -> usize {
+        assert!(cin < self.in_ch, "channel {cin} out of range");
+        cin / self.ch_per_array
+    }
+
+    /// Input channels assigned to row tile `g` (clipped to real channels;
+    /// the remainder of the tile is zero padding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g >= num_row_tiles`.
+    pub fn channels_of_row_tile(&self, g: usize) -> Range<usize> {
+        assert!(g < self.num_row_tiles, "row tile {g} out of range");
+        let start = g * self.ch_per_array;
+        start..(start + self.ch_per_array).min(self.in_ch)
+    }
+
+    /// Column tile holding output channel `oc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `oc >= out_ch`.
+    pub fn col_tile_of_output(&self, oc: usize) -> usize {
+        assert!(oc < self.out_ch, "output channel {oc} out of range");
+        oc / self.oc_per_col_tile
+    }
+
+    /// Output channels assigned to column tile `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= num_col_tiles`.
+    pub fn outputs_of_col_tile(&self, t: usize) -> Range<usize> {
+        assert!(t < self.num_col_tiles, "col tile {t} out of range");
+        let start = t * self.oc_per_col_tile;
+        start..(start + self.oc_per_col_tile).min(self.out_ch)
+    }
+
+    /// Number of row tiles a *naive* im2col tiling would need (kernels
+    /// allowed to straddle arrays): `ceil(in_ch·kh·kw / rows)`. Used by the
+    /// framework benchmarks as the baseline.
+    pub fn naive_row_tiles(cfg: &CimConfig, in_ch: usize, kh: usize, kw: usize) -> usize {
+        (in_ch * kh * kw).div_ceil(cfg.array_rows)
+    }
+
+    /// Fraction of array rows left unused by kernel-intact tiling (the
+    /// price paid for never splitting a kernel).
+    pub fn row_utilization(&self, cfg: &CimConfig) -> f64 {
+        self.rows_used as f64 / cfg.array_rows as f64
+    }
+
+    /// Group layout for **weight** quantization at `gran` over a
+    /// `[out_ch, in_ch, kh, kw]` tensor.
+    ///
+    /// * `Layer`: one group.
+    /// * `Array`: one group per (row tile, column tile).
+    /// * `Column`: one group per logical column, i.e. per
+    ///   (row tile, output channel), shared across bit-splits so the
+    ///   integer weight reassembles exactly.
+    pub fn weight_layout(&self, gran: Granularity) -> GroupLayout {
+        match gran {
+            Granularity::Layer => GroupLayout::single(),
+            Granularity::Array => {
+                let mut map = Vec::with_capacity(self.out_ch * self.in_ch);
+                for oc in 0..self.out_ch {
+                    let t = self.col_tile_of_output(oc);
+                    for cin in 0..self.in_ch {
+                        let g = self.row_tile_of_channel(cin);
+                        map.push((g * self.num_col_tiles + t) as u32);
+                    }
+                }
+                GroupLayout::channelwise_with_groups(self.kh * self.kw, map, self.num_arrays())
+            }
+            Granularity::Column => {
+                let mut map = Vec::with_capacity(self.out_ch * self.in_ch);
+                for oc in 0..self.out_ch {
+                    for cin in 0..self.in_ch {
+                        let g = self.row_tile_of_channel(cin);
+                        map.push((g * self.out_ch + oc) as u32);
+                    }
+                }
+                GroupLayout::channelwise_with_groups(
+                    self.kh * self.kw,
+                    map,
+                    self.num_row_tiles * self.out_ch,
+                )
+            }
+        }
+    }
+
+    /// Total number of **weight** scale factors at `gran`.
+    pub fn weight_group_count(&self, gran: Granularity) -> usize {
+        match gran {
+            Granularity::Layer => 1,
+            Granularity::Array => self.num_arrays(),
+            Granularity::Column => self.num_row_tiles * self.out_ch,
+        }
+    }
+
+    /// Group layout for **partial-sum** quantization at `gran`, for the
+    /// split-`s` partial-sum tensor `[B, num_row_tiles·out_ch, OH, OW]`
+    /// (channel = `g·out_ch + oc`), with `inner` spatial elements per
+    /// channel.
+    ///
+    /// * `Layer`: one group shared by every split.
+    /// * `Array`: one group per (row tile, column tile), shared by splits.
+    /// * `Column`: one group per **physical** column, i.e. per
+    ///   (split, row tile, output channel) — `n_split · n_array · n_oc`
+    ///   scales, exactly the paper's accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `split >= num_splits`.
+    pub fn psum_layout(&self, gran: Granularity, split: usize, inner: usize) -> GroupLayout {
+        assert!(split < self.num_splits, "split {split} out of range");
+        let channels = self.num_row_tiles * self.out_ch;
+        match gran {
+            Granularity::Layer => GroupLayout::single(),
+            Granularity::Array => {
+                let mut map = Vec::with_capacity(channels);
+                for g in 0..self.num_row_tiles {
+                    for oc in 0..self.out_ch {
+                        let t = self.col_tile_of_output(oc);
+                        map.push((g * self.num_col_tiles + t) as u32);
+                    }
+                }
+                GroupLayout::channelwise_with_groups(inner, map, self.num_arrays())
+            }
+            Granularity::Column => {
+                let mut map = Vec::with_capacity(channels);
+                for g in 0..self.num_row_tiles {
+                    for oc in 0..self.out_ch {
+                        map.push(((split * self.num_row_tiles + g) * self.out_ch + oc) as u32);
+                    }
+                }
+                GroupLayout::channelwise_with_groups(
+                    inner,
+                    map,
+                    self.num_splits * self.num_row_tiles * self.out_ch,
+                )
+            }
+        }
+    }
+
+    /// Total number of **partial-sum** scale factors at `gran`.
+    pub fn psum_group_count(&self, gran: Granularity) -> usize {
+        match gran {
+            Granularity::Layer => 1,
+            Granularity::Array => self.num_arrays(),
+            Granularity::Column => self.num_splits * self.num_row_tiles * self.out_ch,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> CimConfig {
+        CimConfig::cifar10() // 128x128, 3 splits
+    }
+
+    #[test]
+    fn resnet20_layer_plans() {
+        // Conv 16->16, 3x3 on 128-row arrays: 14 channels per array.
+        let p = TilingPlan::new(&cfg(), 16, 16, 3, 3);
+        assert_eq!(p.ch_per_array, 14);
+        assert_eq!(p.num_row_tiles, 2);
+        assert_eq!(p.padded_in_ch, 28);
+        assert_eq!(p.rows_used, 126);
+        // 3 splits -> 42 logical columns per array; 16 oc fit in one tile.
+        assert_eq!(p.oc_per_col_tile, 16);
+        assert_eq!(p.num_col_tiles, 1);
+        assert_eq!(p.num_arrays(), 2);
+
+        // Conv 64->64: ceil(64/14) = 5 row tiles.
+        let p = TilingPlan::new(&cfg(), 64, 64, 3, 3);
+        assert_eq!(p.num_row_tiles, 5);
+        // 64 oc need ceil(64/42) = 2 column tiles.
+        assert_eq!(p.num_col_tiles, 2);
+        assert_eq!(p.num_arrays(), 10);
+    }
+
+    #[test]
+    fn small_layer_fits_single_array() {
+        let p = TilingPlan::new(&cfg(), 3, 16, 3, 3);
+        assert_eq!(p.ch_per_array, 3);
+        assert_eq!(p.num_row_tiles, 1);
+        assert_eq!(p.padded_in_ch, 3);
+        assert_eq!(p.num_arrays(), 1);
+    }
+
+    #[test]
+    fn kernel_never_straddles_arrays() {
+        // The defining invariant of kernel-intact tiling: all kh*kw rows of
+        // any (channel, kernel) pair live in the same row tile.
+        for in_ch in [3usize, 14, 15, 16, 64, 100] {
+            let p = TilingPlan::new(&cfg(), in_ch, 8, 3, 3);
+            for cin in 0..in_ch {
+                let g = p.row_tile_of_channel(cin);
+                assert!(p.channels_of_row_tile(g).contains(&cin));
+            }
+            // Channels of tiles partition 0..in_ch.
+            let mut seen = vec![false; in_ch];
+            for g in 0..p.num_row_tiles {
+                for c in p.channels_of_row_tile(g) {
+                    assert!(!seen[c], "channel {c} in two tiles");
+                    seen[c] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "in_ch={in_ch}");
+        }
+    }
+
+    #[test]
+    fn naive_tiling_uses_fewer_or_equal_arrays_but_breaks_kernels() {
+        let c = cfg();
+        // 64 channels * 9 = 576 rows; naive: ceil(576/128) = 5 tiles,
+        // kernel-intact also 5 — but e.g. 15 channels: naive 2 vs intact 2;
+        // 29 channels * 9 = 261 -> naive 3, intact ceil(29/14) = 3.
+        assert_eq!(TilingPlan::naive_row_tiles(&c, 64, 3, 3), 5);
+        let p = TilingPlan::new(&c, 64, 8, 3, 3);
+        assert!(p.num_row_tiles >= TilingPlan::naive_row_tiles(&c, 64, 3, 3));
+        assert!(p.row_utilization(&c) > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel-intact tiling impossible")]
+    fn oversized_kernel_panics() {
+        let mut c = CimConfig::tiny();
+        c.array_rows = 8;
+        let _ = TilingPlan::new(&c, 3, 4, 3, 3);
+    }
+
+    #[test]
+    fn weight_layout_column_groups() {
+        let p = TilingPlan::new(&cfg(), 16, 8, 3, 3); // 2 row tiles
+        let l = p.weight_layout(Granularity::Column);
+        assert_eq!(l.num_groups(), 2 * 8);
+        // Element (oc=3, cin=0, *, *) is row tile 0 -> group 0*8+3 = 3.
+        // Flat channel index = oc*in_ch + cin = 48.
+        assert_eq!(l.group_of_channel(48), 3);
+        // (oc=3, cin=15) is row tile 1 -> group 8+3 = 11.
+        assert_eq!(l.group_of_channel(3 * 16 + 15), 11);
+        assert_eq!(p.weight_group_count(Granularity::Column), 16);
+    }
+
+    #[test]
+    fn weight_layout_array_groups() {
+        let p = TilingPlan::new(&cfg(), 16, 8, 3, 3);
+        let l = p.weight_layout(Granularity::Array);
+        assert_eq!(l.num_groups(), p.num_arrays());
+        assert_eq!(p.weight_group_count(Granularity::Array), 2);
+        // All ocs share the array group determined by cin's row tile.
+        assert_eq!(l.group_of_channel(0), 0); // oc0, cin0
+        assert_eq!(l.group_of_channel(15), 1); // oc0, cin15
+    }
+
+    #[test]
+    fn psum_layout_column_distinct_per_split() {
+        let p = TilingPlan::new(&cfg(), 16, 8, 3, 3); // 2 row tiles, 3 splits
+        let total = p.psum_group_count(Granularity::Column);
+        assert_eq!(total, 3 * 2 * 8);
+        let l0 = p.psum_layout(Granularity::Column, 0, 4);
+        let l2 = p.psum_layout(Granularity::Column, 2, 4);
+        assert_eq!(l0.num_groups(), total);
+        assert_eq!(l2.num_groups(), total);
+        // Same (g, oc) channel maps to different groups per split.
+        assert_ne!(l0.group_of_channel(5), l2.group_of_channel(5));
+        // Layer psum layout is shared across splits.
+        let ll = p.psum_layout(Granularity::Layer, 1, 4);
+        assert_eq!(ll.num_groups(), 1);
+    }
+
+    #[test]
+    fn psum_layout_array_shared_across_splits() {
+        let p = TilingPlan::new(&cfg(), 64, 64, 3, 3); // 5 row, 2 col tiles
+        let a0 = p.psum_layout(Granularity::Array, 0, 1);
+        let a1 = p.psum_layout(Granularity::Array, 1, 1);
+        assert_eq!(a0, a1, "array psum groups must not depend on split");
+        assert_eq!(a0.num_groups(), 10);
+        // Channel (g=2, oc=50): col tile of oc 50 with 42 oc/tile is 1.
+        let ch = 2 * 64 + 50;
+        assert_eq!(a0.group_of_channel(ch), 2 * 2 + 1);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the CIM hardware model: tiling invariants,
+//! crossbar MAC correctness, and overhead-model monotonicity.
+
+use cq_cim::{dequant_mults, CimConfig, Crossbar, TilingPlan};
+use cq_quant::Granularity;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Kernel-intact tiling: every input channel lands in exactly one row
+    /// tile, whole kernels never straddle tiles, and padding never exceeds
+    /// one tile's worth of channels.
+    #[test]
+    fn tiling_partitions_channels(
+        in_ch in 1usize..200,
+        out_ch in 1usize..96,
+        k in 1usize..6,
+        rows_pow in 5usize..9,
+    ) {
+        let mut cfg = CimConfig::cifar10();
+        cfg.array_rows = 1 << rows_pow;
+        cfg.array_cols = 1 << rows_pow;
+        prop_assume!(k * k <= cfg.array_rows);
+        let p = TilingPlan::new(&cfg, in_ch, out_ch, k, k);
+        let mut seen = vec![0usize; in_ch];
+        for g in 0..p.num_row_tiles {
+            for c in p.channels_of_row_tile(g) {
+                seen[c] += 1;
+                prop_assert_eq!(p.row_tile_of_channel(c), g);
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s == 1), "channels covered exactly once");
+        prop_assert!(p.padded_in_ch >= in_ch && p.padded_in_ch - in_ch < p.ch_per_array);
+        prop_assert!(p.rows_used <= cfg.array_rows);
+        // Output channels partition across column tiles.
+        let mut oc_seen = vec![0usize; out_ch];
+        for t in 0..p.num_col_tiles {
+            for oc in p.outputs_of_col_tile(t) {
+                oc_seen[oc] += 1;
+                prop_assert_eq!(p.col_tile_of_output(oc), t);
+            }
+        }
+        prop_assert!(oc_seen.iter().all(|&s| s == 1));
+    }
+
+    /// Crossbar MAC equals the dense matrix-vector product.
+    #[test]
+    fn crossbar_mac_is_gemv(
+        rows in 1usize..24,
+        cols in 1usize..16,
+        seed in 0u64..1000,
+    ) {
+        let mut xb = Crossbar::new(rows, cols);
+        let mut cells = vec![0.0f32; rows * cols];
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) % 9) as f32 - 4.0
+        };
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = next();
+                cells[r * cols + c] = v;
+                xb.program(r, c, v);
+            }
+        }
+        let input: Vec<f32> = (0..rows).map(|_| next().abs()).collect();
+        let got = xb.mac(&input);
+        for c in 0..cols {
+            let want: f32 = (0..rows).map(|r| input[r] * cells[r * cols + c]).sum();
+            prop_assert_eq!(got[c], want);
+        }
+    }
+
+    /// Overhead is monotone in both granularities and column weights never
+    /// exceed the column-psum cost.
+    #[test]
+    fn overhead_monotone(in_ch in 1usize..128, out_ch in 1usize..64) {
+        let cfg = CimConfig::cifar100();
+        let p = TilingPlan::new(&cfg, in_ch, out_ch, 3, 3);
+        use Granularity::*;
+        for w in Granularity::ALL {
+            prop_assert!(dequant_mults(&p, w, Layer) <= dequant_mults(&p, w, Array));
+            prop_assert!(dequant_mults(&p, w, Array) <= dequant_mults(&p, w, Column));
+        }
+        for pg in Granularity::ALL {
+            prop_assert!(dequant_mults(&p, Layer, pg) <= dequant_mults(&p, Column, pg));
+        }
+        // The headline claim: C/C costs the same as L/C.
+        prop_assert_eq!(
+            dequant_mults(&p, Column, Column),
+            dequant_mults(&p, Layer, Column)
+        );
+    }
+
+    /// Weight group maps are consistent with the tiling: elements of one
+    /// logical column (same row tile, same oc) always share a group.
+    #[test]
+    fn weight_layout_consistent(in_ch in 1usize..64, out_ch in 1usize..32) {
+        let cfg = CimConfig::cifar10();
+        let p = TilingPlan::new(&cfg, in_ch, out_ch, 3, 3);
+        let l = p.weight_layout(Granularity::Column);
+        for oc in 0..out_ch {
+            for cin in 0..in_ch {
+                let ch = oc * in_ch + cin;
+                let g = p.row_tile_of_channel(cin);
+                prop_assert_eq!(l.group_of_channel(ch), g * out_ch + oc);
+            }
+        }
+        prop_assert_eq!(l.num_groups(), p.weight_group_count(Granularity::Column));
+    }
+}

@@ -1,0 +1,216 @@
+//! Quantization schemes: the paper's method and the five related works it
+//! compares against (Table I).
+
+use cq_quant::Granularity;
+use std::fmt;
+
+/// How a scheme is trained (Table I's "train from scratch" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrainMethod {
+    /// Single QAT run from scratch with all quantizers active — the
+    /// paper's method (enabled by granularity alignment, Sec. III-D).
+    OneStageQat,
+    /// Stage 1 trains with full-precision partial sums; stage 2 enables
+    /// partial-sum quantization (Saxena et al. \[8\], \[9\]).
+    TwoStageQat,
+    /// Train full precision, then calibrate quantizer scales post hoc
+    /// without further training (Kim \[5\], Bai \[6\], \[7\]).
+    Ptq,
+}
+
+impl fmt::Display for TrainMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TrainMethod::OneStageQat => "one-stage QAT",
+            TrainMethod::TwoStageQat => "two-stage QAT",
+            TrainMethod::Ptq => "PTQ",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A complete quantization scheme: granularities, training method, and
+/// which scale factors are learnable (the three axes of Table I).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantScheme {
+    /// Display label ("Ours", "Kim \[5\]", …).
+    pub label: String,
+    /// Weight quantization granularity.
+    pub w_gran: Granularity,
+    /// Partial-sum quantization granularity.
+    pub p_gran: Granularity,
+    /// Training method.
+    pub method: TrainMethod,
+    /// Whether weight scale factors are learned during training.
+    pub learnable_w_scale: bool,
+    /// Whether partial-sum scale factors are learned during training.
+    pub learnable_p_scale: bool,
+}
+
+impl QuantScheme {
+    /// The paper's scheme: column-wise weights **and** partial sums,
+    /// one-stage QAT, both scale factors learnable.
+    pub fn ours() -> Self {
+        Self {
+            label: "Ours".into(),
+            w_gran: Granularity::Column,
+            p_gran: Granularity::Column,
+            method: TrainMethod::OneStageQat,
+            learnable_w_scale: true,
+            learnable_p_scale: true,
+        }
+    }
+
+    /// Kim et al. \[5\]: layer-wise weights and partial sums, PTQ.
+    pub fn kim5() -> Self {
+        Self {
+            label: "Kim [5]".into(),
+            w_gran: Granularity::Layer,
+            p_gran: Granularity::Layer,
+            method: TrainMethod::Ptq,
+            learnable_w_scale: false,
+            learnable_p_scale: true,
+        }
+    }
+
+    /// Bai et al. \[6\], \[7\]: array-wise weights and partial sums, PTQ.
+    pub fn bai67() -> Self {
+        Self {
+            label: "Bai [6], [7]".into(),
+            w_gran: Granularity::Array,
+            p_gran: Granularity::Array,
+            method: TrainMethod::Ptq,
+            learnable_w_scale: false,
+            learnable_p_scale: true,
+        }
+    }
+
+    /// Saxena et al. \[8\]: layer-wise weights (QAT from scratch),
+    /// array-wise partial sums (second-stage QAT).
+    pub fn saxena8() -> Self {
+        Self {
+            label: "Saxena [8]".into(),
+            w_gran: Granularity::Layer,
+            p_gran: Granularity::Array,
+            method: TrainMethod::TwoStageQat,
+            learnable_w_scale: false,
+            learnable_p_scale: true,
+        }
+    }
+
+    /// Saxena & Roy \[9\]: layer-wise weights (QAT from scratch),
+    /// column-wise partial sums (second-stage QAT) — the strongest prior.
+    pub fn saxena9() -> Self {
+        Self {
+            label: "Saxena [9]".into(),
+            w_gran: Granularity::Layer,
+            p_gran: Granularity::Column,
+            method: TrainMethod::TwoStageQat,
+            learnable_w_scale: true,
+            learnable_p_scale: true,
+        }
+    }
+
+    /// An ad-hoc one-stage QAT scheme with the given granularities (used
+    /// for the 9-combination sweeps of Fig. 7/8).
+    pub fn custom(w_gran: Granularity, p_gran: Granularity) -> Self {
+        Self {
+            label: format!("{}/{}", w_gran.letter(), p_gran.letter()),
+            w_gran,
+            p_gran,
+            method: TrainMethod::OneStageQat,
+            learnable_w_scale: true,
+            learnable_p_scale: true,
+        }
+    }
+
+    /// Variant of this scheme with a different training method (Fig. 9
+    /// compares one- vs two-stage on fixed granularities).
+    pub fn with_method(mut self, method: TrainMethod) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// The paper's five compared schemes, related works first, ours last —
+    /// the legend order of Fig. 7/10 and Table III.
+    pub fn all_compared() -> Vec<QuantScheme> {
+        vec![
+            Self::kim5(),
+            Self::bai67(),
+            Self::saxena8(),
+            Self::saxena9(),
+            Self::ours(),
+        ]
+    }
+
+    /// One markdown row of Table I.
+    pub fn table1_row(&self) -> String {
+        let scratch = |yes: bool, m: TrainMethod| match (yes, m) {
+            (true, _) => "yes".to_string(),
+            (false, TrainMethod::Ptq) => "no (PTQ)".to_string(),
+            (false, _) => "no (2-stage QAT)".to_string(),
+        };
+        let w_scratch = self.method == TrainMethod::OneStageQat
+            || self.method == TrainMethod::TwoStageQat;
+        let p_scratch = self.method == TrainMethod::OneStageQat;
+        format!(
+            "| {} | {} | {} | {} | {} | {} | {} |",
+            self.label,
+            self.w_gran,
+            scratch(w_scratch, self.method),
+            if self.learnable_w_scale { "yes" } else { "no" },
+            self.p_gran,
+            scratch(p_scratch, self.method),
+            if self.learnable_p_scale { "yes" } else { "no" },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ours_aligns_granularities_column_wise() {
+        let s = QuantScheme::ours();
+        assert_eq!(s.w_gran, Granularity::Column);
+        assert_eq!(s.p_gran, Granularity::Column);
+        assert_eq!(s.method, TrainMethod::OneStageQat);
+        assert!(s.learnable_w_scale && s.learnable_p_scale);
+    }
+
+    #[test]
+    fn related_works_match_table1() {
+        let all = QuantScheme::all_compared();
+        assert_eq!(all.len(), 5);
+        assert_eq!(all[0].label, "Kim [5]");
+        assert_eq!(all[0].w_gran, Granularity::Layer);
+        assert_eq!(all[1].w_gran, Granularity::Array);
+        assert_eq!(all[1].p_gran, Granularity::Array);
+        assert_eq!(all[2].p_gran, Granularity::Array);
+        assert_eq!(all[3].p_gran, Granularity::Column);
+        assert_eq!(all[3].w_gran, Granularity::Layer);
+        assert_eq!(all[4].label, "Ours");
+        // Only ours trains one-stage; only [5]-[7] are PTQ.
+        assert_eq!(
+            all.iter().filter(|s| s.method == TrainMethod::OneStageQat).count(),
+            1
+        );
+        assert_eq!(all.iter().filter(|s| s.method == TrainMethod::Ptq).count(), 2);
+    }
+
+    #[test]
+    fn custom_label_uses_letters() {
+        let s = QuantScheme::custom(Granularity::Array, Granularity::Column);
+        assert_eq!(s.label, "A/C");
+    }
+
+    #[test]
+    fn table1_rows_render() {
+        for s in QuantScheme::all_compared() {
+            let row = s.table1_row();
+            assert!(row.starts_with('|') && row.ends_with('|'));
+            assert_eq!(row.matches('|').count(), 8);
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # cq-data
+//!
+//! Deterministic synthetic vision datasets standing in for
+//! CIFAR-10 / CIFAR-100 / ImageNet (which are unavailable offline; see
+//! `DESIGN.md` §3 for the substitution argument), plus mini-batch loading
+//! and standard train-time augmentation.
+//!
+//! ## Example
+//!
+//! ```
+//! use cq_data::{generate, SyntheticSpec};
+//!
+//! let (train, test) = generate(&SyntheticSpec::tiny(42));
+//! assert_eq!(train.images.shape()[0], train.labels.len());
+//! assert!(!test.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+mod loader;
+mod synthetic;
+
+pub use loader::{eval_batches, shuffled_batches, Augment, Batch};
+pub use synthetic::{generate, Dataset, SyntheticSpec};

@@ -1,0 +1,215 @@
+//! Mini-batch assembly with optional train-time augmentation
+//! (pad-and-crop shifts plus horizontal flips, the standard CIFAR recipe).
+
+use crate::Dataset;
+use cq_tensor::{CqRng, Tensor};
+
+/// One mini-batch.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Images `[B, C, H, W]`.
+    pub images: Tensor,
+    /// Labels, one per image.
+    pub labels: Vec<usize>,
+}
+
+/// Augmentation settings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Augment {
+    /// Zero-pad by this much on every side, then crop back at a random
+    /// offset (0 disables).
+    pub pad_crop: usize,
+    /// Random horizontal flip.
+    pub hflip: bool,
+}
+
+impl Augment {
+    /// The standard CIFAR recipe: pad 2 + flip (scaled-down from pad 4 for
+    /// the smaller synthetic images).
+    pub fn standard() -> Self {
+        Self { pad_crop: 2, hflip: true }
+    }
+
+    /// No augmentation.
+    pub fn none() -> Self {
+        Self { pad_crop: 0, hflip: false }
+    }
+}
+
+/// Splits a dataset into shuffled mini-batches, optionally augmented.
+/// The trailing partial batch is kept (never dropped).
+///
+/// # Panics
+///
+/// Panics if `batch_size == 0` or the dataset is empty.
+pub fn shuffled_batches(
+    ds: &Dataset,
+    batch_size: usize,
+    rng: &mut CqRng,
+    augment: Augment,
+) -> Vec<Batch> {
+    assert!(batch_size > 0, "zero batch size");
+    assert!(!ds.is_empty(), "empty dataset");
+    let mut order: Vec<usize> = (0..ds.len()).collect();
+    rng.shuffle(&mut order);
+    batches_in_order(ds, &order, batch_size, rng, augment)
+}
+
+/// Splits a dataset into sequential (unshuffled, unaugmented) batches for
+/// evaluation.
+///
+/// # Panics
+///
+/// Panics if `batch_size == 0` or the dataset is empty.
+pub fn eval_batches(ds: &Dataset, batch_size: usize) -> Vec<Batch> {
+    assert!(batch_size > 0, "zero batch size");
+    assert!(!ds.is_empty(), "empty dataset");
+    let order: Vec<usize> = (0..ds.len()).collect();
+    let mut rng = CqRng::new(0); // unused by Augment::none
+    batches_in_order(ds, &order, batch_size, &mut rng, Augment::none())
+}
+
+fn batches_in_order(
+    ds: &Dataset,
+    order: &[usize],
+    batch_size: usize,
+    rng: &mut CqRng,
+    augment: Augment,
+) -> Vec<Batch> {
+    let shape = ds.images.shape();
+    let (c, h, w) = (shape[1], shape[2], shape[3]);
+    let img_len = c * h * w;
+    let mut out = Vec::with_capacity(order.len().div_ceil(batch_size));
+    for chunk in order.chunks(batch_size) {
+        let mut images = Tensor::zeros(&[chunk.len(), c, h, w]);
+        let mut labels = Vec::with_capacity(chunk.len());
+        for (bi, &idx) in chunk.iter().enumerate() {
+            let src = &ds.images.data()[idx * img_len..(idx + 1) * img_len];
+            let dst = &mut images.data_mut()[bi * img_len..(bi + 1) * img_len];
+            apply_augment(src, dst, c, h, w, rng, augment);
+            labels.push(ds.labels[idx]);
+        }
+        out.push(Batch { images, labels });
+    }
+    out
+}
+
+fn apply_augment(
+    src: &[f32],
+    dst: &mut [f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    rng: &mut CqRng,
+    augment: Augment,
+) {
+    let p = augment.pad_crop;
+    let (dy, dx) = if p > 0 {
+        (
+            rng.below(2 * p + 1) as isize - p as isize,
+            rng.below(2 * p + 1) as isize - p as isize,
+        )
+    } else {
+        (0, 0)
+    };
+    let flip = augment.hflip && rng.coin();
+    if dy == 0 && dx == 0 && !flip {
+        dst.copy_from_slice(src);
+        return;
+    }
+    for ch in 0..c {
+        for y in 0..h {
+            let sy = y as isize + dy;
+            for x in 0..w {
+                let xx = if flip { w - 1 - x } else { x };
+                let sx = xx as isize + dx;
+                let v = if sy < 0 || sx < 0 || sy >= h as isize || sx >= w as isize {
+                    0.0 // zero padding revealed by the crop
+                } else {
+                    src[(ch * h + sy as usize) * w + sx as usize]
+                };
+                dst[(ch * h + y) * w + x] = v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, SyntheticSpec};
+
+    fn tiny() -> Dataset {
+        generate(&SyntheticSpec::tiny(3)).0
+    }
+
+    #[test]
+    fn eval_batches_cover_everything_in_order() {
+        let ds = tiny();
+        let batches = eval_batches(&ds, 10);
+        let total: usize = batches.iter().map(|b| b.labels.len()).sum();
+        assert_eq!(total, ds.len());
+        assert_eq!(batches[0].labels, ds.labels[..10].to_vec());
+        // Last partial batch kept.
+        assert_eq!(batches.last().unwrap().labels.len(), ds.len() % 10);
+        // Unaugmented: images bit-identical to source.
+        assert_eq!(
+            &batches[0].images.data()[..ds.images.shape()[1..].iter().product()],
+            &ds.images.data()[..ds.images.shape()[1..].iter().product()]
+        );
+    }
+
+    #[test]
+    fn shuffled_batches_are_a_permutation() {
+        let ds = tiny();
+        let mut rng = CqRng::new(5);
+        let batches = shuffled_batches(&ds, 7, &mut rng, Augment::none());
+        let mut label_counts = vec![0usize; 4];
+        for b in &batches {
+            for &l in &b.labels {
+                label_counts[l] += 1;
+            }
+        }
+        assert_eq!(label_counts, vec![16, 16, 16, 16]);
+    }
+
+    #[test]
+    fn augmentation_changes_pixels_not_labels() {
+        let ds = tiny();
+        let mut rng = CqRng::new(6);
+        let plain = eval_batches(&ds, ds.len()).remove(0);
+        let aug = shuffled_batches(&ds, ds.len(), &mut rng, Augment::standard()).remove(0);
+        assert_ne!(plain.images, aug.images);
+        let mut a = plain.labels.clone();
+        let mut b = aug.labels.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn augment_none_with_shuffle_preserves_images_exactly() {
+        let ds = tiny();
+        let mut rng = CqRng::new(7);
+        let batches = shuffled_batches(&ds, 4, &mut rng, Augment::none());
+        // Each batched image must be bit-identical to one dataset image.
+        let img_len: usize = ds.images.shape()[1..].iter().product();
+        let b0 = &batches[0];
+        for bi in 0..b0.labels.len() {
+            let img = &b0.images.data()[bi * img_len..(bi + 1) * img_len];
+            let found = (0..ds.len()).any(|i| {
+                &ds.images.data()[i * img_len..(i + 1) * img_len] == img
+            });
+            assert!(found, "batched image {bi} not found in dataset");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_rng_seed() {
+        let ds = tiny();
+        let a = shuffled_batches(&ds, 8, &mut CqRng::new(9), Augment::standard());
+        let b = shuffled_batches(&ds, 8, &mut CqRng::new(9), Augment::standard());
+        assert_eq!(a[0].images, b[0].images);
+        assert_eq!(a[0].labels, b[0].labels);
+    }
+}

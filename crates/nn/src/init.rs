@@ -1,0 +1,26 @@
+//! Weight initialization.
+
+use cq_tensor::{CqRng, Tensor};
+
+/// Kaiming-normal initialization for a conv weight `[OC, Cin, K, K]`
+/// (`std = sqrt(2 / fan_in)`, `fan_in = Cin·K²`).
+pub fn kaiming_conv_init(out_ch: usize, in_ch: usize, kernel: usize, rng: &mut CqRng) -> Tensor {
+    let fan_in = (in_ch * kernel * kernel) as f32;
+    let std = (2.0 / fan_in).sqrt();
+    rng.normal_tensor(&[out_ch, in_ch, kernel, kernel], std)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_tracks_fan_in() {
+        let mut rng = CqRng::new(1);
+        let w = kaiming_conv_init(64, 16, 3, &mut rng);
+        let var = w.sq_sum() / w.numel() as f32;
+        let want = 2.0 / (16.0 * 9.0);
+        assert!((var - want).abs() < want * 0.2, "var {var} vs {want}");
+        assert!(w.mean().abs() < 0.01);
+    }
+}

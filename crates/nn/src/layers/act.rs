@@ -1,0 +1,69 @@
+//! Activation layers.
+
+use crate::{Layer, Mode, ParamView};
+use cq_tensor::Tensor;
+
+/// Rectified linear unit.
+#[derive(Debug, Default)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Self { mask: None }
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        if mode == Mode::Train {
+            self.mask = Some(x.data().iter().map(|&v| v > 0.0).collect());
+        }
+        x.map(|v| v.max(0.0))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mask = self.mask.take().expect("Relu::backward without forward");
+        assert_eq!(mask.len(), grad_out.numel(), "shape changed between passes");
+        let mut g = grad_out.clone();
+        for (v, &m) in g.data_mut().iter_mut().zip(&mask) {
+            if !m {
+                *v = 0.0;
+            }
+        }
+        g
+    }
+
+    fn visit_params(&mut self, _prefix: &str, _f: &mut dyn FnMut(ParamView<'_>)) {}
+
+    fn apply(&mut self, f: &mut dyn FnMut(&mut dyn Layer)) {
+        f(self);
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clips_negatives() {
+        let mut r = Relu::new();
+        let x = Tensor::from_vec(vec![-2.0, 0.0, 3.0], &[3]);
+        assert_eq!(r.forward(&x, Mode::Eval).data(), &[0.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn backward_routes_through_positive_inputs_only() {
+        let mut r = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 2.0, -3.0, 4.0], &[4]);
+        let _ = r.forward(&x, Mode::Train);
+        let g = r.backward(&Tensor::ones(&[4]));
+        assert_eq!(g.data(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+}

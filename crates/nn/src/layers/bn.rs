@@ -1,0 +1,291 @@
+//! 2-D batch normalization with running statistics.
+
+use crate::{Layer, Mode, Param, ParamKind, ParamView};
+use cq_tensor::Tensor;
+
+/// BatchNorm over the channel dimension of `[B, C, H, W]` tensors.
+pub struct BatchNorm2d {
+    gamma: Param,
+    beta: Param,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    /// Dummy gradient buffers so running stats can ride the parameter
+    /// visitor (kind `RunningStat`) for checkpointing.
+    stat_grad: Vec<f32>,
+    momentum: f32,
+    eps: f32,
+    cache: Option<BnCache>,
+}
+
+struct BnCache {
+    xhat: Tensor,
+    inv_std: Vec<f32>,
+}
+
+impl BatchNorm2d {
+    /// Creates a BatchNorm layer with γ = 1, β = 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0`.
+    pub fn new(channels: usize) -> Self {
+        assert!(channels > 0, "empty batchnorm");
+        Self {
+            gamma: Param::new(Tensor::ones(&[channels])),
+            beta: Param::new(Tensor::zeros(&[channels])),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            stat_grad: vec![0.0; channels],
+            momentum: 0.1,
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.gamma.value.numel()
+    }
+
+    /// Running mean (for inspection/tests).
+    pub fn running_mean(&self) -> &[f32] {
+        &self.running_mean
+    }
+
+    /// Running variance (for inspection/tests).
+    pub fn running_var(&self) -> &[f32] {
+        &self.running_var
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        assert_eq!(x.rank(), 4, "BatchNorm2d input must be [B,C,H,W]");
+        let (b, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+        assert_eq!(c, self.channels(), "channel mismatch");
+        let n = (b * h * w) as f32;
+        let hw = h * w;
+        let mut y = Tensor::zeros(x.shape());
+
+        match mode {
+            Mode::Train => {
+                let mut xhat = Tensor::zeros(x.shape());
+                let mut inv_std = vec![0.0f32; c];
+                for ci in 0..c {
+                    let mut sum = 0.0f64;
+                    let mut sq = 0.0f64;
+                    for bi in 0..b {
+                        let base = (bi * c + ci) * hw;
+                        for &v in &x.data()[base..base + hw] {
+                            sum += v as f64;
+                            sq += (v as f64) * (v as f64);
+                        }
+                    }
+                    let mean = (sum / n as f64) as f32;
+                    let var = ((sq / n as f64) - (mean as f64) * (mean as f64)).max(0.0) as f32;
+                    let inv = 1.0 / (var + self.eps).sqrt();
+                    inv_std[ci] = inv;
+                    self.running_mean[ci] =
+                        (1.0 - self.momentum) * self.running_mean[ci] + self.momentum * mean;
+                    self.running_var[ci] =
+                        (1.0 - self.momentum) * self.running_var[ci] + self.momentum * var;
+                    let g = self.gamma.value.data()[ci];
+                    let be = self.beta.value.data()[ci];
+                    for bi in 0..b {
+                        let base = (bi * c + ci) * hw;
+                        for i in base..base + hw {
+                            let xh = (x.data()[i] - mean) * inv;
+                            xhat.data_mut()[i] = xh;
+                            y.data_mut()[i] = g * xh + be;
+                        }
+                    }
+                }
+                self.cache = Some(BnCache { xhat, inv_std });
+            }
+            Mode::Eval => {
+                for ci in 0..c {
+                    let inv = 1.0 / (self.running_var[ci] + self.eps).sqrt();
+                    let mean = self.running_mean[ci];
+                    let g = self.gamma.value.data()[ci];
+                    let be = self.beta.value.data()[ci];
+                    for bi in 0..b {
+                        let base = (bi * c + ci) * hw;
+                        for i in base..base + hw {
+                            y.data_mut()[i] = g * (x.data()[i] - mean) * inv + be;
+                        }
+                    }
+                }
+                self.cache = None;
+            }
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.take().expect("BatchNorm2d::backward without forward");
+        let (b, c, h, w) = (
+            grad_out.dim(0),
+            grad_out.dim(1),
+            grad_out.dim(2),
+            grad_out.dim(3),
+        );
+        let hw = h * w;
+        let n = (b * hw) as f32;
+        let mut dx = Tensor::zeros(grad_out.shape());
+        for ci in 0..c {
+            let mut dgamma = 0.0f64;
+            let mut dbeta = 0.0f64;
+            for bi in 0..b {
+                let base = (bi * c + ci) * hw;
+                for i in base..base + hw {
+                    dgamma += (grad_out.data()[i] * cache.xhat.data()[i]) as f64;
+                    dbeta += grad_out.data()[i] as f64;
+                }
+            }
+            self.gamma.grad.data_mut()[ci] += dgamma as f32;
+            self.beta.grad.data_mut()[ci] += dbeta as f32;
+            let g = self.gamma.value.data()[ci];
+            let inv = cache.inv_std[ci];
+            let k = g * inv / n;
+            for bi in 0..b {
+                let base = (bi * c + ci) * hw;
+                for i in base..base + hw {
+                    dx.data_mut()[i] = k
+                        * (n * grad_out.data()[i]
+                            - dbeta as f32
+                            - cache.xhat.data()[i] * dgamma as f32);
+                }
+            }
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, prefix: &str, f: &mut dyn FnMut(ParamView<'_>)) {
+        self.gamma.visit(format!("{prefix}gamma"), ParamKind::Gamma, f);
+        self.beta.visit(format!("{prefix}beta"), ParamKind::Beta, f);
+        // Running statistics ride along (kind RunningStat) so checkpoints
+        // capture eval-mode behaviour; optimizers leave them untouched
+        // (their gradients stay zero).
+        self.stat_grad.iter_mut().for_each(|g| *g = 0.0);
+        f(ParamView {
+            name: format!("{prefix}running_mean"),
+            kind: ParamKind::RunningStat,
+            value: &mut self.running_mean,
+            grad: &mut self.stat_grad,
+        });
+        self.stat_grad.iter_mut().for_each(|g| *g = 0.0);
+        f(ParamView {
+            name: format!("{prefix}running_var"),
+            kind: ParamKind::RunningStat,
+            value: &mut self.running_var,
+            grad: &mut self.stat_grad,
+        });
+    }
+
+    fn apply(&mut self, f: &mut dyn FnMut(&mut dyn Layer)) {
+        f(self);
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_tensor::CqRng;
+
+    #[test]
+    fn train_output_is_normalized() {
+        let mut rng = CqRng::new(1);
+        let mut bn = BatchNorm2d::new(3);
+        let x = rng.normal_tensor(&[4, 3, 5, 5], 3.0).map(|v| v + 7.0);
+        let y = bn.forward(&x, Mode::Train);
+        // Per channel: mean ~0, var ~1.
+        let (b, c, hw) = (4, 3, 25);
+        for ci in 0..c {
+            let mut vals = Vec::new();
+            for bi in 0..b {
+                let base = (bi * c + ci) * hw;
+                vals.extend_from_slice(&y.data()[base..base + hw]);
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "var {var}");
+        }
+    }
+
+    #[test]
+    fn running_stats_converge_to_batch_stats() {
+        let mut rng = CqRng::new(2);
+        let mut bn = BatchNorm2d::new(1);
+        let x = rng.normal_tensor(&[8, 1, 4, 4], 2.0).map(|v| v + 5.0);
+        for _ in 0..200 {
+            let _ = bn.forward(&x, Mode::Train);
+        }
+        assert!((bn.running_mean()[0] - 5.0).abs() < 0.3, "{}", bn.running_mean()[0]);
+        assert!((bn.running_var()[0] - 4.0).abs() < 0.6, "{}", bn.running_var()[0]);
+        // Eval output now also ~normalized.
+        let y = bn.forward(&x, Mode::Eval);
+        assert!(y.mean().abs() < 0.2);
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        let mut rng = CqRng::new(3);
+        let mut bn = BatchNorm2d::new(2);
+        // Nudge gamma/beta off their defaults.
+        bn.gamma.value = Tensor::from_vec(vec![1.3, 0.7], &[2]);
+        bn.beta.value = Tensor::from_vec(vec![0.2, -0.1], &[2]);
+        let x = rng.normal_tensor(&[2, 2, 3, 3], 1.0);
+        let pat = rng.normal_tensor(&[2, 2, 3, 3], 0.4);
+        let _ = bn.forward(&x, Mode::Train);
+        let dx = bn.backward(&pat);
+        let eps = 1e-2;
+        let loss = |bn: &mut BatchNorm2d, xx: &Tensor| {
+            let y = bn.forward(xx, Mode::Train);
+            bn.cache = None;
+            y.mul(&pat).sum()
+        };
+        for i in [0usize, 7, 20, 35] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = (loss(&mut bn, &xp) - loss(&mut bn, &xm)) / (2.0 * eps);
+            assert!(
+                (num - dx.data()[i]).abs() < 2e-2,
+                "dx[{i}]: {num} vs {}",
+                dx.data()[i]
+            );
+        }
+        for ci in 0..2 {
+            let orig = bn.gamma.value.data()[ci];
+            bn.gamma.value.data_mut()[ci] = orig + eps;
+            let lp = loss(&mut bn, &x);
+            bn.gamma.value.data_mut()[ci] = orig - eps;
+            let lm = loss(&mut bn, &x);
+            bn.gamma.value.data_mut()[ci] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - bn.gamma.grad.data()[ci]).abs() < 2e-2,
+                "dgamma[{ci}]: {num} vs {}",
+                bn.gamma.grad.data()[ci]
+            );
+        }
+    }
+
+    #[test]
+    fn eval_mode_does_not_mutate_running_stats() {
+        let mut rng = CqRng::new(4);
+        let mut bn = BatchNorm2d::new(2);
+        let x = rng.normal_tensor(&[2, 2, 4, 4], 1.0);
+        let _ = bn.forward(&x, Mode::Train);
+        let rm = bn.running_mean().to_vec();
+        let _ = bn.forward(&x, Mode::Eval);
+        assert_eq!(bn.running_mean(), rm.as_slice());
+    }
+}

@@ -1,0 +1,135 @@
+//! Fully-connected layer.
+
+use crate::{Layer, Mode, Param, ParamKind, ParamView};
+use cq_tensor::{matmul, matmul_a_bt, matmul_at_b, CqRng, Tensor};
+
+/// `y = x · Wᵀ + b` over `[B, IN]` inputs.
+pub struct Linear {
+    weight: Param, // [OUT, IN]
+    bias: Option<Param>,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a Kaiming-initialized linear layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension is zero.
+    pub fn new(in_features: usize, out_features: usize, bias: bool, rng: &mut CqRng) -> Self {
+        assert!(in_features > 0 && out_features > 0, "empty linear");
+        let std = (2.0 / in_features as f32).sqrt();
+        let weight = rng.normal_tensor(&[out_features, in_features], std);
+        Self {
+            weight: Param::new(weight),
+            bias: bias.then(|| Param::new(Tensor::zeros(&[out_features]))),
+            cached_input: None,
+        }
+    }
+
+    /// The weight matrix `[OUT, IN]`.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        assert_eq!(x.rank(), 2, "Linear input must be [B, IN]");
+        let mut y = matmul_a_bt(x, &self.weight.value);
+        if let Some(b) = &self.bias {
+            let (bs, of) = (y.dim(0), y.dim(1));
+            for bi in 0..bs {
+                for o in 0..of {
+                    y.data_mut()[bi * of + o] += b.value.data()[o];
+                }
+            }
+        }
+        self.cached_input = (mode == Mode::Train).then(|| x.clone());
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self
+            .cached_input
+            .take()
+            .expect("Linear::backward without cached forward");
+        // dW[OUT, IN] = goutᵀ[OUT, B] · x[B, IN]
+        let dw = matmul_at_b(grad_out, &x);
+        self.weight.grad.add_assign(&dw);
+        if let Some(b) = &mut self.bias {
+            let (bs, of) = (grad_out.dim(0), grad_out.dim(1));
+            for bi in 0..bs {
+                for o in 0..of {
+                    b.grad.data_mut()[o] += grad_out.data()[bi * of + o];
+                }
+            }
+        }
+        // dx[B, IN] = gout[B, OUT] · W[OUT, IN]
+        matmul(grad_out, &self.weight.value)
+    }
+
+    fn visit_params(&mut self, prefix: &str, f: &mut dyn FnMut(ParamView<'_>)) {
+        self.weight.visit(format!("{prefix}weight"), ParamKind::Weight, f);
+        if let Some(b) = &mut self.bias {
+            b.visit(format!("{prefix}bias"), ParamKind::Bias, f);
+        }
+    }
+
+    fn apply(&mut self, f: &mut dyn FnMut(&mut dyn Layer)) {
+        f(self);
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_product() {
+        let mut rng = CqRng::new(1);
+        let mut lin = Linear::new(2, 2, true, &mut rng);
+        lin.weight.value = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        if let Some(b) = &mut lin.bias {
+            b.value = Tensor::from_vec(vec![10.0, 20.0], &[2]);
+        }
+        let x = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]);
+        let y = lin.forward(&x, Mode::Eval);
+        assert_eq!(y.data(), &[13.0, 27.0]);
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        let mut rng = CqRng::new(2);
+        let mut lin = Linear::new(4, 3, true, &mut rng);
+        let x = rng.normal_tensor(&[2, 4], 1.0);
+        let pat = rng.normal_tensor(&[2, 3], 0.5);
+        let _ = lin.forward(&x, Mode::Train);
+        let dx = lin.backward(&pat);
+        let eps = 1e-2;
+        for i in 0..8 {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = (lin.forward(&xp, Mode::Eval).mul(&pat).sum()
+                - lin.forward(&xm, Mode::Eval).mul(&pat).sum())
+                / (2.0 * eps);
+            assert!((num - dx.data()[i]).abs() < 1e-2, "dx[{i}]");
+        }
+        for i in [0usize, 5, 11] {
+            let orig = lin.weight.value.data()[i];
+            lin.weight.value.data_mut()[i] = orig + eps;
+            let lp = lin.forward(&x, Mode::Eval).mul(&pat).sum();
+            lin.weight.value.data_mut()[i] = orig - eps;
+            let lm = lin.forward(&x, Mode::Eval).mul(&pat).sum();
+            lin.weight.value.data_mut()[i] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - lin.weight.grad.data()[i]).abs() < 1e-2, "dw[{i}]");
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Layer implementations.
+
+mod act;
+mod bn;
+mod conv;
+mod linear;
+mod pool;
+
+pub use act::Relu;
+pub use bn::BatchNorm2d;
+pub use conv::{accumulate_bias_grad, add_channel_bias, Conv2d};
+pub use linear::Linear;
+pub use pool::{AvgPool2d, GlobalAvgPool, MaxPool2d};

@@ -1,0 +1,169 @@
+//! Pooling layers wrapping the `cq-tensor` pooling kernels.
+
+use crate::{Layer, Mode, ParamView};
+use cq_tensor::{
+    avg_pool2d, avg_pool2d_backward, global_avg_pool, global_avg_pool_backward, max_pool2d,
+    max_pool2d_backward, Tensor,
+};
+
+/// Average pooling with a square kernel.
+pub struct AvgPool2d {
+    kernel: usize,
+    stride: usize,
+    input_shape: Option<Vec<usize>>,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pooling layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        assert!(kernel > 0 && stride > 0, "empty pool");
+        Self { kernel, stride, input_shape: None }
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        if mode == Mode::Train {
+            self.input_shape = Some(x.shape().to_vec());
+        }
+        avg_pool2d(x, self.kernel, self.stride)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self.input_shape.take().expect("AvgPool2d::backward without forward");
+        avg_pool2d_backward(grad_out, &shape, self.kernel, self.stride)
+    }
+
+    fn visit_params(&mut self, _prefix: &str, _f: &mut dyn FnMut(ParamView<'_>)) {}
+
+    fn apply(&mut self, f: &mut dyn FnMut(&mut dyn Layer)) {
+        f(self);
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Max pooling with a square kernel and zero padding.
+pub struct MaxPool2d {
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    cache: Option<(Vec<usize>, Vec<usize>)>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pooling layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero.
+    pub fn new(kernel: usize, stride: usize, pad: usize) -> Self {
+        assert!(kernel > 0 && stride > 0, "empty pool");
+        Self { kernel, stride, pad, cache: None }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let (y, idx) = max_pool2d(x, self.kernel, self.stride, self.pad);
+        if mode == Mode::Train {
+            self.cache = Some((x.shape().to_vec(), idx));
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (shape, idx) = self.cache.take().expect("MaxPool2d::backward without forward");
+        max_pool2d_backward(grad_out, &idx, &shape)
+    }
+
+    fn visit_params(&mut self, _prefix: &str, _f: &mut dyn FnMut(ParamView<'_>)) {}
+
+    fn apply(&mut self, f: &mut dyn FnMut(&mut dyn Layer)) {
+        f(self);
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Global average pooling `[B, C, H, W] → [B, C]`.
+#[derive(Default)]
+pub struct GlobalAvgPool {
+    input_shape: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global-average-pooling layer.
+    pub fn new() -> Self {
+        Self { input_shape: None }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        if mode == Mode::Train {
+            self.input_shape = Some(x.shape().to_vec());
+        }
+        global_avg_pool(x)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self.input_shape.take().expect("GlobalAvgPool::backward without forward");
+        global_avg_pool_backward(grad_out, &shape)
+    }
+
+    fn visit_params(&mut self, _prefix: &str, _f: &mut dyn FnMut(ParamView<'_>)) {}
+
+    fn apply(&mut self, f: &mut dyn FnMut(&mut dyn Layer)) {
+        f(self);
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_pool_layer_roundtrip() {
+        let mut p = AvgPool2d::new(2, 2);
+        let x = Tensor::from_vec((0..16).map(|i| i as f32).collect(), &[1, 1, 4, 4]);
+        let y = p.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        let dx = p.backward(&Tensor::ones(&[1, 1, 2, 2]));
+        assert_eq!(dx.shape(), x.shape());
+        assert!((dx.sum() - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_pool_layer_routes_gradient() {
+        let mut p = MaxPool2d::new(2, 2, 0);
+        let x = Tensor::from_vec(vec![1.0, 9.0, 2.0, 3.0], &[1, 1, 2, 2]);
+        let y = p.forward(&x, Mode::Train);
+        assert_eq!(y.data(), &[9.0]);
+        let dx = p.backward(&Tensor::ones(&[1, 1, 1, 1]));
+        assert_eq!(dx.data(), &[0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn global_pool_shapes() {
+        let mut p = GlobalAvgPool::new();
+        let x = Tensor::ones(&[2, 3, 4, 4]);
+        let y = p.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), &[2, 3]);
+        assert_eq!(y.data()[0], 1.0);
+        let dx = p.backward(&Tensor::ones(&[2, 3]));
+        assert_eq!(dx.shape(), x.shape());
+    }
+}

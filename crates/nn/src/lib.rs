@@ -1,0 +1,42 @@
+//! # cq-nn
+//!
+//! Neural-network substrate with manual reverse-mode autograd: layers
+//! ([`Conv2d`], [`Linear`], [`BatchNorm2d`], [`Relu`], pooling), the
+//! [`Layer`] trait and parameter-visitor protocol, softmax cross-entropy,
+//! [`Sgd`] with momentum and LR schedules, and [`ResNet`]-20/18 builders
+//! parameterized by a [`ConvFactory`] so `cq-core` can swap in the CIM
+//! quantized convolution without touching the architecture code.
+//!
+//! ## Example
+//!
+//! ```
+//! use cq_nn::{FpConvFactory, Layer, Mode, ResNet, ResNetSpec};
+//! use cq_tensor::CqRng;
+//!
+//! let mut factory = FpConvFactory::new(0);
+//! let mut net = ResNet::build(ResNetSpec::resnet8(10, 4), &mut factory, 1);
+//! let x = CqRng::new(2).normal_tensor(&[1, 3, 16, 16], 1.0);
+//! let logits = net.forward(&x, Mode::Eval);
+//! assert_eq!(logits.shape(), &[1, 10]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod checkpoint;
+mod init;
+mod layers;
+mod loss;
+mod model;
+mod optim;
+mod param;
+
+pub use checkpoint::{deserialize_params, load_params, save_params, serialize_params};
+pub use init::kaiming_conv_init;
+pub use layers::{
+    accumulate_bias_grad, add_channel_bias, AvgPool2d, BatchNorm2d, Conv2d, GlobalAvgPool,
+    Linear, MaxPool2d, Relu,
+};
+pub use loss::{softmax_cross_entropy, LossOutput};
+pub use model::{BasicBlock, ConvFactory, ConvRole, FpConvFactory, ResNet, ResNetSpec};
+pub use optim::{LrSchedule, Sgd};
+pub use param::{Layer, Mode, Param, ParamKind, ParamView};

@@ -1,0 +1,115 @@
+//! Softmax cross-entropy loss with gradient and accuracy accounting.
+
+use cq_tensor::Tensor;
+
+/// Result of a loss evaluation on one batch.
+#[derive(Debug, Clone)]
+pub struct LossOutput {
+    /// Mean cross-entropy over the batch.
+    pub loss: f32,
+    /// `∂L/∂logits`, shaped like the input logits.
+    pub grad: Tensor,
+    /// Number of top-1 correct predictions in the batch.
+    pub correct: usize,
+}
+
+/// Numerically-stable softmax cross-entropy over `[B, C]` logits.
+///
+/// # Panics
+///
+/// Panics if shapes mismatch or a label is out of range.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> LossOutput {
+    assert_eq!(logits.rank(), 2, "logits must be [B, C]");
+    let (b, c) = (logits.dim(0), logits.dim(1));
+    assert_eq!(labels.len(), b, "one label per batch row");
+    let mut grad = Tensor::zeros(&[b, c]);
+    let mut total = 0.0f64;
+    let mut correct = 0usize;
+    for bi in 0..b {
+        let row = &logits.data()[bi * c..(bi + 1) * c];
+        let label = labels[bi];
+        assert!(label < c, "label {label} out of range for {c} classes");
+        let maxv = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f64;
+        for &v in row {
+            sum += ((v - maxv) as f64).exp();
+        }
+        let logsum = sum.ln() as f32 + maxv;
+        total += (logsum - row[label]) as f64;
+        let mut best = 0usize;
+        let mut bestv = f32::NEG_INFINITY;
+        for (j, &v) in row.iter().enumerate() {
+            let p = ((v - logsum) as f64).exp() as f32;
+            grad.data_mut()[bi * c + j] = p / b as f32;
+            if v > bestv {
+                bestv = v;
+                best = j;
+            }
+        }
+        grad.data_mut()[bi * c + label] -= 1.0 / b as f32;
+        if best == label {
+            correct += 1;
+        }
+    }
+    LossOutput { loss: (total / b as f64) as f32, grad, correct }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_c() {
+        let logits = Tensor::zeros(&[2, 4]);
+        let out = softmax_cross_entropy(&logits, &[0, 3]);
+        assert!((out.loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss() {
+        let logits = Tensor::from_vec(vec![10.0, 0.0, 0.0], &[1, 3]);
+        let out = softmax_cross_entropy(&logits, &[0]);
+        assert!(out.loss < 1e-3);
+        assert_eq!(out.correct, 1);
+        let wrong = softmax_cross_entropy(&logits, &[2]);
+        assert!(wrong.loss > 5.0);
+        assert_eq!(wrong.correct, 0);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec(vec![0.5, -0.2, 1.0, 0.1, 0.0, -0.5], &[2, 3]);
+        let labels = [2usize, 0];
+        let out = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3f32;
+        for i in 0..6 {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let num = (softmax_cross_entropy(&lp, &labels).loss
+                - softmax_cross_entropy(&lm, &labels).loss)
+                / (2.0 * eps);
+            assert!(
+                (num - out.grad.data()[i]).abs() < 1e-3,
+                "grad[{i}]: {num} vs {}",
+                out.grad.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(vec![3.0, -1.0, 0.5, 2.0], &[1, 4]);
+        let out = softmax_cross_entropy(&logits, &[1]);
+        assert!(out.grad.sum().abs() < 1e-6);
+    }
+
+    #[test]
+    fn extreme_logits_stay_finite() {
+        let logits = Tensor::from_vec(vec![1e4, -1e4, 0.0], &[1, 3]);
+        let out = softmax_cross_entropy(&logits, &[0]);
+        assert!(out.loss.is_finite());
+        assert!(out.grad.data().iter().all(|g| g.is_finite()));
+    }
+}

@@ -1,0 +1,254 @@
+//! Two's-complement bit-splitting of integer weights into per-cell slices
+//! (paper Sec. III-C: "quantized weights break down into smaller segments,
+//! bit-split weights, to fit the number of capable bits per memory cell").
+//!
+//! A signed `wb`-bit integer weight `w ∈ [-2^(wb-1), 2^(wb-1)-1]` is written
+//! in `wb`-bit two's complement and cut into `n_split = ceil(wb/cb)` slices
+//! of `cb` bits (the top slice may be narrower). Lower slices are unsigned
+//! cell values in `[0, 2^cb - 1]`; the **top slice is interpreted as
+//! signed** (in hardware: a differential pair or dedicated sign column), so
+//! plain shift-and-add with positive powers of two reconstructs the weight
+//! exactly:
+//!
+//! `w = t · 2^(cb·(ns−1)) + Σ_{s<ns−1} u_s · 2^(cb·s)`
+
+use cq_tensor::Tensor;
+
+/// Bit-split geometry: weight bits and cell bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BitSplit {
+    weight_bits: u32,
+    cell_bits: u32,
+}
+
+impl BitSplit {
+    /// Creates a split spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ cell_bits ≤ weight_bits ≤ 16`.
+    pub fn new(weight_bits: u32, cell_bits: u32) -> Self {
+        assert!(
+            (1..=16).contains(&weight_bits) && cell_bits >= 1 && cell_bits <= weight_bits,
+            "invalid bit split: {weight_bits}b weights into {cell_bits}b cells"
+        );
+        Self { weight_bits, cell_bits }
+    }
+
+    /// Weight bit width.
+    pub fn weight_bits(&self) -> u32 {
+        self.weight_bits
+    }
+
+    /// Bits per memory cell.
+    pub fn cell_bits(&self) -> u32 {
+        self.cell_bits
+    }
+
+    /// Number of slices `ceil(wb / cb)` (the paper's `n_split`).
+    pub fn num_splits(&self) -> usize {
+        self.weight_bits.div_ceil(self.cell_bits) as usize
+    }
+
+    /// Bit width of the (possibly narrower) top slice.
+    pub fn top_bits(&self) -> u32 {
+        self.weight_bits - self.cell_bits * (self.num_splits() as u32 - 1)
+    }
+
+    /// Shift-and-add weight `2^(cb·s)` of slice `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= num_splits()`.
+    pub fn shift_weight(&self, s: usize) -> f32 {
+        assert!(s < self.num_splits(), "slice {s} out of range");
+        (1u64 << (self.cell_bits as usize * s)) as f32
+    }
+
+    /// Inclusive value range `(lo, hi)` of slice `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= num_splits()`.
+    pub fn slice_range(&self, s: usize) -> (i32, i32) {
+        assert!(s < self.num_splits(), "slice {s} out of range");
+        if s + 1 == self.num_splits() {
+            if self.top_bits() == self.weight_bits {
+                // Single slice: the whole signed weight.
+                (-(1 << (self.weight_bits - 1)), (1 << (self.weight_bits - 1)) - 1)
+            } else {
+                let tb = self.top_bits();
+                (-(1 << (tb - 1)), (1 << (tb - 1)) - 1)
+            }
+        } else {
+            (0, (1 << self.cell_bits) - 1)
+        }
+    }
+
+    /// Value of slice `s` of a signed integer weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is outside the signed `weight_bits` range or `s` is out
+    /// of range.
+    pub fn split_value(&self, w: i32, s: usize) -> i32 {
+        let half = 1i64 << (self.weight_bits - 1);
+        assert!(
+            (w as i64) >= -half && (w as i64) < half,
+            "weight {w} outside signed {}-bit range",
+            self.weight_bits
+        );
+        assert!(s < self.num_splits(), "slice {s} out of range");
+        let u = (w as i64) & ((1i64 << self.weight_bits) - 1); // two's complement bits
+        let ns = self.num_splits();
+        if s + 1 == ns {
+            let tb = self.top_bits();
+            let t = (u >> (self.cell_bits as usize * s)) & ((1i64 << tb) - 1);
+            // Sign-extend the top slice.
+            if t >= (1i64 << (tb - 1)) {
+                (t - (1i64 << tb)) as i32
+            } else {
+                t as i32
+            }
+        } else {
+            ((u >> (self.cell_bits as usize * s)) & ((1i64 << self.cell_bits) - 1)) as i32
+        }
+    }
+
+    /// Reconstructs a weight from its slice values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slices.len() != num_splits()`.
+    pub fn reassemble(&self, slices: &[i32]) -> i32 {
+        assert_eq!(slices.len(), self.num_splits(), "slice count");
+        let mut acc = 0i64;
+        for (s, &v) in slices.iter().enumerate() {
+            acc += (v as i64) * (self.shift_weight(s) as i64);
+        }
+        acc as i32
+    }
+
+    /// Extracts slice `s` of every element of an integer-valued tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any element is not an integer in the signed
+    /// `weight_bits` range.
+    pub fn split_tensor(&self, w_int: &Tensor, s: usize) -> Tensor {
+        w_int.map(|v| {
+            debug_assert_eq!(v, v.round(), "bit-split input must be integral, got {v}");
+            self.split_value(v as i32, s) as f32
+        })
+    }
+
+    /// Extracts all slices of an integer-valued tensor, lowest slice first.
+    pub fn split_all(&self, w_int: &Tensor) -> Vec<Tensor> {
+        (0..self.num_splits()).map(|s| self.split_tensor(w_int, s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configurations() {
+        // Table II: 3b/1b-cell -> 3 splits; 4b/2b -> 2; 3b/3b -> 1.
+        assert_eq!(BitSplit::new(3, 1).num_splits(), 3);
+        assert_eq!(BitSplit::new(4, 2).num_splits(), 2);
+        assert_eq!(BitSplit::new(3, 3).num_splits(), 1);
+    }
+
+    #[test]
+    fn exhaustive_roundtrip_all_configs() {
+        for wb in 2..=8u32 {
+            for cb in 1..=wb {
+                let bs = BitSplit::new(wb, cb);
+                let lo = -(1i32 << (wb - 1));
+                let hi = (1i32 << (wb - 1)) - 1;
+                for w in lo..=hi {
+                    let slices: Vec<i32> =
+                        (0..bs.num_splits()).map(|s| bs.split_value(w, s)).collect();
+                    assert_eq!(
+                        bs.reassemble(&slices),
+                        w,
+                        "roundtrip failed wb={wb} cb={cb} w={w} slices={slices:?}"
+                    );
+                    for (s, &v) in slices.iter().enumerate() {
+                        let (rlo, rhi) = bs.slice_range(s);
+                        assert!(
+                            v >= rlo && v <= rhi,
+                            "slice {s} value {v} outside [{rlo}, {rhi}] (wb={wb} cb={cb} w={w})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn known_values_3b_1b() {
+        let bs = BitSplit::new(3, 1);
+        // -3 = 0b101 in 3-bit two's complement: slices (lsb first) 1, 0, sign slice -1.
+        assert_eq!(bs.split_value(-3, 0), 1);
+        assert_eq!(bs.split_value(-3, 1), 0);
+        assert_eq!(bs.split_value(-3, 2), -1);
+        assert_eq!(bs.reassemble(&[1, 0, -1]), -3);
+        // 3 = 0b011: 1, 1, 0.
+        assert_eq!(bs.split_value(3, 0), 1);
+        assert_eq!(bs.split_value(3, 1), 1);
+        assert_eq!(bs.split_value(3, 2), 0);
+    }
+
+    #[test]
+    fn known_values_4b_2b() {
+        let bs = BitSplit::new(4, 2);
+        // -5 = 0b1011: low slice 0b11 = 3, top slice 0b10 signed = -2.
+        assert_eq!(bs.split_value(-5, 0), 3);
+        assert_eq!(bs.split_value(-5, 1), -2);
+        assert_eq!(bs.reassemble(&[3, -2]), -5);
+        assert_eq!(bs.shift_weight(1), 4.0);
+    }
+
+    #[test]
+    fn single_split_is_identity() {
+        let bs = BitSplit::new(3, 3);
+        for w in -4..=3 {
+            assert_eq!(bs.split_value(w, 0), w);
+        }
+    }
+
+    #[test]
+    fn uneven_top_slice() {
+        // 5 bits into 2-bit cells: 3 splits, top slice is 1 bit (sign).
+        let bs = BitSplit::new(5, 2);
+        assert_eq!(bs.num_splits(), 3);
+        assert_eq!(bs.top_bits(), 1);
+        assert_eq!(bs.slice_range(2), (-1, 0));
+        for w in -16..=15 {
+            let slices: Vec<i32> = (0..3).map(|s| bs.split_value(w, s)).collect();
+            assert_eq!(bs.reassemble(&slices), w);
+        }
+    }
+
+    #[test]
+    fn tensor_splitting_matches_scalar() {
+        let bs = BitSplit::new(4, 2);
+        let w = Tensor::from_vec(vec![-8.0, -5.0, -1.0, 0.0, 3.0, 7.0], &[6]);
+        for s in 0..bs.num_splits() {
+            let t = bs.split_tensor(&w, s);
+            for (i, &v) in w.data().iter().enumerate() {
+                assert_eq!(t.data()[i], bs.split_value(v as i32, s) as f32);
+            }
+        }
+        let all = bs.split_all(&w);
+        assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside signed")]
+    fn out_of_range_weight_panics() {
+        BitSplit::new(3, 1).split_value(4, 0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for quantization primitives: range invariants,
+//! grid membership, bit-split exactness, and idempotence.
+
+use cq_quant::{BitSplit, GroupLayout, LsqQuantizer, QuantFormat};
+use cq_tensor::Tensor;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Quantized values always land on the integer grid within [-Qn, Qp],
+    /// and in-range values are off by at most s/2 after dequantization.
+    #[test]
+    fn lsq_range_and_error_bound(
+        bits in 2u32..=8,
+        signed in proptest::bool::ANY,
+        scale in 0.05f32..2.0,
+        vals in proptest::collection::vec(-10.0f32..10.0, 1..64),
+    ) {
+        let fmt = if signed { QuantFormat::signed(bits) } else { QuantFormat::unsigned(bits) };
+        let mut q = LsqQuantizer::new(fmt, 1);
+        q.set_scales(&[scale]);
+        let v = Tensor::from_vec(vals.clone(), &[vals.len()]);
+        let vi = q.forward_int(&v, &GroupLayout::single());
+        let vh = q.dequantize(&vi, &GroupLayout::single());
+        for (i, &x) in vi.data().iter().enumerate() {
+            prop_assert_eq!(x, x.round(), "off grid at {}", i);
+            prop_assert!(x >= -fmt.qn() && x <= fmt.qp(), "out of range at {}", i);
+            let orig = vals[i];
+            if orig / scale > -fmt.qn() && orig / scale < fmt.qp() {
+                prop_assert!(
+                    (vh.data()[i] - orig).abs() <= scale / 2.0 + 1e-5,
+                    "error bound violated: {} -> {} (s = {})", orig, vh.data()[i], scale
+                );
+            }
+        }
+    }
+
+    /// Fake quantization is idempotent: Q(Q(v)) == Q(v).
+    #[test]
+    fn lsq_idempotent(
+        bits in 2u32..=6,
+        scale in 0.1f32..1.5,
+        vals in proptest::collection::vec(-5.0f32..5.0, 1..32),
+    ) {
+        let mut q = LsqQuantizer::new(QuantFormat::signed(bits), 1);
+        q.set_scales(&[scale]);
+        let n = vals.len();
+        let v = Tensor::from_vec(vals, &[n]);
+        let once = q.fake_quant(&v, &GroupLayout::single());
+        let twice = q.fake_quant(&once, &GroupLayout::single());
+        prop_assert!(once.allclose(&twice, 1e-5));
+    }
+
+    /// Bit-split reassembly is exact for random weights and configs.
+    #[test]
+    fn bitsplit_roundtrip(wb in 2u32..=10, cb_off in 0u32..4, w_raw in any::<i32>()) {
+        let cb = (cb_off % wb) + 1;
+        let bs = BitSplit::new(wb, cb);
+        let half = 1i64 << (wb - 1);
+        let w = ((w_raw as i64).rem_euclid(2 * half) - half) as i32;
+        let slices: Vec<i32> = (0..bs.num_splits()).map(|s| bs.split_value(w, s)).collect();
+        prop_assert_eq!(bs.reassemble(&slices), w);
+        // Every slice respects its declared range.
+        for (s, &v) in slices.iter().enumerate() {
+            let (lo, hi) = bs.slice_range(s);
+            prop_assert!(v >= lo && v <= hi);
+        }
+    }
+
+    /// Channelwise group scales act exactly like independent per-group
+    /// quantizers.
+    #[test]
+    fn groupwise_equals_independent(
+        s0 in 0.1f32..2.0,
+        s1 in 0.1f32..2.0,
+        vals in proptest::collection::vec(-4.0f32..4.0, 8..=8),
+    ) {
+        let fmt = QuantFormat::signed(4);
+        let layout = GroupLayout::channelwise(4, vec![0, 1]);
+        let mut q = LsqQuantizer::new(fmt, 2);
+        q.set_scales(&[s0, s1]);
+        let v = Tensor::from_vec(vals.clone(), &[2, 4]);
+        let got = q.fake_quant(&v, &layout);
+
+        for (g, s) in [(0usize, s0), (1usize, s1)] {
+            let mut qg = LsqQuantizer::new(fmt, 1);
+            qg.set_scales(&[s]);
+            let part = Tensor::from_vec(vals[g * 4..(g + 1) * 4].to_vec(), &[4]);
+            let want = qg.fake_quant(&part, &GroupLayout::single());
+            for i in 0..4 {
+                prop_assert_eq!(got.data()[g * 4 + i], want.data()[i]);
+            }
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Pooling operators (average, max, global average) with explicit backward
+//! passes, used by the ResNet models.
+
+use crate::conv::conv_out_dim;
+use crate::Tensor;
+
+/// Average pooling over `[B, C, H, W]` with a square kernel.
+///
+/// Returns `[B, C, OH, OW]`.
+///
+/// # Panics
+///
+/// Panics if the input is not rank 4 or the kernel does not fit.
+pub fn avg_pool2d(input: &Tensor, kernel: usize, stride: usize) -> Tensor {
+    assert_eq!(input.rank(), 4, "avg_pool2d input must be [B,C,H,W]");
+    let (b, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+    let oh = conv_out_dim(h, kernel, stride, 0);
+    let ow = conv_out_dim(w, kernel, stride, 0);
+    let mut out = Tensor::zeros(&[b, c, oh, ow]);
+    let norm = 1.0 / (kernel * kernel) as f32;
+    for bi in 0..b {
+        for ci in 0..c {
+            for ohi in 0..oh {
+                for owi in 0..ow {
+                    let mut acc = 0.0;
+                    for ki in 0..kernel {
+                        for kj in 0..kernel {
+                            acc += input.data()
+                                [input.idx4(bi, ci, ohi * stride + ki, owi * stride + kj)];
+                        }
+                    }
+                    let oi = out.idx4(bi, ci, ohi, owi);
+                    out.data_mut()[oi] = acc * norm;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Backward of [`avg_pool2d`]: spreads each output gradient uniformly over
+/// its pooling window.
+///
+/// # Panics
+///
+/// Panics on shape inconsistencies.
+pub fn avg_pool2d_backward(
+    grad_out: &Tensor,
+    input_shape: &[usize],
+    kernel: usize,
+    stride: usize,
+) -> Tensor {
+    assert_eq!(input_shape.len(), 4);
+    let (b, c, h, w) = (input_shape[0], input_shape[1], input_shape[2], input_shape[3]);
+    let oh = conv_out_dim(h, kernel, stride, 0);
+    let ow = conv_out_dim(w, kernel, stride, 0);
+    assert_eq!(grad_out.shape(), &[b, c, oh, ow], "grad_out shape");
+    let mut dx = Tensor::zeros(input_shape);
+    let norm = 1.0 / (kernel * kernel) as f32;
+    for bi in 0..b {
+        for ci in 0..c {
+            for ohi in 0..oh {
+                for owi in 0..ow {
+                    let g = grad_out.data()[grad_out.idx4(bi, ci, ohi, owi)] * norm;
+                    for ki in 0..kernel {
+                        for kj in 0..kernel {
+                            let di = dx.idx4(bi, ci, ohi * stride + ki, owi * stride + kj);
+                            dx.data_mut()[di] += g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    dx
+}
+
+/// Max pooling; returns the pooled tensor and the flat input index of each
+/// maximum (for the backward pass).
+///
+/// # Panics
+///
+/// Panics if the input is not rank 4 or the kernel does not fit.
+pub fn max_pool2d(input: &Tensor, kernel: usize, stride: usize, pad: usize) -> (Tensor, Vec<usize>) {
+    assert_eq!(input.rank(), 4, "max_pool2d input must be [B,C,H,W]");
+    let (b, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+    let oh = conv_out_dim(h, kernel, stride, pad);
+    let ow = conv_out_dim(w, kernel, stride, pad);
+    let mut out = Tensor::zeros(&[b, c, oh, ow]);
+    let mut idx = vec![0usize; b * c * oh * ow];
+    for bi in 0..b {
+        for ci in 0..c {
+            for ohi in 0..oh {
+                for owi in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_i = 0usize;
+                    for ki in 0..kernel {
+                        for kj in 0..kernel {
+                            let ih = (ohi * stride + ki) as isize - pad as isize;
+                            let iw = (owi * stride + kj) as isize - pad as isize;
+                            if ih < 0 || iw < 0 || ih as usize >= h || iw as usize >= w {
+                                // Zero padding participates with value 0.
+                                if 0.0 > best {
+                                    best = 0.0;
+                                    best_i = usize::MAX;
+                                }
+                                continue;
+                            }
+                            let fi = input.idx4(bi, ci, ih as usize, iw as usize);
+                            let v = input.data()[fi];
+                            if v > best {
+                                best = v;
+                                best_i = fi;
+                            }
+                        }
+                    }
+                    let oi = out.idx4(bi, ci, ohi, owi);
+                    out.data_mut()[oi] = best;
+                    idx[oi] = best_i;
+                }
+            }
+        }
+    }
+    (out, idx)
+}
+
+/// Backward of [`max_pool2d`]: routes each output gradient to the argmax
+/// position recorded in `indices` (padding positions, recorded as
+/// `usize::MAX`, receive nothing).
+///
+/// # Panics
+///
+/// Panics if `indices` length mismatches `grad_out`.
+pub fn max_pool2d_backward(grad_out: &Tensor, indices: &[usize], input_shape: &[usize]) -> Tensor {
+    assert_eq!(grad_out.numel(), indices.len(), "indices length");
+    let mut dx = Tensor::zeros(input_shape);
+    for (g, &i) in grad_out.data().iter().zip(indices) {
+        if i != usize::MAX {
+            dx.data_mut()[i] += g;
+        }
+    }
+    dx
+}
+
+/// Global average pooling `[B, C, H, W] -> [B, C]`.
+///
+/// # Panics
+///
+/// Panics if the input is not rank 4.
+pub fn global_avg_pool(input: &Tensor) -> Tensor {
+    assert_eq!(input.rank(), 4, "global_avg_pool input must be [B,C,H,W]");
+    let (b, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+    let hw = (h * w) as f32;
+    let mut out = Tensor::zeros(&[b, c]);
+    for bi in 0..b {
+        for ci in 0..c {
+            let base = (bi * c + ci) * h * w;
+            let s: f32 = input.data()[base..base + h * w].iter().sum();
+            out.data_mut()[bi * c + ci] = s / hw;
+        }
+    }
+    out
+}
+
+/// Backward of [`global_avg_pool`].
+///
+/// # Panics
+///
+/// Panics on shape inconsistencies.
+pub fn global_avg_pool_backward(grad_out: &Tensor, input_shape: &[usize]) -> Tensor {
+    assert_eq!(input_shape.len(), 4);
+    let (b, c, h, w) = (input_shape[0], input_shape[1], input_shape[2], input_shape[3]);
+    assert_eq!(grad_out.shape(), &[b, c], "grad_out shape");
+    let mut dx = Tensor::zeros(input_shape);
+    let inv = 1.0 / (h * w) as f32;
+    for bi in 0..b {
+        for ci in 0..c {
+            let g = grad_out.data()[bi * c + ci] * inv;
+            let base = (bi * c + ci) * h * w;
+            for v in &mut dx.data_mut()[base..base + h * w] {
+                *v = g;
+            }
+        }
+    }
+    dx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_pool_known_values() {
+        let x = Tensor::from_vec((1..=16).map(|i| i as f32).collect(), &[1, 1, 4, 4]);
+        let y = avg_pool2d(&x, 2, 2);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[3.5, 5.5, 11.5, 13.5]);
+    }
+
+    #[test]
+    fn avg_pool_backward_uniform() {
+        let g = Tensor::ones(&[1, 1, 2, 2]);
+        let dx = avg_pool2d_backward(&g, &[1, 1, 4, 4], 2, 2);
+        assert!(dx.data().iter().all(|&v| (v - 0.25).abs() < 1e-7));
+        assert!((dx.sum() - g.sum()).abs() < 1e-5, "gradient mass preserved");
+    }
+
+    #[test]
+    fn max_pool_forward_and_backward() {
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 5.0, 4.0, 3.0, 0.0, -1.0, 2.0, 7.0, 1.0, 0.0, 0.0, 2.0, 3.0, 1.0, 6.0],
+            &[1, 1, 4, 4],
+        );
+        let (y, idx) = max_pool2d(&x, 2, 2, 0);
+        assert_eq!(y.data(), &[3.0, 5.0, 7.0, 6.0]);
+        let g = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let dx = max_pool2d_backward(&g, &idx, &[1, 1, 4, 4]);
+        assert_eq!(dx.at(&[0, 0, 1, 0]), 1.0); // 3.0 was at (1,0)
+        assert_eq!(dx.at(&[0, 0, 0, 2]), 2.0); // 5.0 at (0,2)
+        assert_eq!(dx.at(&[0, 0, 2, 0]), 3.0); // 7.0 at (2,0)
+        assert_eq!(dx.at(&[0, 0, 3, 3]), 4.0); // 6.0 at (3,3)
+        assert_eq!(dx.sum(), 10.0);
+    }
+
+    #[test]
+    fn max_pool_with_padding_prefers_positive_values() {
+        let x = Tensor::from_vec(vec![-1.0; 9], &[1, 1, 3, 3]);
+        let (y, idx) = max_pool2d(&x, 3, 3, 1);
+        // All real values are -1; zero padding wins.
+        assert_eq!(y.data(), &[0.0]);
+        assert_eq!(idx[0], usize::MAX);
+        let dx = max_pool2d_backward(&Tensor::ones(&[1, 1, 1, 1]), &idx, &[1, 1, 3, 3]);
+        assert_eq!(dx.sum(), 0.0, "gradient into padding is dropped");
+    }
+
+    #[test]
+    fn global_avg_pool_roundtrip() {
+        let x = Tensor::from_vec((0..24).map(|i| i as f32).collect(), &[2, 3, 2, 2]);
+        let y = global_avg_pool(&x);
+        assert_eq!(y.shape(), &[2, 3]);
+        assert_eq!(y.at(&[0, 0]), 1.5);
+        assert_eq!(y.at(&[1, 2]), 21.5);
+        let g = Tensor::ones(&[2, 3]);
+        let dx = global_avg_pool_backward(&g, x.shape());
+        assert!((dx.sum() - 6.0).abs() < 1e-5);
+        assert!((dx.at(&[0, 0, 0, 0]) - 0.25).abs() < 1e-7);
+    }
+}

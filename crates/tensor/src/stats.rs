@@ -1,0 +1,133 @@
+//! Descriptive statistics used for quantizer calibration and for the
+//! partial-sum distribution analysis (paper Fig. 6).
+
+/// Five-number-style summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Smallest value.
+    pub min: f32,
+    /// Largest value.
+    pub max: f32,
+    /// Arithmetic mean.
+    pub mean: f32,
+    /// Population standard deviation.
+    pub std: f32,
+    /// 25th percentile.
+    pub p25: f32,
+    /// Median.
+    pub p50: f32,
+    /// 75th percentile.
+    pub p75: f32,
+}
+
+impl Summary {
+    /// Dynamic range `max - min`.
+    pub fn range(&self) -> f32 {
+        self.max - self.min
+    }
+}
+
+/// Computes a [`Summary`] of `data`.
+///
+/// # Panics
+///
+/// Panics if `data` is empty.
+pub fn summarize(data: &[f32]) -> Summary {
+    assert!(!data.is_empty(), "summarize of empty sample");
+    let n = data.len() as f64;
+    let mean = data.iter().map(|&v| v as f64).sum::<f64>() / n;
+    let var = data.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / n;
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    Summary {
+        min: sorted[0],
+        max: *sorted.last().unwrap(),
+        mean: mean as f32,
+        std: var.sqrt() as f32,
+        p25: percentile_sorted(&sorted, 0.25),
+        p50: percentile_sorted(&sorted, 0.50),
+        p75: percentile_sorted(&sorted, 0.75),
+    }
+}
+
+/// Percentile (linear interpolation) of an unsorted sample; `q` in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `data` is empty or `q` is outside `[0, 1]`.
+pub fn percentile(data: &[f32], q: f32) -> f32 {
+    assert!(!data.is_empty(), "percentile of empty sample");
+    assert!((0.0..=1.0).contains(&q), "q = {q} outside [0, 1]");
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    percentile_sorted(&sorted, q)
+}
+
+fn percentile_sorted(sorted: &[f32], q: f32) -> f32 {
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q as f64 * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = (pos - lo as f64) as f32;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Fixed-range histogram; values outside `[lo, hi)` clamp to the edge bins.
+///
+/// # Panics
+///
+/// Panics if `bins == 0` or `lo >= hi`.
+pub fn histogram(data: &[f32], bins: usize, lo: f32, hi: f32) -> Vec<usize> {
+    assert!(bins > 0, "histogram with zero bins");
+    assert!(lo < hi, "histogram range [{lo}, {hi})");
+    let mut counts = vec![0usize; bins];
+    let scale = bins as f32 / (hi - lo);
+    for &v in data {
+        let b = (((v - lo) * scale).floor() as isize).clamp(0, bins as isize - 1) as usize;
+        counts[b] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.p50, 3.0);
+        assert_eq!(s.p25, 2.0);
+        assert_eq!(s.p75, 4.0);
+        assert_eq!(s.range(), 4.0);
+        assert!((s.std - 2.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let data = [0.0, 10.0];
+        assert_eq!(percentile(&data, 0.0), 0.0);
+        assert_eq!(percentile(&data, 0.5), 5.0);
+        assert_eq!(percentile(&data, 1.0), 10.0);
+        assert_eq!(percentile(&[7.0], 0.3), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn percentile_empty_panics() {
+        percentile(&[], 0.5);
+    }
+
+    #[test]
+    fn histogram_counts_and_clamps() {
+        let h = histogram(&[-1.0, 0.0, 0.5, 0.99, 2.0], 2, 0.0, 1.0);
+        // -1.0 clamps to bin 0; 0.5, 0.99 land in bin 1; 2.0 clamps to bin 1.
+        assert_eq!(h, vec![2, 3]);
+        assert_eq!(h.iter().sum::<usize>(), 5);
+    }
+}

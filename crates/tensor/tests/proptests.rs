@@ -1,0 +1,110 @@
+//! Property-based tests for the tensor substrate: the fast GEMM/conv kernels
+//! must agree with naive references on arbitrary shapes, and shape algebra
+//! must round-trip.
+
+use cq_tensor::{
+    conv2d_backward_input, conv2d_backward_weight, conv2d_grouped, conv2d_naive, matmul,
+    matmul_a_bt, matmul_at_b, Tensor,
+};
+use proptest::prelude::*;
+
+fn small_vals(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec((-8i8..=8).prop_map(|v| v as f32), n..=n)
+}
+
+fn naive_mm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut s = 0.0;
+            for kk in 0..k {
+                s += a[i * k + kk] * b[kk * n + j];
+            }
+            c[i * n + j] = s;
+        }
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gemm_matches_naive(m in 1usize..12, k in 1usize..12, n in 1usize..12, seed in 0u64..1000) {
+        let a: Vec<f32> = (0..m * k)
+            .map(|i| (((i as u64 + seed) * 2654435761) % 15) as f32 - 7.0)
+            .collect();
+        let b: Vec<f32> = (0..k * n)
+            .map(|i| (((i as u64 + seed * 3) * 2246822519) % 15) as f32 - 7.0)
+            .collect();
+        let want = naive_mm(m, k, n, &a, &b);
+        let got = matmul(&Tensor::from_vec(a, &[m, k]), &Tensor::from_vec(b, &[k, n]));
+        prop_assert_eq!(got.data(), want.as_slice());
+    }
+
+    #[test]
+    fn gemm_transpose_identities(m in 1usize..8, k in 1usize..8, n in 1usize..8, a in small_vals(64), b in small_vals(64)) {
+        let a = Tensor::from_vec(a[..m * k].to_vec(), &[m, k]);
+        let b = Tensor::from_vec(b[..k * n].to_vec(), &[k, n]);
+        // A·B == (Aᵀ)ᵀ·B == A·(Bᵀ)ᵀ through the specialized kernels.
+        let want = matmul(&a, &b);
+        let via_at = matmul_at_b(&a.transpose2(), &b);
+        let via_bt = matmul_a_bt(&a, &b.transpose2());
+        prop_assert_eq!(want.clone(), via_at);
+        prop_assert_eq!(want, via_bt);
+    }
+
+    #[test]
+    fn conv_grouped_matches_naive(
+        groups in 1usize..4,
+        cg in 1usize..3,
+        ocg in 1usize..3,
+        hw in 3usize..8,
+        k in 1usize..4,
+        stride in 1usize..3,
+        pad in 0usize..2,
+        seed in 0u64..500,
+    ) {
+        prop_assume!(hw + 2 * pad >= k);
+        let c = groups * cg;
+        let oc = groups * ocg;
+        let xn = c * hw * hw;
+        let wn = oc * cg * k * k;
+        let x: Vec<f32> = (0..xn).map(|i| (((i as u64 + seed) * 97) % 9) as f32 - 4.0).collect();
+        let w: Vec<f32> = (0..wn).map(|i| (((i as u64 + seed * 7) * 193) % 9) as f32 - 4.0).collect();
+        let x = Tensor::from_vec(x, &[1, c, hw, hw]);
+        let w = Tensor::from_vec(w, &[oc, cg, k, k]);
+        let fast = conv2d_grouped(&x, &w, stride, pad, groups);
+        let slow = conv2d_naive(&x, &w, stride, pad, groups);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn conv_gradient_shapes_and_linearity(
+        c in 1usize..4, oc in 1usize..4, hw in 4usize..7, seed in 0u64..200,
+    ) {
+        let x: Vec<f32> = (0..c * hw * hw).map(|i| (((i as u64 + seed) * 31) % 7) as f32 - 3.0).collect();
+        let x = Tensor::from_vec(x, &[1, c, hw, hw]);
+        let w: Vec<f32> = (0..oc * c * 9).map(|i| (((i as u64 + seed * 5) * 61) % 7) as f32 - 3.0).collect();
+        let w = Tensor::from_vec(w, &[oc, c, 3, 3]);
+        let g = Tensor::ones(&[1, oc, hw, hw]);
+        let dx = conv2d_backward_input(&g, &w, x.shape(), 1, 1, 1);
+        let dw = conv2d_backward_weight(&g, &x, w.shape(), 1, 1, 1);
+        prop_assert_eq!(dx.shape(), x.shape());
+        prop_assert_eq!(dw.shape(), w.shape());
+        // Linearity: doubling the upstream gradient doubles both gradients.
+        let g2 = g.scale(2.0);
+        let dx2 = conv2d_backward_input(&g2, &w, x.shape(), 1, 1, 1);
+        let dw2 = conv2d_backward_weight(&g2, &x, w.shape(), 1, 1, 1);
+        prop_assert!(dx.scale(2.0).allclose(&dx2, 1e-4));
+        prop_assert!(dw.scale(2.0).allclose(&dw2, 1e-4));
+    }
+
+    #[test]
+    fn reshape_roundtrip(dims in proptest::collection::vec(1usize..5, 1..4)) {
+        let n: usize = dims.iter().product();
+        let t = Tensor::arange(n);
+        let r = t.reshape(&dims);
+        prop_assert_eq!(r.reshape(&[n]), t);
+    }
+}

@@ -1,0 +1,30 @@
+//! # cq-train
+//!
+//! The QAT training harness: epoch loops with wall-clock accounting
+//! ([`train`], [`train_epochs`], [`evaluate`]) and the scheme-driven
+//! schedules of the paper's comparison ([`train_with_scheme`]): one-stage
+//! QAT, two-stage QAT, and PTQ.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use cq_cim::CimConfig;
+//! use cq_core::{build_cim_resnet, QuantScheme};
+//! use cq_data::{generate, SyntheticSpec};
+//! use cq_nn::ResNetSpec;
+//! use cq_train::{train_with_scheme, TrainConfig};
+//!
+//! let (train_ds, test_ds) = generate(&SyntheticSpec::tiny(0));
+//! let scheme = QuantScheme::ours();
+//! let mut net = build_cim_resnet(ResNetSpec::resnet8(4, 8), &CimConfig::tiny(), &scheme, 1);
+//! let result = train_with_scheme(&mut net, &scheme, &train_ds, &test_ds, &TrainConfig::quick(5, 2));
+//! println!("top-1 = {:.2}%", 100.0 * result.best_test_acc);
+//! ```
+
+#![warn(missing_docs)]
+
+mod qat;
+mod trainer;
+
+pub use qat::{train_with_scheme, TWO_STAGE_SPLIT};
+pub use trainer::{evaluate, train, train_epochs, EpochRecord, TrainConfig, TrainResult};

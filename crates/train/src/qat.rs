@@ -1,0 +1,169 @@
+//! Scheme-driven training: one-stage QAT (ours), two-stage QAT
+//! (Saxena [8], [9]), and PTQ (Kim [5], Bai [6], [7]) — the "train from
+//! scratch" column of Table I and the schedules compared in Fig. 9.
+
+use crate::{evaluate, train_epochs, EpochRecord, TrainConfig, TrainResult};
+use cq_core::{ptq_calibrate, set_psum_quant_enabled, set_quant_enabled, QuantScheme, TrainMethod};
+use cq_data::{eval_batches, Dataset};
+use cq_nn::{Layer, LrSchedule, Sgd};
+use std::time::Instant;
+
+/// Fraction of total epochs spent in stage 1 of two-stage QAT (weights
+/// only, full-precision partial sums), following the related works'
+/// practice of converging weights before exposing them to ADC error.
+pub const TWO_STAGE_SPLIT: f64 = 0.5;
+
+/// Trains `model` according to `scheme.method`:
+///
+/// * [`TrainMethod::OneStageQat`] — all quantizers on from epoch 0.
+/// * [`TrainMethod::TwoStageQat`] — stage 1 with partial-sum quantization
+///   off, stage 2 with it on (fresh scale init and optimizer state).
+/// * [`TrainMethod::Ptq`] — full-precision training, then scale
+///   calibration on a few batches, then a single evaluation record.
+///
+/// Returns the merged timeline across stages.
+pub fn train_with_scheme(
+    model: &mut dyn Layer,
+    scheme: &QuantScheme,
+    train_ds: &Dataset,
+    test_ds: &Dataset,
+    cfg: &TrainConfig,
+) -> TrainResult {
+    match scheme.method {
+        TrainMethod::OneStageQat => {
+            set_quant_enabled(model, true);
+            set_psum_quant_enabled(model, true);
+            let mut opt = Sgd::new(cfg.lr.lr_at(0), cfg.momentum, cfg.weight_decay);
+            let mut result = TrainResult::default();
+            train_epochs(model, train_ds, test_ds, cfg, &mut opt, &mut result);
+            result
+        }
+        TrainMethod::TwoStageQat => {
+            let stage1 = ((cfg.epochs as f64 * TWO_STAGE_SPLIT).round() as usize)
+                .clamp(1, cfg.epochs.saturating_sub(1).max(1));
+            let stage2 = cfg.epochs - stage1;
+            set_quant_enabled(model, true);
+            set_psum_quant_enabled(model, false);
+            let mut result = TrainResult::default();
+            let mut opt = Sgd::new(cfg.lr.lr_at(0), cfg.momentum, cfg.weight_decay);
+            let cfg1 = TrainConfig { epochs: stage1, ..cfg.clone() };
+            train_epochs(model, train_ds, test_ds, &cfg1, &mut opt, &mut result);
+            // Stage 2: enable partial-sum quantization; scales lazily
+            // re-initialize on the first batch; momentum restarts.
+            set_psum_quant_enabled(model, true);
+            result.stage_boundaries.push(result.history.len());
+            let mut opt2 = Sgd::new(cfg.lr.lr_at(0), cfg.momentum, cfg.weight_decay);
+            let cfg2 = TrainConfig {
+                epochs: stage2.max(1),
+                lr: stage2_lr(&cfg.lr, stage2.max(1)),
+                seed: cfg.seed.wrapping_add(1),
+                ..cfg.clone()
+            };
+            train_epochs(model, train_ds, test_ds, &cfg2, &mut opt2, &mut result);
+            result
+        }
+        TrainMethod::Ptq => {
+            // Full-precision pre-training.
+            set_quant_enabled(model, false);
+            let mut opt = Sgd::new(cfg.lr.lr_at(0), cfg.momentum, cfg.weight_decay);
+            let mut result = TrainResult::default();
+            train_epochs(model, train_ds, test_ds, cfg, &mut opt, &mut result);
+            // Calibration (no training) + final quantized evaluation.
+            let t0 = Instant::now();
+            let calib: Vec<_> = eval_batches(train_ds, cfg.batch_size)
+                .into_iter()
+                .take(2)
+                .map(|b| b.images)
+                .collect();
+            ptq_calibrate(model, &calib);
+            let test_acc = evaluate(model, test_ds, cfg.batch_size);
+            result.total_seconds += t0.elapsed().as_secs_f64();
+            result.stage_boundaries.push(result.history.len());
+            result.history.push(EpochRecord {
+                epoch: result.history.len(),
+                train_loss: f32::NAN,
+                train_acc: f32::NAN,
+                test_acc,
+                cumulative_seconds: result.total_seconds,
+            });
+            result.best_test_acc = test_acc; // quantized accuracy is what counts
+            result
+        }
+    }
+}
+
+/// Stage-2 learning-rate schedule: restart the base schedule compressed to
+/// the remaining epochs (common two-stage practice).
+fn stage2_lr(lr: &LrSchedule, epochs: usize) -> LrSchedule {
+    match lr {
+        LrSchedule::Constant(v) => LrSchedule::Constant(*v),
+        LrSchedule::Cosine { base, .. } => {
+            LrSchedule::Cosine { base: base * 0.5, total_epochs: epochs }
+        }
+        LrSchedule::Step { base, gamma, .. } => LrSchedule::Step {
+            base: base * 0.5,
+            milestones: vec![epochs / 2],
+            gamma: *gamma,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_cim::CimConfig;
+    use cq_core::{build_cim_resnet, for_each_cim_conv};
+    use cq_data::{generate, SyntheticSpec};
+    use cq_nn::ResNetSpec;
+
+    fn setup(scheme: &QuantScheme, seed: u64) -> (cq_nn::ResNet, Dataset, Dataset) {
+        let (train_ds, test_ds) = generate(&SyntheticSpec::tiny(seed));
+        let net = build_cim_resnet(ResNetSpec::resnet8(4, 4), &CimConfig::tiny(), scheme, seed);
+        (net, train_ds, test_ds)
+    }
+
+    #[test]
+    fn one_stage_trains_quantized_from_epoch_zero() {
+        let scheme = QuantScheme::ours();
+        let (mut net, train_ds, test_ds) = setup(&scheme, 1);
+        let cfg = TrainConfig::quick(2, 2);
+        let r = train_with_scheme(&mut net, &scheme, &train_ds, &test_ds, &cfg);
+        assert_eq!(r.history.len(), 2);
+        assert!(r.stage_boundaries.is_empty());
+        let mut all_quant = true;
+        for_each_cim_conv(&mut net, |c| {
+            all_quant &= c.quant_enabled() && c.psum_quant_enabled();
+            all_quant &= c.psum_quantizer().is_initialized();
+        });
+        assert!(all_quant);
+    }
+
+    #[test]
+    fn two_stage_enables_psq_midway() {
+        let scheme = QuantScheme::saxena9();
+        let (mut net, train_ds, test_ds) = setup(&scheme, 3);
+        let cfg = TrainConfig::quick(4, 4);
+        let r = train_with_scheme(&mut net, &scheme, &train_ds, &test_ds, &cfg);
+        assert_eq!(r.history.len(), 4);
+        assert_eq!(r.stage_boundaries, vec![2]);
+        let mut on = true;
+        for_each_cim_conv(&mut net, |c| on &= c.psum_quant_enabled());
+        assert!(on, "stage 2 left psum quantization on");
+    }
+
+    #[test]
+    fn ptq_appends_calibrated_record() {
+        let scheme = QuantScheme::kim5();
+        let (mut net, train_ds, test_ds) = setup(&scheme, 5);
+        let cfg = TrainConfig::quick(2, 6);
+        let r = train_with_scheme(&mut net, &scheme, &train_ds, &test_ds, &cfg);
+        // 2 FP epochs + 1 PTQ record.
+        assert_eq!(r.history.len(), 3);
+        assert_eq!(r.stage_boundaries, vec![2]);
+        let last = r.history.last().unwrap();
+        assert!(last.train_loss.is_nan(), "PTQ record has no training loss");
+        assert!(last.test_acc >= 0.0 && last.test_acc <= 1.0);
+        // The quantized accuracy is the figure of merit.
+        assert_eq!(r.best_test_acc, last.test_acc);
+    }
+}

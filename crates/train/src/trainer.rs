@@ -1,0 +1,223 @@
+//! The training loop: SGD epochs with augmentation, per-epoch evaluation,
+//! and wall-clock accounting (Fig. 9 measures training cost in time).
+
+use cq_data::{eval_batches, shuffled_batches, Augment, Dataset};
+use cq_nn::{softmax_cross_entropy, Layer, LrSchedule, Mode, Sgd};
+use cq_tensor::CqRng;
+use std::time::Instant;
+
+/// Hyper-parameters for one training run.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Number of epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Learning-rate schedule.
+    pub lr: LrSchedule,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// Weight decay on conv/linear weights.
+    pub weight_decay: f32,
+    /// Train-time augmentation.
+    pub augment: Augment,
+    /// Seed for shuffling/augmentation.
+    pub seed: u64,
+}
+
+impl TrainConfig {
+    /// A sensible default for the small synthetic tasks.
+    pub fn quick(epochs: usize, seed: u64) -> Self {
+        Self {
+            epochs,
+            batch_size: 32,
+            lr: LrSchedule::Cosine { base: 0.05, total_epochs: epochs },
+            momentum: 0.9,
+            weight_decay: 5e-4,
+            augment: Augment::standard(),
+            seed,
+        }
+    }
+}
+
+/// Metrics of one epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochRecord {
+    /// 0-based epoch index (monotone across QAT stages).
+    pub epoch: usize,
+    /// Mean training loss.
+    pub train_loss: f32,
+    /// Training top-1 accuracy.
+    pub train_acc: f32,
+    /// Test top-1 accuracy.
+    pub test_acc: f32,
+    /// Wall-clock seconds since the start of the (possibly multi-stage)
+    /// run, measured at the end of this epoch.
+    pub cumulative_seconds: f64,
+}
+
+/// Outcome of a training run.
+#[derive(Debug, Clone, Default)]
+pub struct TrainResult {
+    /// Per-epoch records (across all stages).
+    pub history: Vec<EpochRecord>,
+    /// Best test accuracy seen.
+    pub best_test_acc: f32,
+    /// Total wall-clock seconds.
+    pub total_seconds: f64,
+    /// History indices at which a new QAT stage began (empty for
+    /// single-stage runs).
+    pub stage_boundaries: Vec<usize>,
+}
+
+impl TrainResult {
+    /// Final test accuracy (last epoch), or 0 if empty.
+    pub fn final_test_acc(&self) -> f32 {
+        self.history.last().map(|r| r.test_acc).unwrap_or(0.0)
+    }
+
+    /// Wall-clock seconds at which `target` test accuracy was first
+    /// reached, if ever (the time-to-accuracy metric of Fig. 9).
+    pub fn time_to_accuracy(&self, target: f32) -> Option<f64> {
+        self.history
+            .iter()
+            .find(|r| r.test_acc >= target)
+            .map(|r| r.cumulative_seconds)
+    }
+}
+
+/// Top-1 accuracy of `model` on a dataset.
+pub fn evaluate(model: &mut dyn Layer, ds: &Dataset, batch_size: usize) -> f32 {
+    let mut correct = 0usize;
+    for batch in eval_batches(ds, batch_size) {
+        let logits = model.forward(&batch.images, Mode::Eval);
+        for (pred, &label) in logits.argmax_rows().iter().zip(&batch.labels) {
+            if *pred == label {
+                correct += 1;
+            }
+        }
+    }
+    correct as f32 / ds.len() as f32
+}
+
+/// Trains `model` for `cfg.epochs`, appending records to `result` with
+/// epochs and wall clock continuing from where it left off (so multi-stage
+/// schedules share one timeline). `opt` carries momentum across calls
+/// within a stage.
+pub fn train_epochs(
+    model: &mut dyn Layer,
+    train_ds: &Dataset,
+    test_ds: &Dataset,
+    cfg: &TrainConfig,
+    opt: &mut Sgd,
+    result: &mut TrainResult,
+) {
+    let mut rng = CqRng::new(cfg.seed);
+    let start = Instant::now();
+    let base_seconds = result.total_seconds;
+    let base_epoch = result.history.len();
+    for e in 0..cfg.epochs {
+        opt.lr = cfg.lr.lr_at(e);
+        let mut loss_sum = 0.0f64;
+        let mut correct = 0usize;
+        let mut seen = 0usize;
+        for batch in shuffled_batches(train_ds, cfg.batch_size, &mut rng, cfg.augment) {
+            let logits = model.forward(&batch.images, Mode::Train);
+            let out = softmax_cross_entropy(&logits, &batch.labels);
+            model.zero_grads();
+            let _ = model.backward(&out.grad);
+            opt.step(model);
+            loss_sum += out.loss as f64 * batch.labels.len() as f64;
+            correct += out.correct;
+            seen += batch.labels.len();
+        }
+        let test_acc = evaluate(model, test_ds, cfg.batch_size);
+        let rec = EpochRecord {
+            epoch: base_epoch + e,
+            train_loss: (loss_sum / seen as f64) as f32,
+            train_acc: correct as f32 / seen as f32,
+            test_acc,
+            cumulative_seconds: base_seconds + start.elapsed().as_secs_f64(),
+        };
+        result.best_test_acc = result.best_test_acc.max(test_acc);
+        result.history.push(rec);
+    }
+    result.total_seconds = base_seconds + start.elapsed().as_secs_f64();
+}
+
+/// Convenience wrapper: fresh optimizer, single stage.
+pub fn train(
+    model: &mut dyn Layer,
+    train_ds: &Dataset,
+    test_ds: &Dataset,
+    cfg: &TrainConfig,
+) -> TrainResult {
+    let mut opt = Sgd::new(cfg.lr.lr_at(0), cfg.momentum, cfg.weight_decay);
+    let mut result = TrainResult::default();
+    train_epochs(model, train_ds, test_ds, cfg, &mut opt, &mut result);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_data::{generate, SyntheticSpec};
+    use cq_nn::{FpConvFactory, ResNet, ResNetSpec};
+
+    #[test]
+    fn training_improves_over_chance() {
+        let spec = SyntheticSpec { train_per_class: 48, ..SyntheticSpec::tiny(1) };
+        let (train_ds, test_ds) = generate(&spec);
+        let mut factory = FpConvFactory::new(2);
+        let mut net = ResNet::build(ResNetSpec::resnet8(4, 6), &mut factory, 3);
+        let cfg = TrainConfig::quick(8, 4);
+        let result = train(&mut net, &train_ds, &test_ds, &cfg);
+        assert_eq!(result.history.len(), 8);
+        assert!(
+            result.best_test_acc > 0.4,
+            "tiny FP net should beat 0.25 chance comfortably, got {}",
+            result.best_test_acc
+        );
+        // Loss decreased.
+        assert!(result.history.last().unwrap().train_loss < result.history[0].train_loss);
+        // Timeline is monotone.
+        for w in result.history.windows(2) {
+            assert!(w[1].cumulative_seconds >= w[0].cumulative_seconds);
+            assert_eq!(w[1].epoch, w[0].epoch + 1);
+        }
+    }
+
+    #[test]
+    fn time_to_accuracy_lookup() {
+        let mut r = TrainResult::default();
+        for (i, acc) in [0.3f32, 0.5, 0.7].iter().enumerate() {
+            r.history.push(EpochRecord {
+                epoch: i,
+                train_loss: 0.0,
+                train_acc: 0.0,
+                test_acc: *acc,
+                cumulative_seconds: (i + 1) as f64,
+            });
+        }
+        assert_eq!(r.time_to_accuracy(0.5), Some(2.0));
+        assert_eq!(r.time_to_accuracy(0.9), None);
+        assert_eq!(r.final_test_acc(), 0.7);
+    }
+
+    #[test]
+    fn multi_stage_timeline_continues() {
+        let (train_ds, test_ds) = generate(&SyntheticSpec::tiny(5));
+        let mut factory = FpConvFactory::new(6);
+        let mut net = ResNet::build(ResNetSpec::resnet8(4, 4), &mut factory, 7);
+        let cfg = TrainConfig::quick(2, 8);
+        let mut opt = Sgd::new(0.05, 0.9, 0.0);
+        let mut result = TrainResult::default();
+        train_epochs(&mut net, &train_ds, &test_ds, &cfg, &mut opt, &mut result);
+        result.stage_boundaries.push(result.history.len());
+        train_epochs(&mut net, &train_ds, &test_ds, &cfg, &mut opt, &mut result);
+        assert_eq!(result.history.len(), 4);
+        assert_eq!(result.history[3].epoch, 3);
+        assert!(result.history[3].cumulative_seconds > result.history[1].cumulative_seconds);
+        assert_eq!(result.stage_boundaries, vec![2]);
+    }
+}

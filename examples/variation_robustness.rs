@@ -1,0 +1,60 @@
+//! Variation-robustness comparison (paper Fig. 10, condensed): train the
+//! paper's column/column scheme and the strongest prior (layer-wise
+//! weights + column-wise partial sums, two-stage QAT), then sweep
+//! log-normal memory-cell variation and compare accuracy degradation.
+//!
+//! Run with `cargo run --release --example variation_robustness`.
+
+use column_quant::data::generate;
+use column_quant::train::evaluate;
+use column_quant::{
+    build_cim_resnet, set_variation, train_with_scheme, CimConfig, QuantScheme, ResNetSpec,
+    SyntheticSpec, TrainConfig, VariationMode,
+};
+
+fn main() {
+    let mut cim = CimConfig::cifar10();
+    cim.array_rows = 32;
+    cim.array_cols = 32;
+    let spec = SyntheticSpec {
+        image_size: 12,
+        train_per_class: 20,
+        test_per_class: 10,
+        ..SyntheticSpec::cifar10_like(20, 10, 13)
+    };
+    let (train_ds, test_ds) = generate(&spec);
+    let cfg = TrainConfig::quick(5, 17);
+
+    let schemes = [QuantScheme::saxena9(), QuantScheme::ours()];
+    let sigmas = [0.0f32, 0.05, 0.10, 0.15, 0.20, 0.25];
+
+    println!("| scheme | {} |", sigmas.map(|s| format!("σ={s:.2}")).join(" | "));
+    println!("|---|{}|", "---|".repeat(sigmas.len()));
+    for scheme in schemes {
+        let mut net = build_cim_resnet(ResNetSpec::resnet8(10, 6), &cim, &scheme, 19);
+        let _ = train_with_scheme(&mut net, &scheme, &train_ds, &test_ds, &cfg);
+        let mut cells = Vec::new();
+        for &sigma in &sigmas {
+            // Average over 3 noise draws (per paper Eq. 5, per-weight).
+            let mut acc = 0.0;
+            for seed in 0..3u64 {
+                set_variation(
+                    &mut net,
+                    (sigma > 0.0).then_some(sigma),
+                    VariationMode::PerWeight,
+                    100 + seed,
+                );
+                acc += evaluate(&mut net, &test_ds, 32);
+            }
+            set_variation(&mut net, None, VariationMode::PerWeight, 0);
+            cells.push(format!("{:.1}%", 100.0 * acc / 3.0));
+        }
+        println!("| {} | {} |", scheme.label, cells.join(" | "));
+    }
+    println!();
+    println!(
+        "Independent column-wise scale factors keep the quantization grid \
+         matched to each column's weights, which is what preserves accuracy \
+         under multiplicative cell noise (paper Sec. IV-E)."
+    );
+}

@@ -1,0 +1,208 @@
+//! Cross-crate integration tests: the paper's qualitative claims must
+//! hold end-to-end on seeded synthetic tasks, and the two execution paths
+//! (fast emulation vs crossbar engine) must agree through a whole model.
+
+use column_quant::data::{generate, SyntheticSpec};
+use column_quant::nn::Sgd;
+use column_quant::train::{evaluate, train_epochs, TrainResult};
+use column_quant::{
+    build_cim_resnet, set_psum_quant_enabled, set_quant_enabled, set_variation,
+    train_with_scheme, CimConfig, Granularity, Layer, Mode, QuantScheme, ResNetSpec,
+    TrainConfig, VariationMode,
+};
+
+fn small_cim() -> CimConfig {
+    let mut cim = CimConfig::cifar10(); // 3b/1b-cell, binary psums
+    cim.array_rows = 32;
+    cim.array_cols = 32;
+    cim
+}
+
+fn small_task(seed: u64) -> (column_quant::data::Dataset, column_quant::data::Dataset) {
+    generate(&SyntheticSpec {
+        num_classes: 4,
+        image_size: 12,
+        train_per_class: 40,
+        test_per_class: 16,
+        ..SyntheticSpec::tiny(seed)
+    })
+}
+
+fn spec() -> ResNetSpec {
+    ResNetSpec::resnet8(4, 6)
+}
+
+/// One-stage QAT with the paper's scheme learns a real task through
+/// **binary** partial sums (the paper's hardest ADC regime; it converges
+/// slowly, which is why the paper trains 200 epochs — we allow 16 here).
+#[test]
+fn ours_learns_through_binary_psums() {
+    let (train_ds, test_ds) = small_task(1);
+    let scheme = QuantScheme::ours();
+    let mut net = build_cim_resnet(spec(), &small_cim(), &scheme, 2);
+    let cfg = TrainConfig::quick(16, 3);
+    let r = train_with_scheme(&mut net, &scheme, &train_ds, &test_ds, &cfg);
+    assert!(
+        r.best_test_acc > 0.38,
+        "column/column QAT should clearly beat 0.25 chance, got {}",
+        r.best_test_acc
+    );
+}
+
+/// QAT beats PTQ at matched granularity — the reason Table I tracks
+/// "train from scratch".
+#[test]
+fn qat_beats_ptq_at_same_granularity() {
+    let (train_ds, test_ds) = small_task(5);
+    let cfg = TrainConfig::quick(6, 6);
+
+    let qat_scheme = QuantScheme::custom(Granularity::Layer, Granularity::Layer);
+    let mut qat_net = build_cim_resnet(spec(), &small_cim(), &qat_scheme, 7);
+    let qat = train_with_scheme(&mut qat_net, &qat_scheme, &train_ds, &test_ds, &cfg);
+
+    let ptq_scheme = QuantScheme::kim5(); // layer/layer PTQ
+    let mut ptq_net = build_cim_resnet(spec(), &small_cim(), &ptq_scheme, 7);
+    let ptq = train_with_scheme(&mut ptq_net, &ptq_scheme, &train_ds, &test_ds, &cfg);
+
+    assert!(
+        qat.final_test_acc() >= ptq.final_test_acc(),
+        "QAT {} should not lose to PTQ {} (binary psums are brutal post-hoc)",
+        qat.final_test_acc(),
+        ptq.final_test_acc()
+    );
+}
+
+/// The full multi-layer model is bit-exact between the training-time
+/// emulation and explicit crossbar execution, layer by layer.
+#[test]
+fn whole_model_layers_match_crossbar_engine() {
+    let (train_ds, _) = small_task(9);
+    let scheme = QuantScheme::ours();
+    let mut net = build_cim_resnet(spec(), &small_cim(), &scheme, 10);
+    // Initialize all lazy scales with one forward pass.
+    let batch = column_quant::data::eval_batches(&train_ds, 8).remove(0);
+    let _ = net.forward(&batch.images, Mode::Eval);
+
+    let mut checked = 0;
+    column_quant::core::for_each_cim_conv(&mut net, |conv| {
+        let in_ch = conv.plan().in_ch;
+        let x = column_quant::tensor::CqRng::new(11 + checked as u64)
+            .normal_tensor(&[1, in_ch, 6, 6], 1.0)
+            .map(|v| v.max(0.0));
+        let fast = conv.forward(&x, Mode::Eval);
+        let engine = column_quant::CrossbarLayer::new(conv.to_quantized_conv());
+        let slow = engine.forward(&conv.quantize_activations(&x));
+        assert_eq!(fast, slow, "layer {checked} diverged");
+        checked += 1;
+    });
+    assert_eq!(checked, 8, "all CIM layers checked");
+}
+
+/// Two-stage QAT's stage-2 shock: enabling psum quantization mid-run must
+/// not destroy the model (scales re-initialize from live statistics).
+/// Uses the 3-bit-ADC config — the mechanism under test is the stage
+/// transition, not the brutal binary regime.
+#[test]
+fn two_stage_survives_stage_transition() {
+    let (train_ds, test_ds) = small_task(13);
+    let mut cim = small_cim();
+    cim.psum_bits = 3;
+    let scheme = QuantScheme::custom(Granularity::Column, Granularity::Column)
+        .with_method(column_quant::TrainMethod::TwoStageQat);
+    let mut net = build_cim_resnet(spec(), &cim, &scheme, 14);
+    let cfg = TrainConfig::quick(10, 15);
+    let r = train_with_scheme(&mut net, &scheme, &train_ds, &test_ds, &cfg);
+    assert_eq!(r.stage_boundaries.len(), 1);
+    let boundary = r.stage_boundaries[0];
+    let stage2_final = r.history.last().unwrap().test_acc;
+    assert!(
+        stage2_final > 0.3,
+        "stage 2 should recover from the quantization shock (final {stage2_final}, boundary {boundary})"
+    );
+}
+
+/// Variation degrades accuracy on average, and σ=0 is exactly clean — the
+/// anchor of Fig. 10.
+#[test]
+fn variation_sweep_behaves() {
+    let (train_ds, test_ds) = small_task(17);
+    let scheme = QuantScheme::ours();
+    let mut net = build_cim_resnet(spec(), &small_cim(), &scheme, 18);
+    let cfg = TrainConfig::quick(6, 19);
+    let _ = train_with_scheme(&mut net, &scheme, &train_ds, &test_ds, &cfg);
+
+    let clean = evaluate(&mut net, &test_ds, 16);
+    set_variation(&mut net, Some(0.0), VariationMode::PerWeight, 0);
+    // σ=0 still goes through the variation path but must change nothing.
+    let zero_sigma = evaluate(&mut net, &test_ds, 16);
+    assert_eq!(clean, zero_sigma);
+
+    let mut accs = Vec::new();
+    for &sigma in &[0.1f32, 0.4] {
+        let mut acc = 0.0;
+        for seed in 0..3u64 {
+            set_variation(&mut net, Some(sigma), VariationMode::PerWeight, 100 + seed);
+            acc += evaluate(&mut net, &test_ds, 16);
+        }
+        accs.push(acc / 3.0);
+    }
+    set_variation(&mut net, None, VariationMode::PerWeight, 0);
+    assert!(
+        accs[1] <= clean + 1e-6,
+        "σ=0.4 should not beat clean: {} vs {clean}",
+        accs[1]
+    );
+}
+
+/// FP → quantized → FP round trip: toggling quantization off restores the
+/// exact FP behaviour (no hidden state contamination).
+#[test]
+fn quant_toggle_roundtrip_is_clean() {
+    let scheme = QuantScheme::ours();
+    let mut net = build_cim_resnet(spec(), &small_cim(), &scheme, 20);
+    let x = column_quant::tensor::CqRng::new(21).normal_tensor(&[1, 3, 12, 12], 1.0);
+    set_quant_enabled(&mut net, false);
+    let fp1 = net.forward(&x, Mode::Eval);
+    set_quant_enabled(&mut net, true);
+    let q = net.forward(&x, Mode::Eval);
+    set_quant_enabled(&mut net, false);
+    let fp2 = net.forward(&x, Mode::Eval);
+    assert_eq!(fp1, fp2);
+    assert_ne!(fp1, q);
+}
+
+/// Disabling partial-sum quantization mid-eval gives the no-PSQ ceiling;
+/// re-enabling restores the quantized result exactly.
+#[test]
+fn psq_toggle_is_exact() {
+    let (train_ds, _) = small_task(23);
+    let scheme = QuantScheme::ours();
+    let mut net = build_cim_resnet(spec(), &small_cim(), &scheme, 24);
+    let batch = column_quant::data::eval_batches(&train_ds, 8).remove(0);
+    let with_psq_1 = net.forward(&batch.images, Mode::Eval);
+    set_psum_quant_enabled(&mut net, false);
+    let without = net.forward(&batch.images, Mode::Eval);
+    set_psum_quant_enabled(&mut net, true);
+    let with_psq_2 = net.forward(&batch.images, Mode::Eval);
+    assert_eq!(with_psq_1, with_psq_2);
+    assert_ne!(with_psq_1, without);
+}
+
+/// Sanity for the trainer's multi-stage plumbing used by Fig. 9: records
+/// accumulate monotonically across manually chained stages.
+#[test]
+fn chained_training_accumulates_history() {
+    let (train_ds, test_ds) = small_task(25);
+    let scheme = QuantScheme::ours();
+    let mut net = build_cim_resnet(spec(), &small_cim(), &scheme, 26);
+    let cfg = TrainConfig::quick(2, 27);
+    let mut result = TrainResult::default();
+    let mut opt = Sgd::new(0.05, 0.9, 5e-4);
+    train_epochs(&mut net, &train_ds, &test_ds, &cfg, &mut opt, &mut result);
+    train_epochs(&mut net, &train_ds, &test_ds, &cfg, &mut opt, &mut result);
+    assert_eq!(result.history.len(), 4);
+    assert!(result
+        .history
+        .windows(2)
+        .all(|w| w[1].cumulative_seconds >= w[0].cumulative_seconds));
+}
