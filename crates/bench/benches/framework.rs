@@ -1,19 +1,52 @@
-//! Criterion micro-benchmarks for the framework's performance claims
+//! Micro-benchmarks for the framework's performance claims
 //! (paper Sec. III-C): the kernel-intact tiling + group convolution must
 //! beat (a) a sequential per-array loop and (b) a naive split-kernel
 //! im2col emulation; plus throughput benchmarks of the quantizer, the
 //! bit-splitter, and the crossbar MAC.
+//!
+//! This is a custom-harness bench target (no external bench framework is
+//! vendored in this offline workspace): each benchmark is warmed up, then
+//! timed over enough iterations to fill the measurement window, and the
+//! median/mean per-iteration times are printed. Run with
+//! `cargo bench -p cq-bench --bench framework`; pin `CQ_THREADS` for
+//! reproducible numbers on shared runners.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cq_cim::{CimConfig, Crossbar, TilingPlan};
 use cq_core::{CimConv2d, QuantScheme};
 use cq_nn::{Layer, Mode};
 use cq_quant::{BitSplit, Granularity, LsqQuantizer};
 use cq_tensor::{conv2d, conv2d_grouped, CqRng, Tensor};
+use std::time::{Duration, Instant};
+
+const WARMUP: Duration = Duration::from_millis(300);
+const MEASURE: Duration = Duration::from_secs(2);
+
+/// Times `f` repeatedly: warm-up window first, then per-iteration samples
+/// until the measurement window closes. Prints mean and median.
+fn bench_function<R>(name: &str, mut f: impl FnMut() -> R) {
+    let warm_end = Instant::now() + WARMUP;
+    while Instant::now() < warm_end {
+        std::hint::black_box(f());
+    }
+    let mut samples = Vec::new();
+    let end = Instant::now() + MEASURE;
+    while Instant::now() < end {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        samples.push(t.elapsed());
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{name:<40} median {median:>12.3?}  mean {mean:>12.3?}  ({} iters)",
+        samples.len()
+    );
+}
 
 /// Group-convolution emulation vs sequential per-array convolutions vs the
 /// full CimConv2d pipeline.
-fn bench_framework_paths(c: &mut Criterion) {
+fn bench_framework_paths() {
     let cfg = {
         let mut c = CimConfig::cifar10();
         c.array_rows = 64;
@@ -23,30 +56,32 @@ fn bench_framework_paths(c: &mut Criterion) {
     let (in_ch, out_ch, hw) = (28, 16, 12);
     let plan = TilingPlan::new(&cfg, in_ch, out_ch, 3, 3);
     let mut rng = CqRng::new(1);
-    let x = rng.uniform_tensor(&[4, plan.padded_in_ch, hw, hw], 0.0, 7.0).map(f32::floor);
+    let x = rng
+        .uniform_tensor(&[4, plan.padded_in_ch, hw, hw], 0.0, 7.0)
+        .map(f32::floor);
     // One split's grouped weight and its per-array slices.
     let wg = rng
-        .uniform_tensor(&[plan.num_row_tiles * out_ch, plan.ch_per_array, 3, 3], -1.0, 2.0)
+        .uniform_tensor(
+            &[plan.num_row_tiles * out_ch, plan.ch_per_array, 3, 3],
+            -1.0,
+            2.0,
+        )
         .map(f32::floor);
 
-    let mut group = c.benchmark_group("array_conv");
-    group.bench_function("group_conv_all_arrays", |b| {
-        b.iter(|| conv2d_grouped(&x, &wg, 1, 1, plan.num_row_tiles))
+    bench_function("array_conv/group_conv_all_arrays", || {
+        conv2d_grouped(&x, &wg, 1, 1, plan.num_row_tiles)
     });
-    group.bench_function("sequential_per_array", |b| {
-        b.iter(|| {
-            // The baseline the paper eliminates: index arrays one by one,
-            // slicing inputs and weights per array.
-            let mut outs = Vec::new();
-            for g in 0..plan.num_row_tiles {
-                let xs = slice_channels(&x, g * plan.ch_per_array, plan.ch_per_array);
-                let ws = wg.slice_outer(g * out_ch, (g + 1) * out_ch);
-                outs.push(conv2d(&xs, &ws, 1, 1));
-            }
-            outs
-        })
+    bench_function("array_conv/sequential_per_array", || {
+        // The baseline the paper eliminates: index arrays one by one,
+        // slicing inputs and weights per array.
+        let mut outs = Vec::new();
+        for g in 0..plan.num_row_tiles {
+            let xs = slice_channels(&x, g * plan.ch_per_array, plan.ch_per_array);
+            let ws = wg.slice_outer(g * out_ch, (g + 1) * out_ch);
+            outs.push(conv2d(&xs, &ws, 1, 1));
+        }
+        outs
     });
-    group.finish();
 }
 
 fn slice_channels(x: &Tensor, start: usize, len: usize) -> Tensor {
@@ -64,7 +99,7 @@ fn slice_channels(x: &Tensor, start: usize, len: usize) -> Tensor {
 
 /// Full CimConv2d forward across granularities (column-wise must not cost
 /// more than layer-wise — the framework's efficiency claim).
-fn bench_cim_conv_granularities(c: &mut Criterion) {
+fn bench_cim_conv_granularities() {
     let cfg = {
         let mut c = CimConfig::cifar10();
         c.array_rows = 64;
@@ -73,45 +108,42 @@ fn bench_cim_conv_granularities(c: &mut Criterion) {
     };
     let mut rng = CqRng::new(2);
     let x = rng.normal_tensor(&[2, 14, 12, 12], 1.0).map(|v| v.max(0.0));
-    let mut group = c.benchmark_group("cim_conv_forward");
     for gran in Granularity::ALL {
-        let mut layer =
-            CimConv2d::new(14, 16, 3, 1, 1, cfg, gran, gran, false, &mut rng);
+        let mut layer = CimConv2d::new(14, 16, 3, 1, 1, cfg, gran, gran, false, &mut rng);
         let _ = layer.forward(&x, Mode::Eval); // init scales
-        group.bench_with_input(BenchmarkId::from_parameter(gran), &gran, |b, _| {
-            b.iter(|| layer.forward(&x, Mode::Eval))
+        bench_function(&format!("cim_conv_forward/{gran}"), || {
+            layer.forward(&x, Mode::Eval)
         });
     }
-    group.finish();
 }
 
 /// LSQ quantizer throughput at the three granularities.
-fn bench_quantizer(c: &mut Criterion) {
+fn bench_quantizer() {
     let cfg = CimConfig::cifar10();
     let plan = TilingPlan::new(&cfg, 64, 64, 3, 3);
     let mut rng = CqRng::new(3);
     let w = rng.normal_tensor(&[64, 64, 3, 3], 0.1);
-    let mut group = c.benchmark_group("lsq_forward_int");
     for gran in Granularity::ALL {
         let layout = plan.weight_layout(gran);
         let q = LsqQuantizer::with_init_from(cfg.weight_format(), &w, &layout);
-        group.bench_with_input(BenchmarkId::from_parameter(gran), &gran, |b, _| {
-            b.iter(|| q.forward_int(&w, &layout))
+        bench_function(&format!("lsq_forward_int/{gran}"), || {
+            q.forward_int(&w, &layout)
         });
     }
-    group.finish();
 }
 
 /// Bit-split slicing throughput.
-fn bench_bitsplit(c: &mut Criterion) {
+fn bench_bitsplit() {
     let bs = BitSplit::new(4, 2);
     let mut rng = CqRng::new(4);
-    let w = rng.uniform_tensor(&[64, 64, 3, 3], -8.0, 8.0).map(f32::floor);
-    c.bench_function("bitsplit_all_slices", |b| b.iter(|| bs.split_all(&w)));
+    let w = rng
+        .uniform_tensor(&[64, 64, 3, 3], -8.0, 8.0)
+        .map(f32::floor);
+    bench_function("bitsplit_all_slices", || bs.split_all(&w));
 }
 
 /// Crossbar analog MAC throughput (128×128 array).
-fn bench_crossbar_mac(c: &mut Criterion) {
+fn bench_crossbar_mac() {
     let mut xb = Crossbar::new(128, 128);
     let mut rng = CqRng::new(5);
     for r in 0..128 {
@@ -120,12 +152,12 @@ fn bench_crossbar_mac(c: &mut Criterion) {
         }
     }
     let input: Vec<f32> = (0..128).map(|_| rng.below(8) as f32).collect();
-    c.bench_function("crossbar_mac_128x128", |b| b.iter(|| xb.mac(&input)));
+    bench_function("crossbar_mac_128x128", || xb.mac(&input));
 }
 
 /// End-to-end QAT step (forward+backward+update) of one CimConv2d — the
 /// framework's training-cost unit.
-fn bench_qat_step(c: &mut Criterion) {
+fn bench_qat_step() {
     let cfg = {
         let mut c = CimConfig::cifar10();
         c.array_rows = 64;
@@ -135,24 +167,34 @@ fn bench_qat_step(c: &mut Criterion) {
     let mut rng = CqRng::new(6);
     let scheme = QuantScheme::ours();
     let mut layer = CimConv2d::new(
-        14, 16, 3, 1, 1, cfg, scheme.w_gran, scheme.p_gran, false, &mut rng,
+        14,
+        16,
+        3,
+        1,
+        1,
+        cfg,
+        scheme.w_gran,
+        scheme.p_gran,
+        false,
+        &mut rng,
     );
     let x = rng.normal_tensor(&[2, 14, 12, 12], 1.0).map(|v| v.max(0.0));
     let mut opt = cq_nn::Sgd::new(0.01, 0.9, 0.0);
-    c.bench_function("cim_conv_qat_step", |b| {
-        b.iter(|| {
-            let y = layer.forward(&x, Mode::Train);
-            layer.zero_grads();
-            let g = y.scale(1e-3);
-            let _ = layer.backward(&g);
-            opt.step(&mut layer);
-        })
+    bench_function("cim_conv_qat_step", || {
+        let y = layer.forward(&x, Mode::Train);
+        layer.zero_grads();
+        let g = y.scale(1e-3);
+        let _ = layer.backward(&g);
+        opt.step(&mut layer);
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_framework_paths, bench_cim_conv_granularities, bench_quantizer, bench_bitsplit, bench_crossbar_mac, bench_qat_step
+fn main() {
+    // `cargo bench` passes --bench; ignore all args.
+    bench_framework_paths();
+    bench_cim_conv_granularities();
+    bench_quantizer();
+    bench_bitsplit();
+    bench_crossbar_mac();
+    bench_qat_step();
 }
-criterion_main!(benches);

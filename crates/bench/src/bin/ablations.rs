@@ -1,4 +1,7 @@
 //! Runs the ablation studies (ADC resolution, array size).
 fn main() {
-    println!("{}", cq_bench::experiments::ablations::run(cq_bench::Scale::from_env()));
+    println!(
+        "{}",
+        cq_bench::experiments::ablations::run(cq_bench::Scale::from_env())
+    );
 }

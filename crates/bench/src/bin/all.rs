@@ -5,8 +5,14 @@ fn main() {
     println!("{}", experiments::tables::table1());
     println!("{}", experiments::tables::table2(scale));
     println!("{}", experiments::fig6::run(scale));
-    println!("{}", experiments::fig7::run(experiments::fig7::Variant::Cifar10, scale));
-    println!("{}", experiments::fig7::run(experiments::fig7::Variant::Cifar100, scale));
+    println!(
+        "{}",
+        experiments::fig7::run(experiments::fig7::Variant::Cifar10, scale)
+    );
+    println!(
+        "{}",
+        experiments::fig7::run(experiments::fig7::Variant::Cifar100, scale)
+    );
     println!("{}", experiments::tables::table3(scale));
     println!("{}", experiments::fig8::run(scale));
     println!("{}", experiments::fig9::run(scale));

@@ -1,4 +1,7 @@
 //! Regenerates the paper's Fig. 10 (variation robustness).
 fn main() {
-    println!("{}", cq_bench::experiments::fig10::run(cq_bench::Scale::from_env()));
+    println!(
+        "{}",
+        cq_bench::experiments::fig10::run(cq_bench::Scale::from_env())
+    );
 }

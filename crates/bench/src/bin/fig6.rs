@@ -1,4 +1,7 @@
 //! Regenerates the paper's Fig. 6 (partial-sum distribution analysis).
 fn main() {
-    println!("{}", cq_bench::experiments::fig6::run(cq_bench::Scale::from_env()));
+    println!(
+        "{}",
+        cq_bench::experiments::fig6::run(cq_bench::Scale::from_env())
+    );
 }

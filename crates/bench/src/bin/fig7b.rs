@@ -1,5 +1,8 @@
 //! Regenerates the paper's Fig. 7(b) (CIFAR-100 granularity comparison).
 use cq_bench::experiments::fig7;
 fn main() {
-    println!("{}", fig7::run(fig7::Variant::Cifar100, cq_bench::Scale::from_env()));
+    println!(
+        "{}",
+        fig7::run(fig7::Variant::Cifar100, cq_bench::Scale::from_env())
+    );
 }

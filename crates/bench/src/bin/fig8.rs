@@ -1,4 +1,7 @@
 //! Regenerates the paper's Fig. 8 (accuracy vs dequantization overhead).
 fn main() {
-    println!("{}", cq_bench::experiments::fig8::run(cq_bench::Scale::from_env()));
+    println!(
+        "{}",
+        cq_bench::experiments::fig8::run(cq_bench::Scale::from_env())
+    );
 }

@@ -1,4 +1,7 @@
 //! Regenerates the paper's Fig. 9 (QAT schedule comparison).
 fn main() {
-    println!("{}", cq_bench::experiments::fig9::run(cq_bench::Scale::from_env()));
+    println!(
+        "{}",
+        cq_bench::experiments::fig9::run(cq_bench::Scale::from_env())
+    );
 }

@@ -1,4 +1,7 @@
 //! Regenerates the paper's Table II (experimental settings).
 fn main() {
-    println!("{}", cq_bench::experiments::tables::table2(cq_bench::Scale::from_env()));
+    println!(
+        "{}",
+        cq_bench::experiments::tables::table2(cq_bench::Scale::from_env())
+    );
 }

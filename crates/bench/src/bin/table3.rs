@@ -1,4 +1,7 @@
 //! Regenerates the paper's Table III (ResNet-18 / ImageNet accuracy).
 fn main() {
-    println!("{}", cq_bench::experiments::tables::table3(cq_bench::Scale::from_env()));
+    println!(
+        "{}",
+        cq_bench::experiments::tables::table3(cq_bench::Scale::from_env())
+    );
 }

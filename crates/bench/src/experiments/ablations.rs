@@ -32,13 +32,20 @@ pub fn adc_resolution(scale: Scale) -> String {
         setting.cim.psum_bits = bits;
         let (_, result) = run_scheme(&setting, &QuantScheme::ours(), 121);
         rows.push(vec![
-            if bits == 1 { "binary".into() } else { format!("{bits}b") },
+            if bits == 1 {
+                "binary".into()
+            } else {
+                format!("{bits}b")
+            },
             pct(result.final_test_acc()),
             format!("{:.1} fJ", model.energy_fj(bits)),
         ]);
     }
     let mut s = String::from("### ADC resolution ablation (CIFAR-100 setting, ours C/C)\n\n");
-    s.push_str(&markdown_table(&["ADC", "top-1", "energy/conversion"], &rows));
+    s.push_str(&markdown_table(
+        &["ADC", "top-1", "energy/conversion"],
+        &rows,
+    ));
     s.push_str(
         "\nAccuracy climbs with ADC resolution while energy doubles per bit — \
          the tension column-wise quantization relaxes by making low-resolution \
@@ -60,15 +67,26 @@ pub fn array_size(scale: Scale) -> String {
         rows.push(vec![
             format!("{rows_cols}x{rows_cols}"),
             plan.num_row_tiles.to_string(),
-            plan.psum_group_count(cq_quant::Granularity::Column).to_string(),
-            cq_cim::dequant_mults(&plan, cq_quant::Granularity::Column, cq_quant::Granularity::Column)
+            plan.psum_group_count(cq_quant::Granularity::Column)
                 .to_string(),
+            cq_cim::dequant_mults(
+                &plan,
+                cq_quant::Granularity::Column,
+                cq_quant::Granularity::Column,
+            )
+            .to_string(),
             pct(result.final_test_acc()),
         ]);
     }
     let mut s = String::from("### Array-size ablation (CIFAR-100 setting, ours C/C)\n\n");
     s.push_str(&markdown_table(
-        &["array", "row tiles (widest layer)", "psum scales", "dequant mults", "top-1"],
+        &[
+            "array",
+            "row tiles (widest layer)",
+            "psum scales",
+            "dequant mults",
+            "top-1",
+        ],
         &rows,
     ));
     s.push_str(

@@ -51,7 +51,7 @@ pub fn run(scale: Scale) -> String {
                     &mut net,
                     (sigma > 0.0).then_some(sigma),
                     VariationMode::PerWeight,
-                    0xF16_10 + seed,
+                    0xF1610 + seed,
                 );
                 acc_sum += evaluate(&mut net, &test_ds, setting.train.batch_size);
             }

@@ -15,7 +15,10 @@ use cq_tensor::stats::summarize;
 pub fn run(scale: Scale) -> String {
     let setting = ExperimentSetting::cifar10(scale, 60);
     let mut out = String::from("## Fig. 6 — column-wise partial-sum distribution\n\n");
-    out.push_str(&format!("Setting: {} | {:?} scale\n\n", setting.name, scale));
+    out.push_str(&format!(
+        "Setting: {} | {:?} scale\n\n",
+        setting.name, scale
+    ));
 
     let mut ranges = Vec::new();
     let mut per_gran_rows: Vec<Vec<String>> = Vec::new();
@@ -94,7 +97,15 @@ pub fn run(scale: Scale) -> String {
     }
 
     out.push_str(&markdown_table(
-        &["weight gran", "column", "min", "p25", "median", "p75", "max"],
+        &[
+            "weight gran",
+            "column",
+            "min",
+            "p25",
+            "median",
+            "p75",
+            "max",
+        ],
         &per_gran_rows,
     ));
     out.push_str(&format!(
@@ -103,7 +114,11 @@ pub fn run(scale: Scale) -> String {
     ));
     out.push_str(&format!(
         "Paper's qualitative claim (column-wise > layer-wise dynamic range): **{}**\n",
-        if ranges[1] > ranges[0] { "reproduced" } else { "NOT reproduced at this scale" }
+        if ranges[1] > ranges[0] {
+            "reproduced"
+        } else {
+            "NOT reproduced at this scale"
+        }
     ));
     out
 }

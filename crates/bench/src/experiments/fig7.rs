@@ -20,11 +20,20 @@ pub enum Variant {
 /// Runs the experiment and returns the markdown report.
 pub fn run(variant: Variant, scale: Scale) -> String {
     let (setting, title) = match variant {
-        Variant::Cifar10 => (ExperimentSetting::cifar10(scale, 70), "Fig. 7(a) — CIFAR-10"),
-        Variant::Cifar100 => (ExperimentSetting::cifar100(scale, 71), "Fig. 7(b) — CIFAR-100"),
+        Variant::Cifar10 => (
+            ExperimentSetting::cifar10(scale, 70),
+            "Fig. 7(a) — CIFAR-10",
+        ),
+        Variant::Cifar100 => (
+            ExperimentSetting::cifar100(scale, 71),
+            "Fig. 7(b) — CIFAR-100",
+        ),
     };
     let mut out = format!("## {title} (synthetic stand-in)\n\n");
-    out.push_str(&format!("Setting: {} | {:?} scale\n\n", setting.name, scale));
+    out.push_str(&format!(
+        "Setting: {} | {:?} scale\n\n",
+        setting.name, scale
+    ));
     if variant == Variant::Cifar10 && scale != Scale::Full {
         out.push_str(
             "> Note: this setting's **binary** partial sums (Table II) converge \
@@ -37,14 +46,20 @@ pub fn run(variant: Variant, scale: Scale) -> String {
 
     // Full-precision reference.
     let fp = run_fp(&setting, 72);
-    out.push_str(&format!("Full-precision reference: **{}**\n\n", pct(fp.final_test_acc())));
+    out.push_str(&format!(
+        "Full-precision reference: **{}**\n\n",
+        pct(fp.final_test_acc())
+    ));
 
     // Dashed lines: accuracy without partial-sum quantization per weight
     // granularity.
     let mut rows = Vec::new();
     for w in Granularity::ALL {
         let r = run_no_psq(&setting, w, 73);
-        rows.push(vec![format!("{w}-wise weights, no PSQ"), pct(r.final_test_acc())]);
+        rows.push(vec![
+            format!("{w}-wise weights, no PSQ"),
+            pct(r.final_test_acc()),
+        ]);
     }
     out.push_str("Without partial-sum quantization (dashed baselines):\n\n");
     out.push_str(&markdown_table(&["configuration", "top-1"], &rows));
@@ -62,7 +77,10 @@ pub fn run(variant: Variant, scale: Scale) -> String {
         ]);
     }
     out.push_str("One-stage QAT, all granularity combinations (weight/psum):\n\n");
-    out.push_str(&markdown_table(&["combo", "weight", "psum", "top-1"], &rows));
+    out.push_str(&markdown_table(
+        &["combo", "weight", "psum", "top-1"],
+        &rows,
+    ));
     out.push('\n');
 
     // The five compared schemes (methods per Table I).
@@ -85,7 +103,10 @@ pub fn run(variant: Variant, scale: Scale) -> String {
         ]);
     }
     out.push_str("Compared schemes (training method per Table I):\n\n");
-    out.push_str(&markdown_table(&["scheme", "gran (W/P)", "method", "top-1"], &rows));
+    out.push_str(&markdown_table(
+        &["scheme", "gran (W/P)", "method", "top-1"],
+        &rows,
+    ));
     out.push_str(&format!(
         "\nOurs vs best related work: {} vs {} ({:+.2} pp; paper reports {} on the real dataset)\n",
         pct(ours_acc),

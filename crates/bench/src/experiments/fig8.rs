@@ -12,7 +12,10 @@ use cq_cim::{dequant_mults, overhead_class, TilingPlan};
 pub fn run(scale: Scale) -> String {
     let setting = ExperimentSetting::cifar100(scale, 80);
     let mut out = String::from("## Fig. 8 — accuracy vs dequantization overhead (CIFAR-100)\n\n");
-    out.push_str(&format!("Setting: {} | {:?} scale\n\n", setting.name, scale));
+    out.push_str(&format!(
+        "Setting: {} | {:?} scale\n\n",
+        setting.name, scale
+    ));
 
     // A representative layer for the per-layer multiplication counts: the
     // widest stage of the model.
@@ -38,7 +41,12 @@ pub fn run(scale: Scale) -> String {
     rows.sort_by_key(|(m, row)| (*m, row[2].clone()));
     let rows: Vec<Vec<String>> = rows.into_iter().map(|(_, r)| r).collect();
     out.push_str(&markdown_table(
-        &["overhead class", "dequant mults (repr. layer)", "combo (W/P)", "top-1"],
+        &[
+            "overhead class",
+            "dequant mults (repr. layer)",
+            "combo (W/P)",
+            "top-1",
+        ],
         &rows,
     ));
 

@@ -28,10 +28,16 @@ pub fn run(scale: Scale) -> String {
     setting.train.epochs = (setting.train.epochs * 2).max(4);
 
     let mut out = String::from("## Fig. 9 — QAT schedule comparison (accuracy vs train time)\n\n");
-    out.push_str(&format!("Setting: {} | {:?} scale\n\n", setting.name, scale));
+    out.push_str(&format!(
+        "Setting: {} | {:?} scale\n\n",
+        setting.name, scale
+    ));
 
     let cases: Vec<(&str, QuantScheme)> = vec![
-        ("(i) C/C one-stage (ours)", QuantScheme::custom(Granularity::Column, Granularity::Column)),
+        (
+            "(i) C/C one-stage (ours)",
+            QuantScheme::custom(Granularity::Column, Granularity::Column),
+        ),
         (
             "(ii) L/C one-stage",
             QuantScheme::custom(Granularity::Layer, Granularity::Column),
@@ -77,7 +83,13 @@ pub fn run(scale: Scale) -> String {
         results.push((label.to_string(), result));
     }
     out.push_str(&markdown_table(
-        &["case", "final top-1", "best quantized top-1", "train time", "stage-2 start"],
+        &[
+            "case",
+            "final top-1",
+            "best quantized top-1",
+            "train time",
+            "stage-2 start",
+        ],
         &rows,
     ));
     out.push('\n');
@@ -86,9 +98,21 @@ pub fn run(scale: Scale) -> String {
     // marks.
     let mut savings_rows = Vec::new();
     let pairs = [
-        (0usize, 2usize, "one-stage C/C reaches two-stage C/C best (circle marks)"),
-        (1, 3, "one-stage L/C reaches two-stage L/C best (plus marks)"),
-        (0, 1, "C/C one-stage reaches L/C one-stage best (star marks)"),
+        (
+            0usize,
+            2usize,
+            "one-stage C/C reaches two-stage C/C best (circle marks)",
+        ),
+        (
+            1,
+            3,
+            "one-stage L/C reaches two-stage L/C best (plus marks)",
+        ),
+        (
+            0,
+            1,
+            "C/C one-stage reaches L/C one-stage best (star marks)",
+        ),
     ];
     for (fast_i, ref_i, desc) in pairs {
         let (fast_label, fast) = &results[fast_i];

@@ -63,7 +63,14 @@ pub fn run_no_psq(setting: &ExperimentSetting, w_gran: Granularity, seed: u64) -
         setting.train.momentum,
         setting.train.weight_decay,
     );
-    cq_train::train_epochs(&mut net, &train_ds, &test_ds, &setting.train, &mut opt, &mut result);
+    cq_train::train_epochs(
+        &mut net,
+        &train_ds,
+        &test_ds,
+        &setting.train,
+        &mut opt,
+        &mut result,
+    );
     result
 }
 
@@ -79,7 +86,14 @@ pub fn run_fp(setting: &ExperimentSetting, seed: u64) -> TrainResult {
         setting.train.momentum,
         setting.train.weight_decay,
     );
-    cq_train::train_epochs(&mut net, &train_ds, &test_ds, &setting.train, &mut opt, &mut result);
+    cq_train::train_epochs(
+        &mut net,
+        &train_ds,
+        &test_ds,
+        &setting.train,
+        &mut opt,
+        &mut result,
+    );
     result
 }
 
@@ -113,7 +127,7 @@ pub fn eval_on(setting: &ExperimentSetting, model: &mut dyn Layer) -> f32 {
 /// exist (e.g. before exporting to the crossbar engine).
 pub fn warm_up(setting: &ExperimentSetting, model: &mut dyn Layer) {
     let (_, test_ds) = setting_data(setting);
-    let batch = cq_data::eval_batches(&test_ds, setting.train.batch_size.min(test_ds.len()))
-        .remove(0);
+    let batch =
+        cq_data::eval_batches(&test_ds, setting.train.batch_size.min(test_ds.len())).remove(0);
     let _ = model.forward(&batch.images, Mode::Eval);
 }

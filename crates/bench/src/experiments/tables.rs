@@ -31,13 +31,25 @@ pub fn table2(scale: Scale) -> String {
             format!("ResNet-{} ({} cls)", s.model.depth(), s.model.num_classes),
             format!("{}b", s.cim.act_bits),
             format!("{}b ({}b/cell)", s.cim.weight_bits, s.cim.cell_bits),
-            if s.cim.psum_bits == 1 { "binary".into() } else { format!("{}b", s.cim.psum_bits) },
+            if s.cim.psum_bits == 1 {
+                "binary".into()
+            } else {
+                format!("{}b", s.cim.psum_bits)
+            },
             format!("{}x{}", s.cim.array_rows, s.cim.array_cols),
             format!("{} epochs from scratch", s.train.epochs),
         ]);
     }
     out.push_str(&markdown_table(
-        &["dataset", "model", "activation", "weight", "partial-sum", "array", "training"],
+        &[
+            "dataset",
+            "model",
+            "activation",
+            "weight",
+            "partial-sum",
+            "array",
+            "training",
+        ],
         &rows,
     ));
     out.push_str(&format!(
@@ -52,7 +64,10 @@ pub fn table2(scale: Scale) -> String {
 pub fn table3(scale: Scale) -> String {
     let setting = ExperimentSetting::imagenet(scale, 110);
     let mut out = String::from("## Table III — ResNet-18 on ImageNet (synthetic stand-in)\n\n");
-    out.push_str(&format!("Setting: {} | {:?} scale\n\n", setting.name, scale));
+    out.push_str(&format!(
+        "Setting: {} | {:?} scale\n\n",
+        setting.name, scale
+    ));
 
     let fp = run_fp(&setting, 111);
     let mut rows = vec![vec![
@@ -78,7 +93,10 @@ pub fn table3(scale: Scale) -> String {
             pct(acc),
         ]);
     }
-    out.push_str(&markdown_table(&["scheme", "gran (W/P)", "method", "top-1"], &rows));
+    out.push_str(&markdown_table(
+        &["scheme", "gran (W/P)", "method", "top-1"],
+        &rows,
+    ));
     out.push_str(&format!(
         "\nOurs vs best related: {:+.2} pp (paper reports +1.01 pp on real ImageNet)\n",
         100.0 * (ours - best_related)

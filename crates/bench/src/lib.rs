@@ -204,7 +204,10 @@ fn train_cfg(epochs: usize, batch_size: usize, seed: u64) -> TrainConfig {
     TrainConfig {
         epochs,
         batch_size,
-        lr: LrSchedule::Cosine { base: 0.05, total_epochs: epochs },
+        lr: LrSchedule::Cosine {
+            base: 0.05,
+            total_epochs: epochs,
+        },
         momentum: 0.9,
         weight_decay: 5e-4,
         augment: Augment::standard(),
@@ -248,17 +251,32 @@ mod tests {
     fn settings_mirror_table2_bit_precisions() {
         let s10 = ExperimentSetting::cifar10(Scale::Ci, 0);
         assert_eq!(
-            (s10.cim.weight_bits, s10.cim.act_bits, s10.cim.psum_bits, s10.cim.cell_bits),
+            (
+                s10.cim.weight_bits,
+                s10.cim.act_bits,
+                s10.cim.psum_bits,
+                s10.cim.cell_bits
+            ),
             (3, 3, 1, 1)
         );
         let s100 = ExperimentSetting::cifar100(Scale::Ci, 0);
         assert_eq!(
-            (s100.cim.weight_bits, s100.cim.act_bits, s100.cim.psum_bits, s100.cim.cell_bits),
+            (
+                s100.cim.weight_bits,
+                s100.cim.act_bits,
+                s100.cim.psum_bits,
+                s100.cim.cell_bits
+            ),
             (4, 4, 3, 2)
         );
         let sin = ExperimentSetting::imagenet(Scale::Ci, 0);
         assert_eq!(
-            (sin.cim.weight_bits, sin.cim.act_bits, sin.cim.psum_bits, sin.cim.cell_bits),
+            (
+                sin.cim.weight_bits,
+                sin.cim.act_bits,
+                sin.cim.psum_bits,
+                sin.cim.cell_bits
+            ),
             (3, 3, 2, 3)
         );
     }

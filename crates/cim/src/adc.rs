@@ -62,7 +62,10 @@ pub struct AdcCostModel {
 
 impl Default for AdcCostModel {
     fn default() -> Self {
-        Self { energy_fj_1b: 2.0, area_um2_1b: 30.0 }
+        Self {
+            energy_fj_1b: 2.0,
+            area_um2_1b: 30.0,
+        }
     }
 }
 

@@ -94,7 +94,10 @@ impl CimConfig {
     /// Panics on zero sizes or inconsistent bit widths.
     pub fn validate(&self) {
         assert!(self.array_rows > 0 && self.array_cols > 0, "empty array");
-        assert!(self.weight_bits >= 1 && self.weight_bits <= 16, "weight bits");
+        assert!(
+            self.weight_bits >= 1 && self.weight_bits <= 16,
+            "weight bits"
+        );
         assert!(self.act_bits >= 1 && self.act_bits <= 16, "act bits");
         assert!(self.psum_bits >= 1 && self.psum_bits <= 16, "psum bits");
         assert!(
@@ -158,13 +161,24 @@ mod tests {
     #[test]
     fn presets_match_table2() {
         let c10 = CimConfig::cifar10();
-        assert_eq!((c10.weight_bits, c10.act_bits, c10.psum_bits, c10.cell_bits), (3, 3, 1, 1));
+        assert_eq!(
+            (c10.weight_bits, c10.act_bits, c10.psum_bits, c10.cell_bits),
+            (3, 3, 1, 1)
+        );
         assert_eq!((c10.array_rows, c10.array_cols), (128, 128));
         assert_eq!(c10.num_splits(), 3);
         assert!(c10.psum_format().is_binary());
 
         let c100 = CimConfig::cifar100();
-        assert_eq!((c100.weight_bits, c100.act_bits, c100.psum_bits, c100.cell_bits), (4, 4, 3, 2));
+        assert_eq!(
+            (
+                c100.weight_bits,
+                c100.act_bits,
+                c100.psum_bits,
+                c100.cell_bits
+            ),
+            (4, 4, 3, 2)
+        );
         assert_eq!(c100.num_splits(), 2);
 
         let inet = CimConfig::imagenet();

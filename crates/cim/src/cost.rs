@@ -36,8 +36,7 @@ pub fn layer_cost(
         cells: plan.rows_used * physical_columns / plan.num_row_tiles * plan.num_row_tiles,
         adc_conversions_per_pixel: physical_columns,
         dequant_mults: dequant_mults(plan, w_gran, p_gran),
-        adc_energy_pj_per_pixel: physical_columns as f64 * model.energy_fj(cfg.psum_bits)
-            / 1000.0,
+        adc_energy_pj_per_pixel: physical_columns as f64 * model.energy_fj(cfg.psum_bits) / 1000.0,
         row_utilization: plan.row_utilization(cfg),
     }
 }

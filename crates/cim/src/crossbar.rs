@@ -25,7 +25,11 @@ impl Crossbar {
     /// Panics if either dimension is zero.
     pub fn new(rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && cols > 0, "empty crossbar {rows}x{cols}");
-        Self { rows, cols, cells: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            cells: vec![0.0; rows * cols],
+        }
     }
 
     /// Number of wordlines.
@@ -44,7 +48,10 @@ impl Crossbar {
     ///
     /// Panics if out of bounds.
     pub fn cell(&self, row: usize, col: usize) -> f32 {
-        assert!(row < self.rows && col < self.cols, "cell ({row},{col}) out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "cell ({row},{col}) out of bounds"
+        );
         self.cells[row * self.cols + col]
     }
 
@@ -54,7 +61,10 @@ impl Crossbar {
     ///
     /// Panics if out of bounds.
     pub fn program(&mut self, row: usize, col: usize, value: f32) {
-        assert!(row < self.rows && col < self.cols, "cell ({row},{col}) out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "cell ({row},{col}) out of bounds"
+        );
         self.cells[row * self.cols + col] = value;
     }
 

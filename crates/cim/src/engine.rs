@@ -5,14 +5,15 @@
 //! bit-splits, and applies the merged `s_w · s_p` dequantization
 //! (paper Fig. 3 / Fig. 4(d)).
 //!
-//! This is the slow, hardware-shaped twin of the fast group-convolution
-//! emulation in `cq-core`. The two paths are required to agree **exactly**
-//! (same f32 operation order) at zero variation; integration tests enforce
-//! this.
+//! This is the hardware-shaped twin of the fast group-convolution
+//! emulation in `cq-core`. Both paths drive the shared [`PsumPipeline`]
+//! back-end — one implementation of the digitize → shift-add → dequant
+//! loop with one f32 operation order — so they agree **exactly** at zero
+//! variation; integration tests enforce this.
 
-use crate::{Adc, Crossbar, TilingPlan};
+use crate::{Adc, AdcDigitizer, Crossbar, IdealDigitizer, PsumPipeline, TilingPlan};
 use cq_quant::{BitSplit, QuantFormat};
-use cq_tensor::{conv_out_dim, CqRng, Tensor};
+use cq_tensor::{CqRng, Tensor};
 
 /// A fully-quantized convolution layer description, with every scale factor
 /// resolved to dense per-column tables. Produced by `cq-core` from a
@@ -50,7 +51,8 @@ impl QuantizedConv {
     ///
     /// # Panics
     ///
-    /// Panics on any size mismatch or non-integral / out-of-range weight.
+    /// Panics on any size mismatch, non-finite / non-integral /
+    /// out-of-range weight, or non-positive scale factor.
     pub fn validate(&self) {
         let p = &self.plan;
         assert_eq!(
@@ -69,16 +71,33 @@ impl QuantizedConv {
                 p.num_splits * p.num_row_tiles * p.out_ch,
                 "psum scale table"
             );
+            for &s in &self.psum_scales {
+                assert!(s > 0.0, "non-positive psum scale {s}");
+            }
         }
         if let Some(b) = &self.bias {
             assert_eq!(b.len(), p.out_ch, "bias length");
         }
         let half = (1i64 << (self.bit_split.weight_bits() - 1)) as f32;
         for &w in self.w_int.data() {
+            assert!(w.is_finite(), "non-finite weight {w}");
             assert_eq!(w, w.round(), "non-integral weight {w}");
             assert!((-half..half).contains(&w), "weight {w} out of range");
         }
         assert!(self.act_scale > 0.0, "activation scale");
+    }
+
+    /// Builds the shared execution pipeline for this description.
+    pub fn pipeline(&self) -> PsumPipeline {
+        PsumPipeline::new(
+            self.plan.clone(),
+            self.bit_split,
+            self.stride,
+            self.pad,
+            self.act_scale,
+            self.weight_scales.clone(),
+            self.bias.clone(),
+        )
     }
 
     /// Weight scale of logical column (row tile `g`, output channel `oc`).
@@ -102,6 +121,7 @@ pub struct CrossbarLayer {
     /// Arrays indexed `[g · num_col_tiles + t]`.
     arrays: Vec<Crossbar>,
     adc: Adc,
+    pipeline: PsumPipeline,
 }
 
 impl CrossbarLayer {
@@ -128,8 +148,7 @@ impl CrossbarLayer {
                         for (c_local, cin) in chans.clone().enumerate() {
                             for ki in 0..p.kh {
                                 for kj in 0..p.kw {
-                                    let w = desc.w_int.data()
-                                        [desc.w_int.idx4(oc, cin, ki, kj)];
+                                    let w = desc.w_int.data()[desc.w_int.idx4(oc, cin, ki, kj)];
                                     let v = desc.bit_split.split_value(w as i32, s) as f32;
                                     xb.program(c_local * kk + ki * p.kw + kj, col, v);
                                 }
@@ -141,7 +160,13 @@ impl CrossbarLayer {
             }
         }
         let adc = Adc::new(desc.psum_format);
-        Self { desc, arrays, adc }
+        let pipeline = desc.pipeline();
+        Self {
+            desc,
+            arrays,
+            adc,
+            pipeline,
+        }
     }
 
     /// The layer description.
@@ -170,95 +195,23 @@ impl CrossbarLayer {
     /// values on the unsigned activation grid) and returns the dequantized
     /// output `[B, OC, OH, OW]` including the activation scale and bias.
     ///
+    /// Both stages run on the shared [`PsumPipeline`]: the crossbar
+    /// front-end produces per-split partial sums (parallel across
+    /// batch × row-tile), and the shared reduce digitizes each physical
+    /// column (real [`Adc`] or ideal bypass) and shift-and-adds with the
+    /// merged `s_w · s_p` dequantization.
+    ///
     /// # Panics
     ///
     /// Panics if the input shape mismatches the plan.
     pub fn forward(&self, a_int: &Tensor) -> Tensor {
-        let p = &self.desc.plan;
-        assert_eq!(a_int.rank(), 4, "input must be [B,C,H,W]");
-        assert_eq!(a_int.dim(1), p.in_ch, "input channels vs plan");
-        let (b, h, w) = (a_int.dim(0), a_int.dim(2), a_int.dim(3));
-        let oh = conv_out_dim(h, p.kh, self.desc.stride, self.desc.pad);
-        let ow = conv_out_dim(w, p.kw, self.desc.stride, self.desc.pad);
-        let ns = p.num_splits;
-        let kk = p.kh * p.kw;
-        let mut out = Tensor::zeros(&[b, p.out_ch, oh, ow]);
-
-        let mut patch = vec![0.0f32; p.rows_used];
-        // Per (row tile, col tile) analog column currents for one pixel.
-        let mut macs: Vec<Vec<f32>> =
-            self.arrays.iter().map(|xb| vec![0.0f32; xb.cols()]).collect();
-        let mut acc = vec![0.0f32; p.out_ch];
-
-        for bi in 0..b {
-            for ohi in 0..oh {
-                for owi in 0..ow {
-                    // Drive every array with its channel slice of the patch.
-                    for g in 0..p.num_row_tiles {
-                        let chans = p.channels_of_row_tile(g);
-                        patch.fill(0.0);
-                        for (c_local, cin) in chans.enumerate() {
-                            for ki in 0..p.kh {
-                                for kj in 0..p.kw {
-                                    let ih = (ohi * self.desc.stride + ki) as isize
-                                        - self.desc.pad as isize;
-                                    let iw = (owi * self.desc.stride + kj) as isize
-                                        - self.desc.pad as isize;
-                                    if ih < 0
-                                        || iw < 0
-                                        || ih as usize >= h
-                                        || iw as usize >= w
-                                    {
-                                        continue;
-                                    }
-                                    patch[c_local * kk + ki * p.kw + kj] = a_int.data()
-                                        [a_int.idx4(bi, cin, ih as usize, iw as usize)];
-                                }
-                            }
-                        }
-                        for t in 0..p.num_col_tiles {
-                            let a = g * p.num_col_tiles + t;
-                            self.arrays[a].mac_into(&patch, &mut macs[a]);
-                        }
-                    }
-                    // Shift-and-add with per-column ADC + dequantization.
-                    // Accumulation order (split outer, row tile inner)
-                    // matches the fast emulation path bit-for-bit.
-                    acc.fill(0.0);
-                    for s in 0..ns {
-                        let shift = self.desc.bit_split.shift_weight(s);
-                        for g in 0..p.num_row_tiles {
-                            for t in 0..p.num_col_tiles {
-                                let a = g * p.num_col_tiles + t;
-                                for (local_oc, oc) in
-                                    p.outputs_of_col_tile(t).enumerate()
-                                {
-                                    let analog = macs[a][local_oc * ns + s];
-                                    let sw = self.desc.weight_scale(g, oc);
-                                    let contrib = if self.desc.psum_quant {
-                                        let sp = self.desc.psum_scale(s, g, oc);
-                                        let pq = self.adc.convert(analog, sp);
-                                        ((pq * sp) * sw) * shift
-                                    } else {
-                                        (analog * sw) * shift
-                                    };
-                                    acc[oc] += contrib;
-                                }
-                            }
-                        }
-                    }
-                    for oc in 0..p.out_ch {
-                        let mut y = acc[oc] * self.desc.act_scale;
-                        if let Some(bias) = &self.desc.bias {
-                            y += bias[oc];
-                        }
-                        let oi = out.idx4(bi, oc, ohi, owi);
-                        out.data_mut()[oi] = y;
-                    }
-                }
-            }
+        let psums = self.pipeline.crossbar_psums(&self.arrays, a_int);
+        if self.desc.psum_quant {
+            let dig = AdcDigitizer::new(self.adc, &self.desc.psum_scales, &self.desc.plan);
+            self.pipeline.reduce(&psums, &dig)
+        } else {
+            self.pipeline.reduce(&psums, &IdealDigitizer)
         }
-        out
     }
 }
 
@@ -283,101 +236,44 @@ impl CrossbarLayer {
     /// or the input shape mismatches the plan.
     pub fn forward_bit_serial(&self, a_int: &Tensor, dac_bits: u32, act_bits: u32) -> Tensor {
         assert!(dac_bits >= 1, "dac_bits must be positive");
-        assert!(act_bits >= dac_bits, "act_bits {act_bits} < dac_bits {dac_bits}");
+        assert!(
+            act_bits >= dac_bits,
+            "act_bits {act_bits} < dac_bits {dac_bits}"
+        );
         let num_in_slices = act_bits.div_ceil(dac_bits) as usize;
         let p = &self.desc.plan;
-        assert_eq!(a_int.rank(), 4, "input must be [B,C,H,W]");
-        assert_eq!(a_int.dim(1), p.in_ch, "input channels vs plan");
-        let (b, h, w) = (a_int.dim(0), a_int.dim(2), a_int.dim(3));
-        let oh = conv_out_dim(h, p.kh, self.desc.stride, self.desc.pad);
-        let ow = conv_out_dim(w, p.kw, self.desc.stride, self.desc.pad);
-        let ns = p.num_splits;
-        let kk = p.kh * p.kw;
-        let mut out = Tensor::zeros(&[b, p.out_ch, oh, ow]);
-        let mut patch = vec![0.0f32; p.rows_used];
-        let mut macs: Vec<Vec<f32>> =
-            self.arrays.iter().map(|xb| vec![0.0f32; xb.cols()]).collect();
-        let mut acc = vec![0.0f32; p.out_ch];
+        for &a in a_int.data() {
+            assert!(
+                a >= 0.0 && a == a.round(),
+                "bit-serial input must be non-negative integers, got {a}"
+            );
+        }
 
-        for bi in 0..b {
-            for ohi in 0..oh {
-                for owi in 0..ow {
-                    acc.fill(0.0);
-                    for j in 0..num_in_slices {
-                        let in_shift = (1u64 << (dac_bits as usize * j)) as f32;
-                        // Reference scaling: MSB slice uses the trained sp.
-                        let ref_div =
-                            (1u64 << (dac_bits as usize * (num_in_slices - 1 - j))) as f32;
-                        // Drive each array with this input slice.
-                        for g in 0..p.num_row_tiles {
-                            let chans = p.channels_of_row_tile(g);
-                            patch.fill(0.0);
-                            for (c_local, cin) in chans.enumerate() {
-                                for ki in 0..p.kh {
-                                    for kj in 0..p.kw {
-                                        let ih = (ohi * self.desc.stride + ki) as isize
-                                            - self.desc.pad as isize;
-                                        let iw = (owi * self.desc.stride + kj) as isize
-                                            - self.desc.pad as isize;
-                                        if ih < 0
-                                            || iw < 0
-                                            || ih as usize >= h
-                                            || iw as usize >= w
-                                        {
-                                            continue;
-                                        }
-                                        let a = a_int.data()
-                                            [a_int.idx4(bi, cin, ih as usize, iw as usize)];
-                                        debug_assert!(a >= 0.0 && a == a.round());
-                                        let slice = ((a as u64
-                                            >> (dac_bits as usize * j))
-                                            & ((1u64 << dac_bits) - 1))
-                                            as f32;
-                                        patch[c_local * kk + ki * p.kw + kj] = slice;
-                                    }
-                                }
-                            }
-                            for t in 0..p.num_col_tiles {
-                                let a = g * p.num_col_tiles + t;
-                                self.arrays[a].mac_into(&patch, &mut macs[a]);
-                            }
-                        }
-                        for s in 0..ns {
-                            let shift = self.desc.bit_split.shift_weight(s);
-                            for g in 0..p.num_row_tiles {
-                                for t in 0..p.num_col_tiles {
-                                    let a = g * p.num_col_tiles + t;
-                                    for (local_oc, oc) in
-                                        p.outputs_of_col_tile(t).enumerate()
-                                    {
-                                        let analog = macs[a][local_oc * ns + s];
-                                        let sw = self.desc.weight_scale(g, oc);
-                                        let contrib = if self.desc.psum_quant {
-                                            let sp =
-                                                self.desc.psum_scale(s, g, oc) / ref_div;
-                                            let pq = self.adc.convert(analog, sp);
-                                            (((pq * sp) * sw) * shift) * in_shift
-                                        } else {
-                                            (((analog * sw) * shift)) * in_shift
-                                        };
-                                        acc[oc] += contrib;
-                                    }
-                                }
-                            }
-                        }
-                    }
-                    for oc in 0..p.out_ch {
-                        let mut y = acc[oc] * self.desc.act_scale;
-                        if let Some(bias) = &self.desc.bias {
-                            y += bias[oc];
-                        }
-                        let oi = out.idx4(bi, oc, ohi, owi);
-                        out.data_mut()[oi] = y;
-                    }
-                }
+        let mut acc: Option<Tensor> = None;
+        for j in 0..num_in_slices {
+            // Drive each array with input slice `j` (LSB first).
+            let sh = dac_bits as usize * j;
+            let mask = (1u64 << dac_bits) - 1;
+            let line_map = move |a: f32| ((a as u64 >> sh) & mask) as f32;
+            let psums = self
+                .pipeline
+                .crossbar_psums_with(&self.arrays, a_int, &line_map);
+            let acc = acc.get_or_insert_with(|| {
+                Tensor::zeros(&[psums[0].dim(0), p.out_ch, psums[0].dim(2), psums[0].dim(3)])
+            });
+            let in_shift = (1u64 << sh) as f32;
+            if self.desc.psum_quant {
+                // Reference scaling: the MSB slice uses the trained sp.
+                let ref_div = (1u64 << (dac_bits as usize * (num_in_slices - 1 - j))) as f32;
+                let scales: Vec<f32> = self.desc.psum_scales.iter().map(|s| s / ref_div).collect();
+                let dig = AdcDigitizer::new(self.adc, &scales, p);
+                self.pipeline.accumulate(&psums, &dig, in_shift, acc);
+            } else {
+                self.pipeline
+                    .accumulate(&psums, &IdealDigitizer, in_shift, acc);
             }
         }
-        out
+        self.pipeline.finish(acc.expect("at least one input slice"))
     }
 }
 
@@ -491,7 +387,11 @@ mod tests {
         let a_int = Tensor::full(&[1, 7, 5, 5], 7.0);
         let y = layer.forward(&a_int);
         // Every quantized psum is ±Qn/Qp; output stays finite and small.
-        assert!(y.max_abs() < 1.0, "saturated output should be tiny, got {}", y.max_abs());
+        assert!(
+            y.max_abs() < 1.0,
+            "saturated output should be tiny, got {}",
+            y.max_abs()
+        );
     }
 
     #[test]
@@ -511,7 +411,10 @@ mod tests {
             }
             devs.push(sum / 3.0);
         }
-        assert!(devs[1] > devs[0], "larger sigma should deviate more: {devs:?}");
+        assert!(
+            devs[1] > devs[0],
+            "larger sigma should deviate more: {devs:?}"
+        );
         assert!(devs[0] > 0.0);
     }
 
@@ -559,8 +462,8 @@ mod tests {
         let wide = layer.forward(&a_int);
         let serial = layer.forward_bit_serial(&a_int, 1, 3);
         assert_ne!(wide, serial);
-        let cos = wide.mul(&serial).sum()
-            / (wide.sq_sum().sqrt() * serial.sq_sum().sqrt()).max(1e-9);
+        let cos =
+            wide.mul(&serial).sum() / (wide.sq_sum().sqrt() * serial.sq_sum().sqrt()).max(1e-9);
         assert!(cos > 0.6, "bit-serial output decorrelated: {cos}");
     }
 
@@ -578,5 +481,62 @@ mod tests {
         let mut desc = small_desc(false);
         desc.weight_scales.pop();
         let _ = CrossbarLayer::new(desc);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive psum scale")]
+    fn zero_psum_scale_rejected() {
+        let mut desc = small_desc(true);
+        desc.psum_scales[3] = 0.0;
+        desc.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive psum scale")]
+    fn negative_psum_scale_rejected() {
+        let mut desc = small_desc(true);
+        desc.psum_scales[0] = -0.5;
+        desc.validate();
+    }
+
+    /// With psum quantization off the scale table is ignored entirely, so
+    /// a bogus table must not be rejected.
+    #[test]
+    fn psum_scales_unchecked_when_quant_disabled() {
+        let mut desc = small_desc(false);
+        desc.psum_scales.iter_mut().for_each(|s| *s = -1.0);
+        desc.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite weight")]
+    fn nan_weight_rejected() {
+        let mut desc = small_desc(false);
+        desc.w_int.data_mut()[5] = f32::NAN;
+        desc.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite weight")]
+    fn infinite_weight_rejected() {
+        let mut desc = small_desc(false);
+        desc.w_int.data_mut()[0] = f32::INFINITY;
+        desc.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "non-integral weight")]
+    fn fractional_weight_rejected() {
+        let mut desc = small_desc(false);
+        desc.w_int.data_mut()[1] = 0.5;
+        desc.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_weight_rejected() {
+        let mut desc = small_desc(false);
+        desc.w_int.data_mut()[2] = 4.0; // 3b signed range is [-4, 3]
+        desc.validate();
     }
 }

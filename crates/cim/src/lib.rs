@@ -7,6 +7,10 @@
 //! * [`TilingPlan`] — the paper's kernel-intact array tiling (Sec. III-C)
 //!   plus the weight/partial-sum scale-group layouts it induces.
 //! * [`Crossbar`] / [`Adc`] — behavioural array and converter models.
+//! * [`PsumPipeline`] / [`ColumnDigitizer`] — the **shared execution
+//!   layer**: the single implementation of the tile → bit-split →
+//!   psum-quantize → shift-add → merged-dequant loop driven by both the
+//!   fast emulation (`cq-core`) and the crossbar engine.
 //! * [`CrossbarLayer`] — the explicit, column-by-column inference engine,
 //!   bit-exact against the fast group-convolution emulation in `cq-core`.
 //! * [`dequant_mults`] / [`overhead_class`] — the dequantization-overhead
@@ -34,6 +38,7 @@ mod cost;
 mod crossbar;
 mod engine;
 mod overhead;
+mod pipeline;
 mod tiling;
 mod variation;
 
@@ -43,5 +48,8 @@ pub use cost::{layer_cost, LayerCost};
 pub use crossbar::Crossbar;
 pub use engine::{CrossbarLayer, QuantizedConv};
 pub use overhead::{dequant_mults, overhead_class, stored_scale_factors, OverheadClass};
+pub use pipeline::{
+    AdcDigitizer, ColumnDigitizer, IdealDigitizer, PerturbedDigitizer, PsumPipeline,
+};
 pub use tiling::TilingPlan;
 pub use variation::{apply_lognormal, apply_lognormal_in_place, FIG10_SIGMAS};

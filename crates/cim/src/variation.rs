@@ -63,7 +63,12 @@ mod tests {
         let dev = |t: &Tensor| {
             t.data().iter().map(|v| (v - 1.0).abs() as f64).sum::<f64>() / t.numel() as f64
         };
-        assert!(dev(&large) > 3.0 * dev(&small), "{} vs {}", dev(&large), dev(&small));
+        assert!(
+            dev(&large) > 3.0 * dev(&small),
+            "{} vs {}",
+            dev(&large),
+            dev(&small)
+        );
     }
 
     #[test]

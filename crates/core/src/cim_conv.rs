@@ -25,21 +25,26 @@
 //! through all three quantizers (one-stage QAT, Sec. III-D) and hands the
 //! LSQ scale gradients to the optimizer.
 //!
-//! At zero device variation this fast emulation is **bit-exact** against
-//! the explicit crossbar engine (`cq_cim::CrossbarLayer`); integration
-//! tests enforce equality.
+//! Steps 3–6 run on the **shared** [`cq_cim::PsumPipeline`] execution
+//! layer: this layer's front-end produces per-split partial sums by group
+//! convolution, the crossbar engine's front-end produces the same tensors
+//! from programmed arrays, and both share one digitize → shift-add →
+//! merged-dequant implementation. At zero device variation the fast
+//! emulation is therefore **bit-exact** against the explicit crossbar
+//! engine (`cq_cim::CrossbarLayer`); integration tests enforce equality.
 
 use std::collections::HashMap;
 
-use cq_cim::{dequant_mults, CimConfig, QuantizedConv, TilingPlan};
+use cq_cim::{
+    dequant_mults, Adc, AdcDigitizer, CimConfig, IdealDigitizer, PsumPipeline, QuantizedConv,
+    TilingPlan,
+};
 use cq_nn::{
     accumulate_bias_grad, add_channel_bias, kaiming_conv_init, Layer, Mode, Param, ParamKind,
     ParamView,
 };
 use cq_quant::{BitSplit, Granularity, GroupLayout, LsqQuantizer};
-use cq_tensor::{
-    conv2d, conv2d_backward_input, conv2d_backward_weight, conv2d_grouped, CqRng, Tensor,
-};
+use cq_tensor::{conv2d, conv2d_backward_input, conv2d_backward_weight, CqRng, Tensor};
 
 /// How device variation is injected at inference (paper Eq. (5)).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -338,23 +343,34 @@ impl CimConv2d {
         out
     }
 
-    /// Rearranges a weight slice `[OC, Cin, K, K]` into the grouped-conv
-    /// layout `[G·OC, c_pa, K, K]` (group = array, Fig. 5 step #2).
-    fn build_grouped(&self, slice: &Tensor) -> Tensor {
+    /// Builds the shared execution pipeline for the current scales and
+    /// bias. Requires the activation scale to be initialized (the callers
+    /// initialize it lazily first).
+    fn pipeline(&self) -> PsumPipeline {
+        PsumPipeline::new(
+            self.plan.clone(),
+            self.bit_split,
+            self.stride,
+            self.pad,
+            self.a_quant.scales()[0],
+            self.sw_table(),
+            self.bias.as_ref().map(|b| b.value.data().to_vec()),
+        )
+    }
+
+    /// Partial-sum scale per physical column, indexed
+    /// `[(s · G + g) · OC + oc]`, resolved from the psum granularity
+    /// (shared scales are repeated into the dense table).
+    fn dense_psum_scales(&self) -> Vec<f32> {
         let p = &self.plan;
-        let (oc, kk) = (p.out_ch, p.kh * p.kw);
-        let mut wg = Tensor::zeros(&[p.num_row_tiles * oc, p.ch_per_array, p.kh, p.kw]);
-        for g in 0..p.num_row_tiles {
-            for o in 0..oc {
-                for (c_local, cin) in p.channels_of_row_tile(g).enumerate() {
-                    let src = (o * p.in_ch + cin) * kk;
-                    let dst = ((g * oc + o) * p.ch_per_array + c_local) * kk;
-                    wg.data_mut()[dst..dst + kk]
-                        .copy_from_slice(&slice.data()[src..src + kk]);
-                }
+        let mut table = Vec::with_capacity(p.num_splits * p.num_row_tiles * p.out_ch);
+        for s in 0..p.num_splits {
+            let layout = p.psum_layout(self.p_gran, s, 1);
+            for ch in 0..p.num_row_tiles * p.out_ch {
+                table.push(self.p_quant.scales()[layout.group_of_channel(ch)]);
             }
         }
-        wg
+        table
     }
 
     /// Scatters a grouped weight gradient back to `[OC, Cin, K, K]`,
@@ -398,7 +414,11 @@ impl CimConv2d {
         };
         let scales: Vec<f32> = (0..n)
             .map(|g| {
-                let mean = if counts[g] > 0 { sums[g] / counts[g] as f64 } else { 0.0 };
+                let mean = if counts[g] > 0 {
+                    sums[g] / counts[g] as f64
+                } else {
+                    0.0
+                };
                 ((factor * mean) as f32).max(1e-4)
             })
             .collect();
@@ -423,12 +443,8 @@ impl CimConv2d {
         let a_int = self.a_quant.forward_int(x, &GroupLayout::single());
         let a_pad = self.pad_channels(&a_int);
         let w_int = self.w_quant.forward_int(&self.weight.value, &self.w_layout);
-        (0..self.plan.num_splits)
-            .map(|s| {
-                let wg = self.build_grouped(&self.bit_split.split_tensor(&w_int, s));
-                conv2d_grouped(&a_pad, &wg, self.stride, self.pad, self.plan.num_row_tiles)
-            })
-            .collect()
+        let pipeline = self.pipeline();
+        pipeline.grouped_psums(&a_pad, &pipeline.split_grouped_weights(&w_int))
     }
 
     /// Exports the layer as a dense [`QuantizedConv`] description for the
@@ -450,17 +466,7 @@ impl CimConv2d {
                 self.p_quant.is_initialized(),
                 "psum scales uninitialized; run a forward pass with psum quantization enabled"
             );
-            let layouts: Vec<GroupLayout> = (0..p.num_splits)
-                .map(|s| p.psum_layout(self.p_gran, s, 1))
-                .collect();
-            let mut table = Vec::with_capacity(p.num_splits * p.num_row_tiles * p.out_ch);
-            for (s, layout) in layouts.iter().enumerate() {
-                let _ = s;
-                for ch in 0..p.num_row_tiles * p.out_ch {
-                    table.push(self.p_quant.scales()[layout.group_of_channel(ch)]);
-                }
-            }
-            table
+            self.dense_psum_scales()
         } else {
             Vec::new()
         };
@@ -500,7 +506,10 @@ impl CimConv2d {
     }
 
     fn backward_fp(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self.fp_cache.take().expect("CimConv2d::backward without forward");
+        let x = self
+            .fp_cache
+            .take()
+            .expect("CimConv2d::backward without forward");
         let dw = conv2d_backward_weight(
             grad_out,
             &x,
@@ -534,13 +543,19 @@ impl CimConv2d {
 
         // Device variation (eval only): multiplicative factors on the
         // programmed cell values, Eq. (5).
-        let var = if mode == Mode::Eval { self.variation } else { None };
+        let var = if mode == Mode::Eval {
+            self.variation
+        } else {
+            None
+        };
         let weight_factors = var.and_then(|v| {
             (v.mode == VariationMode::PerWeight)
                 .then(|| Self::variation_factors(w_int.shape(), v.sigma, v.seed))
         });
 
-        let mut psums = Vec::with_capacity(p.num_splits);
+        // Tile → bit-split front-end (variation is applied to the slices
+        // before grouping, exactly where cells would be programmed).
+        let pipeline = self.pipeline();
         let mut grouped_weights = Vec::with_capacity(p.num_splits);
         for s in 0..p.num_splits {
             let mut slice = self.bit_split.split_tensor(&w_int, s);
@@ -556,58 +571,32 @@ impl CimConv2d {
                     slice = slice.mul(&f);
                 }
             }
-            let wg = self.build_grouped(&slice);
-            let ps = conv2d_grouped(&a_pad, &wg, self.stride, self.pad, p.num_row_tiles);
-            psums.push(ps);
-            grouped_weights.push(wg);
+            grouped_weights.push(pipeline.group_weight_slice(&slice));
         }
+        let psums = pipeline.grouped_psums(&a_pad, &grouped_weights);
 
         if self.psum_capture {
             self.captured_psums = Some(psums.clone());
         }
-        let (oh, ow) = (psums[0].dim(2), psums[0].dim(3));
-        let inner = oh * ow;
+        let inner = psums[0].dim(2) * psums[0].dim(3);
         let layouts = self.psum_layouts(inner);
         let psum_quant_used = self.psum_quant_enabled;
         if psum_quant_used && !self.p_quant.is_initialized() {
             self.init_psum_scales(&psums, &layouts);
         }
 
-        let sw_table = self.sw_table();
-        let batch = x.dim(0);
-        let mut y = Tensor::zeros(&[batch, p.out_ch, oh, ow]);
-        for s in 0..p.num_splits {
-            let p_hat = if psum_quant_used {
-                let pq = self.p_quant.forward_int(&psums[s], &layouts[s]);
-                self.p_quant.dequantize(&pq, &layouts[s])
-            } else {
-                psums[s].clone()
-            };
-            let shift = self.bit_split.shift_weight(s);
-            // y[b, oc] += (p_hat[b, g·OC+oc] · s_w) · 2^(cb·s), g ascending —
-            // the exact operation order of the crossbar engine.
-            for bi in 0..batch {
-                for g in 0..p.num_row_tiles {
-                    for o in 0..p.out_ch {
-                        let sw = sw_table[g * p.out_ch + o];
-                        let src = ((bi * p.num_row_tiles + g) * p.out_ch + o) * inner;
-                        let dst = (bi * p.out_ch + o) * inner;
-                        let (ys, ps_) = (
-                            &mut y.data_mut()[dst..dst + inner],
-                            &p_hat.data()[src..src + inner],
-                        );
-                        for (yv, &pv) in ys.iter_mut().zip(ps_) {
-                            *yv += (pv * sw) * shift;
-                        }
-                    }
-                }
-            }
-        }
-        y.scale_in_place(self.a_quant.scales()[0]);
-        if let Some(b) = &self.bias {
-            add_channel_bias(&mut y, &b.value);
-        }
+        // Shared back-end: digitize → shift-add → merged dequant. The ADC
+        // digitizer reproduces the LSQ psum quantizer bit-exactly (same
+        // clamp-then-round grid, same dense scale resolution).
+        let y = if psum_quant_used {
+            let table = self.dense_psum_scales();
+            let dig = AdcDigitizer::new(Adc::new(self.p_quant.format()), &table, &p);
+            pipeline.reduce(&psums, &dig)
+        } else {
+            pipeline.reduce(&psums, &IdealDigitizer)
+        };
 
+        let sw_table = self.sw_table();
         self.fp_cache = None;
         self.cache = (mode == Mode::Train).then(|| FwdCache {
             x: x.clone(),
@@ -622,7 +611,10 @@ impl CimConv2d {
     }
 
     fn backward_quant(&mut self, grad_out: &Tensor) -> Tensor {
-        let cache = self.cache.take().expect("CimConv2d::backward without forward");
+        let cache = self
+            .cache
+            .take()
+            .expect("CimConv2d::backward without forward");
         let p = self.plan.clone();
         let batch = grad_out.dim(0);
         let (oh, ow) = (grad_out.dim(2), grad_out.dim(3));
@@ -634,7 +626,7 @@ impl CimConv2d {
         let mut dw_int = cache.dw_int_template.clone();
         let gchannels = p.num_row_tiles * p.out_ch;
 
-        for s in 0..p.num_splits {
+        for (s, layout) in layouts.iter().enumerate() {
             let shift = self.bit_split.shift_weight(s);
             // ∂L/∂p̂ per partial-sum channel.
             let mut grad_phat = Tensor::zeros(&[batch, gchannels, oh, ow]);
@@ -655,7 +647,7 @@ impl CimConv2d {
                 }
             }
             let d_psum = if cache.psum_quant_used {
-                self.p_quant.backward(&cache.psums[s], &grad_phat, &layouts[s])
+                self.p_quant.backward(&cache.psums[s], &grad_phat, layout)
             } else {
                 grad_phat
             };
@@ -681,7 +673,9 @@ impl CimConv2d {
 
         // Weight quantizer STE (+ scale gradients).
         let grad_what = self.w_quant.divide_by_scales(&dw_int, &self.w_layout);
-        let dw = self.w_quant.backward(&self.weight.value, &grad_what, &self.w_layout);
+        let dw = self
+            .w_quant
+            .backward(&self.weight.value, &grad_what, &self.w_layout);
         self.weight.grad.add_assign(&dw);
         if let Some(b) = &mut self.bias {
             accumulate_bias_grad(grad_out, &mut b.grad);
@@ -690,7 +684,8 @@ impl CimConv2d {
         // Activation quantizer STE (+ scale gradient).
         let d_a_int = self.unpad_channels(&d_a_pad, cache.x.dim(1));
         let grad_ahat = d_a_int.scale(1.0 / sa);
-        self.a_quant.backward(&cache.x, &grad_ahat, &GroupLayout::single())
+        self.a_quant
+            .backward(&cache.x, &grad_ahat, &GroupLayout::single())
     }
 }
 
@@ -714,16 +709,32 @@ impl Layer for CimConv2d {
     }
 
     fn visit_params(&mut self, prefix: &str, f: &mut dyn FnMut(ParamView<'_>)) {
-        self.weight.visit(format!("{prefix}weight"), ParamKind::Weight, f);
+        self.weight
+            .visit(format!("{prefix}weight"), ParamKind::Weight, f);
         if let Some(b) = &mut self.bias {
             b.visit(format!("{prefix}bias"), ParamKind::Bias, f);
         }
         let (v, g) = self.w_quant.scales_and_grads_mut();
-        f(ParamView { name: format!("{prefix}w_scale"), kind: ParamKind::Scale, value: v, grad: g });
+        f(ParamView {
+            name: format!("{prefix}w_scale"),
+            kind: ParamKind::Scale,
+            value: v,
+            grad: g,
+        });
         let (v, g) = self.a_quant.scales_and_grads_mut();
-        f(ParamView { name: format!("{prefix}a_scale"), kind: ParamKind::Scale, value: v, grad: g });
+        f(ParamView {
+            name: format!("{prefix}a_scale"),
+            kind: ParamKind::Scale,
+            value: v,
+            grad: g,
+        });
         let (v, g) = self.p_quant.scales_and_grads_mut();
-        f(ParamView { name: format!("{prefix}p_scale"), kind: ParamKind::Scale, value: v, grad: g });
+        f(ParamView {
+            name: format!("{prefix}p_scale"),
+            kind: ParamKind::Scale,
+            value: v,
+            grad: g,
+        });
     }
 
     fn apply(&mut self, f: &mut dyn FnMut(&mut dyn Layer)) {
@@ -750,7 +761,9 @@ mod tests {
     }
 
     fn relu_input(seed: u64, shape: &[usize]) -> Tensor {
-        CqRng::new(seed).normal_tensor(shape, 1.0).map(|v| v.max(0.0))
+        CqRng::new(seed)
+            .normal_tensor(shape, 1.0)
+            .map(|v| v.max(0.0))
     }
 
     #[test]
@@ -855,10 +868,16 @@ mod tests {
         layer.set_psum_quant_enabled(false);
         let x = relu_input(10, &[1, 7, 6, 6]);
         let _ = layer.forward(&x, Mode::Train);
-        assert!(!layer.p_quant.is_initialized(), "stage 1 must not touch psum scales");
+        assert!(
+            !layer.p_quant.is_initialized(),
+            "stage 1 must not touch psum scales"
+        );
         layer.set_psum_quant_enabled(true);
         let _ = layer.forward(&x, Mode::Train);
-        assert!(layer.p_quant.is_initialized(), "stage 2 initializes psum scales");
+        assert!(
+            layer.p_quant.is_initialized(),
+            "stage 2 initializes psum scales"
+        );
     }
 
     #[test]
@@ -897,8 +916,7 @@ mod tests {
         assert_eq!(y, want);
         let gy = Tensor::ones(y.shape());
         let dx = layer.backward(&gy);
-        let want_dx =
-            conv2d_backward_input(&gy, &layer.weight.value, x.shape(), 1, 1, 1);
+        let want_dx = conv2d_backward_input(&gy, &layer.weight.value, x.shape(), 1, 1, 1);
         assert_eq!(dx, want_dx);
     }
 

@@ -36,9 +36,23 @@ impl CimLinear {
         p_gran: Granularity,
         rng: &mut CqRng,
     ) -> Self {
-        let conv =
-            CimConv2d::new(in_features, out_features, 1, 1, 0, cfg, w_gran, p_gran, true, rng);
-        Self { conv, in_features, out_features }
+        let conv = CimConv2d::new(
+            in_features,
+            out_features,
+            1,
+            1,
+            0,
+            cfg,
+            w_gran,
+            p_gran,
+            true,
+            rng,
+        );
+        Self {
+            conv,
+            in_features,
+            out_features,
+        }
     }
 
     /// Input feature count.
@@ -117,7 +131,9 @@ mod tests {
     }
 
     fn relu_batch(seed: u64, b: usize, f: usize) -> Tensor {
-        CqRng::new(seed).normal_tensor(&[b, f], 1.0).map(|v| v.max(0.0))
+        CqRng::new(seed)
+            .normal_tensor(&[b, f], 1.0)
+            .map(|v| v.max(0.0))
     }
 
     #[test]

@@ -67,7 +67,15 @@ impl ConvFactory for CimConvFactory {
                 &mut self.rng,
             ))
         } else {
-            Box::new(Conv2d::new(in_ch, out_ch, kernel, stride, pad, false, &mut self.rng))
+            Box::new(Conv2d::new(
+                in_ch,
+                out_ch,
+                kernel,
+                stride,
+                pad,
+                false,
+                &mut self.rng,
+            ))
         }
     }
 }
@@ -216,7 +224,10 @@ pub fn load_cim_checkpoint(
 /// runs the calibration batches in eval mode so the lazy initializers fit
 /// them from live statistics. No parameter is trained.
 pub fn ptq_calibrate(model: &mut dyn Layer, calib_inputs: &[Tensor]) {
-    assert!(!calib_inputs.is_empty(), "need at least one calibration batch");
+    assert!(
+        !calib_inputs.is_empty(),
+        "need at least one calibration batch"
+    );
     for_each_cim_conv(model, |c| {
         c.set_quant_enabled(true);
         c.reinit_weight_scales();
@@ -286,12 +297,13 @@ mod tests {
     #[test]
     fn model_overhead_respects_scheme() {
         let mut ours = build_cim_resnet(small_spec(), &small_cfg(), &QuantScheme::ours(), 9);
-        let mut saxena9 =
-            build_cim_resnet(small_spec(), &small_cfg(), &QuantScheme::saxena9(), 9);
-        let mut kim =
-            build_cim_resnet(small_spec(), &small_cfg(), &QuantScheme::kim5(), 9);
+        let mut saxena9 = build_cim_resnet(small_spec(), &small_cfg(), &QuantScheme::saxena9(), 9);
+        let mut kim = build_cim_resnet(small_spec(), &small_cfg(), &QuantScheme::kim5(), 9);
         // The paper's claim: ours (C/C) has the same overhead as [9] (L/C).
-        assert_eq!(model_dequant_mults(&mut ours), model_dequant_mults(&mut saxena9));
+        assert_eq!(
+            model_dequant_mults(&mut ours),
+            model_dequant_mults(&mut saxena9)
+        );
         // And L/L is enormously cheaper (1 per layer).
         assert_eq!(model_dequant_mults(&mut kim), count_cim_convs(&mut kim));
     }
@@ -325,7 +337,7 @@ mod tests {
         set_quant_enabled(&mut net, false); // FP "pre-training" state
         let x = CqRng::new(12).normal_tensor(&[2, 3, 16, 16], 1.0);
         let _ = net.forward(&x, Mode::Eval);
-        ptq_calibrate(&mut net, &[x.clone()]);
+        ptq_calibrate(&mut net, std::slice::from_ref(&x));
         let mut ok = true;
         for_each_cim_conv(&mut net, |c| {
             ok &= c.act_quantizer().is_initialized();

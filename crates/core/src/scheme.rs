@@ -150,8 +150,8 @@ impl QuantScheme {
             (false, TrainMethod::Ptq) => "no (PTQ)".to_string(),
             (false, _) => "no (2-stage QAT)".to_string(),
         };
-        let w_scratch = self.method == TrainMethod::OneStageQat
-            || self.method == TrainMethod::TwoStageQat;
+        let w_scratch =
+            self.method == TrainMethod::OneStageQat || self.method == TrainMethod::TwoStageQat;
         let p_scratch = self.method == TrainMethod::OneStageQat;
         format!(
             "| {} | {} | {} | {} | {} | {} | {} |",
@@ -193,10 +193,15 @@ mod tests {
         assert_eq!(all[4].label, "Ours");
         // Only ours trains one-stage; only [5]-[7] are PTQ.
         assert_eq!(
-            all.iter().filter(|s| s.method == TrainMethod::OneStageQat).count(),
+            all.iter()
+                .filter(|s| s.method == TrainMethod::OneStageQat)
+                .count(),
             1
         );
-        assert_eq!(all.iter().filter(|s| s.method == TrainMethod::Ptq).count(), 2);
+        assert_eq!(
+            all.iter().filter(|s| s.method == TrainMethod::Ptq).count(),
+            2
+        );
     }
 
     #[test]

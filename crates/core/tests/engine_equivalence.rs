@@ -11,7 +11,9 @@ use cq_quant::Granularity;
 use cq_tensor::{CqRng, Tensor};
 
 fn relu_input(seed: u64, shape: &[usize]) -> Tensor {
-    CqRng::new(seed).normal_tensor(shape, 1.0).map(|v| v.max(0.0))
+    CqRng::new(seed)
+        .normal_tensor(shape, 1.0)
+        .map(|v| v.max(0.0))
 }
 
 fn check_equivalence(cfg: CimConfig, in_ch: usize, out_ch: usize, stride: usize, psq: bool) {
@@ -39,7 +41,8 @@ fn check_equivalence(cfg: CimConfig, in_ch: usize, out_ch: usize, stride: usize,
             let slow = engine.forward(&a_int);
 
             assert_eq!(
-                fast, slow,
+                fast,
+                slow,
                 "mismatch at w={w_gran} p={p_gran} psq={psq} in={in_ch} out={out_ch} \
                  (max diff {})",
                 fast.max_abs_diff(&slow)
@@ -102,4 +105,28 @@ fn binary_psum_bit_exact() {
     cfg.array_rows = 32;
     cfg.array_cols = 32;
     check_equivalence(cfg, 7, 5, 1, true);
+}
+
+/// The full scheme matrix the paper ablates, pinned in one sweep:
+/// psum quantization {off, on} × weight granularity {layer, array, column}
+/// × psum granularity {layer, array, column} (inside `check_equivalence`)
+/// × row-wise tiling shape {single array, multi row tile, multi col tile,
+/// multi row+col tile}. Every cell must agree **bit-exactly** between the
+/// fast grouped-conv emulation and the explicit crossbar engine — the
+/// refactored shared `PsumPipeline` is exercised on every scheme.
+#[test]
+fn full_matrix_psq_granularity_tiling() {
+    // tiny cfg (32×32, 3 splits): ch_per_array = 3, oc_per_col_tile = 10.
+    let shapes = [
+        (3usize, 4usize, "single array"),
+        (7, 5, "multi row tile"),
+        (5, 12, "multi col tile"),
+        (8, 12, "multi row+col tile"),
+    ];
+    for psq in [false, true] {
+        for (in_ch, out_ch, label) in shapes {
+            eprintln!("matrix cell: psq={psq} tiling={label}");
+            check_equivalence(CimConfig::tiny(), in_ch, out_ch, 1, psq);
+        }
+    }
 }

@@ -27,12 +27,18 @@ impl Augment {
     /// The standard CIFAR recipe: pad 2 + flip (scaled-down from pad 4 for
     /// the smaller synthetic images).
     pub fn standard() -> Self {
-        Self { pad_crop: 2, hflip: true }
+        Self {
+            pad_crop: 2,
+            hflip: true,
+        }
     }
 
     /// No augmentation.
     pub fn none() -> Self {
-        Self { pad_crop: 0, hflip: false }
+        Self {
+            pad_crop: 0,
+            hflip: false,
+        }
     }
 }
 
@@ -197,9 +203,8 @@ mod tests {
         let b0 = &batches[0];
         for bi in 0..b0.labels.len() {
             let img = &b0.images.data()[bi * img_len..(bi + 1) * img_len];
-            let found = (0..ds.len()).any(|i| {
-                &ds.images.data()[i * img_len..(i + 1) * img_len] == img
-            });
+            let found =
+                (0..ds.len()).any(|i| &ds.images.data()[i * img_len..(i + 1) * img_len] == img);
             assert!(found, "batched image {bi} not found in dataset");
         }
     }

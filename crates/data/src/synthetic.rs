@@ -150,8 +150,9 @@ impl Dataset {
 pub fn generate(spec: &SyntheticSpec) -> (Dataset, Dataset) {
     spec.validate();
     let mut master = CqRng::new(spec.seed);
-    let protos: Vec<Tensor> =
-        (0..spec.num_classes).map(|c| prototype(spec, c as u64)).collect();
+    let protos: Vec<Tensor> = (0..spec.num_classes)
+        .map(|c| prototype(spec, c as u64))
+        .collect();
     let mut train_rng = master.fork(1);
     let mut test_rng = master.fork(2);
     let train = sample_split(spec, &protos, spec.train_per_class, &mut train_rng);
@@ -172,7 +173,10 @@ fn prototype(spec: &SyntheticSpec, class: u64) -> Tensor {
         let (p1, p2) = (rng.uniform() * two_pi, rng.uniform() * two_pi);
         let (a1, a2) = (rng.uniform_in(0.4, 0.9), rng.uniform_in(0.3, 0.7));
         // Class-colored blob.
-        let (cx, cy) = (rng.uniform_in(0.2, 0.8) * s as f32, rng.uniform_in(0.2, 0.8) * s as f32);
+        let (cx, cy) = (
+            rng.uniform_in(0.2, 0.8) * s as f32,
+            rng.uniform_in(0.2, 0.8) * s as f32,
+        );
         let amp = rng.uniform_in(-1.2, 1.2);
         let sigma = s as f32 / 5.0;
         for y in 0..s {
@@ -265,8 +269,16 @@ mod tests {
     fn values_are_bounded_and_centered() {
         let spec = SyntheticSpec::cifar10_like(4, 2, 3);
         let (train, _) = generate(&spec);
-        assert!(train.images.max_abs() < 6.0, "max {}", train.images.max_abs());
-        assert!(train.images.mean().abs() < 0.3, "mean {}", train.images.mean());
+        assert!(
+            train.images.max_abs() < 6.0,
+            "max {}",
+            train.images.max_abs()
+        );
+        assert!(
+            train.images.mean().abs() < 0.3,
+            "mean {}",
+            train.images.mean()
+        );
     }
 
     /// The defining property: a trivial nearest-class-mean classifier must

@@ -65,18 +65,26 @@ pub fn deserialize_params(model: &mut dyn Layer, text: &str) -> Result<()> {
         let mut parts = meta.split_whitespace();
         let (name, _kind, len) = match (parts.next(), parts.next(), parts.next()) {
             (Some(n), Some(k), Some(l)) => (n, k, l),
-            _ => return Err(Error::new(ErrorKind::InvalidData, format!("bad meta line: {meta}"))),
+            _ => {
+                return Err(Error::new(
+                    ErrorKind::InvalidData,
+                    format!("bad meta line: {meta}"),
+                ))
+            }
         };
         let len: usize = len
             .parse()
             .map_err(|_| Error::new(ErrorKind::InvalidData, format!("bad length in: {meta}")))?;
-        let data_line = lines
-            .next()
-            .ok_or_else(|| Error::new(ErrorKind::UnexpectedEof, format!("missing data for {name}")))?;
+        let data_line = lines.next().ok_or_else(|| {
+            Error::new(ErrorKind::UnexpectedEof, format!("missing data for {name}"))
+        })?;
         let mut values = Vec::with_capacity(len);
         for word in data_line.split_whitespace() {
             let bits = u32::from_str_radix(word, 16).map_err(|_| {
-                Error::new(ErrorKind::InvalidData, format!("bad hex word '{word}' in {name}"))
+                Error::new(
+                    ErrorKind::InvalidData,
+                    format!("bad hex word '{word}' in {name}"),
+                )
             })?;
             values.push(f32::from_bits(bits));
         }
@@ -87,7 +95,10 @@ pub fn deserialize_params(model: &mut dyn Layer, text: &str) -> Result<()> {
             ));
         }
         if table.insert(name.to_string(), values).is_some() {
-            return Err(Error::new(ErrorKind::InvalidData, format!("duplicate entry {name}")));
+            return Err(Error::new(
+                ErrorKind::InvalidData,
+                format!("duplicate entry {name}"),
+            ));
         }
     }
 
@@ -205,6 +216,9 @@ mod tests {
         assert!(deserialize_params(&mut a, "GARBAGE\n").is_err());
         let mut text = serialize_params(&mut a);
         text.push_str("phantom.param weight 2\n00000000 00000000\n");
-        assert!(deserialize_params(&mut a, &text).is_err(), "extra params rejected");
+        assert!(
+            deserialize_params(&mut a, &text).is_err(),
+            "extra params rejected"
+        );
     }
 }

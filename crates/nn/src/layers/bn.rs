@@ -71,6 +71,7 @@ impl Layer for BatchNorm2d {
             Mode::Train => {
                 let mut xhat = Tensor::zeros(x.shape());
                 let mut inv_std = vec![0.0f32; c];
+                #[allow(clippy::needless_range_loop)] // ci also indexes x/xhat blocks
                 for ci in 0..c {
                     let mut sum = 0.0f64;
                     let mut sq = 0.0f64;
@@ -122,7 +123,10 @@ impl Layer for BatchNorm2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let cache = self.cache.take().expect("BatchNorm2d::backward without forward");
+        let cache = self
+            .cache
+            .take()
+            .expect("BatchNorm2d::backward without forward");
         let (b, c, h, w) = (
             grad_out.dim(0),
             grad_out.dim(1),
@@ -161,7 +165,8 @@ impl Layer for BatchNorm2d {
     }
 
     fn visit_params(&mut self, prefix: &str, f: &mut dyn FnMut(ParamView<'_>)) {
-        self.gamma.visit(format!("{prefix}gamma"), ParamKind::Gamma, f);
+        self.gamma
+            .visit(format!("{prefix}gamma"), ParamKind::Gamma, f);
         self.beta.visit(format!("{prefix}beta"), ParamKind::Beta, f);
         // Running statistics ride along (kind RunningStat) so checkpoints
         // capture eval-mode behaviour; optimizers leave them untouched
@@ -211,8 +216,7 @@ mod tests {
                 vals.extend_from_slice(&y.data()[base..base + hw]);
             }
             let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
-            let var: f32 =
-                vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
+            let var: f32 = vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
             assert!(mean.abs() < 1e-4, "mean {mean}");
             assert!((var - 1.0).abs() < 1e-3, "var {var}");
         }
@@ -226,8 +230,16 @@ mod tests {
         for _ in 0..200 {
             let _ = bn.forward(&x, Mode::Train);
         }
-        assert!((bn.running_mean()[0] - 5.0).abs() < 0.3, "{}", bn.running_mean()[0]);
-        assert!((bn.running_var()[0] - 4.0).abs() < 0.6, "{}", bn.running_var()[0]);
+        assert!(
+            (bn.running_mean()[0] - 5.0).abs() < 0.3,
+            "{}",
+            bn.running_mean()[0]
+        );
+        assert!(
+            (bn.running_var()[0] - 4.0).abs() < 0.6,
+            "{}",
+            bn.running_var()[0]
+        );
         // Eval output now also ~normalized.
         let y = bn.forward(&x, Mode::Eval);
         assert!(y.mean().abs() < 0.2);

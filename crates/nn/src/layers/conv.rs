@@ -2,9 +2,7 @@
 //! the reference against which quantized layers are compared).
 
 use crate::{kaiming_conv_init, Layer, Mode, Param, ParamKind, ParamView};
-use cq_tensor::{
-    conv2d, conv2d_backward_input, conv2d_backward_weight, CqRng, Tensor,
-};
+use cq_tensor::{conv2d, conv2d_backward_input, conv2d_backward_weight, CqRng, Tensor};
 
 /// A standard full-precision convolution with optional bias.
 pub struct Conv2d {
@@ -30,7 +28,10 @@ impl Conv2d {
         bias: bool,
         rng: &mut CqRng,
     ) -> Self {
-        assert!(in_ch > 0 && out_ch > 0 && kernel > 0 && stride > 0, "empty conv");
+        assert!(
+            in_ch > 0 && out_ch > 0 && kernel > 0 && stride > 0,
+            "empty conv"
+        );
         let weight = kaiming_conv_init(out_ch, in_ch, kernel, rng);
         Self {
             weight: Param::new(weight),
@@ -133,7 +134,8 @@ impl Layer for Conv2d {
     }
 
     fn visit_params(&mut self, prefix: &str, f: &mut dyn FnMut(ParamView<'_>)) {
-        self.weight.visit(format!("{prefix}weight"), ParamKind::Weight, f);
+        self.weight
+            .visit(format!("{prefix}weight"), ParamKind::Weight, f);
         if let Some(b) = &mut self.bias {
             b.visit(format!("{prefix}bias"), ParamKind::Bias, f);
         }
@@ -190,7 +192,11 @@ mod tests {
             let lp = conv.forward(&xp, Mode::Eval).mul(&pat).sum();
             let lm = conv.forward(&xm, Mode::Eval).mul(&pat).sum();
             let num = (lp - lm) / (2.0 * eps);
-            assert!((num - dx.data()[i]).abs() < 2e-2, "dx[{i}]: {num} vs {}", dx.data()[i]);
+            assert!(
+                (num - dx.data()[i]).abs() < 2e-2,
+                "dx[{i}]: {num} vs {}",
+                dx.data()[i]
+            );
         }
         // Check weight + bias gradients via visitor.
         let mut grads: Vec<(String, Vec<f32>)> = Vec::new();
@@ -204,7 +210,11 @@ mod tests {
             let lm = conv.forward(&x, Mode::Eval).mul(&pat).sum();
             conv.weight.value.data_mut()[i] = orig;
             let num = (lp - lm) / (2.0 * eps);
-            assert!((num - wgrad[i]).abs() < 2e-2, "dw[{i}]: {num} vs {}", wgrad[i]);
+            assert!(
+                (num - wgrad[i]).abs() < 2e-2,
+                "dw[{i}]: {num} vs {}",
+                wgrad[i]
+            );
         }
     }
 

@@ -70,7 +70,8 @@ impl Layer for Linear {
     }
 
     fn visit_params(&mut self, prefix: &str, f: &mut dyn FnMut(ParamView<'_>)) {
-        self.weight.visit(format!("{prefix}weight"), ParamKind::Weight, f);
+        self.weight
+            .visit(format!("{prefix}weight"), ParamKind::Weight, f);
         if let Some(b) = &mut self.bias {
             b.visit(format!("{prefix}bias"), ParamKind::Bias, f);
         }

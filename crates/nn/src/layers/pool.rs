@@ -21,7 +21,11 @@ impl AvgPool2d {
     /// Panics if `kernel` or `stride` is zero.
     pub fn new(kernel: usize, stride: usize) -> Self {
         assert!(kernel > 0 && stride > 0, "empty pool");
-        Self { kernel, stride, input_shape: None }
+        Self {
+            kernel,
+            stride,
+            input_shape: None,
+        }
     }
 }
 
@@ -34,7 +38,10 @@ impl Layer for AvgPool2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let shape = self.input_shape.take().expect("AvgPool2d::backward without forward");
+        let shape = self
+            .input_shape
+            .take()
+            .expect("AvgPool2d::backward without forward");
         avg_pool2d_backward(grad_out, &shape, self.kernel, self.stride)
     }
 
@@ -65,7 +72,12 @@ impl MaxPool2d {
     /// Panics if `kernel` or `stride` is zero.
     pub fn new(kernel: usize, stride: usize, pad: usize) -> Self {
         assert!(kernel > 0 && stride > 0, "empty pool");
-        Self { kernel, stride, pad, cache: None }
+        Self {
+            kernel,
+            stride,
+            pad,
+            cache: None,
+        }
     }
 }
 
@@ -79,7 +91,10 @@ impl Layer for MaxPool2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let (shape, idx) = self.cache.take().expect("MaxPool2d::backward without forward");
+        let (shape, idx) = self
+            .cache
+            .take()
+            .expect("MaxPool2d::backward without forward");
         max_pool2d_backward(grad_out, &idx, &shape)
     }
 
@@ -116,7 +131,10 @@ impl Layer for GlobalAvgPool {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let shape = self.input_shape.take().expect("GlobalAvgPool::backward without forward");
+        let shape = self
+            .input_shape
+            .take()
+            .expect("GlobalAvgPool::backward without forward");
         global_avg_pool_backward(grad_out, &shape)
     }
 

@@ -33,8 +33,8 @@ mod param;
 pub use checkpoint::{deserialize_params, load_params, save_params, serialize_params};
 pub use init::kaiming_conv_init;
 pub use layers::{
-    accumulate_bias_grad, add_channel_bias, AvgPool2d, BatchNorm2d, Conv2d, GlobalAvgPool,
-    Linear, MaxPool2d, Relu,
+    accumulate_bias_grad, add_channel_bias, AvgPool2d, BatchNorm2d, Conv2d, GlobalAvgPool, Linear,
+    MaxPool2d, Relu,
 };
 pub use loss::{softmax_cross_entropy, LossOutput};
 pub use model::{BasicBlock, ConvFactory, ConvRole, FpConvFactory, ResNet, ResNetSpec};

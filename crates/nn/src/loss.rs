@@ -25,9 +25,8 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> LossOutput {
     let mut grad = Tensor::zeros(&[b, c]);
     let mut total = 0.0f64;
     let mut correct = 0usize;
-    for bi in 0..b {
+    for (bi, &label) in labels.iter().enumerate().take(b) {
         let row = &logits.data()[bi * c..(bi + 1) * c];
-        let label = labels[bi];
         assert!(label < c, "label {label} out of range for {c} classes");
         let maxv = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let mut sum = 0.0f64;
@@ -51,7 +50,11 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> LossOutput {
             correct += 1;
         }
     }
-    LossOutput { loss: (total / b as f64) as f32, grad, correct }
+    LossOutput {
+        loss: (total / b as f64) as f32,
+        grad,
+        correct,
+    }
 }
 
 #[cfg(test)]

@@ -3,9 +3,7 @@
 //! ([`FpConvFactory`]) or through the CIM quantized convolution installed
 //! by `cq-core`.
 
-use crate::{
-    BatchNorm2d, Conv2d, GlobalAvgPool, Layer, Linear, MaxPool2d, Mode, ParamView, Relu,
-};
+use crate::{BatchNorm2d, Conv2d, GlobalAvgPool, Layer, Linear, MaxPool2d, Mode, ParamView, Relu};
 use cq_tensor::{CqRng, Tensor};
 
 /// Where a convolution sits in the network — quantization schemes commonly
@@ -24,6 +22,7 @@ pub enum ConvRole {
 pub trait ConvFactory {
     /// Creates a convolution layer. `name` is the stable parameter-path
     /// prefix of the layer.
+    #[allow(clippy::too_many_arguments)]
     fn conv(
         &mut self,
         name: &str,
@@ -44,7 +43,9 @@ pub struct FpConvFactory {
 impl FpConvFactory {
     /// Creates the factory with a seeded RNG for weight init.
     pub fn new(seed: u64) -> Self {
-        Self { rng: CqRng::new(seed) }
+        Self {
+            rng: CqRng::new(seed),
+        }
     }
 }
 
@@ -59,7 +60,15 @@ impl ConvFactory for FpConvFactory {
         pad: usize,
         _role: ConvRole,
     ) -> Box<dyn Layer> {
-        Box::new(Conv2d::new(in_ch, out_ch, kernel, stride, pad, false, &mut self.rng))
+        Box::new(Conv2d::new(
+            in_ch,
+            out_ch,
+            kernel,
+            stride,
+            pad,
+            false,
+            &mut self.rng,
+        ))
     }
 }
 
@@ -112,7 +121,10 @@ impl ResNetSpec {
 
     /// ResNet-18 topology with a CIFAR-style stem for small inputs.
     pub fn resnet18_small_input(num_classes: usize) -> Self {
-        Self { large_stem: false, ..Self::resnet18(num_classes) }
+        Self {
+            large_stem: false,
+            ..Self::resnet18(num_classes)
+        }
     }
 
     /// A shallow, narrow ResNet (one block per stage) for quick
@@ -191,8 +203,15 @@ impl BasicBlock {
             1,
             ConvRole::Body,
         );
-        let conv2 =
-            factory.conv(&format!("{name}.conv2"), out_ch, out_ch, 3, 1, 1, ConvRole::Body);
+        let conv2 = factory.conv(
+            &format!("{name}.conv2"),
+            out_ch,
+            out_ch,
+            3,
+            1,
+            1,
+            ConvRole::Body,
+        );
         let shortcut = (stride != 1 || in_ch != out_ch).then(|| {
             (
                 factory.conv(
@@ -310,7 +329,11 @@ impl ResNet {
     /// Panics if the spec is inconsistent.
     pub fn build(spec: ResNetSpec, factory: &mut dyn ConvFactory, fc_seed: u64) -> Self {
         spec.validate();
-        let (stem_k, stem_s, stem_p) = if spec.large_stem { (7, 2, 3) } else { (3, 1, 1) };
+        let (stem_k, stem_s, stem_p) = if spec.large_stem {
+            (7, 2, 3)
+        } else {
+            (3, 1, 1)
+        };
         let stem_conv = factory.conv(
             "stem",
             spec.in_channels,
@@ -493,7 +516,11 @@ mod tests {
     #[test]
     fn param_names_are_unique() {
         let mut factory = FpConvFactory::new(10);
-        let mut net = ResNet::build(ResNetSpec::resnet20(10).scaled_width(1, 8), &mut factory, 11);
+        let mut net = ResNet::build(
+            ResNetSpec::resnet20(10).scaled_width(1, 8),
+            &mut factory,
+            11,
+        );
         let mut names = std::collections::HashSet::new();
         net.visit_params("", &mut |p| {
             assert!(names.insert(p.name.clone()), "duplicate name {}", p.name);
@@ -533,7 +560,11 @@ mod tests {
     #[test]
     fn apply_visits_all_nested_convs() {
         let mut factory = FpConvFactory::new(15);
-        let mut net = ResNet::build(ResNetSpec::resnet20(10).scaled_width(1, 8), &mut factory, 16);
+        let mut net = ResNet::build(
+            ResNetSpec::resnet20(10).scaled_width(1, 8),
+            &mut factory,
+            16,
+        );
         let mut convs = 0;
         net.apply(&mut |l| {
             if l.as_any_mut().downcast_mut::<Conv2d>().is_some() {

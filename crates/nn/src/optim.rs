@@ -23,7 +23,12 @@ pub struct Sgd {
 impl Sgd {
     /// Creates an optimizer.
     pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
-        Self { lr, momentum, weight_decay, velocity: HashMap::new() }
+        Self {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: HashMap::new(),
+        }
     }
 
     /// Applies one update step to every parameter of `model`.
@@ -33,13 +38,15 @@ impl Sgd {
         let wd = self.weight_decay;
         let velocity = &mut self.velocity;
         model.visit_params("", &mut |p: ParamView<'_>| {
-            let v = velocity.entry(p.name.clone()).or_insert_with(|| vec![0.0; p.value.len()]);
+            let v = velocity
+                .entry(p.name.clone())
+                .or_insert_with(|| vec![0.0; p.value.len()]);
             assert_eq!(v.len(), p.value.len(), "parameter {} changed size", p.name);
             let decay = if p.kind == ParamKind::Weight { wd } else { 0.0 };
-            for i in 0..p.value.len() {
+            for (i, vi) in v.iter_mut().enumerate() {
                 let g = p.grad[i] + decay * p.value[i];
-                v[i] = momentum * v[i] + g;
-                p.value[i] -= lr * v[i];
+                *vi = momentum * *vi + g;
+                p.value[i] -= lr * *vi;
             }
             if p.kind == ParamKind::Scale {
                 for s in p.value.iter_mut() {
@@ -89,7 +96,11 @@ impl LrSchedule {
                 let t = (epoch as f32 / (*total_epochs).max(1) as f32).min(1.0);
                 0.5 * base * (1.0 + (std::f32::consts::PI * t).cos())
             }
-            LrSchedule::Step { base, milestones, gamma } => {
+            LrSchedule::Step {
+                base,
+                milestones,
+                gamma,
+            } => {
                 let k = milestones.iter().filter(|&&m| epoch >= m).count();
                 base * gamma.powi(k as i32)
             }
@@ -141,7 +152,11 @@ mod tests {
             m.w.grad.data_mut()[0] = w;
             opt.step(&mut m);
         }
-        assert!(m.w.value.data()[0].abs() < 1e-3, "w = {}", m.w.value.data()[0]);
+        assert!(
+            m.w.value.data()[0].abs() < 1e-3,
+            "w = {}",
+            m.w.value.data()[0]
+        );
     }
 
     #[test]
@@ -171,11 +186,18 @@ mod tests {
 
     #[test]
     fn schedules_behave() {
-        let c = LrSchedule::Cosine { base: 1.0, total_epochs: 10 };
+        let c = LrSchedule::Cosine {
+            base: 1.0,
+            total_epochs: 10,
+        };
         assert!((c.lr_at(0) - 1.0).abs() < 1e-6);
         assert!(c.lr_at(5) < c.lr_at(1));
         assert!(c.lr_at(10) < 1e-6);
-        let s = LrSchedule::Step { base: 1.0, milestones: vec![3, 6], gamma: 0.1 };
+        let s = LrSchedule::Step {
+            base: 1.0,
+            milestones: vec![3, 6],
+            gamma: 0.1,
+        };
         assert_eq!(s.lr_at(2), 1.0);
         assert!((s.lr_at(3) - 0.1).abs() < 1e-7);
         assert!((s.lr_at(7) - 0.01).abs() < 1e-8);

@@ -152,7 +152,9 @@ mod tests {
 
     #[test]
     fn param_visit_and_zero() {
-        let mut d = Dummy { w: Param::new(Tensor::from_vec(vec![2.0], &[1])) };
+        let mut d = Dummy {
+            w: Param::new(Tensor::from_vec(vec![2.0], &[1])),
+        };
         d.w.grad.data_mut()[0] = 5.0;
         let mut seen = Vec::new();
         d.visit_params("layer.", &mut |p| seen.push((p.name.clone(), p.grad[0])));
@@ -164,7 +166,9 @@ mod tests {
 
     #[test]
     fn apply_reaches_layer_and_downcast_works() {
-        let mut d = Dummy { w: Param::new(Tensor::from_vec(vec![1.5], &[1])) };
+        let mut d = Dummy {
+            w: Param::new(Tensor::from_vec(vec![1.5], &[1])),
+        };
         let mut hits = 0;
         let layer: &mut dyn Layer = &mut d;
         layer.apply(&mut |l| {

@@ -32,7 +32,10 @@ impl BitSplit {
             (1..=16).contains(&weight_bits) && cell_bits >= 1 && cell_bits <= weight_bits,
             "invalid bit split: {weight_bits}b weights into {cell_bits}b cells"
         );
-        Self { weight_bits, cell_bits }
+        Self {
+            weight_bits,
+            cell_bits,
+        }
     }
 
     /// Weight bit width.
@@ -75,7 +78,10 @@ impl BitSplit {
         if s + 1 == self.num_splits() {
             if self.top_bits() == self.weight_bits {
                 // Single slice: the whole signed weight.
-                (-(1 << (self.weight_bits - 1)), (1 << (self.weight_bits - 1)) - 1)
+                (
+                    -(1 << (self.weight_bits - 1)),
+                    (1 << (self.weight_bits - 1)) - 1,
+                )
             } else {
                 let tb = self.top_bits();
                 (-(1 << (tb - 1)), (1 << (tb - 1)) - 1)
@@ -144,7 +150,9 @@ impl BitSplit {
 
     /// Extracts all slices of an integer-valued tensor, lowest slice first.
     pub fn split_all(&self, w_int: &Tensor) -> Vec<Tensor> {
-        (0..self.num_splits()).map(|s| self.split_tensor(w_int, s)).collect()
+        (0..self.num_splits())
+            .map(|s| self.split_tensor(w_int, s))
+            .collect()
     }
 }
 

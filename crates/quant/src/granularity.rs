@@ -30,8 +30,7 @@ impl Granularity {
     }
 
     /// All three granularities, coarse to fine.
-    pub const ALL: [Granularity; 3] =
-        [Granularity::Layer, Granularity::Array, Granularity::Column];
+    pub const ALL: [Granularity; 3] = [Granularity::Layer, Granularity::Array, Granularity::Column];
 }
 
 impl fmt::Display for Granularity {
@@ -87,7 +86,12 @@ impl GroupLayout {
         assert!(inner > 0, "inner extent must be positive");
         assert!(!map.is_empty(), "empty group map");
         let num_groups = *map.iter().max().unwrap() as usize + 1;
-        GroupLayout::Channelwise { inner, channels: map.len(), map, num_groups }
+        GroupLayout::Channelwise {
+            inner,
+            channels: map.len(),
+            map,
+            num_groups,
+        }
     }
 
     /// Like [`GroupLayout::channelwise`] but with an explicit total group
@@ -102,8 +106,16 @@ impl GroupLayout {
         assert!(inner > 0, "inner extent must be positive");
         assert!(!map.is_empty(), "empty group map");
         let needed = *map.iter().max().unwrap() as usize + 1;
-        assert!(num_groups >= needed, "num_groups {num_groups} < required {needed}");
-        GroupLayout::Channelwise { inner, channels: map.len(), map, num_groups }
+        assert!(
+            num_groups >= needed,
+            "num_groups {num_groups} < required {needed}"
+        );
+        GroupLayout::Channelwise {
+            inner,
+            channels: map.len(),
+            map,
+            num_groups,
+        }
     }
 
     /// Group id of a channel index (for layouts where grouping is purely
@@ -128,9 +140,12 @@ impl GroupLayout {
     pub fn group_of(&self, flat: usize) -> usize {
         match self {
             GroupLayout::Single => 0,
-            GroupLayout::Channelwise { inner, channels, map, .. } => {
-                map[(flat / inner) % channels] as usize
-            }
+            GroupLayout::Channelwise {
+                inner,
+                channels,
+                map,
+                ..
+            } => map[(flat / inner) % channels] as usize,
         }
     }
 
@@ -141,7 +156,10 @@ impl GroupLayout {
     /// Panics if the tensor's element count is not a whole number of
     /// `channels × inner` blocks.
     pub fn validate(&self, t: &Tensor) {
-        if let GroupLayout::Channelwise { inner, channels, .. } = self {
+        if let GroupLayout::Channelwise {
+            inner, channels, ..
+        } = self
+        {
             let block = inner * channels;
             assert!(
                 block > 0 && t.numel() % block == 0,
@@ -159,9 +177,17 @@ impl GroupLayout {
     pub fn counts(&self, numel: usize) -> Vec<usize> {
         match self {
             GroupLayout::Single => vec![numel],
-            GroupLayout::Channelwise { inner, channels, map, num_groups } => {
+            GroupLayout::Channelwise {
+                inner,
+                channels,
+                map,
+                num_groups,
+            } => {
                 let block = inner * channels;
-                assert!(numel % block == 0, "numel {numel} not a multiple of {block}");
+                assert!(
+                    numel % block == 0,
+                    "numel {numel} not a multiple of {block}"
+                );
                 let repeats = numel / block;
                 let mut counts = vec![0usize; *num_groups];
                 for &g in map {

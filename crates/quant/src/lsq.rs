@@ -124,7 +124,11 @@ impl LsqQuantizer {
     ///
     /// Panics if the tensor is incompatible with the layout.
     pub fn init_from(&mut self, v: &Tensor, layout: &GroupLayout) {
-        assert_eq!(layout.num_groups(), self.scales.len(), "layout group count mismatch");
+        assert_eq!(
+            layout.num_groups(),
+            self.scales.len(),
+            "layout group count mismatch"
+        );
         layout.validate(v);
         let mut sums = vec![0.0f64; self.scales.len()];
         let mut counts = vec![0usize; self.scales.len()];
@@ -139,7 +143,11 @@ impl LsqQuantizer {
             2.0 / (self.format.qp() as f64).sqrt()
         };
         for g in 0..self.scales.len() {
-            let mean = if counts[g] > 0 { sums[g] / counts[g] as f64 } else { 0.0 };
+            let mean = if counts[g] > 0 {
+                sums[g] / counts[g] as f64
+            } else {
+                0.0
+            };
             let s = (factor * mean) as f32;
             self.scales[g] = s.max(SCALE_EPS.max(1e-4));
         }
@@ -156,7 +164,11 @@ impl LsqQuantizer {
     /// Panics if the quantizer is uninitialized or the layout mismatches.
     pub fn forward_int(&self, v: &Tensor, layout: &GroupLayout) -> Tensor {
         assert!(self.initialized, "LSQ quantizer used before initialization");
-        assert_eq!(layout.num_groups(), self.scales.len(), "layout group count mismatch");
+        assert_eq!(
+            layout.num_groups(),
+            self.scales.len(),
+            "layout group count mismatch"
+        );
         layout.validate(v);
         let (qn, qp) = (self.format.qn(), self.format.qp());
         let binary = self.format.is_binary();
@@ -168,7 +180,12 @@ impl LsqQuantizer {
                     *x = quantize_one(*x, s, qn, qp, binary);
                 }
             }
-            GroupLayout::Channelwise { inner, channels, map, .. } => {
+            GroupLayout::Channelwise {
+                inner,
+                channels,
+                map,
+                ..
+            } => {
                 let data = out.data_mut();
                 let block = inner * channels;
                 for (bi, blockslice) in data.chunks_mut(block).enumerate() {
@@ -191,12 +208,21 @@ impl LsqQuantizer {
     ///
     /// Panics if the layout mismatches.
     pub fn dequantize(&self, v_int: &Tensor, layout: &GroupLayout) -> Tensor {
-        assert_eq!(layout.num_groups(), self.scales.len(), "layout group count mismatch");
+        assert_eq!(
+            layout.num_groups(),
+            self.scales.len(),
+            "layout group count mismatch"
+        );
         layout.validate(v_int);
         let mut out = v_int.clone();
         match layout {
             GroupLayout::Single => out.scale_in_place(self.scales[0]),
-            GroupLayout::Channelwise { inner, channels, map, .. } => {
+            GroupLayout::Channelwise {
+                inner,
+                channels,
+                map,
+                ..
+            } => {
                 let block = inner * channels;
                 for blockslice in out.data_mut().chunks_mut(block) {
                     for (ch, chunk) in blockslice.chunks_mut(*inner).enumerate() {
@@ -219,12 +245,21 @@ impl LsqQuantizer {
     ///
     /// Panics if the layout mismatches.
     pub fn divide_by_scales(&self, v: &Tensor, layout: &GroupLayout) -> Tensor {
-        assert_eq!(layout.num_groups(), self.scales.len(), "layout group count mismatch");
+        assert_eq!(
+            layout.num_groups(),
+            self.scales.len(),
+            "layout group count mismatch"
+        );
         layout.validate(v);
         let mut out = v.clone();
         match layout {
             GroupLayout::Single => out.scale_in_place(1.0 / self.scales[0]),
-            GroupLayout::Channelwise { inner, channels, map, .. } => {
+            GroupLayout::Channelwise {
+                inner,
+                channels,
+                map,
+                ..
+            } => {
                 let block = inner * channels;
                 for blockslice in out.data_mut().chunks_mut(block) {
                     for (ch, chunk) in blockslice.chunks_mut(*inner).enumerate() {
@@ -459,12 +494,12 @@ mod tests {
             let gscale = 1.0 / ((counts[g] as f32) * qp).sqrt();
             want_ds[g] += coef.data()[i] * term * gscale;
         }
-        for g in 0..2 {
+        for (g, want) in want_ds.iter().enumerate() {
             assert!(
-                (q.scale_grads()[g] - want_ds[g]).abs() < 1e-6,
+                (q.scale_grads()[g] - want).abs() < 1e-6,
                 "ds[{g}]: got {} want {}",
                 q.scale_grads()[g],
-                want_ds[g]
+                want
             );
         }
     }

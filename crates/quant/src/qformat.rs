@@ -31,8 +31,14 @@ impl QuantFormat {
     ///
     /// Panics if `bits` is 0 or greater than 16.
     pub fn unsigned(bits: u32) -> Self {
-        assert!((1..=16).contains(&bits), "unsupported unsigned width {bits}");
-        Self { bits, signed: false }
+        assert!(
+            (1..=16).contains(&bits),
+            "unsupported unsigned width {bits}"
+        );
+        Self {
+            bits,
+            signed: false,
+        }
     }
 
     /// Bit width.

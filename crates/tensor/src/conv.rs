@@ -65,9 +65,23 @@ impl ConvShape {
     ///
     /// Panics if ranks are wrong, `C` is not divisible by `groups`, `OC` is
     /// not divisible by `groups`, or the kernel does not fit.
-    pub fn new(input: &[usize], weight: &[usize], stride: usize, pad: usize, groups: usize) -> Self {
-        assert_eq!(input.len(), 4, "conv input must be [B,C,H,W], got {input:?}");
-        assert_eq!(weight.len(), 4, "conv weight must be [OC,Cg,KH,KW], got {weight:?}");
+    pub fn new(
+        input: &[usize],
+        weight: &[usize],
+        stride: usize,
+        pad: usize,
+        groups: usize,
+    ) -> Self {
+        assert_eq!(
+            input.len(),
+            4,
+            "conv input must be [B,C,H,W], got {input:?}"
+        );
+        assert_eq!(
+            weight.len(),
+            4,
+            "conv weight must be [OC,Cg,KH,KW], got {weight:?}"
+        );
         assert!(groups > 0, "groups must be positive");
         let (batch, in_ch, in_h, in_w) = (input[0], input[1], input[2], input[3]);
         let (out_ch, cg, kh, kw) = (weight[0], weight[1], weight[2], weight[3]);
@@ -231,8 +245,8 @@ pub fn conv2d_grouped(
         for g in 0..s.groups {
             im2col_image(img, g * cg, cg, &s, &mut col);
             let w_g = &weight.data()[g * ocg * cr..(g + 1) * ocg * cr];
-            let out_g = &mut out.data_mut()
-                [b * out_img + g * ocg * cc..b * out_img + (g + 1) * ocg * cc];
+            let out_g =
+                &mut out.data_mut()[b * out_img + g * ocg * cc..b * out_img + (g + 1) * ocg * cc];
             gemm_nn_acc(ocg, cr, cc, w_g, &col, out_g);
         }
     }
@@ -281,8 +295,8 @@ pub fn conv2d_backward_input(
     }
     for b in 0..s.batch {
         for g in 0..s.groups {
-            let gout_g = &grad_out.data()
-                [b * out_img + g * ocg * cc..b * out_img + (g + 1) * ocg * cc];
+            let gout_g =
+                &grad_out.data()[b * out_img + g * ocg * cc..b * out_img + (g + 1) * ocg * cc];
             let wt_g = &wt[g * cr * ocg..(g + 1) * cr * ocg];
             dcol.fill(0.0);
             // dcol[cr, cc] = Wᵀ[cr, ocg] · gout[ocg, cc]
@@ -326,8 +340,8 @@ pub fn conv2d_backward_weight(
         let img = &input.data()[b * in_img..(b + 1) * in_img];
         for g in 0..s.groups {
             im2col_image(img, g * cg, cg, &s, &mut col);
-            let gout_g = &grad_out.data()
-                [b * out_img + g * ocg * cc..b * out_img + (g + 1) * ocg * cc];
+            let gout_g =
+                &grad_out.data()[b * out_img + g * ocg * cc..b * out_img + (g + 1) * ocg * cc];
             let dw_g = &mut dweight.data_mut()[g * ocg * cr..(g + 1) * ocg * cr];
             // dW[ocg, cr] += gout[ocg, cc] · colᵀ[cc, cr]
             gemm_nt_acc(ocg, cc, cr, gout_g, &col, dw_g);
@@ -373,10 +387,8 @@ pub fn conv2d_naive(
                                 {
                                     continue;
                                 }
-                                let iv = input.data()
-                                    [input.idx4(b, c, ih as usize, iw as usize)];
-                                let wv = weight.data()
-                                    [((oc * cg + cl) * s.kh + ki) * s.kw + kj];
+                                let iv = input.data()[input.idx4(b, c, ih as usize, iw as usize)];
+                                let wv = weight.data()[((oc * cg + cl) * s.kh + ki) * s.kw + kj];
                                 acc += iv * wv;
                             }
                         }
@@ -398,7 +410,9 @@ mod tests {
         let n: usize = shape.iter().product();
         let data = (0..n)
             .map(|i| {
-                let x = (i as u64).wrapping_mul(2862933555777941757).wrapping_add(seed);
+                let x = (i as u64)
+                    .wrapping_mul(2862933555777941757)
+                    .wrapping_add(seed);
                 ((x >> 32) % 9) as f32 - 4.0
             })
             .collect();
@@ -491,9 +505,8 @@ mod tests {
         let (stride, pad) = (1, 1);
         // Loss = sum of outputs weighted by a fixed pattern.
         let pat = det_tensor(&[1, 3, 5, 5], 123).scale(0.1);
-        let loss = |xx: &Tensor, ww: &Tensor| -> f32 {
-            conv2d(xx, ww, stride, pad).mul(&pat).sum()
-        };
+        let loss =
+            |xx: &Tensor, ww: &Tensor| -> f32 { conv2d(xx, ww, stride, pad).mul(&pat).sum() };
         let gout = pat.clone();
         let dx = conv2d_backward_input(&gout, &w, x.shape(), stride, pad, 1);
         let dw = conv2d_backward_weight(&gout, &x, w.shape(), stride, pad, 1);

@@ -35,7 +35,9 @@ pub use conv::{
     conv2d, conv2d_backward_input, conv2d_backward_weight, conv2d_grouped, conv2d_naive,
     conv_out_dim, ConvShape,
 };
-pub use matmul::{gemm_nn_acc, gemm_nt_acc, matmul, matmul_a_bt, matmul_at_b};
+pub use matmul::{
+    gemm_nn_acc, gemm_nt_acc, matmul, matmul_a_bt, matmul_at_b, max_threads, threads_for,
+};
 pub use pool::{
     avg_pool2d, avg_pool2d_backward, global_avg_pool, global_avg_pool_backward, max_pool2d,
     max_pool2d_backward,

@@ -18,11 +18,36 @@ use crate::Tensor;
 /// worth the fork overhead.
 const PAR_THRESHOLD: usize = 1 << 20;
 
-fn threads_for(work: usize) -> usize {
+/// Thread count for a kernel doing `work` multiply-accumulates: 1 below the
+/// fork-overhead threshold, otherwise the `CQ_THREADS` override (if set)
+/// or the machine's available parallelism.
+///
+/// `CQ_THREADS` exists so benchmark numbers are reproducible on shared CI
+/// runners whose visible core count varies run to run; it is read once and
+/// cached. Invalid or zero values are ignored.
+pub fn threads_for(work: usize) -> usize {
     if work < PAR_THRESHOLD {
         return 1;
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    max_threads()
+}
+
+/// The `CQ_THREADS`-capped machine parallelism (read once, cached).
+pub fn max_threads() -> usize {
+    use std::sync::OnceLock;
+    static MAX: OnceLock<usize> = OnceLock::new();
+    *MAX.get_or_init(|| {
+        if let Ok(v) = std::env::var("CQ_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 /// `C = A · B` for row-major slices, accumulating into `c` (which must be
@@ -195,7 +220,9 @@ mod tests {
         // enough for strict comparisons at these sizes.
         (0..len)
             .map(|i| {
-                let x = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed);
+                let x = (i as u64)
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(seed);
                 ((x >> 33) % 17) as f32 - 8.0
             })
             .collect()
@@ -238,10 +265,7 @@ mod tests {
             }
         }
         let want = naive(m, k, n, &a, &bt);
-        let c = matmul_a_bt(
-            &Tensor::from_vec(a, &[m, k]),
-            &Tensor::from_vec(b, &[n, k]),
-        );
+        let c = matmul_a_bt(&Tensor::from_vec(a, &[m, k]), &Tensor::from_vec(b, &[n, k]));
         assert_eq!(c.data(), want.as_slice());
     }
 
@@ -257,10 +281,7 @@ mod tests {
             }
         }
         let want = naive(m, k, n, &at, &b);
-        let c = matmul_at_b(
-            &Tensor::from_vec(a, &[k, m]),
-            &Tensor::from_vec(b, &[k, n]),
-        );
+        let c = matmul_at_b(&Tensor::from_vec(a, &[k, m]), &Tensor::from_vec(b, &[k, n]));
         assert_eq!(c.data(), want.as_slice());
     }
 
@@ -271,10 +292,7 @@ mod tests {
         let a = filled(m * k, 8);
         let b = filled(k * n, 9);
         let want = naive(m, k, n, &a, &b);
-        let c = matmul(
-            &Tensor::from_vec(a, &[m, k]),
-            &Tensor::from_vec(b, &[k, n]),
-        );
+        let c = matmul(&Tensor::from_vec(a, &[m, k]), &Tensor::from_vec(b, &[k, n]));
         assert_eq!(c.data(), want.as_slice());
     }
 

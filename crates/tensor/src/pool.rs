@@ -51,7 +51,12 @@ pub fn avg_pool2d_backward(
     stride: usize,
 ) -> Tensor {
     assert_eq!(input_shape.len(), 4);
-    let (b, c, h, w) = (input_shape[0], input_shape[1], input_shape[2], input_shape[3]);
+    let (b, c, h, w) = (
+        input_shape[0],
+        input_shape[1],
+        input_shape[2],
+        input_shape[3],
+    );
     let oh = conv_out_dim(h, kernel, stride, 0);
     let ow = conv_out_dim(w, kernel, stride, 0);
     assert_eq!(grad_out.shape(), &[b, c, oh, ow], "grad_out shape");
@@ -81,7 +86,12 @@ pub fn avg_pool2d_backward(
 /// # Panics
 ///
 /// Panics if the input is not rank 4 or the kernel does not fit.
-pub fn max_pool2d(input: &Tensor, kernel: usize, stride: usize, pad: usize) -> (Tensor, Vec<usize>) {
+pub fn max_pool2d(
+    input: &Tensor,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+) -> (Tensor, Vec<usize>) {
     assert_eq!(input.rank(), 4, "max_pool2d input must be [B,C,H,W]");
     let (b, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
     let oh = conv_out_dim(h, kernel, stride, pad);
@@ -169,7 +179,12 @@ pub fn global_avg_pool(input: &Tensor) -> Tensor {
 /// Panics on shape inconsistencies.
 pub fn global_avg_pool_backward(grad_out: &Tensor, input_shape: &[usize]) -> Tensor {
     assert_eq!(input_shape.len(), 4);
-    let (b, c, h, w) = (input_shape[0], input_shape[1], input_shape[2], input_shape[3]);
+    let (b, c, h, w) = (
+        input_shape[0],
+        input_shape[1],
+        input_shape[2],
+        input_shape[3],
+    );
     assert_eq!(grad_out.shape(), &[b, c], "grad_out shape");
     let mut dx = Tensor::zeros(input_shape);
     let inv = 1.0 / (h * w) as f32;
@@ -208,7 +223,9 @@ mod tests {
     #[test]
     fn max_pool_forward_and_backward() {
         let x = Tensor::from_vec(
-            vec![1.0, 2.0, 5.0, 4.0, 3.0, 0.0, -1.0, 2.0, 7.0, 1.0, 0.0, 0.0, 2.0, 3.0, 1.0, 6.0],
+            vec![
+                1.0, 2.0, 5.0, 4.0, 3.0, 0.0, -1.0, 2.0, 7.0, 1.0, 0.0, 0.0, 2.0, 3.0, 1.0, 6.0,
+            ],
             &[1, 1, 4, 4],
         );
         let (y, idx) = max_pool2d(&x, 2, 2, 0);

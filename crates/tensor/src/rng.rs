@@ -1,14 +1,52 @@
 //! Deterministic random-number utilities shared by every crate in the
 //! workspace.
 //!
-//! A thin wrapper around [`rand::rngs::StdRng`] adds the distributions the
-//! workspace needs (Gaussian via Box–Muller, log-normal for the device
-//! variation model of Eq. (5)) without pulling in `rand_distr`.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//! A self-contained xoshiro256++ generator (seeded through splitmix64, the
+//! reference seeding procedure) with the distributions the workspace needs:
+//! Gaussian via Box–Muller and log-normal for the device variation model of
+//! Eq. (5). No external crates — the workspace builds fully offline.
 
 use crate::Tensor;
+
+/// xoshiro256++ core state (Blackman & Vigna). Deterministic, portable,
+/// and plenty for initialization / synthetic data / variation injection —
+/// nothing here is cryptographic.
+#[derive(Debug, Clone)]
+struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Expands a 64-bit seed into the full state with splitmix64.
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next_sm = || {
+            sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        Self {
+            s: [next_sm(), next_sm(), next_sm(), next_sm()],
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
 
 /// Seeded random source for initialization, synthetic data, and device
 /// variation.
@@ -23,19 +61,23 @@ use crate::Tensor;
 /// ```
 #[derive(Debug, Clone)]
 pub struct CqRng {
-    inner: StdRng,
+    inner: Xoshiro256pp,
     spare_normal: Option<f32>,
 }
 
 impl CqRng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        Self { inner: StdRng::seed_from_u64(seed), spare_normal: None }
+        Self {
+            inner: Xoshiro256pp::seed_from_u64(seed),
+            spare_normal: None,
+        }
     }
 
     /// Uniform sample in `[0, 1)`.
     pub fn uniform(&mut self) -> f32 {
-        self.inner.gen::<f32>()
+        // Top 24 bits give every representable f32 step in [0, 1).
+        (self.inner.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
     }
 
     /// Uniform sample in `[lo, hi)`.
@@ -55,12 +97,14 @@ impl CqRng {
     /// Panics if `n == 0`.
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0, "below(0)");
-        self.inner.gen_range(0..n)
+        // Multiply-shift range reduction (Lemire); bias is < 2⁻⁶⁴·n,
+        // irrelevant for simulation workloads.
+        ((self.inner.next_u64() as u128 * n as u128) >> 64) as usize
     }
 
     /// Fair coin flip.
     pub fn coin(&mut self) -> bool {
-        self.inner.gen::<bool>()
+        self.inner.next_u64() & 1 == 1
     }
 
     /// Standard normal sample (Box–Muller, with spare caching).
@@ -96,7 +140,7 @@ impl CqRng {
     /// Fisher–Yates shuffle.
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.below(i + 1);
             items.swap(i, j);
         }
     }
@@ -121,7 +165,7 @@ impl CqRng {
 
     /// Derives an independent child generator (for per-worker streams).
     pub fn fork(&mut self, stream: u64) -> CqRng {
-        let s = self.inner.gen::<u64>() ^ stream.wrapping_mul(0x9E3779B97F4A7C15);
+        let s = self.inner.next_u64() ^ stream.wrapping_mul(0x9E3779B97F4A7C15);
         CqRng::new(s)
     }
 }
@@ -157,10 +201,7 @@ mod tests {
         // sigma = 0 must be exactly 1 (no variation).
         assert_eq!(rng.lognormal_factor(0.0), 1.0);
         let n = 20_000;
-        let mean_ln: f32 = (0..n)
-            .map(|_| rng.lognormal_factor(0.2).ln())
-            .sum::<f32>()
-            / n as f32;
+        let mean_ln: f32 = (0..n).map(|_| rng.lognormal_factor(0.2).ln()).sum::<f32>() / n as f32;
         assert!(mean_ln.abs() < 0.01, "log-mean {mean_ln} should be ~0");
         assert!((0..100).all(|_| rng.lognormal_factor(0.25) > 0.0));
     }

@@ -39,13 +39,19 @@ impl Tensor {
             data.len(),
             shape
         );
-        Self { shape: shape.to_vec(), data }
+        Self {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// Creates a zero-filled tensor.
     pub fn zeros(shape: &[usize]) -> Self {
         let numel: usize = shape.iter().product();
-        Self { shape: shape.to_vec(), data: vec![0.0; numel] }
+        Self {
+            shape: shape.to_vec(),
+            data: vec![0.0; numel],
+        }
     }
 
     /// Creates a one-filled tensor.
@@ -56,12 +62,18 @@ impl Tensor {
     /// Creates a tensor filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
         let numel: usize = shape.iter().product();
-        Self { shape: shape.to_vec(), data: vec![value; numel] }
+        Self {
+            shape: shape.to_vec(),
+            data: vec![value; numel],
+        }
     }
 
     /// Creates a rank-1 tensor `[0, 1, ..., n-1]`.
     pub fn arange(n: usize) -> Self {
-        Self { shape: vec![n], data: (0..n).map(|i| i as f32).collect() }
+        Self {
+            shape: vec![n],
+            data: (0..n).map(|i| i as f32).collect(),
+        }
     }
 
     /// The shape as a slice, outermost dimension first.
@@ -124,7 +136,13 @@ impl Tensor {
     /// Panics if the element counts differ.
     pub fn reshape_in_place(&mut self, shape: &[usize]) {
         let numel: usize = shape.iter().product();
-        assert_eq!(self.data.len(), numel, "reshape {:?} -> {:?}", self.shape, shape);
+        assert_eq!(
+            self.data.len(),
+            numel,
+            "reshape {:?} -> {:?}",
+            self.shape,
+            shape
+        );
         self.shape = shape.to_vec();
     }
 
@@ -137,7 +155,9 @@ impl Tensor {
     #[inline]
     pub fn idx4(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
         debug_assert_eq!(self.rank(), 4);
-        debug_assert!(n < self.shape[0] && c < self.shape[1] && h < self.shape[2] && w < self.shape[3]);
+        debug_assert!(
+            n < self.shape[0] && c < self.shape[1] && h < self.shape[2] && w < self.shape[3]
+        );
         ((n * self.shape[1] + c) * self.shape[2] + h) * self.shape[3] + w
     }
 
@@ -320,12 +340,18 @@ impl Tensor {
 
     /// Largest absolute value (0 for an empty tensor).
     pub fn max_abs(&self) -> f32 {
-        self.data.iter().copied().fold(0.0f32, |m, v| m.max(v.abs()))
+        self.data
+            .iter()
+            .copied()
+            .fold(0.0f32, |m, v| m.max(v.abs()))
     }
 
     /// Sum of squares.
     pub fn sq_sum(&self) -> f32 {
-        self.data.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>() as f32
+        self.data
+            .iter()
+            .map(|&v| (v as f64) * (v as f64))
+            .sum::<f64>() as f32
     }
 
     /// Index of the maximum element of a rank-1 tensor, or of each row of a
@@ -361,7 +387,10 @@ impl Tensor {
                 out[j * m + i] = self.data[i * n + j];
             }
         }
-        Tensor { shape: vec![n, m], data: out }
+        Tensor {
+            shape: vec![n, m],
+            data: out,
+        }
     }
 
     /// Copies rows `[start, end)` along the outermost dimension.
@@ -370,7 +399,11 @@ impl Tensor {
     ///
     /// Panics if `start > end` or `end` exceeds the outermost dimension.
     pub fn slice_outer(&self, start: usize, end: usize) -> Tensor {
-        assert!(start <= end && end <= self.shape[0], "slice [{start},{end}) of {:?}", self.shape);
+        assert!(
+            start <= end && end <= self.shape[0],
+            "slice [{start},{end}) of {:?}",
+            self.shape
+        );
         let inner: usize = self.shape[1..].iter().product();
         let mut shape = self.shape.clone();
         shape[0] = end - start;
@@ -434,7 +467,11 @@ impl Tensor {
     /// Panics if `axis >= rank` or the tensor is rank 1 with no remaining
     /// dims... (a rank-1 tensor reduces to a scalar-shaped `[1]` tensor).
     pub fn sum_axis(&self, axis: usize) -> Tensor {
-        assert!(axis < self.rank(), "axis {axis} out of range for rank {}", self.rank());
+        assert!(
+            axis < self.rank(),
+            "axis {axis} out of range for rank {}",
+            self.rank()
+        );
         let outer: usize = self.shape[..axis].iter().product();
         let mid = self.shape[axis];
         let inner: usize = self.shape[axis + 1..].iter().product();
@@ -448,8 +485,11 @@ impl Tensor {
                 }
             }
         }
-        let mut shape: Vec<usize> =
-            self.shape[..axis].iter().chain(&self.shape[axis + 1..]).copied().collect();
+        let mut shape: Vec<usize> = self.shape[..axis]
+            .iter()
+            .chain(&self.shape[axis + 1..])
+            .copied()
+            .collect();
         if shape.is_empty() {
             shape.push(1);
         }
@@ -623,10 +663,12 @@ mod tests {
         let a = t.slice_outer(0, 2);
         let b = t.slice_outer(2, 4);
         assert_eq!(a.shape(), &[2, 3, 2]);
-        let parts: Vec<Tensor> = (0..4).map(|i| {
-            let s = t.slice_outer(i, i + 1);
-            s.reshape(&[3, 2])
-        }).collect();
+        let parts: Vec<Tensor> = (0..4)
+            .map(|i| {
+                let s = t.slice_outer(i, i + 1);
+                s.reshape(&[3, 2])
+            })
+            .collect();
         let restacked = Tensor::stack_outer(&parts);
         assert_eq!(restacked, t);
         assert_eq!(b.at(&[0, 0, 0]), 12.0);

@@ -46,7 +46,10 @@ pub fn train_with_scheme(
             set_psum_quant_enabled(model, false);
             let mut result = TrainResult::default();
             let mut opt = Sgd::new(cfg.lr.lr_at(0), cfg.momentum, cfg.weight_decay);
-            let cfg1 = TrainConfig { epochs: stage1, ..cfg.clone() };
+            let cfg1 = TrainConfig {
+                epochs: stage1,
+                ..cfg.clone()
+            };
             train_epochs(model, train_ds, test_ds, &cfg1, &mut opt, &mut result);
             // Stage 2: enable partial-sum quantization; scales lazily
             // re-initialize on the first batch; momentum restarts.
@@ -97,9 +100,10 @@ pub fn train_with_scheme(
 fn stage2_lr(lr: &LrSchedule, epochs: usize) -> LrSchedule {
     match lr {
         LrSchedule::Constant(v) => LrSchedule::Constant(*v),
-        LrSchedule::Cosine { base, .. } => {
-            LrSchedule::Cosine { base: base * 0.5, total_epochs: epochs }
-        }
+        LrSchedule::Cosine { base, .. } => LrSchedule::Cosine {
+            base: base * 0.5,
+            total_epochs: epochs,
+        },
         LrSchedule::Step { base, gamma, .. } => LrSchedule::Step {
             base: base * 0.5,
             milestones: vec![epochs / 2],

@@ -31,7 +31,10 @@ impl TrainConfig {
         Self {
             epochs,
             batch_size: 32,
-            lr: LrSchedule::Cosine { base: 0.05, total_epochs: epochs },
+            lr: LrSchedule::Cosine {
+                base: 0.05,
+                total_epochs: epochs,
+            },
             momentum: 0.9,
             weight_decay: 5e-4,
             augment: Augment::standard(),
@@ -166,7 +169,10 @@ mod tests {
 
     #[test]
     fn training_improves_over_chance() {
-        let spec = SyntheticSpec { train_per_class: 48, ..SyntheticSpec::tiny(1) };
+        let spec = SyntheticSpec {
+            train_per_class: 48,
+            ..SyntheticSpec::tiny(1)
+        };
         let (train_ds, test_ds) = generate(&spec);
         let mut factory = FpConvFactory::new(2);
         let mut net = ResNet::build(ResNetSpec::resnet8(4, 6), &mut factory, 3);

@@ -48,7 +48,10 @@ fn main() {
     // Drive the engine with the same quantized activations.
     let a_int = layer.quantize_activations(&x);
     let slow = engine.forward(&a_int);
-    assert_eq!(fast, slow, "crossbar engine must be bit-exact at zero variation");
+    assert_eq!(
+        fast, slow,
+        "crossbar engine must be bit-exact at zero variation"
+    );
     println!("bit-exact: fast emulation == crossbar engine ✓");
 
     // Now with per-cell log-normal variation (paper Eq. 5).

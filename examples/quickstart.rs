@@ -57,5 +57,8 @@ fn main() {
         100.0 * result.final_test_acc(),
         100.0 / 10.0
     );
-    assert!(result.best_test_acc > 0.25, "training should clearly beat 10% chance");
+    assert!(
+        result.best_test_acc > 0.25,
+        "training should clearly beat 10% chance"
+    );
 }

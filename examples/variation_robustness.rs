@@ -28,7 +28,10 @@ fn main() {
     let schemes = [QuantScheme::saxena9(), QuantScheme::ours()];
     let sigmas = [0.0f32, 0.05, 0.10, 0.15, 0.20, 0.25];
 
-    println!("| scheme | {} |", sigmas.map(|s| format!("σ={s:.2}")).join(" | "));
+    println!(
+        "| scheme | {} |",
+        sigmas.map(|s| format!("σ={s:.2}")).join(" | ")
+    );
     println!("|---|{}|", "---|".repeat(sigmas.len()));
     for scheme in schemes {
         let mut net = build_cim_resnet(ResNetSpec::resnet8(10, 6), &cim, &scheme, 19);

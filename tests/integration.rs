@@ -6,9 +6,8 @@ use column_quant::data::{generate, SyntheticSpec};
 use column_quant::nn::Sgd;
 use column_quant::train::{evaluate, train_epochs, TrainResult};
 use column_quant::{
-    build_cim_resnet, set_psum_quant_enabled, set_quant_enabled, set_variation,
-    train_with_scheme, CimConfig, Granularity, Layer, Mode, QuantScheme, ResNetSpec,
-    TrainConfig, VariationMode,
+    build_cim_resnet, set_psum_quant_enabled, set_quant_enabled, set_variation, train_with_scheme,
+    CimConfig, Granularity, Layer, Mode, QuantScheme, ResNetSpec, TrainConfig, VariationMode,
 };
 
 fn small_cim() -> CimConfig {
