@@ -1,0 +1,8 @@
+//! Serving-throughput benchmark: frozen `PreparedCimModel` vs the
+//! unprepared per-call path. Emits `BENCH_throughput.json`.
+fn main() {
+    println!(
+        "{}",
+        cq_bench::experiments::throughput::run(cq_bench::Scale::from_env())
+    );
+}

@@ -10,6 +10,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod tables;
+pub mod throughput;
 
 use crate::ExperimentSetting;
 use cq_core::{build_cim_resnet, set_psum_quant_enabled, QuantScheme};

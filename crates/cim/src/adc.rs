@@ -71,14 +71,34 @@ impl Default for AdcCostModel {
 
 impl AdcCostModel {
     /// Energy of one conversion at the given resolution, femtojoules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `1..=16` — `QuantFormat` caps every
+    /// partial-sum format at 16 bits, so an out-of-range resolution is a
+    /// caller bug; silently clamping would under-report the cost.
     pub fn energy_fj(&self, bits: u32) -> f64 {
-        self.energy_fj_1b * f64::from(1u32 << bits.min(20)) / 2.0
+        assert_adc_bits(bits);
+        self.energy_fj_1b * f64::from(1u32 << bits) / 2.0
     }
 
     /// Area of one ADC at the given resolution, µm².
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `1..=16` (see
+    /// [`AdcCostModel::energy_fj`]).
     pub fn area_um2(&self, bits: u32) -> f64 {
-        self.area_um2_1b * f64::from(1u32 << bits.min(20)) / 2.0
+        assert_adc_bits(bits);
+        self.area_um2_1b * f64::from(1u32 << bits) / 2.0
     }
+}
+
+fn assert_adc_bits(bits: u32) {
+    assert!(
+        (1..=16).contains(&bits),
+        "ADC resolution {bits}b outside the supported 1..=16 range"
+    );
 }
 
 #[cfg(test)]
@@ -137,5 +157,17 @@ mod tests {
     #[should_panic(expected = "must be positive")]
     fn nonpositive_scale_panics() {
         Adc::new(QuantFormat::signed(3)).convert(1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the supported")]
+    fn oversized_resolution_cost_panics() {
+        let _ = AdcCostModel::default().energy_fj(17);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the supported")]
+    fn zero_resolution_area_panics() {
+        let _ = AdcCostModel::default().area_um2(0);
     }
 }

@@ -32,6 +32,10 @@ pub struct QuantizedConv {
     pub pad: usize,
     /// Activation scale `s_a` (layer-wise).
     pub act_scale: f32,
+    /// Activation quantization format (unsigned for post-ReLU inputs).
+    /// Together with `act_scale` this lets a prepared engine quantize raw
+    /// activations itself instead of requiring pre-quantized inputs.
+    pub act_format: QuantFormat,
     /// Weight scale per logical column, indexed `[g · OC + oc]`
     /// (`g` = row tile). Layer-/array-wise schemes repeat the shared value.
     pub weight_scales: Vec<f32>,
@@ -305,6 +309,7 @@ mod tests {
             stride: 1,
             pad: 1,
             act_scale: 0.05,
+            act_format: cfg.act_format(),
             weight_scales,
             psum_scales,
             psum_format: cfg.psum_format(),

@@ -13,6 +13,9 @@
 //!   fast emulation (`cq-core`) and the crossbar engine.
 //! * [`CrossbarLayer`] — the explicit, column-by-column inference engine,
 //!   bit-exact against the fast group-convolution emulation in `cq-core`.
+//! * [`PreparedConv`] — the frozen serving executor: weight quantization,
+//!   bit-splitting, and grouping done **once** at load, per-call
+//!   intermediates reused through a [`ConvScratch`].
 //! * [`dequant_mults`] / [`overhead_class`] — the dequantization-overhead
 //!   model behind the paper's Fig. 8.
 //! * [`apply_lognormal`] — the Eq. (5) memory-cell variation model.
@@ -39,6 +42,7 @@ mod crossbar;
 mod engine;
 mod overhead;
 mod pipeline;
+mod prepared;
 mod tiling;
 mod variation;
 
@@ -51,5 +55,6 @@ pub use overhead::{dequant_mults, overhead_class, stored_scale_factors, Overhead
 pub use pipeline::{
     AdcDigitizer, ColumnDigitizer, IdealDigitizer, PerturbedDigitizer, PsumPipeline,
 };
+pub use prepared::{ConvScratch, PreparedConv};
 pub use tiling::TilingPlan;
 pub use variation::{apply_lognormal, apply_lognormal_in_place, FIG10_SIGMAS};

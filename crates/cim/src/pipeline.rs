@@ -25,7 +25,7 @@
 
 use crate::{Adc, Crossbar, TilingPlan};
 use cq_quant::BitSplit;
-use cq_tensor::{conv2d_grouped, conv_out_dim, threads_for, CqRng, Tensor};
+use cq_tensor::{conv2d_grouped, conv2d_grouped_into, conv_out_dim, threads_for, CqRng, Tensor};
 
 /// Digitizes one physical column's analog partial sum into its dequantized
 /// value `p̂` (the ADC output multiplied back by the column's scale factor,
@@ -244,6 +244,41 @@ impl PsumPipeline {
             .iter()
             .map(|wg| conv2d_grouped(a_pad, wg, self.stride, self.pad, self.plan.num_row_tiles))
             .collect()
+    }
+
+    /// Like [`PsumPipeline::grouped_psums`] but reusing caller-provided
+    /// partial-sum tensors and an im2col scratch buffer — the prepared
+    /// serving path calls this on every batch without reallocating the
+    /// (large) per-split intermediates. Bit-identical to
+    /// [`PsumPipeline::grouped_psums`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grouped_weights` disagrees with the plan.
+    pub fn grouped_psums_into(
+        &self,
+        a_pad: &Tensor,
+        grouped_weights: &[Tensor],
+        psums: &mut Vec<Tensor>,
+        col: &mut Vec<f32>,
+    ) {
+        assert_eq!(
+            grouped_weights.len(),
+            self.plan.num_splits,
+            "one weight set per split"
+        );
+        psums.resize_with(self.plan.num_splits, || Tensor::zeros(&[1]));
+        for (wg, ps) in grouped_weights.iter().zip(psums.iter_mut()) {
+            conv2d_grouped_into(
+                a_pad,
+                wg,
+                self.stride,
+                self.pad,
+                self.plan.num_row_tiles,
+                ps,
+                col,
+            );
+        }
     }
 
     /// Computes every split's integer partial sums `[B, G·OC, OH, OW]` by
@@ -584,6 +619,34 @@ mod tests {
         for (s, (f, sl)) in fast.iter().zip(&slow).enumerate() {
             assert_eq!(f, sl, "split {s} psums differ");
         }
+    }
+
+    /// The scratch-reusing front-end must match the allocating one
+    /// bit-for-bit, even on dirty reused buffers.
+    #[test]
+    fn grouped_psums_into_matches_allocating_path() {
+        let (pl, w_int) = small_pipeline();
+        let p = pl.plan().clone();
+        let mut rng = CqRng::new(23);
+        let a_int = rng
+            .uniform_tensor(&[2, p.in_ch, 6, 6], 0.0, 8.0)
+            .map(f32::floor);
+        let mut a_pad = Tensor::zeros(&[2, p.padded_in_ch, 6, 6]);
+        let chw = p.in_ch * 36;
+        let pchw = p.padded_in_ch * 36;
+        for bi in 0..2 {
+            a_pad.data_mut()[bi * pchw..bi * pchw + chw]
+                .copy_from_slice(&a_int.data()[bi * chw..(bi + 1) * chw]);
+        }
+        let weights = pl.split_grouped_weights(&w_int);
+        let want = pl.grouped_psums(&a_pad, &weights);
+        let mut psums = Vec::new();
+        let mut col = Vec::new();
+        pl.grouped_psums_into(&a_pad, &weights, &mut psums, &mut col);
+        assert_eq!(psums, want);
+        // Reuse the (now dirty) scratch.
+        pl.grouped_psums_into(&a_pad, &weights, &mut psums, &mut col);
+        assert_eq!(psums, want, "dirty-scratch call diverged");
     }
 
     /// reduce with the ideal digitizer equals the hand-written

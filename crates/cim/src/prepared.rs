@@ -1,0 +1,278 @@
+//! The **prepared inference executor**: all weight-side work of a
+//! quantized convolution — LSQ weight quantization, bit-plane splitting,
+//! grouping into the kernel-intact crossbar layout — done **once** at
+//! construction, so serving a request costs only activation quantization,
+//! the grouped-convolution sweep, and the shared digitize → shift-add →
+//! merged-dequant back-end.
+//!
+//! This is the serving-side counterpart of the per-call training path in
+//! `cq-core::CimConv2d` (which must re-quantize weights every forward
+//! because QAT updates them between steps) and of the explicit
+//! [`CrossbarLayer`](crate::CrossbarLayer) engine (which programs arrays
+//! once but recomputes nothing weight-side either — `PreparedConv` is its
+//! fast-emulation twin). All three produce **bit-identical** outputs at
+//! zero device variation; the `engine_equivalence` and
+//! `prepared_inference` integration tests pin this.
+//!
+//! Per-call intermediates (channel-padded activations, per-split partial
+//! sums, the im2col matrix) live in a caller-owned [`ConvScratch`] and are
+//! reused across requests, so a steady-state serving loop allocates only
+//! its output tensors.
+
+use crate::{Adc, AdcDigitizer, IdealDigitizer, PsumPipeline, QuantizedConv};
+use cq_quant::{GroupLayout, LsqQuantizer};
+use cq_tensor::Tensor;
+
+/// Reusable per-call buffers of a [`PreparedConv`] (see module docs).
+#[derive(Debug, Clone, Default)]
+pub struct ConvScratch {
+    a_int: Tensor,
+    a_pad: Tensor,
+    psums: Vec<Tensor>,
+    col: Vec<f32>,
+}
+
+impl ConvScratch {
+    /// Fresh, empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The per-split integer partial sums of the most recent call (empty
+    /// before the first call). Exposed for probing/analysis.
+    pub fn psums(&self) -> &[Tensor] {
+        &self.psums
+    }
+}
+
+/// A quantized convolution frozen for inference: weights quantized,
+/// bit-split, and grouped once; every serve drives the shared
+/// [`PsumPipeline`].
+#[derive(Debug, Clone)]
+pub struct PreparedConv {
+    desc: QuantizedConv,
+    pipeline: PsumPipeline,
+    /// One grouped `[G·OC, c_pa, K, K]` weight tensor per bit-split,
+    /// computed at construction.
+    grouped_weights: Vec<Tensor>,
+    adc: Adc,
+    a_quant: LsqQuantizer,
+}
+
+impl PreparedConv {
+    /// Prepares a conv from its dense quantized description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the description is inconsistent (see
+    /// [`QuantizedConv::validate`]).
+    pub fn new(desc: QuantizedConv) -> Self {
+        Self::with_slice_transform(desc, |_, slice| slice)
+    }
+
+    /// Like [`PreparedConv::new`] but mapping every bit-split weight slice
+    /// through `transform(split, slice)` before grouping — the hook that
+    /// bakes deterministic device variation into the prepared weights
+    /// exactly where cells would be programmed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the description is inconsistent or a transformed slice
+    /// changes shape.
+    pub fn with_slice_transform(
+        desc: QuantizedConv,
+        mut transform: impl FnMut(usize, Tensor) -> Tensor,
+    ) -> Self {
+        desc.validate();
+        let pipeline = desc.pipeline();
+        let shape = desc.w_int.shape().to_vec();
+        let grouped_weights = (0..desc.plan.num_splits)
+            .map(|s| {
+                let slice = transform(s, desc.bit_split.split_tensor(&desc.w_int, s));
+                assert_eq!(slice.shape(), &shape[..], "slice transform changed shape");
+                pipeline.group_weight_slice(&slice)
+            })
+            .collect();
+        let mut a_quant = LsqQuantizer::new(desc.act_format, 1);
+        a_quant.set_scales(&[desc.act_scale]);
+        let adc = Adc::new(desc.psum_format);
+        Self {
+            pipeline,
+            grouped_weights,
+            adc,
+            a_quant,
+            desc,
+        }
+    }
+
+    /// The frozen layer description.
+    pub fn desc(&self) -> &QuantizedConv {
+        &self.desc
+    }
+
+    /// The shared execution pipeline.
+    pub fn pipeline(&self) -> &PsumPipeline {
+        &self.pipeline
+    }
+
+    /// Quantizes raw activations onto this layer's integer grid
+    /// (bit-identical to the training-time LSQ activation quantizer).
+    pub fn quantize_activations(&self, x: &Tensor) -> Tensor {
+        self.a_quant.forward_int(x, &GroupLayout::single())
+    }
+
+    /// Serves one batch of raw activations `[B, Cin, H, W]`, allocating
+    /// fresh intermediates. Prefer [`PreparedConv::infer_with_scratch`] in
+    /// a serving loop.
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        self.infer_with_scratch(x, &mut ConvScratch::new())
+    }
+
+    /// Serves one batch of raw activations, reusing `scratch` for every
+    /// per-call intermediate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shape mismatches the plan.
+    pub fn infer_with_scratch(&self, x: &Tensor, scratch: &mut ConvScratch) -> Tensor {
+        self.a_quant
+            .forward_int_into(x, &GroupLayout::single(), &mut scratch.a_int);
+        let ConvScratch {
+            a_int,
+            a_pad,
+            psums,
+            col,
+        } = scratch;
+        self.run(a_int, a_pad, psums, col)
+    }
+
+    /// Serves one batch of already-quantized integer activations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shape mismatches the plan.
+    pub fn infer_quantized_with_scratch(
+        &self,
+        a_int: &Tensor,
+        scratch: &mut ConvScratch,
+    ) -> Tensor {
+        let ConvScratch {
+            a_pad, psums, col, ..
+        } = scratch;
+        self.run(a_int, a_pad, psums, col)
+    }
+
+    /// The shared serving body: pad channels, sweep the grouped conv,
+    /// digitize and reduce.
+    fn run(
+        &self,
+        a_int: &Tensor,
+        a_pad: &mut Tensor,
+        psums: &mut Vec<Tensor>,
+        col: &mut Vec<f32>,
+    ) -> Tensor {
+        self.desc.plan.pad_channels_into(a_int, a_pad);
+        self.pipeline
+            .grouped_psums_into(a_pad, &self.grouped_weights, psums, col);
+        if self.desc.psum_quant {
+            let dig = AdcDigitizer::new(self.adc, &self.desc.psum_scales, &self.desc.plan);
+            self.pipeline.reduce(psums, &dig)
+        } else {
+            self.pipeline.reduce(psums, &IdealDigitizer)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CimConfig, CrossbarLayer, TilingPlan};
+    use cq_tensor::CqRng;
+
+    fn small_desc(psum_quant: bool) -> QuantizedConv {
+        let cfg = CimConfig::tiny();
+        let (in_ch, out_ch, k) = (7, 5, 3);
+        let plan = TilingPlan::new(&cfg, in_ch, out_ch, k, k);
+        let mut rng = CqRng::new(42);
+        let w_int = rng
+            .uniform_tensor(&[out_ch, in_ch, k, k], -4.0, 4.0)
+            .map(|v| v.floor().clamp(-4.0, 3.0));
+        let weight_scales: Vec<f32> = (0..plan.num_row_tiles * out_ch)
+            .map(|i| 0.02 + 0.003 * i as f32)
+            .collect();
+        let psum_scales: Vec<f32> = (0..plan.num_splits * plan.num_row_tiles * out_ch)
+            .map(|i| 1.0 + 0.1 * (i % 7) as f32)
+            .collect();
+        QuantizedConv {
+            w_int,
+            bit_split: cfg.bit_split(),
+            plan,
+            stride: 1,
+            pad: 1,
+            act_scale: 0.05,
+            act_format: cfg.act_format(),
+            weight_scales,
+            psum_scales,
+            psum_format: cfg.psum_format(),
+            psum_quant,
+            bias: Some(vec![0.1, -0.2, 0.0, 0.3, -0.1]),
+        }
+    }
+
+    /// The prepared fast-emulation path must equal the explicit crossbar
+    /// engine bit-for-bit, with and without partial-sum quantization.
+    #[test]
+    fn prepared_matches_crossbar_engine() {
+        for psq in [false, true] {
+            let desc = small_desc(psq);
+            let engine = CrossbarLayer::new(desc.clone());
+            let prepared = PreparedConv::new(desc);
+            let mut rng = CqRng::new(7);
+            let x = rng.normal_tensor(&[2, 7, 6, 6], 1.0).map(|v| v.max(0.0));
+            let a_int = prepared.quantize_activations(&x);
+            let slow = engine.forward(&a_int);
+            let fast = prepared.infer(&x);
+            assert_eq!(fast, slow, "psq={psq}");
+        }
+    }
+
+    /// Serving repeatedly through one scratch must be idempotent
+    /// bit-for-bit, including across interleaved input shapes.
+    #[test]
+    fn scratch_reuse_is_bit_stable() {
+        let prepared = PreparedConv::new(small_desc(true));
+        let mut rng = CqRng::new(9);
+        let a = rng.normal_tensor(&[1, 7, 6, 6], 1.0).map(|v| v.max(0.0));
+        let b = rng.normal_tensor(&[3, 7, 4, 4], 1.0).map(|v| v.max(0.0));
+        let mut scratch = ConvScratch::new();
+        let ya1 = prepared.infer_with_scratch(&a, &mut scratch);
+        let yb1 = prepared.infer_with_scratch(&b, &mut scratch);
+        let ya2 = prepared.infer_with_scratch(&a, &mut scratch);
+        let yb2 = prepared.infer_with_scratch(&b, &mut scratch);
+        assert_eq!(ya1, ya2);
+        assert_eq!(yb1, yb2);
+        assert_eq!(ya1, prepared.infer(&a), "scratch path vs fresh path");
+    }
+
+    /// A slice transform (the variation hook) must change the output, and
+    /// the identity transform must not.
+    #[test]
+    fn slice_transform_hook_applies() {
+        let desc = small_desc(true);
+        let plain = PreparedConv::new(desc.clone());
+        let identity = PreparedConv::with_slice_transform(desc.clone(), |_, s| s);
+        let scaled = PreparedConv::with_slice_transform(desc, |_, s| s.scale(1.5));
+        let mut rng = CqRng::new(11);
+        let x = rng.normal_tensor(&[1, 7, 6, 6], 1.0).map(|v| v.max(0.0));
+        assert_eq!(plain.infer(&x), identity.infer(&x));
+        assert_ne!(plain.infer(&x), scaled.infer(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "weight scale table")]
+    fn invalid_description_rejected() {
+        let mut desc = small_desc(false);
+        desc.weight_scales.pop();
+        let _ = PreparedConv::new(desc);
+    }
+}

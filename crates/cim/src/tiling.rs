@@ -16,6 +16,7 @@
 
 use crate::CimConfig;
 use cq_quant::{Granularity, GroupLayout};
+use cq_tensor::Tensor;
 use std::ops::Range;
 
 /// Placement of one convolution layer onto CIM arrays.
@@ -149,6 +150,35 @@ impl TilingPlan {
     /// price paid for never splitting a kernel).
     pub fn row_utilization(&self, cfg: &CimConfig) -> f64 {
         self.rows_used as f64 / cfg.array_rows as f64
+    }
+
+    /// Zero-pads the channels of `[B, in_ch, H, W]` activations up to
+    /// `padded_in_ch` into a reused buffer (kernel-intact tiling rounds
+    /// channels up to whole arrays; the padding lanes must stay zero).
+    /// `out` is reallocated on shape change and its padding lanes are
+    /// re-zeroed on reuse. This is the one implementation of the padding
+    /// layout both conv execution paths share.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not `[B, in_ch, H, W]`.
+    pub fn pad_channels_into(&self, a: &Tensor, out: &mut Tensor) {
+        assert_eq!(a.rank(), 4, "input must be [B,C,H,W]");
+        assert_eq!(a.dim(1), self.in_ch, "input channels vs plan");
+        let (b, c, h, w) = (a.dim(0), a.dim(1), a.dim(2), a.dim(3));
+        let pc = self.padded_in_ch;
+        let shape = [b, pc, h, w];
+        if out.shape() != shape {
+            *out = Tensor::zeros(&shape);
+        } else if pc != c {
+            out.fill(0.0);
+        }
+        let chw = c * h * w;
+        let pchw = pc * h * w;
+        for bi in 0..b {
+            out.data_mut()[bi * pchw..bi * pchw + chw]
+                .copy_from_slice(&a.data()[bi * chw..(bi + 1) * chw]);
+        }
     }
 
     /// Group layout for **weight** quantization at `gran` over a
@@ -332,6 +362,26 @@ mod tests {
         let mut c = CimConfig::tiny();
         c.array_rows = 8;
         let _ = TilingPlan::new(&c, 3, 4, 3, 3);
+    }
+
+    #[test]
+    fn pad_channels_into_zero_pads_and_reuses() {
+        let p = TilingPlan::new(&cfg(), 16, 8, 3, 3); // padded_in_ch = 28
+        let a = Tensor::full(&[2, 16, 3, 3], 2.5);
+        let mut out = Tensor::zeros(&[1]); // wrong shape on purpose
+        p.pad_channels_into(&a, &mut out);
+        assert_eq!(out.shape(), &[2, 28, 3, 3]);
+        for bi in 0..2 {
+            for ch in 0..28 {
+                let want = if ch < 16 { 2.5 } else { 0.0 };
+                assert_eq!(out.at(&[bi, ch, 1, 1]), want, "b={bi} ch={ch}");
+            }
+        }
+        // Reuse with dirty padding lanes: they must be re-zeroed.
+        let idx = out.idx4(0, 20, 0, 0);
+        out.data_mut()[idx] = 9.0;
+        p.pad_channels_into(&a, &mut out);
+        assert_eq!(out.at(&[0, 20, 0, 0]), 0.0, "stale padding lane");
     }
 
     #[test]

@@ -36,8 +36,8 @@
 use std::collections::HashMap;
 
 use cq_cim::{
-    dequant_mults, Adc, AdcDigitizer, CimConfig, IdealDigitizer, PsumPipeline, QuantizedConv,
-    TilingPlan,
+    dequant_mults, Adc, AdcDigitizer, CimConfig, ConvScratch, IdealDigitizer, PreparedConv,
+    PsumPipeline, QuantizedConv, TilingPlan,
 };
 use cq_nn::{
     accumulate_bias_grad, add_channel_bias, kaiming_conv_init, Layer, Mode, Param, ParamKind,
@@ -66,6 +66,15 @@ pub struct VariationCfg {
     pub sigma: f32,
     /// Noise seed (deterministic per layer).
     pub seed: u64,
+}
+
+/// Frozen serving state: the prepared executor plus its reusable per-call
+/// scratch. Present only between [`CimConv2d::freeze`] and the next
+/// invalidating mutation (training forward, stage toggle, scale reset,
+/// variation change, checkpoint restore).
+struct FrozenConv {
+    prepared: PreparedConv,
+    scratch: ConvScratch,
 }
 
 struct FwdCache {
@@ -105,6 +114,7 @@ pub struct CimConv2d {
     cache: Option<FwdCache>,
     fp_cache: Option<Tensor>,
     p_layout_cache: HashMap<usize, Vec<GroupLayout>>,
+    frozen: Option<FrozenConv>,
 }
 
 impl CimConv2d {
@@ -160,6 +170,7 @@ impl CimConv2d {
             cache: None,
             fp_cache: None,
             p_layout_cache: HashMap::new(),
+            frozen: None,
             cfg,
         }
     }
@@ -202,6 +213,7 @@ impl CimConv2d {
     /// disabled — the starting point for PTQ schemes).
     pub fn set_quant_enabled(&mut self, enabled: bool) {
         self.quant_enabled = enabled;
+        self.frozen = None;
     }
 
     /// Whether quantization is active.
@@ -213,6 +225,7 @@ impl CimConv2d {
     /// two-stage QAT; scales initialize at the first enabled batch).
     pub fn set_psum_quant_enabled(&mut self, enabled: bool) {
         self.psum_quant_enabled = enabled;
+        self.frozen = None;
     }
 
     /// Whether partial-sum quantization is active.
@@ -220,9 +233,12 @@ impl CimConv2d {
         self.psum_quant_enabled
     }
 
-    /// Sets (or clears) inference-time device variation.
+    /// Sets (or clears) inference-time device variation. Invalidates any
+    /// frozen state (re-[`freeze`](CimConv2d::freeze) to bake the new
+    /// variation into the prepared weights).
     pub fn set_variation(&mut self, v: Option<VariationCfg>) {
         self.variation = v;
+        self.frozen = None;
     }
 
     /// Dequantization multiplications of this layer (paper Fig. 8 model).
@@ -239,6 +255,7 @@ impl CimConv2d {
     /// after full-precision training).
     pub fn reinit_weight_scales(&mut self) {
         self.w_quant.init_from(&self.weight.value, &self.w_layout);
+        self.frozen = None;
     }
 
     /// Resets activation and partial-sum scales so the next forward pass
@@ -246,6 +263,7 @@ impl CimConv2d {
     pub fn reset_data_scales(&mut self) {
         self.a_quant.reset();
         self.p_quant.reset();
+        self.frozen = None;
     }
 
     /// Marks all three quantizers initialized without touching their
@@ -255,6 +273,9 @@ impl CimConv2d {
         self.w_quant.assume_initialized();
         self.a_quant.assume_initialized();
         self.p_quant.assume_initialized();
+        // Called after checkpoint restores overwrite weights and scales:
+        // any previously prepared state is stale.
+        self.frozen = None;
     }
 
     /// Direct access to the master (full-precision) weights.
@@ -309,21 +330,14 @@ impl CimConv2d {
         table
     }
 
-    /// Zero-pads input channels up to `padded_in_ch` (kernel-intact tiling
-    /// rounds channels up to whole arrays).
+    /// Zero-pads input channels up to `padded_in_ch` (one shared
+    /// implementation on [`TilingPlan`], also used by the prepared path).
     fn pad_channels(&self, a: &Tensor) -> Tensor {
-        let (b, c, h, w) = (a.dim(0), a.dim(1), a.dim(2), a.dim(3));
-        let pc = self.plan.padded_in_ch;
-        if pc == c {
+        if self.plan.padded_in_ch == a.dim(1) {
             return a.clone();
         }
-        let mut out = Tensor::zeros(&[b, pc, h, w]);
-        let chw = c * h * w;
-        let pchw = pc * h * w;
-        for bi in 0..b {
-            out.data_mut()[bi * pchw..bi * pchw + chw]
-                .copy_from_slice(&a.data()[bi * chw..(bi + 1) * chw]);
-        }
+        let mut out = Tensor::zeros(&[0]);
+        self.plan.pad_channels_into(a, &mut out);
         out
     }
 
@@ -433,6 +447,41 @@ impl CimConv2d {
         Tensor::from_vec(data, shape)
     }
 
+    /// The `PerWeight` factor tensor shared by all bit-splits, if that
+    /// variation mode is configured.
+    fn per_weight_factors(var: Option<VariationCfg>, w_shape: &[usize]) -> Option<Tensor> {
+        var.and_then(|v| {
+            (v.mode == VariationMode::PerWeight)
+                .then(|| Self::variation_factors(w_shape, v.sigma, v.seed))
+        })
+    }
+
+    /// Applies the configured device variation (Eq. (5)) to one bit-split
+    /// weight slice, exactly where cells would be programmed. The per-call
+    /// and frozen paths both bake variation through this one function —
+    /// the single implementation that keeps them bit-identical.
+    fn apply_variation_to_slice(
+        var: Option<VariationCfg>,
+        weight_factors: Option<&Tensor>,
+        s: usize,
+        slice: Tensor,
+    ) -> Tensor {
+        if let Some(f) = weight_factors {
+            return slice.mul(f);
+        }
+        if let Some(v) = var {
+            if v.mode == VariationMode::PerCell {
+                let f = Self::variation_factors(
+                    slice.shape(),
+                    v.sigma,
+                    v.seed.wrapping_add(1 + s as u64),
+                );
+                return slice.mul(&f);
+            }
+        }
+        slice
+    }
+
     /// Computes the integer partial sums of every split for input `x`
     /// (paper Fig. 6 analysis). No state is cached or mutated besides lazy
     /// scale initialization.
@@ -477,12 +526,59 @@ impl CimConv2d {
             stride: self.stride,
             pad: self.pad,
             act_scale: self.a_quant.scales()[0],
+            act_format: self.a_quant.format(),
             weight_scales: self.sw_table(),
             psum_scales,
             psum_format: self.p_quant.format(),
             psum_quant: self.psum_quant_enabled,
             bias: self.bias.as_ref().map(|b| b.value.data().to_vec()),
         }
+    }
+
+    /// Freezes the layer for serving: quantizes the weights, splits them
+    /// into per-split grouped bit-plane tensors (baking in any configured
+    /// device variation), and builds the prepared executor **once**.
+    /// Subsequent `Mode::Eval` forwards reuse it — bit-identical to the
+    /// unfrozen path — with per-call scratch buffers instead of redoing
+    /// the weight-side work every call.
+    ///
+    /// The frozen state invalidates automatically on anything that could
+    /// change it: a `Mode::Train` forward, stage toggles, scale resets,
+    /// variation changes, or a checkpoint restore. Direct mutation of
+    /// `weight()`/quantizer internals between freezes requires an explicit
+    /// [`CimConv2d::unfreeze`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if quantization is disabled or the activation (or enabled
+    /// partial-sum) scales are uninitialized (see
+    /// [`CimConv2d::to_quantized_conv`]).
+    pub fn freeze(&mut self) {
+        assert!(
+            self.quant_enabled,
+            "freeze requires quantization enabled (full-precision layers have nothing to prepare)"
+        );
+        let desc = self.to_quantized_conv();
+        let var = self.variation;
+        let weight_factors = Self::per_weight_factors(var, desc.w_int.shape());
+        let prepared = PreparedConv::with_slice_transform(desc, move |s, slice| {
+            Self::apply_variation_to_slice(var, weight_factors.as_ref(), s, slice)
+        });
+        self.frozen = Some(FrozenConv {
+            prepared,
+            scratch: ConvScratch::new(),
+        });
+    }
+
+    /// Drops the frozen serving state (the next eval forward runs the full
+    /// per-call path again).
+    pub fn unfreeze(&mut self) {
+        self.frozen = None;
+    }
+
+    /// Whether the layer currently holds prepared serving state.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen.is_some()
     }
 
     /// Quantizes `x` on this layer's activation grid (for driving the
@@ -496,6 +592,9 @@ impl CimConv2d {
     }
 
     fn forward_fp(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        if mode == Mode::Train {
+            self.frozen = None; // FP training updates weights too
+        }
         let mut y = conv2d(x, &self.weight.value, self.stride, self.pad);
         if let Some(b) = &self.bias {
             add_channel_bias(&mut y, &b.value);
@@ -533,6 +632,22 @@ impl CimConv2d {
     }
 
     fn forward_quant(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        if mode == Mode::Train {
+            // Training updates weights and scales; prepared state is stale.
+            self.frozen = None;
+        } else if !self.psum_capture {
+            // Prepared serving path: all weight-side work was done at
+            // freeze time; only activation quantization, the grouped conv
+            // sweep, and the shared reduce run per call (bit-identical to
+            // the full path below).
+            if let Some(mut fr) = self.frozen.take() {
+                let y = fr.prepared.infer_with_scratch(x, &mut fr.scratch);
+                self.frozen = Some(fr);
+                self.fp_cache = None;
+                self.cache = None;
+                return y;
+            }
+        }
         let p = self.plan.clone();
         if !self.a_quant.is_initialized() {
             self.a_quant.init_from(x, &GroupLayout::single());
@@ -548,29 +663,19 @@ impl CimConv2d {
         } else {
             None
         };
-        let weight_factors = var.and_then(|v| {
-            (v.mode == VariationMode::PerWeight)
-                .then(|| Self::variation_factors(w_int.shape(), v.sigma, v.seed))
-        });
+        let weight_factors = Self::per_weight_factors(var, w_int.shape());
 
         // Tile → bit-split front-end (variation is applied to the slices
         // before grouping, exactly where cells would be programmed).
         let pipeline = self.pipeline();
         let mut grouped_weights = Vec::with_capacity(p.num_splits);
         for s in 0..p.num_splits {
-            let mut slice = self.bit_split.split_tensor(&w_int, s);
-            if let Some(f) = &weight_factors {
-                slice = slice.mul(f);
-            } else if let Some(v) = var {
-                if v.mode == VariationMode::PerCell {
-                    let f = Self::variation_factors(
-                        slice.shape(),
-                        v.sigma,
-                        v.seed.wrapping_add(1 + s as u64),
-                    );
-                    slice = slice.mul(&f);
-                }
-            }
+            let slice = Self::apply_variation_to_slice(
+                var,
+                weight_factors.as_ref(),
+                s,
+                self.bit_split.split_tensor(&w_int, s),
+            );
             grouped_weights.push(pipeline.group_weight_slice(&slice));
         }
         let psums = pipeline.grouped_psums(&a_pad, &grouped_weights);

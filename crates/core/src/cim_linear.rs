@@ -79,6 +79,21 @@ impl CimLinear {
     pub fn set_variation(&mut self, v: Option<VariationCfg>) {
         self.conv.set_variation(v);
     }
+
+    /// Freezes the underlying convolution for serving (see
+    /// [`CimConv2d::freeze`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if quantization is disabled or scales are uninitialized.
+    pub fn freeze(&mut self) {
+        self.conv.freeze();
+    }
+
+    /// Drops the frozen serving state.
+    pub fn unfreeze(&mut self) {
+        self.conv.unfreeze();
+    }
 }
 
 impl Layer for CimLinear {

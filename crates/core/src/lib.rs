@@ -12,6 +12,9 @@
 //! * [`QuantScheme`] — presets for the paper's method and all five
 //!   compared related works (Table I).
 //! * [`CimConvFactory`] / [`build_cim_resnet`] — model construction.
+//! * [`PreparedCimModel`] — the frozen, batched serving engine: weights
+//!   quantized/bit-split/grouped once at load, micro-batch coalescing,
+//!   bit-identical to the per-call path.
 //! * Whole-model surgery: stage toggles for two-stage QAT, PTQ
 //!   calibration, device-variation injection, dequantization-overhead
 //!   accounting.
@@ -40,6 +43,7 @@
 mod cim_conv;
 mod cim_linear;
 mod model;
+mod prepared;
 mod scheme;
 
 pub use cim_conv::{CimConv2d, VariationCfg, VariationMode};
@@ -52,4 +56,5 @@ pub use model::{
     model_dequant_mults, ptq_calibrate, save_cim_checkpoint, set_psum_quant_enabled,
     set_quant_enabled, set_variation, CimConvFactory,
 };
+pub use prepared::{freeze_model, unfreeze_model, PreparedCimModel};
 pub use scheme::{QuantScheme, TrainMethod};

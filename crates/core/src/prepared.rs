@@ -1,0 +1,240 @@
+//! The **frozen, batched inference engine**: a whole trained CIM model
+//! prepared for serving.
+//!
+//! [`PreparedCimModel`] freezes every [`CimConv2d`](crate::CimConv2d) in
+//! the network once at load — weights quantized, bit-split, and grouped
+//! into the crossbar layout, device variation baked in — so repeated
+//! `infer`/`infer_batch` calls do none of the training-time weight-side
+//! work. Outputs are **bit-identical** to the unprepared per-call path
+//! (`prepared_inference` integration tests pin the full psq × granularity
+//! × digitizer matrix).
+//!
+//! [`PreparedCimModel::infer_batch`] additionally **coalesces micro
+//! batches**: many small requests are concatenated into one batch and
+//! swept through the network in a single `batch × row-tile` parallel pass,
+//! then split back per request. Every layer in this workspace processes
+//! batch elements independently with a fixed f32 operation order, so
+//! coalescing is also bit-exact per sample.
+
+use crate::{for_each_cim_conv, load_cim_checkpoint};
+use cq_nn::{Layer, Mode};
+use cq_tensor::Tensor;
+use std::path::Path;
+
+/// Freezes every CIM convolution in `model` for serving (see
+/// [`CimConv2d::freeze`](crate::CimConv2d::freeze)).
+///
+/// # Panics
+///
+/// Panics if any CIM layer has quantization disabled or uninitialized
+/// scales (run one eval forward, or restore a trained checkpoint, first).
+pub fn freeze_model(model: &mut dyn Layer) {
+    for_each_cim_conv(model, |c| c.freeze());
+}
+
+/// Drops the frozen serving state of every CIM convolution in `model`.
+pub fn unfreeze_model(model: &mut dyn Layer) {
+    for_each_cim_conv(model, |c| c.unfreeze());
+}
+
+/// A trained model frozen for batched serving (see module docs).
+pub struct PreparedCimModel {
+    model: Box<dyn Layer>,
+    /// Upper bound on coalesced rows per forward sweep (`None` = merge
+    /// everything into one sweep).
+    max_batch: Option<usize>,
+}
+
+impl PreparedCimModel {
+    /// Prepares a trained model: every CIM convolution is frozen once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any CIM layer has quantization disabled or uninitialized
+    /// scales.
+    pub fn new(mut model: Box<dyn Layer>) -> Self {
+        freeze_model(model.as_mut());
+        Self {
+            model,
+            max_batch: None,
+        }
+    }
+
+    /// Restores a trained checkpoint into `model` (which supplies the
+    /// architecture) and prepares it — the load-once entry point of the
+    /// serving flow.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors and checkpoint-format violations.
+    pub fn restore(mut model: Box<dyn Layer>, path: impl AsRef<Path>) -> std::io::Result<Self> {
+        load_cim_checkpoint(model.as_mut(), path)?;
+        Ok(Self::new(model))
+    }
+
+    /// Caps how many images one coalesced forward sweep may carry
+    /// (`None` = unbounded). Chunking changes wall-clock behaviour only —
+    /// per-sample outputs stay bit-identical.
+    pub fn set_max_batch(&mut self, max_batch: Option<usize>) {
+        assert!(max_batch != Some(0), "max_batch must be positive");
+        self.max_batch = max_batch;
+    }
+
+    /// Serves one already-batched tensor `[B, C, H, W]`.
+    pub fn infer(&mut self, images: &Tensor) -> Tensor {
+        self.model.forward(images, Mode::Eval)
+    }
+
+    /// Serves many independent requests (each `[b_i, C, H, W]`, typically
+    /// `b_i = 1`): requests are coalesced into sweeps of at most
+    /// `max_batch` images, each sweep runs one parallel forward, and the
+    /// outputs are split back per request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if requests disagree on the non-batch dimensions.
+    pub fn infer_batch(&mut self, requests: &[Tensor]) -> Vec<Tensor> {
+        let cap = self.max_batch;
+        let mut outputs = Vec::with_capacity(requests.len());
+        let mut sweep: Vec<&Tensor> = Vec::new();
+        let mut rows = 0usize;
+        for req in requests {
+            assert_eq!(req.rank(), 4, "request must be [B,C,H,W]");
+            let b = req.dim(0);
+            if let Some(cap) = cap {
+                if rows > 0 && rows + b > cap {
+                    self.run_sweep(&mut sweep, &mut outputs);
+                    rows = 0;
+                }
+            }
+            sweep.push(req);
+            rows += b;
+        }
+        self.run_sweep(&mut sweep, &mut outputs);
+        outputs
+    }
+
+    /// Runs one coalesced forward over `sweep` and appends the per-request
+    /// output slices; drains `sweep`.
+    fn run_sweep(&mut self, sweep: &mut Vec<&Tensor>, outputs: &mut Vec<Tensor>) {
+        if sweep.is_empty() {
+            return;
+        }
+        let merged = if sweep.len() == 1 {
+            self.model.forward(sweep[0], Mode::Eval)
+        } else {
+            let coalesced = Tensor::concat_outer(sweep.as_slice());
+            self.model.forward(&coalesced, Mode::Eval)
+        };
+        let mut start = 0;
+        for req in sweep.iter() {
+            let b = req.dim(0);
+            outputs.push(merged.slice_outer(start, start + b));
+            start += b;
+        }
+        sweep.clear();
+    }
+
+    /// Mutable access to the underlying model (e.g. for re-freezing after
+    /// a variation sweep).
+    pub fn model_mut(&mut self) -> &mut dyn Layer {
+        self.model.as_mut()
+    }
+
+    /// Unfreezes and returns the underlying model.
+    pub fn into_inner(mut self) -> Box<dyn Layer> {
+        unfreeze_model(self.model.as_mut());
+        self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_cim_resnet, save_cim_checkpoint, QuantScheme};
+    use cq_cim::CimConfig;
+    use cq_nn::{ResNet, ResNetSpec};
+    use cq_tensor::CqRng;
+
+    /// A small CIM ResNet with all lazy scales initialized.
+    fn warmed_net(seed: u64) -> ResNet {
+        let mut net = build_cim_resnet(
+            ResNetSpec::resnet8(4, 4),
+            &CimConfig::tiny(),
+            &QuantScheme::ours(),
+            seed,
+        );
+        let x = CqRng::new(seed + 100).normal_tensor(&[2, 3, 12, 12], 1.0);
+        let _ = net.forward(&x, Mode::Eval);
+        net
+    }
+
+    #[test]
+    fn prepared_model_matches_unprepared_bitwise() {
+        let mut net = warmed_net(1);
+        let x = CqRng::new(2).normal_tensor(&[3, 3, 12, 12], 1.0);
+        let want = net.forward(&x, Mode::Eval);
+        let mut pm = PreparedCimModel::new(Box::new(net));
+        assert_eq!(pm.infer(&x), want, "prepared forward diverged");
+        assert_eq!(pm.infer(&x), want, "second prepared forward diverged");
+    }
+
+    #[test]
+    fn coalescing_and_chunking_are_bit_exact_per_request() {
+        let mut net = warmed_net(3);
+        let rng = &mut CqRng::new(4);
+        let requests: Vec<Tensor> = (0..5)
+            .map(|_| rng.normal_tensor(&[1, 3, 12, 12], 1.0))
+            .collect();
+        let want: Vec<Tensor> = requests
+            .iter()
+            .map(|r| net.forward(r, Mode::Eval))
+            .collect();
+        let mut pm = PreparedCimModel::new(Box::new(net));
+        for max_batch in [None, Some(1), Some(2), Some(64)] {
+            pm.set_max_batch(max_batch);
+            let got = pm.infer_batch(&requests);
+            assert_eq!(got, want, "max_batch={max_batch:?}");
+        }
+        assert!(pm.infer_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn restore_prepares_a_checkpointed_model() {
+        let mut a = warmed_net(5);
+        let x = CqRng::new(6).normal_tensor(&[1, 3, 12, 12], 1.0);
+        let want = a.forward(&x, Mode::Eval);
+        let dir = std::env::temp_dir().join("cq_prepared_ckpt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.cqnn");
+        save_cim_checkpoint(&mut a, &path).unwrap();
+
+        let fresh = build_cim_resnet(
+            ResNetSpec::resnet8(4, 4),
+            &CimConfig::tiny(),
+            &QuantScheme::ours(),
+            999,
+        );
+        let mut pm = PreparedCimModel::restore(Box::new(fresh), &path).unwrap();
+        assert_eq!(pm.infer(&x), want, "restored prepared model diverged");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn into_inner_unfreezes() {
+        let net = warmed_net(7);
+        let pm = PreparedCimModel::new(Box::new(net));
+        let mut model = pm.into_inner();
+        let mut any_frozen = false;
+        for_each_cim_conv(model.as_mut(), |c| any_frozen |= c.is_frozen());
+        assert!(!any_frozen, "into_inner must unfreeze");
+    }
+
+    #[test]
+    #[should_panic(expected = "max_batch must be positive")]
+    fn zero_max_batch_rejected() {
+        let net = warmed_net(8);
+        let mut pm = PreparedCimModel::new(Box::new(net));
+        pm.set_max_batch(Some(0));
+    }
+}

@@ -1,10 +1,12 @@
 //! The load-bearing cross-check of the whole reproduction: the fast
-//! group-convolution emulation (`cq_core::CimConv2d`) and the explicit
-//! column-by-column crossbar engine (`cq_cim::CrossbarLayer`) must produce
-//! **identical** outputs at zero device variation, for every granularity
-//! combination, with and without partial-sum quantization.
+//! group-convolution emulation (`cq_core::CimConv2d`), the explicit
+//! column-by-column crossbar engine (`cq_cim::CrossbarLayer`), and the
+//! **prepared serving path** (`cq_cim::PreparedConv` and the frozen
+//! `CimConv2d`) must produce **identical** outputs at zero device
+//! variation, for every granularity combination, with and without
+//! partial-sum quantization.
 
-use cq_cim::{CimConfig, CrossbarLayer};
+use cq_cim::{CimConfig, CrossbarLayer, PreparedConv};
 use cq_core::CimConv2d;
 use cq_nn::{Layer, Mode};
 use cq_quant::Granularity;
@@ -47,6 +49,26 @@ fn check_equivalence(cfg: CimConfig, in_ch: usize, out_ch: usize, stride: usize,
                  (max diff {})",
                 fast.max_abs_diff(&slow)
             );
+
+            // Prepared path #1: a standalone PreparedConv built from the
+            // exported description serves raw activations bit-identically.
+            let prepared = PreparedConv::new(layer.to_quantized_conv());
+            let served = prepared.infer(&x);
+            assert_eq!(
+                fast, served,
+                "PreparedConv mismatch at w={w_gran} p={p_gran} psq={psq}"
+            );
+
+            // Prepared path #2: the frozen layer itself (weight-side work
+            // done once) must stay bit-identical across repeated serves.
+            layer.freeze();
+            let frozen1 = layer.forward(&x, Mode::Eval);
+            let frozen2 = layer.forward(&x, Mode::Eval);
+            assert_eq!(
+                fast, frozen1,
+                "frozen forward mismatch at w={w_gran} p={p_gran} psq={psq}"
+            );
+            assert_eq!(frozen1, frozen2, "frozen forward not idempotent");
         }
     }
 }

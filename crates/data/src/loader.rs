@@ -58,7 +58,7 @@ pub fn shuffled_batches(
     assert!(!ds.is_empty(), "empty dataset");
     let mut order: Vec<usize> = (0..ds.len()).collect();
     rng.shuffle(&mut order);
-    batches_in_order(ds, &order, batch_size, rng, augment)
+    batches_in_order(ds, &order, batch_size, Some((rng, augment)))
 }
 
 /// Splits a dataset into sequential (unshuffled, unaugmented) batches for
@@ -71,16 +71,14 @@ pub fn eval_batches(ds: &Dataset, batch_size: usize) -> Vec<Batch> {
     assert!(batch_size > 0, "zero batch size");
     assert!(!ds.is_empty(), "empty dataset");
     let order: Vec<usize> = (0..ds.len()).collect();
-    let mut rng = CqRng::new(0); // unused by Augment::none
-    batches_in_order(ds, &order, batch_size, &mut rng, Augment::none())
+    batches_in_order(ds, &order, batch_size, None)
 }
 
 fn batches_in_order(
     ds: &Dataset,
     order: &[usize],
     batch_size: usize,
-    rng: &mut CqRng,
-    augment: Augment,
+    mut augment: Option<(&mut CqRng, Augment)>,
 ) -> Vec<Batch> {
     let shape = ds.images.shape();
     let (c, h, w) = (shape[1], shape[2], shape[3]);
@@ -92,7 +90,10 @@ fn batches_in_order(
         for (bi, &idx) in chunk.iter().enumerate() {
             let src = &ds.images.data()[idx * img_len..(idx + 1) * img_len];
             let dst = &mut images.data_mut()[bi * img_len..(bi + 1) * img_len];
-            apply_augment(src, dst, c, h, w, rng, augment);
+            match &mut augment {
+                Some((rng, aug)) => apply_augment(src, dst, c, h, w, rng, *aug),
+                None => dst.copy_from_slice(src),
+            }
             labels.push(ds.labels[idx]);
         }
         out.push(Batch { images, labels });

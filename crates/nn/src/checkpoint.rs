@@ -57,13 +57,13 @@ pub fn deserialize_params(model: &mut dyn Layer, text: &str) -> Result<()> {
     if lines.next() != Some(MAGIC) {
         return Err(Error::new(ErrorKind::InvalidData, "bad checkpoint magic"));
     }
-    let mut table: HashMap<String, Vec<f32>> = HashMap::new();
+    let mut table: HashMap<String, (String, Vec<f32>)> = HashMap::new();
     while let Some(meta) = lines.next() {
         if meta.trim().is_empty() {
             continue;
         }
         let mut parts = meta.split_whitespace();
-        let (name, _kind, len) = match (parts.next(), parts.next(), parts.next()) {
+        let (name, kind, len) = match (parts.next(), parts.next(), parts.next()) {
             (Some(n), Some(k), Some(l)) => (n, k, l),
             _ => {
                 return Err(Error::new(
@@ -94,7 +94,10 @@ pub fn deserialize_params(model: &mut dyn Layer, text: &str) -> Result<()> {
                 format!("{name}: expected {len} values, found {}", values.len()),
             ));
         }
-        if table.insert(name.to_string(), values).is_some() {
+        if table
+            .insert(name.to_string(), (kind.to_string(), values))
+            .is_some()
+        {
             return Err(Error::new(
                 ErrorKind::InvalidData,
                 format!("duplicate entry {name}"),
@@ -104,9 +107,19 @@ pub fn deserialize_params(model: &mut dyn Layer, text: &str) -> Result<()> {
 
     let mut missing = Vec::new();
     let mut mismatched = Vec::new();
+    let mut wrong_kind = Vec::new();
     model.visit_params("", &mut |p: ParamView<'_>| match table.remove(&p.name) {
-        Some(values) if values.len() == p.value.len() => p.value.copy_from_slice(&values),
-        Some(values) => mismatched.push(format!(
+        // The kind tag guards against restoring data into the wrong role
+        // (e.g. quantizer scales loaded into a weight): such a checkpoint
+        // would restore silently but change the model's behaviour.
+        Some((kind, _)) if kind != kind_tag(p.kind) => wrong_kind.push(format!(
+            "{} (model expects {}, checkpoint has {})",
+            p.name,
+            kind_tag(p.kind),
+            kind
+        )),
+        Some((_, values)) if values.len() == p.value.len() => p.value.copy_from_slice(&values),
+        Some((_, values)) => mismatched.push(format!(
             "{} (model {}, checkpoint {})",
             p.name,
             p.value.len(),
@@ -118,6 +131,12 @@ pub fn deserialize_params(model: &mut dyn Layer, text: &str) -> Result<()> {
         return Err(Error::new(
             ErrorKind::InvalidData,
             format!("checkpoint missing parameters: {missing:?}"),
+        ));
+    }
+    if !wrong_kind.is_empty() {
+        return Err(Error::new(
+            ErrorKind::InvalidData,
+            format!("parameter kind mismatches: {wrong_kind:?}"),
         ));
     }
     if !mismatched.is_empty() {
@@ -208,6 +227,26 @@ mod tests {
         let mut wider = ResNet::build(ResNetSpec::resnet8(4, 8), &mut factory, 8);
         let err = deserialize_params(&mut wider, &text).unwrap_err();
         assert_eq!(err.kind(), ErrorKind::InvalidData);
+    }
+
+    /// A checkpoint whose `kind` tags disagree with the model's parameter
+    /// roles (e.g. scale data under a weight entry) must be rejected, not
+    /// restored silently.
+    #[test]
+    fn rejects_swapped_parameter_kinds() {
+        let mut a = build(10);
+        let text = serialize_params(&mut a);
+        assert!(text.contains(" gamma "), "test needs a BatchNorm gamma");
+        let tampered = text.replacen(" gamma ", " beta ", 1);
+        let err = deserialize_params(&mut a, &tampered).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(
+            msg.contains("kind mismatches"),
+            "error should name the kind mismatch, got: {msg}"
+        );
+        // The untampered checkpoint still restores.
+        deserialize_params(&mut a, &text).unwrap();
     }
 
     #[test]

@@ -163,16 +163,38 @@ impl LsqQuantizer {
     ///
     /// Panics if the quantizer is uninitialized or the layout mismatches.
     pub fn forward_int(&self, v: &Tensor, layout: &GroupLayout) -> Tensor {
+        let mut out = v.clone();
+        self.quantize_in_place(&mut out, layout);
+        out
+    }
+
+    /// Like [`LsqQuantizer::forward_int`] but writing into a reused buffer
+    /// (reallocated only on shape change) — the allocation-free variant
+    /// for serving loops. Bit-identical to [`LsqQuantizer::forward_int`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the quantizer is uninitialized or the layout mismatches.
+    pub fn forward_int_into(&self, v: &Tensor, layout: &GroupLayout, out: &mut Tensor) {
+        if out.shape() == v.shape() {
+            out.data_mut().copy_from_slice(v.data());
+        } else {
+            *out = v.clone();
+        }
+        self.quantize_in_place(out, layout);
+    }
+
+    /// The single quantization body both forward variants share.
+    fn quantize_in_place(&self, out: &mut Tensor, layout: &GroupLayout) {
         assert!(self.initialized, "LSQ quantizer used before initialization");
         assert_eq!(
             layout.num_groups(),
             self.scales.len(),
             "layout group count mismatch"
         );
-        layout.validate(v);
+        layout.validate(out);
         let (qn, qp) = (self.format.qn(), self.format.qp());
         let binary = self.format.is_binary();
-        let mut out = v.clone();
         match layout {
             GroupLayout::Single => {
                 let s = self.scales[0];
@@ -199,7 +221,6 @@ impl LsqQuantizer {
                 }
             }
         }
-        out
     }
 
     /// Multiplies integer values by their group scale: `v̂ = v_int · s_g`.
@@ -253,7 +274,16 @@ impl LsqQuantizer {
         layout.validate(v);
         let mut out = v.clone();
         match layout {
-            GroupLayout::Single => out.scale_in_place(1.0 / self.scales[0]),
+            // True division, not multiplication by the reciprocal: the
+            // Channelwise arm divides, and the two layouts must agree
+            // bit-exactly when they describe the same grouping (the repo's
+            // exact-f32-agreement invariant across granularities).
+            GroupLayout::Single => {
+                let s = self.scales[0];
+                for x in out.data_mut() {
+                    *x /= s;
+                }
+            }
             GroupLayout::Channelwise {
                 inner,
                 channels,
@@ -541,6 +571,55 @@ mod tests {
             "scale learning failed: {initial} -> {fin} (scale {})",
             q.scales()[0]
         );
+    }
+
+    /// The buffer-reusing forward must match the allocating one exactly,
+    /// including on a dirty reused buffer and across shape changes.
+    #[test]
+    fn forward_int_into_matches_allocating_path() {
+        let mut q = LsqQuantizer::new(QuantFormat::signed(3), 1);
+        q.set_scales(&[0.5]);
+        let a = Tensor::from_vec(vec![0.0, 0.24, 0.26, -0.3, 10.0, -10.0], &[6]);
+        let b = Tensor::from_vec(vec![1.0, -1.0, 0.1, 0.9], &[4]);
+        let mut out = Tensor::zeros(&[2]); // wrong shape on purpose
+        q.forward_int_into(&a, &GroupLayout::single(), &mut out);
+        assert_eq!(out, q.forward_int(&a, &GroupLayout::single()));
+        q.forward_int_into(&b, &GroupLayout::single(), &mut out); // shrink
+        assert_eq!(out, q.forward_int(&b, &GroupLayout::single()));
+        q.forward_int_into(&b, &GroupLayout::single(), &mut out); // reuse
+        assert_eq!(out, q.forward_int(&b, &GroupLayout::single()));
+    }
+
+    /// A one-group channelwise layout and the `Single` layout describe the
+    /// same grouping, so every scale-resolving op must agree **bit-exactly**
+    /// between the two arms. This is a regression test for
+    /// `divide_by_scales` multiplying by the reciprocal in the `Single` arm
+    /// (double rounding) while truly dividing in the `Channelwise` arm.
+    #[test]
+    fn single_and_one_group_channelwise_agree_bitwise() {
+        let n = 257usize;
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let vals: Vec<f32> = (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 33) as f32 / (1u64 << 31) as f32) * 8.0 - 4.0
+            })
+            .collect();
+        let v = Tensor::from_vec(vals, &[n]);
+        let cw = GroupLayout::channelwise(n, vec![0]); // 1 channel == 1 group
+        for &scale in &[3.0f32, 0.37, 7e-3, 49.0] {
+            let mut q = LsqQuantizer::new(QuantFormat::signed(4), 1);
+            q.set_scales(&[scale]);
+            let div_single = q.divide_by_scales(&v, &GroupLayout::single());
+            let div_cw = q.divide_by_scales(&v, &cw);
+            assert_eq!(div_single, div_cw, "divide_by_scales at scale {scale}");
+            let deq_single = q.dequantize(&v, &GroupLayout::single());
+            let deq_cw = q.dequantize(&v, &cw);
+            assert_eq!(deq_single, deq_cw, "dequantize at scale {scale}");
+            let int_single = q.forward_int(&v, &GroupLayout::single());
+            let int_cw = q.forward_int(&v, &cw);
+            assert_eq!(int_single, int_cw, "forward_int at scale {scale}");
+        }
     }
 
     #[test]

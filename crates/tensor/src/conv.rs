@@ -234,23 +234,68 @@ pub fn conv2d_grouped(
 ) -> Tensor {
     let s = ConvShape::new(input.shape(), weight.shape(), stride, pad, groups);
     let mut out = Tensor::zeros(&[s.batch, s.out_ch, s.out_h, s.out_w]);
+    let mut col = vec![0.0f32; s.col_rows() * s.col_cols()];
+    conv2d_grouped_write(input, weight, &s, &mut out, &mut col);
+    out
+}
+
+/// Like [`conv2d_grouped`] but writing into caller-provided output and
+/// im2col scratch buffers, so a serving loop that runs the same layer
+/// geometry repeatedly allocates nothing per call. `out` is resized and
+/// overwritten; `col` is grown as needed and left dirty.
+///
+/// Bit-identical to [`conv2d_grouped`] (same kernels, same operation
+/// order).
+///
+/// # Panics
+///
+/// Panics on any shape inconsistency (see [`ConvShape::new`]).
+pub fn conv2d_grouped_into(
+    input: &Tensor,
+    weight: &Tensor,
+    stride: usize,
+    pad: usize,
+    groups: usize,
+    out: &mut Tensor,
+    col: &mut Vec<f32>,
+) {
+    let s = ConvShape::new(input.shape(), weight.shape(), stride, pad, groups);
+    let out_shape = [s.batch, s.out_ch, s.out_h, s.out_w];
+    if out.shape() != out_shape {
+        *out = Tensor::zeros(&out_shape);
+    } else {
+        out.fill(0.0);
+    }
+    let need = s.col_rows() * s.col_cols();
+    if col.len() < need {
+        col.resize(need, 0.0);
+    }
+    conv2d_grouped_write(input, weight, &s, out, &mut col[..need]);
+}
+
+fn conv2d_grouped_write(
+    input: &Tensor,
+    weight: &Tensor,
+    s: &ConvShape,
+    out: &mut Tensor,
+    col: &mut [f32],
+) {
     let (cr, cc) = (s.col_rows(), s.col_cols());
     let cg = s.ch_per_group();
     let ocg = s.out_per_group();
-    let mut col = vec![0.0f32; cr * cc];
+    debug_assert_eq!(col.len(), cr * cc);
     let in_img = s.in_ch * s.in_h * s.in_w;
     let out_img = s.out_ch * s.out_h * s.out_w;
     for b in 0..s.batch {
         let img = &input.data()[b * in_img..(b + 1) * in_img];
         for g in 0..s.groups {
-            im2col_image(img, g * cg, cg, &s, &mut col);
+            im2col_image(img, g * cg, cg, s, col);
             let w_g = &weight.data()[g * ocg * cr..(g + 1) * ocg * cr];
             let out_g =
                 &mut out.data_mut()[b * out_img + g * ocg * cc..b * out_img + (g + 1) * ocg * cc];
-            gemm_nn_acc(ocg, cr, cc, w_g, &col, out_g);
+            gemm_nn_acc(ocg, cr, cc, w_g, col, out_g);
         }
     }
-    out
 }
 
 /// Gradient of a grouped convolution with respect to its input.
@@ -564,6 +609,26 @@ mod tests {
             wm.data_mut()[i] -= eps;
             let num = (loss(&x, &wp) - loss(&x, &wm)) / (2.0 * eps);
             assert!((num - dw.data()[i]).abs() < 1e-2, "dw[{i}]");
+        }
+    }
+
+    /// The scratch-buffer variant must be bit-identical to the allocating
+    /// path, including when the buffers are reused across calls with
+    /// different geometries (stale shapes, oversized col scratch).
+    #[test]
+    fn conv2d_grouped_into_matches_and_reuses_scratch() {
+        let mut out = Tensor::zeros(&[1]); // wrong shape on purpose
+        let mut col = Vec::new();
+        for &(b, c, hw, groups, oc) in &[(2usize, 6usize, 6usize, 3usize, 12usize), (1, 4, 5, 2, 6)]
+        {
+            let x = det_tensor(&[b, c, hw, hw], 55);
+            let w = det_tensor(&[oc, c / groups, 3, 3], 66);
+            let want = conv2d_grouped(&x, &w, 1, 1, groups);
+            conv2d_grouped_into(&x, &w, 1, 1, groups, &mut out, &mut col);
+            assert_eq!(out, want, "b={b} c={c}");
+            // Second call on dirty buffers must give the same answer.
+            conv2d_grouped_into(&x, &w, 1, 1, groups, &mut out, &mut col);
+            assert_eq!(out, want, "dirty-scratch call b={b} c={c}");
         }
     }
 

@@ -32,8 +32,8 @@ pub mod stats;
 mod tensor;
 
 pub use conv::{
-    conv2d, conv2d_backward_input, conv2d_backward_weight, conv2d_grouped, conv2d_naive,
-    conv_out_dim, ConvShape,
+    conv2d, conv2d_backward_input, conv2d_backward_weight, conv2d_grouped, conv2d_grouped_into,
+    conv2d_naive, conv_out_dim, ConvShape,
 };
 pub use matmul::{
     gemm_nn_acc, gemm_nt_acc, matmul, matmul_a_bt, matmul_at_b, max_threads, threads_for,

@@ -104,9 +104,12 @@ fn stage2_lr(lr: &LrSchedule, epochs: usize) -> LrSchedule {
             base: base * 0.5,
             total_epochs: epochs,
         },
+        // The milestone is clamped to ≥ 1: with `epochs <= 1` a naive
+        // `epochs / 2` milestone is 0, and `lr_at` counts `epoch >= m`, so
+        // stage 2 would start already decayed by `gamma`.
         LrSchedule::Step { base, gamma, .. } => LrSchedule::Step {
             base: base * 0.5,
-            milestones: vec![epochs / 2],
+            milestones: vec![(epochs / 2).max(1)],
             gamma: *gamma,
         },
     }
@@ -153,6 +156,29 @@ mod tests {
         let mut on = true;
         for_each_cim_conv(&mut net, |c| on &= c.psum_quant_enabled());
         assert!(on, "stage 2 left psum quantization on");
+    }
+
+    /// Stage 2 of two-stage QAT must start at its own base LR (`base·0.5`),
+    /// not pre-decayed by `gamma` — regression test for the `epochs <= 1`
+    /// case where the Step milestone collapsed to epoch 0.
+    #[test]
+    fn stage2_step_schedule_is_not_pre_decayed() {
+        let base = LrSchedule::Step {
+            base: 1.0,
+            milestones: vec![50, 75],
+            gamma: 0.1,
+        };
+        for epochs in [1usize, 2, 3, 10] {
+            let s2 = stage2_lr(&base, epochs);
+            assert_eq!(
+                s2.lr_at(0),
+                0.5,
+                "stage-2 epoch 0 already decayed for epochs={epochs}"
+            );
+        }
+        // The milestone still decays later epochs when there is room.
+        let s2 = stage2_lr(&base, 10);
+        assert!((s2.lr_at(9) - 0.05).abs() < 1e-7);
     }
 
     #[test]

@@ -50,8 +50,9 @@ pub use cq_train as train;
 
 pub use cq_cim::{CimConfig, CrossbarLayer, TilingPlan};
 pub use cq_core::{
-    build_cim_resnet, ptq_calibrate, set_psum_quant_enabled, set_quant_enabled, set_variation,
-    CimConv2d, QuantScheme, TrainMethod, VariationMode,
+    build_cim_resnet, freeze_model, ptq_calibrate, set_psum_quant_enabled, set_quant_enabled,
+    set_variation, unfreeze_model, CimConv2d, PreparedCimModel, QuantScheme, TrainMethod,
+    VariationMode,
 };
 pub use cq_data::SyntheticSpec;
 pub use cq_nn::{Layer, Mode, ResNet, ResNetSpec};
