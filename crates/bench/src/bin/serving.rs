@@ -1,0 +1,8 @@
+//! Serving SLO benchmark: open-loop Poisson-ish request streams against
+//! the `cq-serve` front-end. Emits `BENCH_serving.json`.
+fn main() {
+    println!(
+        "{}",
+        cq_bench::experiments::serving::run(cq_bench::Scale::from_env())
+    );
+}

@@ -1,0 +1,331 @@
+//! **Serving SLO** — open-loop latency/throughput of the `cq-serve`
+//! front-end (bounded queue + batch scheduler + multi-model registry)
+//! under seeded Poisson-ish request streams.
+//!
+//! The experiment first calibrates closed-loop capacity (submit
+//! everything at once, Block admission), then replays two open-loop
+//! points against two resident models:
+//!
+//! * **underload** — ~60% of calibrated capacity, Block admission;
+//! * **overload** — ~130% of calibrated capacity, Reject admission, so
+//!   the bounded queue sheds load instead of building unbounded latency.
+//!
+//! Per point it reports p50/p99 submit→complete latency, achieved
+//! images/sec, shed requests, and queue depth. Results are returned as
+//! markdown and written to `BENCH_serving.json` (consumed by CI as an
+//! artifact). Arrival schedules and inputs are seeded; wall-clock numbers
+//! vary with the machine, the stream replayed does not.
+
+use crate::{markdown_table, ExperimentSetting, Scale};
+use cq_core::{build_cim_resnet, PreparedCimModel, QuantScheme};
+use cq_nn::{Layer, Mode};
+use cq_serve::{
+    Admission, CimServer, ModelId, ModelRegistry, ServeConfig, StreamSpec, SubmitError, Ticket,
+};
+use cq_tensor::{max_threads, CqRng, Tensor};
+use std::time::{Duration, Instant};
+
+/// One measured offered-load point.
+#[derive(Debug, Clone)]
+pub struct LoadPoint {
+    /// Point label ("underload" / "overload").
+    pub label: &'static str,
+    /// Admission policy at this point.
+    pub admission: Admission,
+    /// Offered arrival rate (requests/sec; every request is one image).
+    pub offered_rps: f64,
+    /// Requests admitted and served.
+    pub completed: u64,
+    /// Requests shed by Reject admission.
+    pub rejected: u64,
+    /// Served images over the point's makespan.
+    pub images_per_sec: f64,
+    /// Median submit→complete latency.
+    pub p50_ms: f64,
+    /// 99th-percentile submit→complete latency.
+    pub p99_ms: f64,
+    /// Mean queue depth (sampled at each admission).
+    pub mean_queue_depth: f64,
+    /// Peak queue depth.
+    pub peak_queue_depth: usize,
+}
+
+/// Full result of the serving experiment.
+#[derive(Debug, Clone)]
+pub struct ServingResult {
+    /// Experiment size.
+    pub scale: Scale,
+    /// Effective kernel thread cap during the run.
+    pub threads: usize,
+    /// Server worker threads.
+    pub workers: usize,
+    /// Resident models.
+    pub models: usize,
+    /// Requests per load point.
+    pub requests: usize,
+    /// Image shape `[C, H, W]`.
+    pub image: [usize; 3],
+    /// Closed-loop capacity the load points are scaled from.
+    pub calibrated_ips: f64,
+    /// The measured offered-load points.
+    pub points: Vec<LoadPoint>,
+}
+
+impl ServingResult {
+    /// Renders the machine-readable report (hand-rolled JSON; the
+    /// workspace is dependency-free).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"scale\": \"{:?}\",\n", self.scale));
+        s.push_str(&format!("  \"threads\": {},\n", self.threads));
+        s.push_str(&format!("  \"workers\": {},\n", self.workers));
+        s.push_str(&format!("  \"models\": {},\n", self.models));
+        s.push_str(&format!("  \"requests_per_point\": {},\n", self.requests));
+        s.push_str(&format!(
+            "  \"image\": [{}, {}, {}],\n",
+            self.image[0], self.image[1], self.image[2]
+        ));
+        s.push_str(&format!(
+            "  \"calibrated_images_per_sec\": {:.3},\n",
+            self.calibrated_ips
+        ));
+        s.push_str("  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"label\": \"{}\", \"admission\": \"{}\", \"offered_rps\": {:.3}, \
+                 \"completed\": {}, \"rejected\": {}, \"images_per_sec\": {:.3}, \
+                 \"p50_latency_ms\": {:.3}, \"p99_latency_ms\": {:.3}, \
+                 \"mean_queue_depth\": {:.3}, \"peak_queue_depth\": {}}}{}\n",
+                p.label,
+                match p.admission {
+                    Admission::Block => "block",
+                    Admission::Reject => "reject",
+                },
+                p.offered_rps,
+                p.completed,
+                p.rejected,
+                p.images_per_sec,
+                p.p50_ms,
+                p.p99_ms,
+                p.mean_queue_depth,
+                p.peak_queue_depth,
+                if i + 1 < self.points.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// `q`-quantile (0..=1) of unsorted latency samples, in milliseconds.
+fn percentile_ms(samples: &mut [Duration], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_unstable();
+    let idx = ((samples.len() - 1) as f64 * q).round() as usize;
+    samples[idx].as_secs_f64() * 1e3
+}
+
+/// Builds one frozen model for the setting (deterministic per seed).
+fn build_model(setting: &ExperimentSetting, seed: u64) -> PreparedCimModel {
+    let (c, hw) = (setting.data.channels, setting.data.image_size);
+    let mut net = build_cim_resnet(
+        setting.model.clone(),
+        &setting.cim,
+        &QuantScheme::ours(),
+        seed,
+    );
+    let warm = CqRng::new(seed + 1)
+        .normal_tensor(&[2, c, hw, hw], 1.0)
+        .map(|v| v.max(0.0));
+    let _ = net.forward(&warm, Mode::Eval);
+    PreparedCimModel::new(Box::new(net))
+}
+
+/// Replays `stream` (paired with pre-generated inputs) against `server`:
+/// submits each request at its arrival offset, waits every admitted
+/// ticket, and returns (latencies, makespan, stats).
+fn replay(
+    server: &CimServer,
+    ids: &[ModelId],
+    stream: &[cq_serve::StreamRequest],
+    inputs: &[Tensor],
+) -> (Vec<Duration>, Duration, cq_serve::ServeStats) {
+    let t0 = Instant::now();
+    let (latencies, stats) = {
+        let (lats, stats) = server.serve(|h| {
+            let mut tickets: Vec<Ticket> = Vec::with_capacity(stream.len());
+            for (r, x) in stream.iter().zip(inputs) {
+                let target = t0 + r.at;
+                let now = Instant::now();
+                if target > now {
+                    std::thread::sleep(target - now);
+                }
+                match h.submit_to(ids[r.model], x.clone()) {
+                    Ok(t) => tickets.push(t),
+                    Err(SubmitError::QueueFull(_)) => {} // shed; counted in stats
+                    Err(e) => panic!("unexpected submit error: {e:?}"),
+                }
+            }
+            tickets
+                .into_iter()
+                .map(|t| t.wait().latency)
+                .collect::<Vec<_>>()
+        });
+        (lats, stats)
+    };
+    (latencies, t0.elapsed(), stats)
+}
+
+/// Measures the serving SLO experiment and returns the structured result.
+pub fn measure(scale: Scale) -> ServingResult {
+    let setting = ExperimentSetting::cifar10(scale, 500);
+    let (c, hw) = (setting.data.channels, setting.data.image_size);
+    let requests = match scale {
+        Scale::Ci => 24,
+        Scale::Quick => 64,
+        Scale::Full => 192,
+    };
+    let workers = 2;
+
+    let mut registry = ModelRegistry::new();
+    let ids = vec![
+        registry.register("resnet-a", build_model(&setting, 501)),
+        registry.register("resnet-b", build_model(&setting, 503)),
+    ];
+    let cfg = |admission: Admission| ServeConfig {
+        queue_capacity: 32,
+        admission,
+        max_batch: Some(8),
+        max_wait: Duration::from_micros(500),
+        workers,
+    };
+    let mut server = CimServer::new(registry, cfg(Admission::Block));
+
+    // Closed-loop calibration: everything arrives at t=0, Block admission —
+    // the server runs flat out, giving the capacity the open-loop points
+    // are scaled from.
+    let cal_stream = StreamSpec {
+        rate_rps: 1e9,
+        requests,
+        models: 2,
+        batch_choices: vec![1],
+        seed: 510,
+    }
+    .generate();
+    let rng = &mut CqRng::new(511);
+    let cal_inputs: Vec<Tensor> = cal_stream
+        .iter()
+        .map(|_| rng.normal_tensor(&[1, c, hw, hw], 1.0).map(|v| v.max(0.0)))
+        .collect();
+    let (_, cal_span, cal_stats) = replay(&server, &ids, &cal_stream, &cal_inputs);
+    let calibrated_ips = cal_stats.rows_swept as f64 / cal_span.as_secs_f64().max(1e-9);
+
+    let mut points = Vec::new();
+    for (label, factor, admission, seed) in [
+        ("underload", 0.6, Admission::Block, 520u64),
+        ("overload", 1.3, Admission::Reject, 530),
+    ] {
+        server.set_config(cfg(admission));
+        let offered_rps = (calibrated_ips * factor).max(1.0);
+        let stream = StreamSpec {
+            rate_rps: offered_rps,
+            requests,
+            models: 2,
+            batch_choices: vec![1],
+            seed,
+        }
+        .generate();
+        let rng = &mut CqRng::new(seed + 1);
+        let inputs: Vec<Tensor> = stream
+            .iter()
+            .map(|_| rng.normal_tensor(&[1, c, hw, hw], 1.0).map(|v| v.max(0.0)))
+            .collect();
+        let (mut latencies, span, stats) = replay(&server, &ids, &stream, &inputs);
+        points.push(LoadPoint {
+            label,
+            admission,
+            offered_rps,
+            completed: stats.served,
+            rejected: stats.rejected,
+            images_per_sec: stats.rows_swept as f64 / span.as_secs_f64().max(1e-9),
+            p50_ms: percentile_ms(&mut latencies, 0.50),
+            p99_ms: percentile_ms(&mut latencies, 0.99),
+            mean_queue_depth: stats.mean_queue_depth,
+            peak_queue_depth: stats.peak_queue_depth,
+        });
+    }
+
+    ServingResult {
+        scale,
+        threads: max_threads(),
+        workers,
+        models: 2,
+        requests,
+        image: [c, hw, hw],
+        calibrated_ips,
+        points,
+    }
+}
+
+/// Runs the experiment, writes `BENCH_serving.json`, and returns the
+/// markdown report.
+pub fn run(scale: Scale) -> String {
+    let r = measure(scale);
+    std::fs::write("BENCH_serving.json", r.to_json()).expect("write BENCH_serving.json");
+
+    let rows: Vec<Vec<String>> = r
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.label.to_string(),
+                format!("{:?}", p.admission),
+                format!("{:.1}", p.offered_rps),
+                format!("{:.1}", p.images_per_sec),
+                format!("{}", p.completed),
+                format!("{}", p.rejected),
+                format!("{:.2}", p.p50_ms),
+                format!("{:.2}", p.p99_ms),
+                format!("{:.1} / {}", p.mean_queue_depth, p.peak_queue_depth),
+            ]
+        })
+        .collect();
+    let mut out =
+        String::from("## Serving SLO — open-loop load against the cq-serve front-end\n\n");
+    out.push_str(&format!(
+        "{} requests per point over {} resident models ({}×{}×{} images), \
+         {} workers, {} kernel threads, closed-loop capacity {:.1} images/sec \
+         ({:?} scale).\n\n",
+        r.requests,
+        r.models,
+        r.image[0],
+        r.image[1],
+        r.image[2],
+        r.workers,
+        r.threads,
+        r.calibrated_ips,
+        r.scale
+    ));
+    out.push_str(&markdown_table(
+        &[
+            "point",
+            "admission",
+            "offered req/s",
+            "images/sec",
+            "completed",
+            "shed",
+            "p50 ms",
+            "p99 ms",
+            "queue depth (mean/peak)",
+        ],
+        &rows,
+    ));
+    out.push_str(
+        "\nEvery served output is bit-identical to the direct \
+         `PreparedCimModel::infer` result (pinned by `cq-serve` tests); \
+         the numbers above are written to `BENCH_serving.json`.\n",
+    );
+    out
+}

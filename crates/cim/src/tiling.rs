@@ -170,14 +170,16 @@ impl TilingPlan {
         let shape = [b, pc, h, w];
         if out.shape() != shape {
             *out = Tensor::zeros(&shape);
-        } else if pc != c {
-            out.fill(0.0);
         }
         let chw = c * h * w;
         let pchw = pc * h * w;
         for bi in 0..b {
             out.data_mut()[bi * pchw..bi * pchw + chw]
                 .copy_from_slice(&a.data()[bi * chw..(bi + 1) * chw]);
+            // Only the padding lanes need re-zeroing on reuse; the data
+            // lanes were just overwritten (this runs on every serve of
+            // every conv, so don't clear the whole buffer).
+            out.data_mut()[bi * pchw + chw..(bi + 1) * pchw].fill(0.0);
         }
     }
 

@@ -19,6 +19,7 @@
 use crate::{for_each_cim_conv, load_cim_checkpoint};
 use cq_nn::{Layer, Mode};
 use cq_tensor::Tensor;
+use std::ops::Range;
 use std::path::Path;
 
 /// Freezes every CIM convolution in `model` for serving (see
@@ -88,48 +89,95 @@ impl PreparedCimModel {
     /// Serves many independent requests (each `[b_i, C, H, W]`, typically
     /// `b_i = 1`): requests are coalesced into sweeps of at most
     /// `max_batch` images, each sweep runs one parallel forward, and the
-    /// outputs are split back per request.
+    /// outputs are split back per request. A single request **larger** than
+    /// `max_batch` is chunked into ≤ cap sweeps and its output slices are
+    /// concatenated, so the cap bounds every sweep regardless of request
+    /// sizes. Every layer processes batch elements independently with a
+    /// fixed f32 operation order, so both coalescing and chunking are
+    /// bit-exact per sample.
     ///
     /// # Panics
     ///
     /// Panics if requests disagree on the non-batch dimensions.
     pub fn infer_batch(&mut self, requests: &[Tensor]) -> Vec<Tensor> {
-        let cap = self.max_batch;
-        let mut outputs = Vec::with_capacity(requests.len());
-        let mut sweep: Vec<&Tensor> = Vec::new();
+        let cap = self.max_batch.unwrap_or(usize::MAX);
+        // One (request, row-range) segment per sweep contribution; an
+        // oversized request spans several sweeps.
+        let mut sweep: Vec<(usize, Range<usize>)> = Vec::new();
         let mut rows = 0usize;
-        for req in requests {
+        let mut parts: Vec<Vec<Tensor>> = (0..requests.len()).map(|_| Vec::new()).collect();
+        for (i, req) in requests.iter().enumerate() {
             assert_eq!(req.rank(), 4, "request must be [B,C,H,W]");
             let b = req.dim(0);
-            if let Some(cap) = cap {
-                if rows > 0 && rows + b > cap {
-                    self.run_sweep(&mut sweep, &mut outputs);
+            if b == 0 {
+                // An empty request still yields a (batch-0) output tensor.
+                sweep.push((i, 0..0));
+                continue;
+            }
+            let mut start = 0;
+            while start < b {
+                if rows == cap {
+                    self.run_sweep(requests, &mut sweep, &mut parts);
                     rows = 0;
                 }
+                let take = (b - start).min(cap - rows);
+                sweep.push((i, start..start + take));
+                rows += take;
+                start += take;
             }
-            sweep.push(req);
-            rows += b;
         }
-        self.run_sweep(&mut sweep, &mut outputs);
-        outputs
+        self.run_sweep(requests, &mut sweep, &mut parts);
+        parts
+            .into_iter()
+            .map(|mut p| {
+                if p.len() == 1 {
+                    p.pop().unwrap()
+                } else {
+                    Tensor::concat_outer(&p.iter().collect::<Vec<_>>())
+                }
+            })
+            .collect()
     }
 
-    /// Runs one coalesced forward over `sweep` and appends the per-request
-    /// output slices; drains `sweep`.
-    fn run_sweep(&mut self, sweep: &mut Vec<&Tensor>, outputs: &mut Vec<Tensor>) {
+    /// Runs one coalesced forward over the `sweep` segments and appends
+    /// each segment's output slice to its request's parts; drains `sweep`.
+    fn run_sweep(
+        &mut self,
+        requests: &[Tensor],
+        sweep: &mut Vec<(usize, Range<usize>)>,
+        parts: &mut [Vec<Tensor>],
+    ) {
         if sweep.is_empty() {
             return;
         }
-        let merged = if sweep.len() == 1 {
-            self.model.forward(sweep[0], Mode::Eval)
+        // Whole-request segments borrow the request; partial (chunked)
+        // segments need an owned slice to concatenate.
+        let owned: Vec<Option<Tensor>> = sweep
+            .iter()
+            .map(|(i, r)| {
+                let req = &requests[*i];
+                if *r == (0..req.dim(0)) {
+                    None
+                } else {
+                    Some(req.slice_outer(r.start, r.end))
+                }
+            })
+            .collect();
+        let inputs: Vec<&Tensor> = sweep
+            .iter()
+            .zip(&owned)
+            .map(|((i, _), o)| o.as_ref().unwrap_or(&requests[*i]))
+            .collect();
+        let merged = if inputs.len() == 1 {
+            self.model.forward(inputs[0], Mode::Eval)
         } else {
-            let coalesced = Tensor::concat_outer(sweep.as_slice());
+            let coalesced = Tensor::concat_outer(&inputs);
             self.model.forward(&coalesced, Mode::Eval)
         };
         let mut start = 0;
-        for req in sweep.iter() {
-            let b = req.dim(0);
-            outputs.push(merged.slice_outer(start, start + b));
+        for (i, r) in sweep.iter() {
+            let b = r.end - r.start;
+            parts[*i].push(merged.slice_outer(start, start + b));
             start += b;
         }
         sweep.clear();
@@ -197,6 +245,33 @@ mod tests {
             assert_eq!(got, want, "max_batch={max_batch:?}");
         }
         assert!(pm.infer_batch(&[]).is_empty());
+    }
+
+    /// Regression: a single request larger than `max_batch` must still be
+    /// served in ≤ cap sweeps, and the rejoined output must equal the
+    /// uncapped path bit-for-bit.
+    #[test]
+    fn oversized_request_is_chunked_bit_exactly() {
+        let mut net = warmed_net(9);
+        let big = CqRng::new(10).normal_tensor(&[7, 3, 12, 12], 1.0);
+        let want = net.forward(&big, Mode::Eval);
+        let mut pm = PreparedCimModel::new(Box::new(net));
+        for cap in [1usize, 2, 3, 5, 7, 8] {
+            pm.set_max_batch(Some(cap));
+            let got = pm.infer_batch(std::slice::from_ref(&big));
+            assert_eq!(got.len(), 1);
+            assert_eq!(got[0], want, "max_batch={cap}");
+        }
+        // Mixed stream: oversized requests interleaved with small ones.
+        let reqs = [
+            CqRng::new(11).normal_tensor(&[3, 3, 12, 12], 1.0),
+            big.clone(),
+            CqRng::new(12).normal_tensor(&[1, 3, 12, 12], 1.0),
+        ];
+        pm.set_max_batch(None);
+        let want: Vec<Tensor> = pm.infer_batch(&reqs);
+        pm.set_max_batch(Some(2));
+        assert_eq!(pm.infer_batch(&reqs), want, "mixed stream diverged");
     }
 
     #[test]

@@ -84,7 +84,13 @@ pub enum Mode {
 /// Layers are stateful: `forward(Mode::Train)` caches whatever `backward`
 /// needs; `backward` consumes that cache and returns `∂L/∂input` while
 /// accumulating parameter gradients internally.
-pub trait Layer: std::any::Any {
+///
+/// Layers are `Send` so whole models can move between (and be served
+/// from) worker threads — e.g. the `cq-serve` front-end parks each
+/// registered `PreparedCimModel` behind a mutex that any worker may
+/// drain batches into. Every layer in this workspace is plain owned
+/// data, so the bound costs nothing.
+pub trait Layer: std::any::Any + Send {
     /// Runs the layer on `x`.
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor;
 

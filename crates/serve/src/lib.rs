@@ -1,0 +1,87 @@
+//! # cq-serve
+//!
+//! The **queued, multi-model serving front-end** over the frozen CIM
+//! inference engine — the layer where CIM throughput is won or lost
+//! (scheduling and batching, not array arithmetic):
+//!
+//! ```text
+//!  clients                 CimServer::serve
+//!  ───────┐   ┌──────────────────────────────────────────────────┐
+//!  submit ├──►│ RequestQueue (bounded; Admission::Block | Reject)│
+//!  ───────┘   └───────────────┬──────────────────────────────────┘
+//!                             │ BatchScheduler per worker:
+//!                             │ FIFO same-model runs ≤ max_batch,
+//!                             │ linger ≤ max_wait, oversized alone
+//!              ┌──────────────┴───────────┐
+//!              ▼                          ▼
+//!        worker thread  …           worker thread      (thread::scope)
+//!              │                          │
+//!              ▼                          ▼
+//!  ┌──────────────────────────────────────────────────┐
+//!  │ ModelRegistry: id → Mutex<PreparedCimModel>      │
+//!  │ (independently frozen weights + scratch each)    │
+//!  └──────────────────────────────────────────────────┘
+//!              │ outputs split back per request
+//!              ▼
+//!        Ticket::wait() → Completed { output, latency }
+//! ```
+//!
+//! Every serving-path output — coalesced, chunked oversized requests,
+//! multi-model — is **bit-identical** to calling the standalone
+//! [`PreparedCimModel`](cq_core::PreparedCimModel) on the same input:
+//! the front-end only reorders *which sweep* a request rides in, and every
+//! layer processes batch elements independently with a fixed f32 operation
+//! order (`tests/serving.rs` pins this).
+//!
+//! [`StreamSpec`] generates seeded Poisson-ish open-loop request streams;
+//! the `cq-bench` `serving` experiment replays them against a server and
+//! reports p50/p99 latency, images/sec, and queue depth
+//! (`BENCH_serving.json`).
+//!
+//! ## Example
+//!
+//! ```
+//! use cq_cim::CimConfig;
+//! use cq_core::{build_cim_resnet, PreparedCimModel, QuantScheme};
+//! use cq_nn::{Layer, Mode, ResNetSpec};
+//! use cq_serve::{CimServer, ModelRegistry, ServeConfig};
+//! use cq_tensor::CqRng;
+//!
+//! // Freeze a (here: untrained but warmed) model for serving.
+//! let mut net = build_cim_resnet(
+//!     ResNetSpec::resnet8(4, 4),
+//!     &CimConfig::tiny(),
+//!     &QuantScheme::ours(),
+//!     0,
+//! );
+//! let warm = CqRng::new(1).normal_tensor(&[1, 3, 12, 12], 1.0);
+//! let _ = net.forward(&warm, Mode::Eval);
+//!
+//! let mut registry = ModelRegistry::new();
+//! registry.register("resnet8", PreparedCimModel::new(Box::new(net)));
+//! let server = CimServer::new(registry, ServeConfig::default());
+//!
+//! let (outputs, stats) = server.serve(|h| {
+//!     let tickets: Vec<_> = (0..4)
+//!         .map(|i| {
+//!             let x = CqRng::new(10 + i).normal_tensor(&[1, 3, 12, 12], 1.0);
+//!             h.submit("resnet8", x).unwrap()
+//!         })
+//!         .collect();
+//!     tickets.into_iter().map(|t| t.wait().output).collect::<Vec<_>>()
+//! });
+//! assert_eq!(outputs.len(), 4);
+//! assert_eq!(stats.served, 4);
+//! ```
+
+#![warn(missing_docs)]
+
+mod queue;
+mod registry;
+mod server;
+mod stream;
+
+pub use queue::{Admission, Completed, ServeStats, SubmitError, Ticket};
+pub use registry::{ModelId, ModelRegistry};
+pub use server::{CimServer, ServeConfig, ServerHandle};
+pub use stream::{StreamRequest, StreamSpec};

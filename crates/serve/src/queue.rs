@@ -1,0 +1,488 @@
+//! The bounded request queue, admission control, and batch scheduler of
+//! the serving front-end.
+//!
+//! Clients [`submit`](crate::ServerHandle::submit) requests into one
+//! shared [`RequestQueue`]; worker threads each drive a [`BatchScheduler`]
+//! that pops runs of same-model requests and coalesces them into sweeps
+//! under the `max_batch` / `max_wait` policy. Admission is enforced at the
+//! queue: when it is full, a submission either blocks until a worker frees
+//! space or is rejected immediately with the input handed back.
+
+use cq_tensor::Tensor;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// What a submission does when the bounded queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Block the submitting thread until a worker frees space.
+    Block,
+    /// Reject immediately, handing the input back to the caller.
+    Reject,
+}
+
+/// Why a submission was not admitted.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The queue was full under [`Admission::Reject`]; the input is handed
+    /// back so the caller can retry or shed the request.
+    QueueFull(Tensor),
+    /// No model with this id is registered.
+    UnknownModel(String),
+    /// The server is shutting down; the input is handed back.
+    Closed(Tensor),
+}
+
+/// A fulfilled request: the model output plus end-to-end latency
+/// (submission call to worker fulfilment, including any admission
+/// blocking and queueing time).
+#[derive(Debug)]
+pub struct Completed {
+    /// The model output for this request (`[b, ...]`, matching the
+    /// request's batch dimension).
+    pub output: Tensor,
+    /// Submission-to-fulfilment latency.
+    pub latency: Duration,
+}
+
+/// Where a worker parks one request's output; the client side waits on it
+/// through a [`Ticket`].
+pub(crate) struct ResponseSlot {
+    state: Mutex<Option<SlotResult>>,
+    ready: Condvar,
+}
+
+enum SlotResult {
+    Done(Tensor, Instant),
+    /// The worker holding this request panicked before fulfilling it;
+    /// `Ticket::wait` propagates the failure instead of hanging.
+    Abandoned,
+}
+
+impl ResponseSlot {
+    pub(crate) fn new() -> Self {
+        Self {
+            state: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Parks `output` (stamping the completion instant) and wakes the
+    /// waiting client.
+    pub(crate) fn fulfill(&self, output: Tensor) {
+        let mut st = self.state.lock().unwrap();
+        debug_assert!(st.is_none(), "slot fulfilled twice");
+        *st = Some(SlotResult::Done(output, Instant::now()));
+        drop(st);
+        self.ready.notify_all();
+    }
+
+    /// Marks the slot abandoned *unless already fulfilled* — called while
+    /// a worker unwinds so waiting clients fail loudly instead of hanging.
+    pub(crate) fn abandon(&self) {
+        let mut st = self.state.lock().unwrap();
+        if st.is_none() {
+            *st = Some(SlotResult::Abandoned);
+            drop(st);
+            self.ready.notify_all();
+        }
+    }
+
+    fn wait(&self) -> (Tensor, Instant) {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            match st.take() {
+                Some(SlotResult::Done(output, at)) => return (output, at),
+                Some(SlotResult::Abandoned) => {
+                    panic!("serving worker panicked before fulfilling this request")
+                }
+                None => st = self.ready.wait(st).unwrap(),
+            }
+        }
+    }
+}
+
+/// Handle to one in-flight request, returned by a successful submission.
+pub struct Ticket {
+    slot: Arc<ResponseSlot>,
+    submitted_at: Instant,
+}
+
+impl Ticket {
+    /// Stamps the submission instant; created **before** admission so the
+    /// measured latency includes any [`Admission::Block`] backpressure.
+    pub(crate) fn new(slot: Arc<ResponseSlot>) -> Self {
+        Self {
+            slot,
+            submitted_at: Instant::now(),
+        }
+    }
+
+    /// Blocks until a worker fulfils the request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker serving this request panicked (e.g. the input
+    /// shape did not match the model) — the failure propagates to the
+    /// waiting client instead of hanging it.
+    pub fn wait(self) -> Completed {
+        let (output, at) = self.slot.wait();
+        Completed {
+            output,
+            latency: at.saturating_duration_since(self.submitted_at),
+        }
+    }
+}
+
+/// One admitted request waiting in the queue.
+pub(crate) struct QueuedRequest {
+    /// Registry index of the target model.
+    pub model: usize,
+    /// The input `[b, C, H, W]`.
+    pub input: Tensor,
+    /// Where the output goes.
+    pub slot: Arc<ResponseSlot>,
+}
+
+/// Aggregate serving counters, snapshotted when a serve scope ends.
+#[derive(Debug, Clone, Default)]
+pub struct ServeStats {
+    /// Requests admitted into the queue.
+    pub submitted: u64,
+    /// Requests turned away by [`Admission::Reject`].
+    pub rejected: u64,
+    /// Requests handed to a model sweep (every admitted request is served
+    /// before `serve` returns).
+    pub served: u64,
+    /// Coalesced sweeps formed by the schedulers.
+    pub batches: u64,
+    /// Total images across all sweeps.
+    pub rows_swept: u64,
+    /// Largest single sweep handed to a model (may exceed `max_batch`
+    /// when one oversized request is swept alone — the model chunks it
+    /// internally).
+    pub max_sweep_rows: usize,
+    /// Deepest the queue ever got (sampled after each admission).
+    pub peak_queue_depth: usize,
+    /// Mean queue depth over those samples.
+    pub mean_queue_depth: f64,
+}
+
+#[derive(Default)]
+struct QueueState {
+    items: VecDeque<QueuedRequest>,
+    closed: bool,
+    submitted: u64,
+    rejected: u64,
+    served: u64,
+    batches: u64,
+    rows_swept: u64,
+    max_sweep_rows: usize,
+    peak_depth: usize,
+    depth_sum: u64,
+    depth_samples: u64,
+}
+
+/// The bounded multi-producer queue shared by clients and workers.
+pub(crate) struct RequestQueue {
+    capacity: usize,
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl RequestQueue {
+    pub(crate) fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Self {
+            capacity,
+            state: Mutex::new(QueueState::default()),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Admits `req` under `admission` (see [`Admission`]).
+    pub(crate) fn submit(
+        &self,
+        req: QueuedRequest,
+        admission: Admission,
+    ) -> Result<(), SubmitError> {
+        let mut st = self.state.lock().unwrap();
+        while st.items.len() >= self.capacity {
+            if st.closed {
+                return Err(SubmitError::Closed(req.input));
+            }
+            match admission {
+                Admission::Reject => {
+                    st.rejected += 1;
+                    return Err(SubmitError::QueueFull(req.input));
+                }
+                Admission::Block => st = self.not_full.wait(st).unwrap(),
+            }
+        }
+        if st.closed {
+            return Err(SubmitError::Closed(req.input));
+        }
+        st.items.push_back(req);
+        st.submitted += 1;
+        let depth = st.items.len();
+        st.peak_depth = st.peak_depth.max(depth);
+        st.depth_sum += depth as u64;
+        st.depth_samples += 1;
+        drop(st);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Marks the queue closed: workers drain what is left and exit, and
+    /// further submissions fail with [`SubmitError::Closed`].
+    pub(crate) fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Snapshot of the counters.
+    pub(crate) fn stats(&self) -> ServeStats {
+        let st = self.state.lock().unwrap();
+        ServeStats {
+            submitted: st.submitted,
+            rejected: st.rejected,
+            served: st.served,
+            batches: st.batches,
+            rows_swept: st.rows_swept,
+            max_sweep_rows: st.max_sweep_rows,
+            peak_queue_depth: st.peak_depth,
+            mean_queue_depth: if st.depth_samples == 0 {
+                0.0
+            } else {
+                st.depth_sum as f64 / st.depth_samples as f64
+            },
+        }
+    }
+}
+
+/// Forms coalesced sweeps from the shared queue under the
+/// `max_batch` / `max_wait` policy. Each worker thread owns one.
+pub(crate) struct BatchScheduler<'q> {
+    queue: &'q RequestQueue,
+    max_batch: Option<usize>,
+    max_wait: Duration,
+}
+
+impl<'q> BatchScheduler<'q> {
+    pub(crate) fn new(
+        queue: &'q RequestQueue,
+        max_batch: Option<usize>,
+        max_wait: Duration,
+    ) -> Self {
+        assert!(max_batch != Some(0), "max_batch must be positive");
+        Self {
+            queue,
+            max_batch,
+            max_wait,
+        }
+    }
+
+    /// Blocks for the next sweep: a maximal FIFO run of same-model
+    /// requests whose rows fit under `max_batch` and share the first
+    /// request's `[C, H, W]` (mismatched shapes cannot ride one sweep),
+    /// lingering up to `max_wait` (from the moment the sweep starts
+    /// forming) for more arrivals while it is unfilled. A single request
+    /// larger than the cap is swept alone — the model chunks it
+    /// internally. Returns `None` once the queue is closed and drained.
+    pub(crate) fn next_batch(&self) -> Option<Vec<QueuedRequest>> {
+        let cap = self.max_batch.unwrap_or(usize::MAX);
+        let mut st = self.queue.state.lock().unwrap();
+        loop {
+            if !st.items.is_empty() {
+                break;
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.queue.not_empty.wait(st).unwrap();
+        }
+        let first = st.items.pop_front().unwrap();
+        // Every pop frees capacity *now* — wake blocked submitters before
+        // lingering, or they would stall a full `max_wait` behind us.
+        self.queue.not_full.notify_all();
+        let model = first.model;
+        let inner: Vec<usize> = first.input.shape()[1..].to_vec();
+        let mut rows = first.input.dim(0);
+        let mut batch = vec![first];
+        let deadline = Instant::now() + self.max_wait;
+        while rows < cap {
+            match st.items.front() {
+                Some(next)
+                    if next.model == model
+                        && next.input.shape()[1..] == inner[..]
+                        && rows + next.input.dim(0) <= cap =>
+                {
+                    let q = st.items.pop_front().unwrap();
+                    rows += q.input.dim(0);
+                    batch.push(q);
+                    self.queue.not_full.notify_all();
+                }
+                // A different model/shape or an overflowing request ends
+                // the sweep (strict FIFO: never serve around the head).
+                Some(_) => break,
+                None => {
+                    if st.closed {
+                        break;
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    st = self
+                        .queue
+                        .not_empty
+                        .wait_timeout(st, deadline - now)
+                        .unwrap()
+                        .0;
+                }
+            }
+        }
+        st.batches += 1;
+        st.rows_swept += rows as u64;
+        st.max_sweep_rows = st.max_sweep_rows.max(rows);
+        st.served += batch.len() as u64;
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(model: usize, rows: usize) -> QueuedRequest {
+        QueuedRequest {
+            model,
+            input: Tensor::zeros(&[rows, 1, 1, 1]),
+            slot: Arc::new(ResponseSlot::new()),
+        }
+    }
+
+    /// Reject admission must turn requests away exactly when the queue is
+    /// full, handing the input back.
+    #[test]
+    fn reject_admission_bounds_the_queue() {
+        let q = RequestQueue::new(2);
+        q.submit(req(0, 1), Admission::Reject).unwrap();
+        q.submit(req(0, 1), Admission::Reject).unwrap();
+        match q.submit(req(0, 3), Admission::Reject) {
+            Err(SubmitError::QueueFull(t)) => assert_eq!(t.dim(0), 3, "input handed back"),
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+        let s = q.stats();
+        assert_eq!((s.submitted, s.rejected), (2, 1));
+        assert_eq!(s.peak_queue_depth, 2);
+    }
+
+    /// Block admission must wait for space instead of rejecting.
+    #[test]
+    fn block_admission_waits_for_space() {
+        let q = Arc::new(RequestQueue::new(1));
+        q.submit(req(0, 1), Admission::Block).unwrap();
+        let q2 = q.clone();
+        let drainer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            let sched = BatchScheduler::new(&q2, Some(4), Duration::ZERO);
+            sched.next_batch().unwrap().len()
+        });
+        // Blocks until the drainer frees the single slot.
+        q.submit(req(0, 1), Admission::Block).unwrap();
+        assert_eq!(drainer.join().unwrap(), 1);
+        let s = q.stats();
+        assert_eq!((s.submitted, s.rejected), (2, 0));
+    }
+
+    /// The scheduler coalesces FIFO runs of one model under the cap,
+    /// breaks on model switches, and sweeps oversized requests alone.
+    #[test]
+    fn scheduler_batches_under_cap_and_model() {
+        let q = RequestQueue::new(16);
+        for (m, b) in [(0, 2), (0, 2), (0, 1), (1, 1), (0, 7), (0, 1)] {
+            q.submit(req(m, b), Admission::Block).unwrap();
+        }
+        q.close();
+        let sched = BatchScheduler::new(&q, Some(4), Duration::ZERO);
+        let sizes: Vec<(usize, usize)> = std::iter::from_fn(|| sched.next_batch())
+            .map(|b| {
+                let rows: usize = b.iter().map(|r| r.input.dim(0)).sum();
+                (b[0].model, rows)
+            })
+            .collect();
+        // [2+2] (cap), [1] (model switch), [1], [7] (oversized, alone), [1].
+        assert_eq!(sizes, vec![(0, 4), (0, 1), (1, 1), (0, 7), (0, 1)]);
+        let s = q.stats();
+        assert_eq!(s.batches, 5);
+        assert_eq!(s.rows_swept, 14);
+        assert_eq!(s.max_sweep_rows, 7);
+        assert_eq!(s.served, 6);
+    }
+
+    /// Requests with mismatched `[C, H, W]` must never ride one sweep —
+    /// they cannot be concatenated — even when the model id matches.
+    #[test]
+    fn scheduler_never_mixes_shapes_in_a_sweep() {
+        let q = RequestQueue::new(8);
+        let wide = QueuedRequest {
+            model: 0,
+            input: Tensor::zeros(&[1, 2, 3, 3]),
+            slot: Arc::new(ResponseSlot::new()),
+        };
+        q.submit(req(0, 1), Admission::Block).unwrap();
+        q.submit(wide, Admission::Block).unwrap();
+        q.submit(req(0, 1), Admission::Block).unwrap();
+        q.close();
+        let sched = BatchScheduler::new(&q, Some(8), Duration::ZERO);
+        let shapes: Vec<Vec<Vec<usize>>> = std::iter::from_fn(|| sched.next_batch())
+            .map(|b| b.iter().map(|r| r.input.shape().to_vec()).collect())
+            .collect();
+        assert_eq!(
+            shapes,
+            vec![
+                vec![vec![1, 1, 1, 1]],
+                vec![vec![1, 2, 3, 3]],
+                vec![vec![1, 1, 1, 1]],
+            ]
+        );
+    }
+
+    /// Abandoning a slot makes its waiter panic instead of hanging;
+    /// abandoning after fulfilment is a no-op.
+    #[test]
+    fn abandoned_slot_fails_loudly_fulfilled_slot_ignores_abandon() {
+        let slot = Arc::new(ResponseSlot::new());
+        slot.fulfill(Tensor::zeros(&[1]));
+        slot.abandon(); // no-op: already fulfilled
+        let ticket = Ticket::new(slot);
+        assert_eq!(ticket.wait().output, Tensor::zeros(&[1]));
+
+        let slot = Arc::new(ResponseSlot::new());
+        let ticket = Ticket::new(slot.clone());
+        slot.abandon();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ticket.wait()));
+        assert!(err.is_err(), "waiting on an abandoned slot must panic");
+    }
+
+    /// Closing wakes blocked submitters with `Closed` and lets schedulers
+    /// drain to `None`.
+    #[test]
+    fn close_drains_and_rejects_new_work() {
+        let q = RequestQueue::new(4);
+        q.submit(req(0, 1), Admission::Block).unwrap();
+        q.close();
+        assert!(matches!(
+            q.submit(req(0, 1), Admission::Block),
+            Err(SubmitError::Closed(_))
+        ));
+        let sched = BatchScheduler::new(&q, None, Duration::ZERO);
+        assert_eq!(sched.next_batch().unwrap().len(), 1);
+        assert!(sched.next_batch().is_none());
+    }
+}

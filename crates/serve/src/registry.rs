@@ -1,0 +1,87 @@
+//! Multi-model residency: a registry mapping model ids to independently
+//! frozen [`PreparedCimModel`]s.
+//!
+//! Each resident model sits behind its own mutex and carries its own
+//! frozen weights and scratch buffers, so workers serve different models
+//! concurrently while sweeps into one model serialize (one scratch, one
+//! crossbar program). Outputs are bit-identical to calling the standalone
+//! `PreparedCimModel` directly — residency changes scheduling only.
+
+use cq_core::PreparedCimModel;
+use cq_tensor::Tensor;
+use std::sync::Mutex;
+
+/// Opaque handle to a registered model (index into the registry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelId(pub(crate) usize);
+
+/// The resident model set of a [`CimServer`](crate::CimServer).
+#[derive(Default)]
+pub struct ModelRegistry {
+    models: Vec<(String, Mutex<PreparedCimModel>)>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `model` under `id` and returns its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is already registered.
+    pub fn register(&mut self, id: impl Into<String>, model: PreparedCimModel) -> ModelId {
+        let id = id.into();
+        assert!(self.id(&id).is_none(), "model id '{id}' already registered");
+        self.models.push((id, Mutex::new(model)));
+        ModelId(self.models.len() - 1)
+    }
+
+    /// Looks up a model id by name.
+    pub fn id(&self, name: &str) -> Option<ModelId> {
+        self.models.iter().position(|(n, _)| n == name).map(ModelId)
+    }
+
+    /// Name of a registered model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this registry.
+    pub fn name(&self, id: ModelId) -> &str {
+        &self.models[id.0].0
+    }
+
+    /// Number of resident models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// Locks model `id` and serves `requests` through its coalescing
+    /// [`PreparedCimModel::infer_batch`].
+    pub fn infer_batch(&self, id: ModelId, requests: &[Tensor]) -> Vec<Tensor> {
+        self.models[id.0].1.lock().unwrap().infer_batch(requests)
+    }
+
+    /// Caps every resident model's sweep size (see
+    /// [`PreparedCimModel::set_max_batch`]).
+    pub fn set_max_batch(&mut self, max_batch: Option<usize>) {
+        for (_, m) in &mut self.models {
+            m.get_mut().unwrap().set_max_batch(max_batch);
+        }
+    }
+
+    /// Dissolves the registry, returning the resident models.
+    pub fn into_models(self) -> Vec<(String, PreparedCimModel)> {
+        self.models
+            .into_iter()
+            .map(|(n, m)| (n, m.into_inner().unwrap()))
+            .collect()
+    }
+}

@@ -1,0 +1,215 @@
+//! The worker-threaded serving front-end tying queue, scheduler, and
+//! registry together.
+
+use crate::queue::{
+    Admission, BatchScheduler, QueuedRequest, RequestQueue, ResponseSlot, ServeStats, SubmitError,
+    Ticket,
+};
+use crate::registry::{ModelId, ModelRegistry};
+use cq_tensor::Tensor;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Serving policy knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bounded queue capacity, in requests.
+    pub queue_capacity: usize,
+    /// What a submission does when the queue is full.
+    pub admission: Admission,
+    /// Images per coalesced sweep (`None` = unbounded). Also installed as
+    /// every resident model's `max_batch`, so even a single oversized
+    /// request is executed in ≤ cap chunks.
+    pub max_batch: Option<usize>,
+    /// How long a scheduler lingers for more same-model arrivals while a
+    /// sweep is unfilled (measured from when the sweep starts forming).
+    pub max_wait: Duration,
+    /// Worker threads draining the queue.
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 64,
+            admission: Admission::Block,
+            max_batch: Some(8),
+            max_wait: Duration::from_micros(200),
+            workers: 2,
+        }
+    }
+}
+
+/// A serving front-end over a set of resident frozen models: a bounded
+/// request queue with admission control, per-worker batch schedulers, and
+/// `std::thread::scope` workers draining sweeps into the registry (see
+/// crate docs for the full picture).
+pub struct CimServer {
+    registry: ModelRegistry,
+    cfg: ServeConfig,
+}
+
+impl CimServer {
+    /// Creates a server over `registry`; every resident model's sweep cap
+    /// is set to `cfg.max_batch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry is empty, `cfg.workers == 0`,
+    /// `cfg.queue_capacity == 0`, or `cfg.max_batch == Some(0)`.
+    pub fn new(registry: ModelRegistry, cfg: ServeConfig) -> Self {
+        assert!(!registry.is_empty(), "registry has no models");
+        let mut server = Self {
+            registry,
+            cfg: cfg.clone(),
+        };
+        server.set_config(cfg);
+        server
+    }
+
+    /// The resident model set.
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
+    /// The active policy.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Swaps the serving policy between sessions (e.g. a benchmark
+    /// sweeping admission modes over one resident model set); resident
+    /// models get the new sweep cap.
+    ///
+    /// # Panics
+    ///
+    /// Same invariants as [`CimServer::new`].
+    pub fn set_config(&mut self, cfg: ServeConfig) {
+        assert!(cfg.workers > 0, "need at least one worker");
+        assert!(cfg.queue_capacity > 0, "queue capacity must be positive");
+        assert!(cfg.max_batch != Some(0), "max_batch must be positive");
+        self.registry.set_max_batch(cfg.max_batch);
+        self.cfg = cfg;
+    }
+
+    /// Runs one serving session: spawns the workers, calls `body` with a
+    /// [`ServerHandle`] for submitting requests, and — once `body`
+    /// returns — closes the queue, drains every admitted request, joins
+    /// the workers, and returns `body`'s result with the session stats.
+    ///
+    /// Every ticket obtained inside `body` is guaranteed to be resolved;
+    /// `Ticket::wait` may be called inside or after `body`. Panics — in
+    /// `body` or in a worker (e.g. an input shape the model rejects) —
+    /// propagate out of `serve` instead of deadlocking: the queue closes
+    /// on unwind and panicked workers abandon their tickets, which makes
+    /// the corresponding `Ticket::wait` panic too.
+    pub fn serve<R>(&self, body: impl FnOnce(&ServerHandle<'_>) -> R) -> (R, ServeStats) {
+        let queue = RequestQueue::new(self.cfg.queue_capacity);
+        let handle = ServerHandle {
+            queue: &queue,
+            registry: &self.registry,
+            admission: self.cfg.admission,
+        };
+        let out = std::thread::scope(|sc| {
+            for _ in 0..self.cfg.workers {
+                sc.spawn(|| self.worker(&queue));
+            }
+            // Close on unwind too: if `body` panics, `thread::scope` joins
+            // the workers before propagating — without closing, they would
+            // wait on the queue forever.
+            struct CloseOnDrop<'q>(&'q RequestQueue);
+            impl Drop for CloseOnDrop<'_> {
+                fn drop(&mut self) {
+                    self.0.close();
+                }
+            }
+            let closer = CloseOnDrop(&queue);
+            let r = body(&handle);
+            drop(closer);
+            r
+        });
+        (out, queue.stats())
+    }
+
+    /// Dissolves the server, returning the resident models.
+    pub fn into_models(self) -> Vec<(String, cq_core::PreparedCimModel)> {
+        self.registry.into_models()
+    }
+
+    /// One worker: form sweeps, lock the target model, fulfil tickets.
+    fn worker(&self, queue: &RequestQueue) {
+        // If the sweep panics (e.g. the model rejects an input shape),
+        // abandon the unfulfilled tickets on unwind so their waiters fail
+        // loudly instead of hanging.
+        struct AbandonOnDrop(Vec<Arc<ResponseSlot>>);
+        impl Drop for AbandonOnDrop {
+            fn drop(&mut self) {
+                for slot in &self.0 {
+                    slot.abandon();
+                }
+            }
+        }
+        let sched = BatchScheduler::new(queue, self.cfg.max_batch, self.cfg.max_wait);
+        while let Some(batch) = sched.next_batch() {
+            let model = ModelId(batch[0].model);
+            let (inputs, slots): (Vec<Tensor>, Vec<Arc<ResponseSlot>>) =
+                batch.into_iter().map(|q| (q.input, q.slot)).unzip();
+            let guard = AbandonOnDrop(slots);
+            let outputs = self.registry.infer_batch(model, &inputs);
+            debug_assert_eq!(outputs.len(), guard.0.len());
+            for (slot, output) in guard.0.iter().zip(outputs) {
+                slot.fulfill(output);
+            }
+            // All fulfilled; the guard's abandon() calls are now no-ops.
+        }
+    }
+}
+
+/// Client-side handle for submitting requests into a running serve scope.
+pub struct ServerHandle<'s> {
+    queue: &'s RequestQueue,
+    registry: &'s ModelRegistry,
+    admission: Admission,
+}
+
+impl ServerHandle<'_> {
+    /// Submits one request (`[b, C, H, W]`) to the named model.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::UnknownModel`] for an unregistered id;
+    /// [`SubmitError::QueueFull`] when full under [`Admission::Reject`]
+    /// (the input is handed back); [`SubmitError::Closed`] after the
+    /// serve scope started shutting down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is not rank 4.
+    pub fn submit(&self, model: &str, input: Tensor) -> Result<Ticket, SubmitError> {
+        match self.registry.id(model) {
+            Some(id) => self.submit_to(id, input),
+            None => Err(SubmitError::UnknownModel(model.to_string())),
+        }
+    }
+
+    /// Like [`ServerHandle::submit`] with a pre-resolved [`ModelId`].
+    pub fn submit_to(&self, model: ModelId, input: Tensor) -> Result<Ticket, SubmitError> {
+        assert_eq!(input.rank(), 4, "request must be [B,C,H,W]");
+        let slot = Arc::new(ResponseSlot::new());
+        let ticket = Ticket::new(slot.clone());
+        self.queue.submit(
+            QueuedRequest {
+                model: model.0,
+                input,
+                slot,
+            },
+            self.admission,
+        )?;
+        Ok(ticket)
+    }
+
+    /// Resolves a model name (convenience passthrough to the registry).
+    pub fn model_id(&self, name: &str) -> Option<ModelId> {
+        self.registry.id(name)
+    }
+}

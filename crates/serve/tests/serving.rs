@@ -1,0 +1,286 @@
+//! Serving-layer integration tests: admission control, multi-model
+//! isolation, deterministic scheduling under a seeded stream, and
+//! bit-exactness of every serving path against the direct
+//! `PreparedCimModel::infer` result.
+
+use cq_cim::CimConfig;
+use cq_core::{build_cim_resnet, PreparedCimModel, QuantScheme};
+use cq_nn::{Layer, Mode, ResNet, ResNetSpec};
+use cq_serve::{Admission, CimServer, ModelRegistry, ServeConfig, StreamSpec, SubmitError, Ticket};
+use cq_tensor::{CqRng, Tensor};
+use std::time::Duration;
+
+/// A small CIM ResNet with all lazy scales initialized. Construction is
+/// deterministic per seed, so two calls yield bit-identical models.
+fn warmed_net(seed: u64) -> ResNet {
+    let mut net = build_cim_resnet(
+        ResNetSpec::resnet8(4, 4),
+        &CimConfig::tiny(),
+        &QuantScheme::ours(),
+        seed,
+    );
+    let x = CqRng::new(seed + 1000).normal_tensor(&[2, 3, 12, 12], 1.0);
+    let _ = net.forward(&x, Mode::Eval);
+    net
+}
+
+fn prepared(seed: u64) -> PreparedCimModel {
+    PreparedCimModel::new(Box::new(warmed_net(seed)))
+}
+
+fn request(rng: &mut CqRng, batch: usize) -> Tensor {
+    rng.normal_tensor(&[batch, 3, 12, 12], 1.0)
+}
+
+/// Block admission admits everything; all outputs are bit-identical to
+/// the direct standalone path, including oversized (chunked) requests.
+#[test]
+fn queued_serving_is_bit_exact_vs_direct() {
+    let mut reference = warmed_net(1);
+    let rng = &mut CqRng::new(2);
+    // Mixed batch sizes; 7 exceeds max_batch=3 and must be chunked.
+    let inputs: Vec<Tensor> = [1usize, 2, 7, 1, 3, 1, 5]
+        .iter()
+        .map(|&b| request(rng, b))
+        .collect();
+    let want: Vec<Tensor> = inputs
+        .iter()
+        .map(|x| reference.forward(x, Mode::Eval))
+        .collect();
+
+    let mut registry = ModelRegistry::new();
+    registry.register("m", prepared(1));
+    let server = CimServer::new(
+        registry,
+        ServeConfig {
+            queue_capacity: 4,
+            admission: Admission::Block,
+            max_batch: Some(3),
+            max_wait: Duration::from_millis(1),
+            workers: 2,
+        },
+    );
+    let (got, stats) = server.serve(|h| {
+        let tickets: Vec<Ticket> = inputs
+            .iter()
+            .map(|x| h.submit("m", x.clone()).unwrap())
+            .collect();
+        tickets
+            .into_iter()
+            .map(|t| t.wait().output)
+            .collect::<Vec<_>>()
+    });
+    assert_eq!(got, want, "queued path diverged from direct inference");
+    assert_eq!(stats.submitted, 7);
+    assert_eq!(stats.served, 7);
+    assert_eq!(stats.rejected, 0, "Block admission never rejects");
+    assert_eq!(stats.rows_swept, 20);
+}
+
+/// Reject admission bounds the queue: some of a fast burst is shed, the
+/// accounting is exact, and every admitted request completes correctly.
+#[test]
+fn reject_admission_sheds_load_with_exact_accounting() {
+    let mut reference = warmed_net(3);
+    let rng = &mut CqRng::new(4);
+    let inputs: Vec<Tensor> = (0..48).map(|_| request(rng, 1)).collect();
+    let want: Vec<Tensor> = inputs
+        .iter()
+        .map(|x| reference.forward(x, Mode::Eval))
+        .collect();
+
+    let mut registry = ModelRegistry::new();
+    registry.register("m", prepared(3));
+    let server = CimServer::new(
+        registry,
+        ServeConfig {
+            queue_capacity: 2,
+            admission: Admission::Reject,
+            max_batch: Some(2),
+            max_wait: Duration::ZERO,
+            workers: 1,
+        },
+    );
+    let (results, stats) = server.serve(|h| {
+        // Submit the whole burst first (the worker needs milliseconds per
+        // sweep; submission takes microseconds, so the tiny queue must
+        // overflow), then wait the admitted tickets.
+        let tickets: Vec<Result<Ticket, SubmitError>> =
+            inputs.iter().map(|x| h.submit("m", x.clone())).collect();
+        tickets
+            .into_iter()
+            .map(|r| r.map(Ticket::wait))
+            .collect::<Vec<_>>()
+    });
+    let mut admitted = 0u64;
+    let mut shed = 0u64;
+    for (r, want) in results.into_iter().zip(&want) {
+        match r {
+            Ok(completed) => {
+                admitted += 1;
+                assert_eq!(&completed.output, want, "admitted output diverged");
+            }
+            Err(SubmitError::QueueFull(given_back)) => {
+                shed += 1;
+                assert_eq!(given_back.rank(), 4, "rejected input handed back");
+            }
+            Err(e) => panic!("unexpected submit error: {e:?}"),
+        }
+    }
+    assert_eq!(stats.submitted, admitted);
+    assert_eq!(stats.rejected, shed);
+    assert_eq!(admitted + shed, 48);
+    assert!(shed > 0, "a 48-request burst into a 2-slot queue must shed");
+    assert_eq!(stats.served, admitted, "every admitted request was served");
+    assert!(stats.peak_queue_depth <= 2, "capacity bound violated");
+}
+
+/// Two resident models must be fully isolated: each request's output is
+/// bit-identical to its own standalone `PreparedCimModel`, regardless of
+/// interleaving.
+#[test]
+fn multi_model_residency_is_isolated_and_bit_exact() {
+    let mut ref_a = warmed_net(10);
+    let mut ref_b = warmed_net(20);
+    let stream = StreamSpec {
+        rate_rps: 1e6, // arrivals effectively back-to-back
+        requests: 24,
+        models: 2,
+        batch_choices: vec![1, 2, 5],
+        seed: 99,
+    }
+    .generate();
+    let rng = &mut CqRng::new(5);
+    let inputs: Vec<(usize, Tensor)> = stream
+        .iter()
+        .map(|r| (r.model, request(rng, r.batch)))
+        .collect();
+    let want: Vec<Tensor> = inputs
+        .iter()
+        .map(|(m, x)| {
+            if *m == 0 {
+                ref_a.forward(x, Mode::Eval)
+            } else {
+                ref_b.forward(x, Mode::Eval)
+            }
+        })
+        .collect();
+
+    let mut registry = ModelRegistry::new();
+    let id_a = registry.register("model-a", prepared(10));
+    let id_b = registry.register("model-b", prepared(20));
+    let server = CimServer::new(
+        registry,
+        ServeConfig {
+            queue_capacity: 32,
+            admission: Admission::Block,
+            max_batch: Some(4),
+            max_wait: Duration::from_millis(1),
+            workers: 3,
+        },
+    );
+    let (got, stats) = server.serve(|h| {
+        let tickets: Vec<Ticket> = inputs
+            .iter()
+            .map(|(m, x)| {
+                let id = if *m == 0 { id_a } else { id_b };
+                h.submit_to(id, x.clone()).unwrap()
+            })
+            .collect();
+        tickets
+            .into_iter()
+            .map(|t| t.wait().output)
+            .collect::<Vec<_>>()
+    });
+    assert_eq!(got, want, "multi-model outputs diverged from standalone");
+    assert_eq!(stats.served, 24);
+}
+
+/// With one worker and a generous linger, batch formation over a seeded
+/// pre-submitted stream is deterministic: identical stats across runs,
+/// and the scheduler coalesces up to the cap.
+#[test]
+fn scheduler_is_deterministic_under_a_seeded_stream() {
+    let stream = StreamSpec {
+        rate_rps: 1e6,
+        requests: 16,
+        models: 1,
+        batch_choices: vec![1],
+        seed: 7,
+    }
+    .generate();
+
+    let run = || {
+        let rng = &mut CqRng::new(6);
+        let inputs: Vec<Tensor> = stream.iter().map(|r| request(rng, r.batch)).collect();
+        let mut registry = ModelRegistry::new();
+        registry.register("m", prepared(30));
+        let server = CimServer::new(
+            registry,
+            ServeConfig {
+                queue_capacity: 32,
+                admission: Admission::Block,
+                max_batch: Some(4),
+                max_wait: Duration::from_secs(2),
+                workers: 1,
+            },
+        );
+        server.serve(|h| {
+            // Pre-submit the whole stream, then wait: the single worker's
+            // scheduler always finds a full queue (or lingers far longer
+            // than the submission loop takes), so sweeps fill to the cap.
+            let tickets: Vec<Ticket> = inputs
+                .iter()
+                .map(|x| h.submit("m", x.clone()).unwrap())
+                .collect();
+            tickets
+                .into_iter()
+                .map(|t| t.wait().output)
+                .collect::<Vec<_>>()
+        })
+    };
+    let (out1, stats1) = run();
+    let (out2, stats2) = run();
+    assert_eq!(out1, out2, "outputs must be identical across runs");
+    assert_eq!(stats1.batches, stats2.batches, "batch count diverged");
+    assert_eq!(stats1.rows_swept, 16);
+    assert_eq!(stats1.batches, 4, "16 single-image requests at cap 4");
+    assert_eq!(stats1.max_sweep_rows, 4);
+}
+
+/// A request whose shape the model rejects must make `serve` panic —
+/// worker panics propagate through abandoned tickets and the close-on-
+/// unwind guard — never deadlock.
+#[test]
+#[should_panic]
+fn model_rejecting_an_input_panics_instead_of_hanging() {
+    let mut registry = ModelRegistry::new();
+    registry.register("m", prepared(50));
+    let server = CimServer::new(
+        registry,
+        ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let ((), _) = server.serve(|h| {
+        // Wrong channel count: the model's first conv rejects it.
+        let bad = Tensor::zeros(&[1, 5, 12, 12]);
+        let t = h.submit("m", bad).unwrap();
+        let _ = t.wait(); // panics: the worker abandoned the ticket
+    });
+}
+
+/// Unknown model ids fail fast at submission.
+#[test]
+fn unknown_model_is_rejected_at_submit() {
+    let mut registry = ModelRegistry::new();
+    registry.register("only", prepared(40));
+    let server = CimServer::new(registry, ServeConfig::default());
+    let (err, _) = server.serve(|h| {
+        h.submit("missing", Tensor::zeros(&[1, 3, 12, 12]))
+            .err()
+            .unwrap()
+    });
+    assert!(matches!(err, SubmitError::UnknownModel(name) if name == "missing"));
+}

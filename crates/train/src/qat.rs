@@ -39,30 +39,38 @@ pub fn train_with_scheme(
             result
         }
         TrainMethod::TwoStageQat => {
+            // Degenerate budgets degrade gracefully: 0 epochs trains
+            // nothing, 1 epoch runs a single stage-1 epoch and no stage 2 —
+            // the total history never exceeds `cfg.epochs` entries.
             let stage1 = ((cfg.epochs as f64 * TWO_STAGE_SPLIT).round() as usize)
-                .clamp(1, cfg.epochs.saturating_sub(1).max(1));
+                .clamp(cfg.epochs.min(1), cfg.epochs.saturating_sub(1).max(1))
+                .min(cfg.epochs);
             let stage2 = cfg.epochs - stage1;
             set_quant_enabled(model, true);
             set_psum_quant_enabled(model, false);
             let mut result = TrainResult::default();
-            let mut opt = Sgd::new(cfg.lr.lr_at(0), cfg.momentum, cfg.weight_decay);
-            let cfg1 = TrainConfig {
-                epochs: stage1,
-                ..cfg.clone()
-            };
-            train_epochs(model, train_ds, test_ds, &cfg1, &mut opt, &mut result);
-            // Stage 2: enable partial-sum quantization; scales lazily
-            // re-initialize on the first batch; momentum restarts.
-            set_psum_quant_enabled(model, true);
-            result.stage_boundaries.push(result.history.len());
-            let mut opt2 = Sgd::new(cfg.lr.lr_at(0), cfg.momentum, cfg.weight_decay);
-            let cfg2 = TrainConfig {
-                epochs: stage2.max(1),
-                lr: stage2_lr(&cfg.lr, stage2.max(1)),
-                seed: cfg.seed.wrapping_add(1),
-                ..cfg.clone()
-            };
-            train_epochs(model, train_ds, test_ds, &cfg2, &mut opt2, &mut result);
+            if stage1 > 0 {
+                let mut opt = Sgd::new(cfg.lr.lr_at(0), cfg.momentum, cfg.weight_decay);
+                let cfg1 = TrainConfig {
+                    epochs: stage1,
+                    ..cfg.clone()
+                };
+                train_epochs(model, train_ds, test_ds, &cfg1, &mut opt, &mut result);
+            }
+            if stage2 > 0 {
+                // Stage 2: enable partial-sum quantization; scales lazily
+                // re-initialize on the first batch; momentum restarts.
+                set_psum_quant_enabled(model, true);
+                result.stage_boundaries.push(result.history.len());
+                let mut opt2 = Sgd::new(cfg.lr.lr_at(0), cfg.momentum, cfg.weight_decay);
+                let cfg2 = TrainConfig {
+                    epochs: stage2,
+                    lr: stage2_lr(&cfg.lr, stage2),
+                    seed: cfg.seed.wrapping_add(1),
+                    ..cfg.clone()
+                };
+                train_epochs(model, train_ds, test_ds, &cfg2, &mut opt2, &mut result);
+            }
             result
         }
         TrainMethod::Ptq => {
@@ -156,6 +164,27 @@ mod tests {
         let mut on = true;
         for_each_cim_conv(&mut net, |c| on &= c.psum_quant_enabled());
         assert!(on, "stage 2 left psum quantization on");
+    }
+
+    /// Degenerate budgets: `epochs == 0` must train nothing (it used to
+    /// panic on usize underflow) and `epochs == 1` must run exactly one
+    /// stage-1 epoch with no stage 2 (it used to train 2 epochs).
+    #[test]
+    fn two_stage_degrades_gracefully_at_tiny_budgets() {
+        let scheme = QuantScheme::saxena9();
+        for epochs in [0usize, 1] {
+            let (mut net, train_ds, test_ds) = setup(&scheme, 7);
+            let cfg = TrainConfig::quick(epochs, 4);
+            let r = train_with_scheme(&mut net, &scheme, &train_ds, &test_ds, &cfg);
+            assert_eq!(r.history.len(), epochs, "epochs={epochs}");
+            assert!(
+                r.stage_boundaries.is_empty(),
+                "no stage 2 at epochs={epochs}"
+            );
+            let mut psq = false;
+            for_each_cim_conv(&mut net, |c| psq |= c.psum_quant_enabled());
+            assert!(!psq, "stage 2 never ran; psum quantization must stay off");
+        }
     }
 
     /// Stage 2 of two-stage QAT must start at its own base LR (`base·0.5`),

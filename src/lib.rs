@@ -14,6 +14,7 @@
 //! | [`nn`] | `cq-nn` | layers with manual autograd, SGD, ResNet-20/18 |
 //! | [`data`] | `cq-data` | synthetic CIFAR-10/100/ImageNet stand-ins, loaders |
 //! | [`core`] | `cq-core` | **the paper's contribution**: `CimConv2d`, schemes, PTQ, variation |
+//! | [`serve`] | `cq-serve` | queued, multi-model serving front-end: bounded queue, batch scheduler, model registry |
 //! | [`train`] | `cq-train` | one-stage/two-stage QAT and PTQ training schedules |
 //!
 //! The most commonly used items are re-exported at the top level.
@@ -45,6 +46,7 @@ pub use cq_core as core;
 pub use cq_data as data;
 pub use cq_nn as nn;
 pub use cq_quant as quant;
+pub use cq_serve as serve;
 pub use cq_tensor as tensor;
 pub use cq_train as train;
 
@@ -57,5 +59,6 @@ pub use cq_core::{
 pub use cq_data::SyntheticSpec;
 pub use cq_nn::{Layer, Mode, ResNet, ResNetSpec};
 pub use cq_quant::Granularity;
+pub use cq_serve::{Admission, CimServer, ModelRegistry, ServeConfig, StreamSpec};
 pub use cq_tensor::Tensor;
 pub use cq_train::{train_with_scheme, TrainConfig, TrainResult};
