@@ -1,53 +1,92 @@
 //! **Serving SLO** — open-loop latency/throughput of the `cq-serve`
-//! front-end (bounded queue + batch scheduler + multi-model registry)
-//! under seeded Poisson-ish request streams.
+//! front-end (bounded queue + SLO-aware batch scheduler + work-stealing
+//! shard pool + multi-model registry) under seeded Poisson-ish request
+//! streams.
 //!
 //! The experiment first calibrates closed-loop capacity (submit
-//! everything at once, Block admission), then replays two open-loop
+//! everything at once, Block admission), then replays three open-loop
 //! points against two resident models:
 //!
-//! * **underload** — ~60% of calibrated capacity, Block admission;
-//! * **overload** — ~130% of calibrated capacity, Reject admission, so
-//!   the bounded queue sheds load instead of building unbounded latency.
+//! * **underload** — ~60% of calibrated capacity, Block admission, mixed
+//!   `Latency`/`Bulk` classes, sharding enabled;
+//! * **overload-fifo** — ~130% of capacity, Reject admission, all-bulk
+//!   FIFO scheduling with sharding off — the PR 3 baseline;
+//! * **overload-slo** — the **same offered load** with 50% latency-class
+//!   tickets (deadlines attached) and sharding enabled, so the artifact
+//!   directly shows the latency-class p99 win over FIFO at equal load.
 //!
-//! Per point it reports p50/p99 submit→complete latency, achieved
-//! images/sec, shed requests, and queue depth. Results are returned as
-//! markdown and written to `BENCH_serving.json` (consumed by CI as an
-//! artifact). Arrival schedules and inputs are seeded; wall-clock numbers
-//! vary with the machine, the stream replayed does not.
+//! Per point it reports p50/p99 submit→complete latency (overall and per
+//! class), deadline-miss rate, achieved images/sec, shed requests, queue
+//! depth, and shard-pool counters. Results are returned as markdown and
+//! written to `BENCH_serving.json`; the sharded/SLO points are also
+//! written to `BENCH_serving_sharded.json` (both consumed by CI as
+//! artifacts). Arrival schedules and inputs are seeded; wall-clock
+//! numbers vary with the machine, the stream replayed does not.
 
 use crate::{markdown_table, ExperimentSetting, Scale};
 use cq_core::{build_cim_resnet, PreparedCimModel, QuantScheme};
 use cq_nn::{Layer, Mode};
 use cq_serve::{
-    Admission, CimServer, ModelId, ModelRegistry, ServeConfig, StreamSpec, SubmitError, Ticket,
+    Admission, CimServer, ModelId, ModelRegistry, ServeConfig, Slo, StreamSpec, SubmitError, Ticket,
 };
 use cq_tensor::{max_threads, CqRng, Tensor};
 use std::time::{Duration, Instant};
 
+/// Per-SLO-class measurements at one load point.
+#[derive(Debug, Clone)]
+pub struct ClassPoint {
+    /// Class label ("latency" / "bulk").
+    pub slo: &'static str,
+    /// Tickets completed under this class.
+    pub completed: u64,
+    /// Completions after their deadline.
+    pub missed: u64,
+    /// Median submit→complete latency.
+    pub p50_ms: f64,
+    /// 99th-percentile submit→complete latency.
+    pub p99_ms: f64,
+}
+
 /// One measured offered-load point.
 #[derive(Debug, Clone)]
 pub struct LoadPoint {
-    /// Point label ("underload" / "overload").
+    /// Point label ("underload" / "overload-fifo" / "overload-slo").
     pub label: &'static str,
     /// Admission policy at this point.
     pub admission: Admission,
-    /// Offered arrival rate (requests/sec; every request is one image).
+    /// Offered arrival rate, requests/sec (requests carry 1–6 images).
     pub offered_rps: f64,
+    /// Fraction of stream requests carrying the latency class (classes
+    /// are reported against the stream labels even at the FIFO point).
+    pub latency_fraction: f64,
+    /// `true` = PR 3 FIFO baseline (every request submitted as bulk);
+    /// `false` = SLO scheduling with the stream's classes.
+    pub fifo: bool,
+    /// Whether batch-segment + row-tile sharding was enabled.
+    pub sharded: bool,
     /// Requests admitted and served.
     pub completed: u64,
     /// Requests shed by Reject admission.
     pub rejected: u64,
     /// Served images over the point's makespan.
     pub images_per_sec: f64,
-    /// Median submit→complete latency.
+    /// Median submit→complete latency (all classes).
     pub p50_ms: f64,
-    /// 99th-percentile submit→complete latency.
+    /// 99th-percentile submit→complete latency (all classes).
     pub p99_ms: f64,
+    /// Fraction of deadline-carrying (stream-latency) requests that
+    /// missed their deadline.
+    pub deadline_miss_rate: f64,
     /// Mean queue depth (sampled at each admission).
     pub mean_queue_depth: f64,
     /// Peak queue depth.
     pub peak_queue_depth: usize,
+    /// Sweeps split across the work-stealing shard pool.
+    pub sharded_sweeps: u64,
+    /// Shard tasks executed across all workers.
+    pub shards_executed: u64,
+    /// Per-class breakdown (present for classes that saw traffic).
+    pub classes: Vec<ClassPoint>,
 }
 
 /// Full result of the serving experiment.
@@ -65,16 +104,66 @@ pub struct ServingResult {
     pub requests: usize,
     /// Image shape `[C, H, W]`.
     pub image: [usize; 3],
+    /// Max rows per batch-segment shard at sharded points.
+    pub shard_rows: usize,
+    /// Row-tile shards per frozen conv at sharded points.
+    pub row_tile_shards: usize,
     /// Closed-loop capacity the load points are scaled from.
     pub calibrated_ips: f64,
     /// The measured offered-load points.
     pub points: Vec<LoadPoint>,
 }
 
+fn point_json(p: &LoadPoint) -> String {
+    let classes = p
+        .classes
+        .iter()
+        .map(|c| {
+            format!(
+                "{{\"slo\": \"{}\", \"completed\": {}, \"missed\": {}, \
+                 \"p50_latency_ms\": {:.3}, \"p99_latency_ms\": {:.3}}}",
+                c.slo, c.completed, c.missed, c.p50_ms, c.p99_ms
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "    {{\"label\": \"{}\", \"admission\": \"{}\", \"offered_rps\": {:.3}, \
+         \"latency_fraction\": {:.2}, \"scheduling\": \"{}\", \"sharded\": {}, \
+         \"completed\": {}, \"rejected\": {}, \"images_per_sec\": {:.3}, \
+         \"p50_latency_ms\": {:.3}, \"p99_latency_ms\": {:.3}, \
+         \"deadline_miss_rate\": {:.4}, \
+         \"mean_queue_depth\": {:.3}, \"peak_queue_depth\": {}, \
+         \"sharded_sweeps\": {}, \"shards_executed\": {}, \
+         \"classes\": [{}]}}",
+        p.label,
+        match p.admission {
+            Admission::Block => "block",
+            Admission::Reject => "reject",
+        },
+        p.offered_rps,
+        p.latency_fraction,
+        if p.fifo { "fifo" } else { "slo" },
+        p.sharded,
+        p.completed,
+        p.rejected,
+        p.images_per_sec,
+        p.p50_ms,
+        p.p99_ms,
+        p.deadline_miss_rate,
+        p.mean_queue_depth,
+        p.peak_queue_depth,
+        p.sharded_sweeps,
+        p.shards_executed,
+        classes
+    )
+}
+
 impl ServingResult {
     /// Renders the machine-readable report (hand-rolled JSON; the
-    /// workspace is dependency-free).
-    pub fn to_json(&self) -> String {
+    /// workspace is dependency-free). `points` selects a subset by label
+    /// (`None` = all).
+    fn json_for(&self, points: Option<&[&str]>) -> String {
         let mut s = String::from("{\n");
         s.push_str(&format!("  \"scale\": \"{:?}\",\n", self.scale));
         s.push_str(&format!("  \"threads\": {},\n", self.threads));
@@ -85,35 +174,32 @@ impl ServingResult {
             "  \"image\": [{}, {}, {}],\n",
             self.image[0], self.image[1], self.image[2]
         ));
+        s.push_str(&format!("  \"shard_rows\": {},\n", self.shard_rows));
+        s.push_str(&format!(
+            "  \"row_tile_shards\": {},\n",
+            self.row_tile_shards
+        ));
         s.push_str(&format!(
             "  \"calibrated_images_per_sec\": {:.3},\n",
             self.calibrated_ips
         ));
         s.push_str("  \"points\": [\n");
-        for (i, p) in self.points.iter().enumerate() {
-            s.push_str(&format!(
-                "    {{\"label\": \"{}\", \"admission\": \"{}\", \"offered_rps\": {:.3}, \
-                 \"completed\": {}, \"rejected\": {}, \"images_per_sec\": {:.3}, \
-                 \"p50_latency_ms\": {:.3}, \"p99_latency_ms\": {:.3}, \
-                 \"mean_queue_depth\": {:.3}, \"peak_queue_depth\": {}}}{}\n",
-                p.label,
-                match p.admission {
-                    Admission::Block => "block",
-                    Admission::Reject => "reject",
-                },
-                p.offered_rps,
-                p.completed,
-                p.rejected,
-                p.images_per_sec,
-                p.p50_ms,
-                p.p99_ms,
-                p.mean_queue_depth,
-                p.peak_queue_depth,
-                if i + 1 < self.points.len() { "," } else { "" }
-            ));
+        let selected: Vec<&LoadPoint> = self
+            .points
+            .iter()
+            .filter(|p| points.map_or(true, |ls| ls.contains(&p.label)))
+            .collect();
+        for (i, p) in selected.iter().enumerate() {
+            s.push_str(&point_json(p));
+            s.push_str(if i + 1 < selected.len() { ",\n" } else { "\n" });
         }
         s.push_str("  ]\n}\n");
         s
+    }
+
+    /// The full machine-readable report.
+    pub fn to_json(&self) -> String {
+        self.json_for(None)
     }
 }
 
@@ -143,39 +229,64 @@ fn build_model(setting: &ExperimentSetting, seed: u64) -> PreparedCimModel {
     PreparedCimModel::new(Box::new(net))
 }
 
+/// One replayed ticket outcome.
+struct Outcome {
+    slo: Slo,
+    missed: bool,
+    latency: Duration,
+}
+
 /// Replays `stream` (paired with pre-generated inputs) against `server`:
 /// submits each request at its arrival offset, waits every admitted
-/// ticket, and returns (latencies, makespan, stats).
+/// ticket, and returns (outcomes, makespan, stats).
+///
+/// With `fifo` set, every request is submitted as [`Slo::Bulk`] — the
+/// PR 3 FIFO baseline — but outcomes still carry the request's *stream*
+/// class, so the would-be-latency subset is directly comparable between
+/// the FIFO and SLO schedules over identical requests. Stream-latency
+/// requests carry `deadline` in both modes (deadline accounting is
+/// orthogonal to scheduling class).
 fn replay(
     server: &CimServer,
     ids: &[ModelId],
     stream: &[cq_serve::StreamRequest],
     inputs: &[Tensor],
-) -> (Vec<Duration>, Duration, cq_serve::ServeStats) {
+    deadline: Option<Duration>,
+    fifo: bool,
+) -> (Vec<Outcome>, Duration, cq_serve::ServeStats) {
     let t0 = Instant::now();
-    let (latencies, stats) = {
-        let (lats, stats) = server.serve(|h| {
-            let mut tickets: Vec<Ticket> = Vec::with_capacity(stream.len());
-            for (r, x) in stream.iter().zip(inputs) {
-                let target = t0 + r.at;
-                let now = Instant::now();
-                if target > now {
-                    std::thread::sleep(target - now);
-                }
-                match h.submit_to(ids[r.model], x.clone()) {
-                    Ok(t) => tickets.push(t),
-                    Err(SubmitError::QueueFull(_)) => {} // shed; counted in stats
-                    Err(e) => panic!("unexpected submit error: {e:?}"),
-                }
+    let (outcomes, stats) = server.serve(|h| {
+        let mut tickets: Vec<(Slo, Ticket)> = Vec::with_capacity(stream.len());
+        for (r, x) in stream.iter().zip(inputs) {
+            let target = t0 + r.at;
+            let now = Instant::now();
+            if target > now {
+                std::thread::sleep(target - now);
             }
-            tickets
-                .into_iter()
-                .map(|t| t.wait().latency)
-                .collect::<Vec<_>>()
-        });
-        (lats, stats)
-    };
-    (latencies, t0.elapsed(), stats)
+            let ticket_deadline = match r.slo {
+                Slo::Latency => deadline,
+                Slo::Bulk => None,
+            };
+            let submit_slo = if fifo { Slo::Bulk } else { r.slo };
+            match h.submit_to_with(ids[r.model], x.clone(), submit_slo, ticket_deadline) {
+                Ok(t) => tickets.push((r.slo, t)),
+                Err(SubmitError::QueueFull(_)) => {} // shed; counted in stats
+                Err(e) => panic!("unexpected submit error: {e:?}"),
+            }
+        }
+        tickets
+            .into_iter()
+            .map(|(stream_slo, t)| {
+                let c = t.wait();
+                Outcome {
+                    slo: stream_slo,
+                    missed: c.missed,
+                    latency: c.latency,
+                }
+            })
+            .collect::<Vec<_>>()
+    });
+    (outcomes, t0.elapsed(), stats)
 }
 
 /// Measures the serving SLO experiment and returns the structured result.
@@ -188,20 +299,23 @@ pub fn measure(scale: Scale) -> ServingResult {
         Scale::Full => 192,
     };
     let workers = 2;
+    let (shard_rows, row_tile_shards) = (4usize, 2usize);
 
     let mut registry = ModelRegistry::new();
     let ids = vec![
         registry.register("resnet-a", build_model(&setting, 501)),
         registry.register("resnet-b", build_model(&setting, 503)),
     ];
-    let cfg = |admission: Admission| ServeConfig {
+    let cfg = |admission: Admission, sharded: bool| ServeConfig {
         queue_capacity: 32,
         admission,
         max_batch: Some(8),
         max_wait: Duration::from_micros(500),
         workers,
+        shard_rows: sharded.then_some(shard_rows),
+        row_tile_shards: sharded.then_some(row_tile_shards),
     };
-    let mut server = CimServer::new(registry, cfg(Admission::Block));
+    let mut server = CimServer::new(registry, cfg(Admission::Block, false));
 
     // Closed-loop calibration: everything arrives at t=0, Block admission —
     // the server runs flat out, giving the capacity the open-loop points
@@ -211,6 +325,7 @@ pub fn measure(scale: Scale) -> ServingResult {
         requests,
         models: 2,
         batch_choices: vec![1],
+        latency_fraction: 0.0,
         seed: 510,
     }
     .generate();
@@ -219,41 +334,93 @@ pub fn measure(scale: Scale) -> ServingResult {
         .iter()
         .map(|_| rng.normal_tensor(&[1, c, hw, hw], 1.0).map(|v| v.max(0.0)))
         .collect();
-    let (_, cal_span, cal_stats) = replay(&server, &ids, &cal_stream, &cal_inputs);
+    let (_, cal_span, cal_stats) = replay(&server, &ids, &cal_stream, &cal_inputs, None, true);
     let calibrated_ips = cal_stats.rows_swept as f64 / cal_span.as_secs_f64().max(1e-9);
+    // Latency deadline: a generous multiple of the mean per-image service
+    // time, so misses mean real queueing, not noise.
+    let deadline = Duration::from_secs_f64(20.0 / calibrated_ips.max(1.0));
 
     let mut points = Vec::new();
-    for (label, factor, admission, seed) in [
-        ("underload", 0.6, Admission::Block, 520u64),
-        ("overload", 1.3, Admission::Reject, 530),
+    for (label, factor, admission, fifo, sharded, seed) in [
+        ("underload", 0.6, Admission::Block, false, true, 520u64),
+        // The PR 3 baseline and the SLO/sharded run replay the IDENTICAL
+        // request stream (same seed, same arrivals, same batch sizes,
+        // same would-be classes) at the same offered load — only the
+        // scheduling differs — so the latency-class p99 is directly
+        // comparable against FIFO.
+        ("overload-fifo", 1.3, Admission::Reject, true, false, 530),
+        ("overload-slo", 1.3, Admission::Reject, false, true, 530),
     ] {
-        server.set_config(cfg(admission));
+        let latency_fraction = 0.5;
+        server.set_config(cfg(admission, sharded));
         let offered_rps = (calibrated_ips * factor).max(1.0);
+        // Mostly single-image requests with an occasional 6-image burst:
+        // the bursts create the head-of-line blocking that priority
+        // scheduling exists to cut through, and (at > shard_rows rows)
+        // exercise the work-stealing shard pool.
         let stream = StreamSpec {
             rate_rps: offered_rps,
             requests,
             models: 2,
-            batch_choices: vec![1],
+            batch_choices: vec![1, 1, 1, 6],
+            latency_fraction,
             seed,
         }
         .generate();
         let rng = &mut CqRng::new(seed + 1);
         let inputs: Vec<Tensor> = stream
             .iter()
-            .map(|_| rng.normal_tensor(&[1, c, hw, hw], 1.0).map(|v| v.max(0.0)))
+            .map(|r| {
+                rng.normal_tensor(&[r.batch, c, hw, hw], 1.0)
+                    .map(|v| v.max(0.0))
+            })
             .collect();
-        let (mut latencies, span, stats) = replay(&server, &ids, &stream, &inputs);
+        let (outcomes, span, stats) = replay(&server, &ids, &stream, &inputs, Some(deadline), fifo);
+        let mut all: Vec<Duration> = outcomes.iter().map(|o| o.latency).collect();
+        let mut classes = Vec::new();
+        for (slo, name) in [(Slo::Latency, "latency"), (Slo::Bulk, "bulk")] {
+            let mut lats: Vec<Duration> = outcomes
+                .iter()
+                .filter(|o| o.slo == slo)
+                .map(|o| o.latency)
+                .collect();
+            if lats.is_empty() {
+                continue;
+            }
+            classes.push(ClassPoint {
+                slo: name,
+                completed: lats.len() as u64,
+                missed: outcomes.iter().filter(|o| o.slo == slo && o.missed).count() as u64,
+                p50_ms: percentile_ms(&mut lats, 0.50),
+                p99_ms: percentile_ms(&mut lats, 0.99),
+            });
+        }
+        // Only stream-latency requests carry deadlines, so they are the
+        // miss-rate denominator — bulk traffic must not dilute it.
+        let with_deadline = outcomes.iter().filter(|o| o.slo == Slo::Latency).count();
+        let missed = outcomes.iter().filter(|o| o.missed).count();
         points.push(LoadPoint {
             label,
             admission,
             offered_rps,
+            latency_fraction,
+            fifo,
+            sharded,
             completed: stats.served,
             rejected: stats.rejected,
             images_per_sec: stats.rows_swept as f64 / span.as_secs_f64().max(1e-9),
-            p50_ms: percentile_ms(&mut latencies, 0.50),
-            p99_ms: percentile_ms(&mut latencies, 0.99),
+            p50_ms: percentile_ms(&mut all, 0.50),
+            p99_ms: percentile_ms(&mut all, 0.99),
+            deadline_miss_rate: if with_deadline == 0 {
+                0.0
+            } else {
+                missed as f64 / with_deadline as f64
+            },
             mean_queue_depth: stats.mean_queue_depth,
             peak_queue_depth: stats.peak_queue_depth,
+            sharded_sweeps: stats.sharded_sweeps,
+            shards_executed: stats.shards_executed,
+            classes,
         });
     }
 
@@ -264,17 +431,34 @@ pub fn measure(scale: Scale) -> ServingResult {
         models: 2,
         requests,
         image: [c, hw, hw],
+        shard_rows,
+        row_tile_shards,
         calibrated_ips,
         points,
     }
 }
 
-/// Runs the experiment, writes `BENCH_serving.json`, and returns the
-/// markdown report.
+/// Runs the experiment, writes `BENCH_serving.json` and
+/// `BENCH_serving_sharded.json`, and returns the markdown report.
 pub fn run(scale: Scale) -> String {
     let r = measure(scale);
     std::fs::write("BENCH_serving.json", r.to_json()).expect("write BENCH_serving.json");
+    // The sharded/SLO points as their own artifact, uploaded next to the
+    // full report so the shard-enabled run is directly diffable.
+    std::fs::write(
+        "BENCH_serving_sharded.json",
+        r.json_for(Some(&["underload", "overload-slo"])),
+    )
+    .expect("write BENCH_serving_sharded.json");
 
+    let class_cell = |p: &LoadPoint, name: &str| {
+        p.classes
+            .iter()
+            .find(|c| c.slo == name)
+            .map_or("-".to_string(), |c| {
+                format!("{:.2}/{:.2}", c.p50_ms, c.p99_ms)
+            })
+    };
     let rows: Vec<Vec<String>> = r
         .points
         .iter()
@@ -286,18 +470,25 @@ pub fn run(scale: Scale) -> String {
                 format!("{:.1}", p.images_per_sec),
                 format!("{}", p.completed),
                 format!("{}", p.rejected),
-                format!("{:.2}", p.p50_ms),
-                format!("{:.2}", p.p99_ms),
+                class_cell(p, "latency"),
+                class_cell(p, "bulk"),
+                format!("{:.1}%", p.deadline_miss_rate * 100.0),
+                format!("{}/{}", p.sharded_sweeps, p.shards_executed),
                 format!("{:.1} / {}", p.mean_queue_depth, p.peak_queue_depth),
             ]
         })
         .collect();
-    let mut out =
-        String::from("## Serving SLO — open-loop load against the cq-serve front-end\n\n");
+    let mut out = String::from(
+        "## Serving SLO — open-loop load against the cq-serve front-end \
+         (priority classes + sharding)\n\n",
+    );
     out.push_str(&format!(
         "{} requests per point over {} resident models ({}×{}×{} images), \
-         {} workers, {} kernel threads, closed-loop capacity {:.1} images/sec \
-         ({:?} scale).\n\n",
+         {} workers, {} kernel threads, closed-loop capacity {:.1} images/sec; \
+         sharded points split sweeps into ≤{}-row segments with {} row-tile \
+         shards per conv ({:?} scale). `overload-fifo` and `overload-slo` \
+         replay the same offered load, so the latency-class p99 is directly \
+         comparable against the FIFO baseline.\n\n",
         r.requests,
         r.models,
         r.image[0],
@@ -306,6 +497,8 @@ pub fn run(scale: Scale) -> String {
         r.workers,
         r.threads,
         r.calibrated_ips,
+        r.shard_rows,
+        r.row_tile_shards,
         r.scale
     ));
     out.push_str(&markdown_table(
@@ -316,16 +509,19 @@ pub fn run(scale: Scale) -> String {
             "images/sec",
             "completed",
             "shed",
-            "p50 ms",
-            "p99 ms",
+            "latency p50/p99 ms",
+            "bulk p50/p99 ms",
+            "miss rate",
+            "sharded sweeps/shards",
             "queue depth (mean/peak)",
         ],
         &rows,
     ));
     out.push_str(
-        "\nEvery served output is bit-identical to the direct \
-         `PreparedCimModel::infer` result (pinned by `cq-serve` tests); \
-         the numbers above are written to `BENCH_serving.json`.\n",
+        "\nEvery served output — including sharded sweeps — is bit-identical \
+         to the direct `PreparedCimModel::infer` result (pinned by `cq-serve` \
+         tests and the `sharded_equivalence` matrix); the numbers above are \
+         written to `BENCH_serving.json` and `BENCH_serving_sharded.json`.\n",
     );
     out
 }

@@ -16,6 +16,10 @@
 //! * [`PreparedConv`] — the frozen serving executor: weight quantization,
 //!   bit-splitting, and grouping done **once** at load, per-call
 //!   intermediates reused through a [`ConvScratch`].
+//! * [`ShardPlan`] — contiguous partitioning of row tiles (or batch rows)
+//!   behind the bit-exact sharded execution paths: shards compute
+//!   independent partial-sum blocks that are scattered — never re-summed —
+//!   back into the canonical layout before the fixed-order accumulation.
 //! * [`dequant_mults`] / [`overhead_class`] — the dequantization-overhead
 //!   model behind the paper's Fig. 8.
 //! * [`apply_lognormal`] — the Eq. (5) memory-cell variation model.
@@ -43,6 +47,7 @@ mod engine;
 mod overhead;
 mod pipeline;
 mod prepared;
+mod shard;
 mod tiling;
 mod variation;
 
@@ -56,5 +61,6 @@ pub use pipeline::{
     AdcDigitizer, ColumnDigitizer, IdealDigitizer, PerturbedDigitizer, PsumPipeline,
 };
 pub use prepared::{ConvScratch, PreparedConv};
+pub use shard::ShardPlan;
 pub use tiling::TilingPlan;
 pub use variation::{apply_lognormal, apply_lognormal_in_place, FIG10_SIGMAS};

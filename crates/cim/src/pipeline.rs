@@ -23,9 +23,10 @@
 //! `std::thread::scope`, using the same [`cq_tensor::threads_for`] policy
 //! (and `CQ_THREADS` override) as the GEMM kernels.
 
-use crate::{Adc, Crossbar, TilingPlan};
+use crate::{Adc, Crossbar, ShardPlan, TilingPlan};
 use cq_quant::BitSplit;
 use cq_tensor::{conv2d_grouped, conv2d_grouped_into, conv_out_dim, threads_for, CqRng, Tensor};
+use std::ops::Range;
 
 /// Digitizes one physical column's analog partial sum into its dequantized
 /// value `p̂` (the ADC output multiplied back by the column's scale factor,
@@ -279,6 +280,144 @@ impl PsumPipeline {
                 col,
             );
         }
+    }
+
+    // ---- row-tile sharding: shardable front-end entry points -----------
+
+    /// Slices the grouped-weight rows of row tiles `tiles` out of every
+    /// per-split tensor produced by
+    /// [`PsumPipeline::split_grouped_weights`]: each returned tensor is the
+    /// contiguous `[len·OC, c_pa, K, K]` block of the shard's groups.
+    /// Typically called once at freeze time so sharded serving does no
+    /// per-call weight copying.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tiles` is out of range or `grouped_weights` disagrees
+    /// with the plan.
+    pub fn shard_grouped_weights(
+        &self,
+        grouped_weights: &[Tensor],
+        tiles: Range<usize>,
+    ) -> Vec<Tensor> {
+        let p = &self.plan;
+        assert!(
+            tiles.start < tiles.end && tiles.end <= p.num_row_tiles,
+            "row-tile shard {tiles:?} out of range"
+        );
+        assert_eq!(
+            grouped_weights.len(),
+            p.num_splits,
+            "one weight set per split"
+        );
+        grouped_weights
+            .iter()
+            .map(|wg| wg.slice_outer(tiles.start * p.out_ch, tiles.end * p.out_ch))
+            .collect()
+    }
+
+    /// Copies the padded-activation channel block of row tiles `tiles` out
+    /// of `a_pad` (`[B, G·c_pa, H, W]`) into `out`
+    /// (`[B, len·c_pa, H, W]`, reallocated on shape change).
+    pub fn slice_padded_row_tiles(&self, a_pad: &Tensor, tiles: Range<usize>, out: &mut Tensor) {
+        let p = &self.plan;
+        assert!(
+            tiles.start < tiles.end && tiles.end <= p.num_row_tiles,
+            "row-tile shard {tiles:?} out of range"
+        );
+        let (b, h, w) = (a_pad.dim(0), a_pad.dim(2), a_pad.dim(3));
+        assert_eq!(a_pad.dim(1), p.padded_in_ch, "padded channels vs plan");
+        let hw = h * w;
+        let (c_shard, c_full) = (tiles.len() * p.ch_per_array, p.padded_in_ch);
+        let shape = [b, c_shard, h, w];
+        if out.shape() != shape {
+            *out = Tensor::zeros(&shape);
+        }
+        let src0 = tiles.start * p.ch_per_array * hw;
+        for bi in 0..b {
+            out.data_mut()[bi * c_shard * hw..(bi + 1) * c_shard * hw]
+                .copy_from_slice(&a_pad.data()[bi * c_full * hw + src0..][..c_shard * hw]);
+        }
+    }
+
+    /// Computes the integer partial sums of row tiles `tiles` **only**
+    /// (`[B, len·OC, OH, OW]` per split, written into `psums`), from the
+    /// pre-sliced shard activations and weights. Group convolutions treat
+    /// groups independently, so every value is bit-identical to the
+    /// corresponding channel block of [`PsumPipeline::grouped_psums`].
+    pub fn grouped_psums_shard_into(
+        &self,
+        a_shard: &Tensor,
+        shard_weights: &[Tensor],
+        tiles: Range<usize>,
+        psums: &mut Vec<Tensor>,
+        col: &mut Vec<f32>,
+    ) {
+        assert_eq!(
+            shard_weights.len(),
+            self.plan.num_splits,
+            "one weight set per split"
+        );
+        psums.resize_with(self.plan.num_splits, || Tensor::zeros(&[1]));
+        for (wg, ps) in shard_weights.iter().zip(psums.iter_mut()) {
+            conv2d_grouped_into(a_shard, wg, self.stride, self.pad, tiles.len(), ps, col);
+        }
+    }
+
+    /// Scatters one shard's partial sums back into the full per-split
+    /// tensors — the **bit-exact rejoin**: shard contributions are copied
+    /// (never re-summed) into their canonical channel blocks, so the
+    /// subsequent [`PsumPipeline::accumulate`] runs in exactly the
+    /// unsharded operation order regardless of shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree with the plan or `tiles`.
+    pub fn scatter_psum_shard(
+        &self,
+        shard_psums: &[Tensor],
+        tiles: Range<usize>,
+        psums: &mut [Tensor],
+    ) {
+        let p = &self.plan;
+        assert_eq!(shard_psums.len(), p.num_splits, "one psum tensor per split");
+        assert_eq!(psums.len(), p.num_splits, "one psum tensor per split");
+        for (sp, full) in shard_psums.iter().zip(psums.iter_mut()) {
+            let (b, oh, ow) = (sp.dim(0), sp.dim(2), sp.dim(3));
+            assert_eq!(sp.dim(1), tiles.len() * p.out_ch, "shard channels vs tiles");
+            assert_eq!(
+                full.shape(),
+                &[b, p.num_row_tiles * p.out_ch, oh, ow],
+                "full psum shape vs plan"
+            );
+            let inner = oh * ow;
+            let (blk, full_blk) = (
+                tiles.len() * p.out_ch * inner,
+                p.num_row_tiles * p.out_ch * inner,
+            );
+            let dst0 = tiles.start * p.out_ch * inner;
+            for bi in 0..b {
+                full.data_mut()[bi * full_blk + dst0..][..blk]
+                    .copy_from_slice(&sp.data()[bi * blk..(bi + 1) * blk]);
+            }
+        }
+    }
+
+    /// Pre-computes the per-shard weight slices of a row-tile [`ShardPlan`]
+    /// (outer index: shard; inner: split).
+    pub fn shard_weight_sets(
+        &self,
+        grouped_weights: &[Tensor],
+        plan: &ShardPlan,
+    ) -> Vec<Vec<Tensor>> {
+        assert_eq!(
+            plan.num_items(),
+            self.plan.num_row_tiles,
+            "shard plan vs row tiles"
+        );
+        plan.iter()
+            .map(|tiles| self.shard_grouped_weights(grouped_weights, tiles))
+            .collect()
     }
 
     /// Computes every split's integer partial sums `[B, G·OC, OH, OW]` by

@@ -19,9 +19,18 @@
 //! reused across requests, so a steady-state serving loop allocates only
 //! its output tensors.
 
-use crate::{Adc, AdcDigitizer, IdealDigitizer, PsumPipeline, QuantizedConv};
+use crate::{Adc, AdcDigitizer, IdealDigitizer, PsumPipeline, QuantizedConv, ShardPlan};
 use cq_quant::{GroupLayout, LsqQuantizer};
-use cq_tensor::Tensor;
+use cq_tensor::{conv_out_dim, Tensor};
+
+/// Per-shard buffers of a row-tile-sharded sweep (see
+/// [`PreparedConv::set_row_tile_shards`]).
+#[derive(Debug, Clone, Default)]
+struct ShardScratch {
+    a_shard: Tensor,
+    psums: Vec<Tensor>,
+    col: Vec<f32>,
+}
 
 /// Reusable per-call buffers of a [`PreparedConv`] (see module docs).
 #[derive(Debug, Clone, Default)]
@@ -30,6 +39,7 @@ pub struct ConvScratch {
     a_pad: Tensor,
     psums: Vec<Tensor>,
     col: Vec<f32>,
+    shards: Vec<ShardScratch>,
 }
 
 impl ConvScratch {
@@ -45,6 +55,15 @@ impl ConvScratch {
     }
 }
 
+/// Row-tile shard execution state: the shard plan plus the per-shard
+/// weight slices, computed once when sharding is enabled.
+#[derive(Debug, Clone)]
+struct ShardExec {
+    plan: ShardPlan,
+    /// `weights[shard][split]` — contiguous `[len·OC, c_pa, K, K]` slices.
+    weights: Vec<Vec<Tensor>>,
+}
+
 /// A quantized convolution frozen for inference: weights quantized,
 /// bit-split, and grouped once; every serve drives the shared
 /// [`PsumPipeline`].
@@ -57,6 +76,9 @@ pub struct PreparedConv {
     grouped_weights: Vec<Tensor>,
     adc: Adc,
     a_quant: LsqQuantizer,
+    /// Row-tile sharded front-end, when enabled (see
+    /// [`PreparedConv::set_row_tile_shards`]).
+    shard: Option<ShardExec>,
 }
 
 impl PreparedConv {
@@ -102,7 +124,44 @@ impl PreparedConv {
             adc,
             a_quant,
             desc,
+            shard: None,
         }
+    }
+
+    /// Enables (or disables, with `None`/`Some(1)`) **row-tile sharding**:
+    /// the grouped-conv front-end is split into up to `shards` independent
+    /// row-tile shards that execute on scoped threads and are rejoined by
+    /// exact scatter before the canonical fixed-order reduce — outputs are
+    /// **bit-identical** to the unsharded path for every shard count
+    /// (counts larger than the number of row tiles are clamped). Per-shard
+    /// weight slices are cut once here, so serving does no per-call weight
+    /// copying.
+    ///
+    /// Each shard's grouped convolution still uses the kernel's own
+    /// `threads_for`/`CQ_THREADS` policy internally, so shard threads
+    /// multiply with that pool — keep `shards × CQ_THREADS` within the
+    /// machine's core budget on a saturated host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == Some(0)`.
+    pub fn set_row_tile_shards(&mut self, shards: Option<usize>) {
+        assert!(shards != Some(0), "shard count must be positive");
+        self.shard = shards.and_then(|n| {
+            let plan = ShardPlan::split(self.desc.plan.num_row_tiles, n);
+            (!plan.is_trivial()).then(|| ShardExec {
+                weights: self
+                    .pipeline
+                    .shard_weight_sets(&self.grouped_weights, &plan),
+                plan,
+            })
+        });
+    }
+
+    /// The effective row-tile shard count (1 when sharding is off or the
+    /// layer has a single row tile).
+    pub fn row_tile_shards(&self) -> usize {
+        self.shard.as_ref().map_or(1, |s| s.plan.num_shards())
     }
 
     /// The frozen layer description.
@@ -137,13 +196,10 @@ impl PreparedConv {
     pub fn infer_with_scratch(&self, x: &Tensor, scratch: &mut ConvScratch) -> Tensor {
         self.a_quant
             .forward_int_into(x, &GroupLayout::single(), &mut scratch.a_int);
-        let ConvScratch {
-            a_int,
-            a_pad,
-            psums,
-            col,
-        } = scratch;
-        self.run(a_int, a_pad, psums, col)
+        let a_int = std::mem::take(&mut scratch.a_int);
+        let y = self.run(&a_int, scratch);
+        scratch.a_int = a_int;
+        y
     }
 
     /// Serves one batch of already-quantized integer activations.
@@ -156,29 +212,77 @@ impl PreparedConv {
         a_int: &Tensor,
         scratch: &mut ConvScratch,
     ) -> Tensor {
-        let ConvScratch {
-            a_pad, psums, col, ..
-        } = scratch;
-        self.run(a_int, a_pad, psums, col)
+        self.run(a_int, scratch)
     }
 
-    /// The shared serving body: pad channels, sweep the grouped conv,
-    /// digitize and reduce.
-    fn run(
-        &self,
-        a_int: &Tensor,
-        a_pad: &mut Tensor,
-        psums: &mut Vec<Tensor>,
-        col: &mut Vec<f32>,
-    ) -> Tensor {
+    /// The shared serving body: pad channels, sweep the grouped conv
+    /// (whole, or as independent row-tile shards rejoined by exact
+    /// scatter), digitize and reduce.
+    fn run(&self, a_int: &Tensor, scratch: &mut ConvScratch) -> Tensor {
+        let ConvScratch {
+            a_pad,
+            psums,
+            col,
+            shards,
+            ..
+        } = scratch;
         self.desc.plan.pad_channels_into(a_int, a_pad);
-        self.pipeline
-            .grouped_psums_into(a_pad, &self.grouped_weights, psums, col);
+        match &self.shard {
+            None => self
+                .pipeline
+                .grouped_psums_into(a_pad, &self.grouped_weights, psums, col),
+            Some(se) => self.sharded_psums(se, a_pad, psums, shards),
+        }
         if self.desc.psum_quant {
             let dig = AdcDigitizer::new(self.adc, &self.desc.psum_scales, &self.desc.plan);
             self.pipeline.reduce(psums, &dig)
         } else {
             self.pipeline.reduce(psums, &IdealDigitizer)
+        }
+    }
+
+    /// Row-tile sharded front-end: every shard computes its groups'
+    /// partial sums on its own scoped thread, then the shards are
+    /// scattered — exact copies, never re-summed — into the full per-split
+    /// tensors, so the subsequent reduce runs in the canonical unsharded
+    /// operation order.
+    fn sharded_psums(
+        &self,
+        se: &ShardExec,
+        a_pad: &Tensor,
+        psums: &mut Vec<Tensor>,
+        shards: &mut Vec<ShardScratch>,
+    ) {
+        let p = &self.desc.plan;
+        shards.resize_with(se.plan.num_shards(), ShardScratch::default);
+        std::thread::scope(|sc| {
+            for (tiles, (sw, ss)) in se.plan.iter().zip(se.weights.iter().zip(shards.iter_mut())) {
+                let pipeline = &self.pipeline;
+                sc.spawn(move || {
+                    pipeline.slice_padded_row_tiles(a_pad, tiles.clone(), &mut ss.a_shard);
+                    pipeline.grouped_psums_shard_into(
+                        &ss.a_shard,
+                        sw,
+                        tiles,
+                        &mut ss.psums,
+                        &mut ss.col,
+                    );
+                });
+            }
+        });
+        // Rejoin: size the full tensors, then scatter every shard block.
+        let (b, h, w) = (a_pad.dim(0), a_pad.dim(2), a_pad.dim(3));
+        let oh = conv_out_dim(h, p.kh, self.desc.stride, self.desc.pad);
+        let ow = conv_out_dim(w, p.kw, self.desc.stride, self.desc.pad);
+        let shape = [b, p.num_row_tiles * p.out_ch, oh, ow];
+        psums.resize_with(p.num_splits, || Tensor::zeros(&[1]));
+        for ps in psums.iter_mut() {
+            if ps.shape() != shape {
+                *ps = Tensor::zeros(&shape);
+            }
+        }
+        for (tiles, ss) in se.plan.iter().zip(shards.iter()) {
+            self.pipeline.scatter_psum_shard(&ss.psums, tiles, psums);
         }
     }
 }
@@ -266,6 +370,36 @@ mod tests {
         let x = rng.normal_tensor(&[1, 7, 6, 6], 1.0).map(|v| v.max(0.0));
         assert_eq!(plain.infer(&x), identity.infer(&x));
         assert_ne!(plain.infer(&x), scaled.infer(&x));
+    }
+
+    /// Row-tile sharded execution must be bit-identical to the unsharded
+    /// path for every shard count — including counts above the number of
+    /// row tiles — with and without psum quantization, and across scratch
+    /// reuse.
+    #[test]
+    fn row_tile_sharding_is_bit_exact() {
+        for psq in [false, true] {
+            let desc = small_desc(psq);
+            let tiles = desc.plan.num_row_tiles; // 3 for the tiny config
+            assert!(tiles > 1, "test needs a multi-tile layer");
+            let baseline = PreparedConv::new(desc.clone());
+            let mut rng = CqRng::new(31);
+            let x = rng.normal_tensor(&[2, 7, 6, 6], 1.0).map(|v| v.max(0.0));
+            let want = baseline.infer(&x);
+            for n in [1usize, 2, 7] {
+                let mut sharded = PreparedConv::new(desc.clone());
+                sharded.set_row_tile_shards(Some(n));
+                assert_eq!(sharded.row_tile_shards(), n.min(tiles));
+                let mut scratch = ConvScratch::new();
+                let got1 = sharded.infer_with_scratch(&x, &mut scratch);
+                let got2 = sharded.infer_with_scratch(&x, &mut scratch);
+                assert_eq!(got1, want, "shards={n} psq={psq}");
+                assert_eq!(got2, want, "dirty-scratch shards={n} psq={psq}");
+                sharded.set_row_tile_shards(None);
+                assert_eq!(sharded.row_tile_shards(), 1);
+                assert_eq!(sharded.infer(&x), want, "disable diverged");
+            }
+        }
     }
 
     #[test]

@@ -68,13 +68,36 @@ pub struct VariationCfg {
     pub seed: u64,
 }
 
-/// Frozen serving state: the prepared executor plus its reusable per-call
-/// scratch. Present only between [`CimConv2d::freeze`] and the next
-/// invalidating mutation (training forward, stage toggle, scale reset,
-/// variation change, checkpoint restore).
+/// Frozen serving state: the prepared executor plus a pool of reusable
+/// per-call scratch buffers. Present only between [`CimConv2d::freeze`]
+/// and the next invalidating mutation (training forward, stage toggle,
+/// scale reset, variation change, checkpoint restore).
+///
+/// The pool (rather than a single scratch) is what lets the **shared**
+/// eval path serve several batch-segment shards concurrently from one
+/// frozen layer: each in-flight call pops a scratch (or starts a fresh
+/// one) and returns it afterwards, so steady-state serving still
+/// allocates nothing while concurrent calls never contend on buffers.
 struct FrozenConv {
     prepared: PreparedConv,
-    scratch: ConvScratch,
+    scratch_pool: std::sync::Mutex<Vec<ConvScratch>>,
+}
+
+impl FrozenConv {
+    fn new(prepared: PreparedConv) -> Self {
+        Self {
+            prepared,
+            scratch_pool: std::sync::Mutex::new(vec![ConvScratch::new()]),
+        }
+    }
+
+    /// Serves one call through a pooled scratch (concurrency-safe).
+    fn infer(&self, x: &Tensor) -> Tensor {
+        let mut scratch = self.scratch_pool.lock().unwrap().pop().unwrap_or_default();
+        let y = self.prepared.infer_with_scratch(x, &mut scratch);
+        self.scratch_pool.lock().unwrap().push(scratch);
+        y
+    }
 }
 
 struct FwdCache {
@@ -115,6 +138,9 @@ pub struct CimConv2d {
     fp_cache: Option<Tensor>,
     p_layout_cache: HashMap<usize, Vec<GroupLayout>>,
     frozen: Option<FrozenConv>,
+    /// Row-tile shard count applied to the frozen executor (kept across
+    /// re-freezes). `None` = unsharded.
+    row_tile_shards: Option<usize>,
 }
 
 impl CimConv2d {
@@ -171,6 +197,7 @@ impl CimConv2d {
             fp_cache: None,
             p_layout_cache: HashMap::new(),
             frozen: None,
+            row_tile_shards: None,
             cfg,
         }
     }
@@ -561,13 +588,27 @@ impl CimConv2d {
         let desc = self.to_quantized_conv();
         let var = self.variation;
         let weight_factors = Self::per_weight_factors(var, desc.w_int.shape());
-        let prepared = PreparedConv::with_slice_transform(desc, move |s, slice| {
+        let mut prepared = PreparedConv::with_slice_transform(desc, move |s, slice| {
             Self::apply_variation_to_slice(var, weight_factors.as_ref(), s, slice)
         });
-        self.frozen = Some(FrozenConv {
-            prepared,
-            scratch: ConvScratch::new(),
-        });
+        prepared.set_row_tile_shards(self.row_tile_shards);
+        self.frozen = Some(FrozenConv::new(prepared));
+    }
+
+    /// Sets the row-tile shard count of the frozen executor (see
+    /// [`PreparedConv::set_row_tile_shards`] — bit-identical to unsharded
+    /// execution for every count). Applies to the current frozen state, if
+    /// any, and persists across re-freezes. `None` disables sharding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == Some(0)`.
+    pub fn set_row_tile_shards(&mut self, shards: Option<usize>) {
+        assert!(shards != Some(0), "shard count must be positive");
+        self.row_tile_shards = shards;
+        if let Some(fr) = &mut self.frozen {
+            fr.prepared.set_row_tile_shards(shards);
+        }
     }
 
     /// Drops the frozen serving state (the next eval forward runs the full
@@ -640,9 +681,8 @@ impl CimConv2d {
             // freeze time; only activation quantization, the grouped conv
             // sweep, and the shared reduce run per call (bit-identical to
             // the full path below).
-            if let Some(mut fr) = self.frozen.take() {
-                let y = fr.prepared.infer_with_scratch(x, &mut fr.scratch);
-                self.frozen = Some(fr);
+            if let Some(fr) = &self.frozen {
+                let y = fr.infer(x);
                 self.fp_cache = None;
                 self.cache = None;
                 return y;
@@ -803,6 +843,26 @@ impl Layer for CimConv2d {
         } else {
             self.forward_fp(x, mode)
         }
+    }
+
+    fn forward_shared(&self, x: &Tensor) -> Option<Tensor> {
+        assert_eq!(x.rank(), 4, "CimConv2d input must be [B,C,H,W]");
+        assert_eq!(x.dim(1), self.plan.in_ch, "input channels vs plan");
+        if !self.quant_enabled {
+            // Full-precision passthrough is pure in eval mode.
+            let mut y = conv2d(x, &self.weight.value, self.stride, self.pad);
+            if let Some(b) = &self.bias {
+                add_channel_bias(&mut y, &b.value);
+            }
+            return Some(y);
+        }
+        // Quantized concurrent serving requires the frozen executor (the
+        // per-call path mutates lazy scales and caches); psum capture also
+        // needs the stateful path.
+        if self.psum_capture {
+            return None;
+        }
+        self.frozen.as_ref().map(|fr| fr.infer(x))
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {

@@ -86,6 +86,34 @@ impl PreparedCimModel {
         self.model.forward(images, Mode::Eval)
     }
 
+    /// Serves one batch through **shared state** (`&self`): several
+    /// threads may call this concurrently on one prepared model — the
+    /// execution path behind batch-segment sharding, where serve workers
+    /// cooperate on disjoint row segments of a single oversized sweep.
+    /// Bit-identical to [`PreparedCimModel::infer`] (pinned by tests);
+    /// note it does **not** apply `max_batch` chunking — callers shard
+    /// rows themselves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any layer cannot serve through shared state (cannot
+    /// happen for models built by this workspace: every CIM conv is
+    /// frozen at preparation and every other layer is stateless in eval).
+    pub fn infer_shared(&self, images: &Tensor) -> Tensor {
+        self.model
+            .forward_shared(images)
+            .expect("prepared model has a layer without shared-eval support")
+    }
+
+    /// Sets the row-tile shard count of every frozen CIM convolution (see
+    /// [`crate::CimConv2d::set_row_tile_shards`]): the grouped-conv
+    /// front-end of each layer then executes as that many independent
+    /// row-tile shards, rejoined bit-exactly before the canonical reduce.
+    /// `None` disables sharding. Outputs are bit-identical either way.
+    pub fn set_row_tile_shards(&mut self, shards: Option<usize>) {
+        for_each_cim_conv(self.model.as_mut(), |c| c.set_row_tile_shards(shards));
+    }
+
     /// Serves many independent requests (each `[b_i, C, H, W]`, typically
     /// `b_i = 1`): requests are coalesced into sweeps of at most
     /// `max_batch` images, each sweep runs one parallel forward, and the
@@ -272,6 +300,23 @@ mod tests {
         let want: Vec<Tensor> = pm.infer_batch(&reqs);
         pm.set_max_batch(Some(2));
         assert_eq!(pm.infer_batch(&reqs), want, "mixed stream diverged");
+    }
+
+    /// The shared (`&self`) path must equal the exclusive path bit-for-bit,
+    /// including under concurrent callers.
+    #[test]
+    fn shared_inference_matches_exclusive_path() {
+        let mut net = warmed_net(11);
+        let x = CqRng::new(12).normal_tensor(&[3, 3, 12, 12], 1.0);
+        let want = net.forward(&x, Mode::Eval);
+        let mut pm = PreparedCimModel::new(Box::new(net));
+        assert_eq!(pm.infer(&x), want);
+        let pm = &pm;
+        std::thread::scope(|sc| {
+            for _ in 0..3 {
+                sc.spawn(|| assert_eq!(pm.infer_shared(&x), want, "shared path diverged"));
+            }
+        });
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! Bit-exactness matrix for **sharded execution**: row-tile sharded
+//! inference (and the shared `&self` path behind batch-segment sharding)
+//! must equal the unsharded `PreparedCimModel::infer_batch` bit-for-bit
+//! across psq mode × granularity × digitizer × shard counts {1, 2, 7} —
+//! including a shard count larger than any layer's number of row tiles.
+//!
+//! Digitizer regimes map onto the pipeline as in `prepared_inference`:
+//! with psum quantization off the ideal (infinite-precision) converter
+//! runs; with it on the behavioural ADC runs; `Variation` additionally
+//! bakes per-cell log-normal device variation into the frozen weights.
+
+use cq_cim::CimConfig;
+use cq_core::{
+    build_cim_resnet, set_psum_quant_enabled, set_variation, PreparedCimModel, QuantScheme,
+    VariationMode,
+};
+use cq_nn::{Layer, Mode, ResNetSpec};
+use cq_quant::Granularity;
+use cq_tensor::{CqRng, Tensor};
+
+/// One digitizer regime of the matrix.
+#[derive(Clone, Copy, Debug)]
+enum Digitizer {
+    /// No device variation: ideal converter (psq off) or plain ADC (psq on).
+    Clean,
+    /// Per-cell log-normal variation baked into the frozen weights.
+    Variation,
+}
+
+fn prepared_model(psq: bool, gran: Granularity, dig: Digitizer, seed: u64) -> PreparedCimModel {
+    let mut net = build_cim_resnet(
+        ResNetSpec::resnet8(4, 4),
+        &CimConfig::tiny(),
+        &QuantScheme::custom(gran, gran),
+        seed,
+    );
+    if !psq {
+        set_psum_quant_enabled(&mut net, false);
+    }
+    if let Digitizer::Variation = dig {
+        set_variation(&mut net, Some(0.15), VariationMode::PerCell, 77);
+    }
+    // Initialize every lazy scale before freezing.
+    let warm = CqRng::new(seed + 1000).normal_tensor(&[2, 3, 12, 12], 1.0);
+    let _ = net.forward(&warm, Mode::Eval);
+    PreparedCimModel::new(Box::new(net))
+}
+
+fn check_cell(psq: bool, gran: Granularity, dig: Digitizer, seed: u64) {
+    let ctx = format!("psq={psq} gran={gran} dig={dig:?}");
+    let rng = &mut CqRng::new(seed + 2000);
+    // A small and an oversized request: with max_batch = 3 the second is
+    // chunked, so sharding composes with the coalescing/chunking path.
+    let requests = [
+        rng.normal_tensor(&[1, 3, 12, 12], 1.0),
+        rng.normal_tensor(&[7, 3, 12, 12], 1.0),
+    ];
+    let mut pm = prepared_model(psq, gran, dig, seed);
+    pm.set_max_batch(Some(3));
+    let want = pm.infer_batch(&requests);
+
+    for shards in [1usize, 2, 7] {
+        // 7 exceeds every layer's row-tile count in this tiny config —
+        // the plan must clamp, never produce empty shards.
+        pm.set_row_tile_shards(Some(shards));
+        let got = pm.infer_batch(&requests);
+        assert_eq!(got, want, "{ctx} shards={shards}: infer_batch diverged");
+        // The shared (`&self`) path — what serve workers run on their
+        // batch-segment shards — under the same row-tile sharding.
+        for (req, w) in requests.iter().zip(&want) {
+            assert_eq!(
+                &pm.infer_shared(req),
+                w,
+                "{ctx} shards={shards}: infer_shared diverged"
+            );
+        }
+    }
+    pm.set_row_tile_shards(None);
+    assert_eq!(pm.infer_batch(&requests), want, "{ctx}: disable diverged");
+}
+
+/// psq {off, on} × granularity × digitizer × shard counts {1, 2, 7}.
+#[test]
+fn sharded_equivalence_full_matrix() {
+    let mut seed = 9000;
+    for psq in [false, true] {
+        for gran in Granularity::ALL {
+            for dig in [Digitizer::Clean, Digitizer::Variation] {
+                check_cell(psq, gran, dig, seed);
+                seed += 100;
+            }
+        }
+    }
+}
+
+/// Batch-segment sharding (the serve-layer decomposition): slicing an
+/// oversized request into row segments, running each through the shared
+/// path concurrently, and concatenating the slices must reproduce the
+/// unsharded sweep bit-for-bit.
+#[test]
+fn batch_segment_sharding_rejoins_bit_exactly() {
+    let mut pm = prepared_model(true, Granularity::Column, Digitizer::Clean, 4242);
+    let big = CqRng::new(4243).normal_tensor(&[9, 3, 12, 12], 1.0);
+    let want = pm.infer_batch(std::slice::from_ref(&big)).pop().unwrap();
+    let pm = &pm;
+    for max_rows in [2usize, 4, 9, 16] {
+        let plan = cq_cim::ShardPlan::split_max(big.dim(0), max_rows);
+        let mut parts: Vec<Option<Tensor>> = vec![None; plan.num_shards()];
+        std::thread::scope(|sc| {
+            for (seg, out) in plan.iter().zip(parts.iter_mut()) {
+                let big = &big;
+                sc.spawn(move || {
+                    *out = Some(pm.infer_shared(&big.slice_outer(seg.start, seg.end)));
+                });
+            }
+        });
+        let parts: Vec<Tensor> = parts.into_iter().map(Option::unwrap).collect();
+        let got = Tensor::concat_outer(&parts.iter().collect::<Vec<_>>());
+        assert_eq!(got, want, "max_rows={max_rows}");
+    }
+}

@@ -24,6 +24,10 @@ impl Layer for Relu {
         x.map(|v| v.max(0.0))
     }
 
+    fn forward_shared(&self, x: &Tensor) -> Option<Tensor> {
+        Some(x.map(|v| v.max(0.0)))
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let mask = self.mask.take().expect("Relu::backward without forward");
         assert_eq!(mask.len(), grad_out.numel(), "shape changed between passes");

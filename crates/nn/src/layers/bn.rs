@@ -56,6 +56,30 @@ impl BatchNorm2d {
     pub fn running_var(&self) -> &[f32] {
         &self.running_var
     }
+
+    /// The eval-mode normalization against running statistics — the one
+    /// implementation used by `forward(Mode::Eval)` and `forward_shared`,
+    /// so the two paths are bit-identical.
+    fn eval_forward(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.rank(), 4, "BatchNorm2d input must be [B,C,H,W]");
+        let (b, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+        assert_eq!(c, self.channels(), "channel mismatch");
+        let hw = h * w;
+        let mut y = Tensor::zeros(x.shape());
+        for ci in 0..c {
+            let inv = 1.0 / (self.running_var[ci] + self.eps).sqrt();
+            let mean = self.running_mean[ci];
+            let g = self.gamma.value.data()[ci];
+            let be = self.beta.value.data()[ci];
+            for bi in 0..b {
+                let base = (bi * c + ci) * hw;
+                for i in base..base + hw {
+                    y.data_mut()[i] = g * (x.data()[i] - mean) * inv + be;
+                }
+            }
+        }
+        y
+    }
 }
 
 impl Layer for BatchNorm2d {
@@ -104,22 +128,15 @@ impl Layer for BatchNorm2d {
                 self.cache = Some(BnCache { xhat, inv_std });
             }
             Mode::Eval => {
-                for ci in 0..c {
-                    let inv = 1.0 / (self.running_var[ci] + self.eps).sqrt();
-                    let mean = self.running_mean[ci];
-                    let g = self.gamma.value.data()[ci];
-                    let be = self.beta.value.data()[ci];
-                    for bi in 0..b {
-                        let base = (bi * c + ci) * hw;
-                        for i in base..base + hw {
-                            y.data_mut()[i] = g * (x.data()[i] - mean) * inv + be;
-                        }
-                    }
-                }
                 self.cache = None;
+                return self.eval_forward(x);
             }
         }
         y
+    }
+
+    fn forward_shared(&self, x: &Tensor) -> Option<Tensor> {
+        Some(self.eval_forward(x))
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {

@@ -98,12 +98,17 @@ pub fn accumulate_bias_grad(grad_out: &Tensor, gbias: &mut Tensor) {
 
 impl Layer for Conv2d {
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let y = self.forward_shared(x).expect("Conv2d is always shareable");
+        self.cached_input = (mode == Mode::Train).then(|| x.clone());
+        y
+    }
+
+    fn forward_shared(&self, x: &Tensor) -> Option<Tensor> {
         let mut y = conv2d(x, &self.weight.value, self.stride, self.pad);
         if let Some(b) = &self.bias {
             add_channel_bias(&mut y, &b.value);
         }
-        self.cached_input = (mode == Mode::Train).then(|| x.clone());
-        y
+        Some(y)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {

@@ -31,10 +31,10 @@ impl Linear {
     pub fn weight(&self) -> &Tensor {
         &self.weight.value
     }
-}
 
-impl Layer for Linear {
-    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+    /// The pure forward computation, shared by the training and the
+    /// concurrent (`forward_shared`) paths.
+    fn compute(&self, x: &Tensor) -> Tensor {
         assert_eq!(x.rank(), 2, "Linear input must be [B, IN]");
         let mut y = matmul_a_bt(x, &self.weight.value);
         if let Some(b) = &self.bias {
@@ -45,8 +45,19 @@ impl Layer for Linear {
                 }
             }
         }
+        y
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let y = self.compute(x);
         self.cached_input = (mode == Mode::Train).then(|| x.clone());
         y
+    }
+
+    fn forward_shared(&self, x: &Tensor) -> Option<Tensor> {
+        Some(self.compute(x))
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {

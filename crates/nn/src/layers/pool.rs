@@ -37,6 +37,10 @@ impl Layer for AvgPool2d {
         avg_pool2d(x, self.kernel, self.stride)
     }
 
+    fn forward_shared(&self, x: &Tensor) -> Option<Tensor> {
+        Some(avg_pool2d(x, self.kernel, self.stride))
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let shape = self
             .input_shape
@@ -90,6 +94,10 @@ impl Layer for MaxPool2d {
         y
     }
 
+    fn forward_shared(&self, x: &Tensor) -> Option<Tensor> {
+        Some(max_pool2d(x, self.kernel, self.stride, self.pad).0)
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let (shape, idx) = self
             .cache
@@ -128,6 +136,10 @@ impl Layer for GlobalAvgPool {
             self.input_shape = Some(x.shape().to_vec());
         }
         global_avg_pool(x)
+    }
+
+    fn forward_shared(&self, x: &Tensor) -> Option<Tensor> {
+        Some(global_avg_pool(x))
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {

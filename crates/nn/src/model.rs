@@ -256,6 +256,19 @@ impl Layer for BasicBlock {
         self.relu_out.forward(&sum, mode)
     }
 
+    fn forward_shared(&self, x: &Tensor) -> Option<Tensor> {
+        let mut h = self.conv1.forward_shared(x)?;
+        h = self.bn1.forward_shared(&h)?;
+        h = self.relu1.forward_shared(&h)?;
+        h = self.conv2.forward_shared(&h)?;
+        h = self.bn2.forward_shared(&h)?;
+        let s = match &self.shortcut {
+            Some((conv, bn)) => bn.forward_shared(&conv.forward_shared(x)?)?,
+            None => x.clone(),
+        };
+        self.relu_out.forward_shared(&h.add(&s))
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let g = self.relu_out.backward(grad_out);
         // Main path.
@@ -397,6 +410,20 @@ impl Layer for ResNet {
         }
         let pooled = self.gap.forward(&h, mode);
         self.fc.forward(&pooled, mode)
+    }
+
+    fn forward_shared(&self, x: &Tensor) -> Option<Tensor> {
+        let mut h = self.stem_conv.forward_shared(x)?;
+        h = self.stem_bn.forward_shared(&h)?;
+        h = self.stem_relu.forward_shared(&h)?;
+        if let Some(p) = &self.stem_pool {
+            h = p.forward_shared(&h)?;
+        }
+        for b in &self.blocks {
+            h = b.forward_shared(&h)?;
+        }
+        let pooled = self.gap.forward_shared(&h)?;
+        self.fc.forward_shared(&pooled)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {

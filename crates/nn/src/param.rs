@@ -85,14 +85,28 @@ pub enum Mode {
 /// needs; `backward` consumes that cache and returns `∂L/∂input` while
 /// accumulating parameter gradients internally.
 ///
-/// Layers are `Send` so whole models can move between (and be served
-/// from) worker threads — e.g. the `cq-serve` front-end parks each
-/// registered `PreparedCimModel` behind a mutex that any worker may
-/// drain batches into. Every layer in this workspace is plain owned
-/// data, so the bound costs nothing.
-pub trait Layer: std::any::Any + Send {
+/// Layers are `Send + Sync` so whole models can move between (and be
+/// served from) worker threads — e.g. the `cq-serve` front-end parks each
+/// registered `PreparedCimModel` behind a lock that any worker may drain
+/// batches into, and sharded serving runs [`Layer::forward_shared`] from
+/// several workers at once through a read lock. Every layer in this
+/// workspace is plain owned data (frozen CIM convolutions guard their
+/// scratch pool with a mutex), so the bounds cost nothing.
+pub trait Layer: std::any::Any + Send + Sync {
     /// Runs the layer on `x`.
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor;
+
+    /// Eval-mode forward through shared state (`&self`), for **concurrent
+    /// serving**: several threads may call it on one layer at once (e.g.
+    /// batch-segment shards of one oversized sweep). Must be
+    /// **bit-identical** to `forward(x, Mode::Eval)`.
+    ///
+    /// Returns `None` when this layer (or any descendant) cannot serve
+    /// through shared state — the conservative default; stateless layers
+    /// and frozen CIM convolutions override it.
+    fn forward_shared(&self, _x: &Tensor) -> Option<Tensor> {
+        None
+    }
 
     /// Propagates `grad_out` (`∂L/∂output`) backward, returning
     /// `∂L/∂input`.

@@ -5,38 +5,69 @@
 //! (scheduling and batching, not array arithmetic):
 //!
 //! ```text
-//!  clients                 CimServer::serve
-//!  ───────┐   ┌──────────────────────────────────────────────────┐
-//!  submit ├──►│ RequestQueue (bounded; Admission::Block | Reject)│
-//!  ───────┘   └───────────────┬──────────────────────────────────┘
-//!                             │ BatchScheduler per worker:
-//!                             │ FIFO same-model runs ≤ max_batch,
-//!                             │ linger ≤ max_wait, oversized alone
-//!              ┌──────────────┴───────────┐
+//!  clients              CimServer::serve
+//!  ──────────────┐   ┌──────────────────────────────────────────────┐
+//!  submit_with   ├──►│ RequestQueue (bounded; Block | Reject)       │
+//!  (Slo,deadline)│   │  ├ Latency deque   (strict priority)         │
+//!  ──────────────┘   │  ├ Bulk deque      (FIFO, linger ≤ max_wait) │
+//!                    │  └ Shard pool      (work-stealing segments)  │
+//!                    └───────────────┬──────────────────────────────┘
+//!                                    │ BatchScheduler per worker:
+//!                                    │ shards ≻ latency ≻ bulk;
+//!                                    │ latency arrivals preempt bulk
+//!                                    │ linger; oversized sweeps split
+//!                                    │ into ≤ shard_rows segments
+//!              ┌─────────────────────┴────┐
 //!              ▼                          ▼
 //!        worker thread  …           worker thread      (thread::scope)
-//!              │                          │
+//!              │ write-locked sweeps      │ read-locked shards
 //!              ▼                          ▼
 //!  ┌──────────────────────────────────────────────────┐
-//!  │ ModelRegistry: id → Mutex<PreparedCimModel>      │
-//!  │ (independently frozen weights + scratch each)    │
+//!  │ ModelRegistry: id → RwLock<PreparedCimModel>     │
+//!  │ (frozen weights; scratch pools; optional         │
+//!  │  row-tile sharding inside every conv)            │
 //!  └──────────────────────────────────────────────────┘
+//!              │ shard outputs rejoined (exact concat),
 //!              │ outputs split back per request
 //!              ▼
-//!        Ticket::wait() → Completed { output, latency }
+//!   Ticket::wait() → Completed { output, latency, slo, missed }
 //! ```
 //!
 //! Every serving-path output — coalesced, chunked oversized requests,
-//! multi-model — is **bit-identical** to calling the standalone
+//! batch-segment sharded, row-tile sharded, multi-model — is
+//! **bit-identical** to calling the standalone
 //! [`PreparedCimModel`](cq_core::PreparedCimModel) on the same input:
-//! the front-end only reorders *which sweep* a request rides in, and every
-//! layer processes batch elements independently with a fixed f32 operation
-//! order (`tests/serving.rs` pins this).
+//! the front-end only reorders *which sweep (or shard)* a request rides
+//! in, every layer processes batch elements independently with a fixed
+//! f32 operation order, and shard rejoins are exact copies
+//! (`tests/serving.rs`, `tests/slo_stress.rs`, and the `cq-core`
+//! `sharded_equivalence` matrix pin this).
 //!
-//! [`StreamSpec`] generates seeded Poisson-ish open-loop request streams;
-//! the `cq-bench` `serving` experiment replays them against a server and
-//! reports p50/p99 latency, images/sec, and queue depth
-//! (`BENCH_serving.json`).
+//! **SLO scheduling.** Requests carry an [`Slo`] class and an optional
+//! deadline: [`Slo::Latency`] work always schedules before
+//! [`Slo::Bulk`] work and preempts bulk batch formation (a lingering
+//! bulk sweep closes the moment a latency request lands); bulk keeps its
+//! FIFO coalescing behaviour. Deadline-expired tickets are **still
+//! served** — bit-exactness and the every-ticket-resolves guarantee are
+//! never traded away — but complete with
+//! [`Completed::missed`] set, and [`ServeStats`] reports per-class
+//! served/missed counters.
+//!
+//! **Sharding.** With [`ServeConfig::shard_rows`] set, a sweep larger
+//! than the bound is split into batch-segment [`cq_cim::ShardPlan`]
+//! shards published to the queue's work-stealing pool: every worker —
+//! including the coordinator while it waits — steals segments and runs
+//! them through the registry's read lock, so the whole worker set
+//! cooperates on one oversized request. [`ServeConfig::row_tile_shards`]
+//! additionally splits each frozen convolution's grouped-conv front-end
+//! across row tiles (rejoined by exact scatter before the canonical
+//! fixed-order reduce).
+//!
+//! [`StreamSpec`] generates seeded Poisson-ish open-loop request streams
+//! with a configurable latency-class fraction; the `cq-bench` `serving`
+//! experiment replays them against a server and reports per-class p50/p99
+//! latency, deadline-miss rate, images/sec, and queue depth
+//! (`BENCH_serving.json`, `BENCH_serving_sharded.json`).
 //!
 //! ## Example
 //!
@@ -81,7 +112,7 @@ mod registry;
 mod server;
 mod stream;
 
-pub use queue::{Admission, Completed, ServeStats, SubmitError, Ticket};
+pub use queue::{Admission, ClassStats, Completed, ServeStats, Slo, SubmitError, Ticket};
 pub use registry::{ModelId, ModelRegistry};
 pub use server::{CimServer, ServeConfig, ServerHandle};
 pub use stream::{StreamRequest, StreamSpec};

@@ -1,17 +1,42 @@
-//! The bounded request queue, admission control, and batch scheduler of
-//! the serving front-end.
+//! The bounded request queue, admission control, SLO-aware batch
+//! scheduler, and work-stealing shard pool of the serving front-end.
 //!
 //! Clients [`submit`](crate::ServerHandle::submit) requests into one
-//! shared [`RequestQueue`]; worker threads each drive a [`BatchScheduler`]
-//! that pops runs of same-model requests and coalesces them into sweeps
-//! under the `max_batch` / `max_wait` policy. Admission is enforced at the
-//! queue: when it is full, a submission either blocks until a worker frees
-//! space or is rejected immediately with the input handed back.
+//! shared [`RequestQueue`]; each request carries an [`Slo`] class and an
+//! optional deadline. Worker threads each drive a [`BatchScheduler`] that
+//! pops runs of same-model, same-class requests and coalesces them into
+//! sweeps under the `max_batch` / `max_wait` policy, with strict class
+//! priority: [`Slo::Latency`] work always schedules before
+//! [`Slo::Bulk`] work, and a latency arrival **preempts** bulk batch
+//! formation (the bulk sweep stops lingering immediately). Admission is
+//! enforced at the queue: when it is full, a submission either blocks
+//! until a worker frees space or is rejected immediately with the input
+//! handed back.
+//!
+//! The queue also carries the **shard pool**: when a worker decides to
+//! split one oversized sweep into batch-segment shards, the shard tasks
+//! go here and every worker — including the coordinator while it waits —
+//! steals and executes them, so the whole worker set cooperates on a
+//! single request. Shards inherit their request's class and schedule
+//! ahead of new sweeps *within* it (finishing an in-flight request beats
+//! starting a new one), but a sharded bulk request never jumps ahead of
+//! latency work.
 
 use cq_tensor::Tensor;
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// Service-level-objective class of a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Slo {
+    /// Latency-sensitive: schedules before any bulk work and preempts
+    /// bulk batch formation.
+    Latency,
+    /// Throughput-oriented: serves in FIFO order whenever no latency work
+    /// is pending. The default class.
+    Bulk,
+}
 
 /// What a submission does when the bounded queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,7 +61,7 @@ pub enum SubmitError {
 
 /// A fulfilled request: the model output plus end-to-end latency
 /// (submission call to worker fulfilment, including any admission
-/// blocking and queueing time).
+/// blocking and queueing time) and the SLO outcome.
 #[derive(Debug)]
 pub struct Completed {
     /// The model output for this request (`[b, ...]`, matching the
@@ -44,6 +69,13 @@ pub struct Completed {
     pub output: Tensor,
     /// Submission-to-fulfilment latency.
     pub latency: Duration,
+    /// The class the request was submitted under.
+    pub slo: Slo,
+    /// `true` when the request had a deadline and fulfilment happened
+    /// after it. Deadline-expired requests are still served (outputs stay
+    /// bit-exact and every admitted ticket resolves) — `missed` records
+    /// the SLO violation.
+    pub missed: bool,
 }
 
 /// Where a worker parks one request's output; the client side waits on it
@@ -68,14 +100,17 @@ impl ResponseSlot {
         }
     }
 
-    /// Parks `output` (stamping the completion instant) and wakes the
-    /// waiting client.
-    pub(crate) fn fulfill(&self, output: Tensor) {
+    /// Parks `output` and wakes the waiting client, returning the stamped
+    /// completion instant (the same instant `Ticket::wait` will see, so
+    /// queue-side and client-side deadline accounting agree).
+    pub(crate) fn fulfill(&self, output: Tensor) -> Instant {
+        let at = Instant::now();
         let mut st = self.state.lock().unwrap();
         debug_assert!(st.is_none(), "slot fulfilled twice");
-        *st = Some(SlotResult::Done(output, Instant::now()));
+        *st = Some(SlotResult::Done(output, at));
         drop(st);
         self.ready.notify_all();
+        at
     }
 
     /// Marks the slot abandoned *unless already fulfilled* — called while
@@ -107,16 +142,26 @@ impl ResponseSlot {
 pub struct Ticket {
     slot: Arc<ResponseSlot>,
     submitted_at: Instant,
+    slo: Slo,
+    deadline: Option<Instant>,
 }
 
 impl Ticket {
     /// Stamps the submission instant; created **before** admission so the
     /// measured latency includes any [`Admission::Block`] backpressure.
-    pub(crate) fn new(slot: Arc<ResponseSlot>) -> Self {
+    pub(crate) fn new(slot: Arc<ResponseSlot>, slo: Slo, deadline: Option<Duration>) -> Self {
+        let submitted_at = Instant::now();
         Self {
             slot,
-            submitted_at: Instant::now(),
+            submitted_at,
+            slo,
+            deadline: deadline.map(|d| submitted_at + d),
         }
+    }
+
+    /// The absolute deadline, if one was set at submission.
+    pub(crate) fn deadline(&self) -> Option<Instant> {
+        self.deadline
     }
 
     /// Blocks until a worker fulfils the request.
@@ -131,6 +176,8 @@ impl Ticket {
         Completed {
             output,
             latency: at.saturating_duration_since(self.submitted_at),
+            slo: self.slo,
+            missed: self.deadline.is_some_and(|d| at > d),
         }
     }
 }
@@ -143,6 +190,115 @@ pub(crate) struct QueuedRequest {
     pub input: Tensor,
     /// Where the output goes.
     pub slot: Arc<ResponseSlot>,
+    /// Priority class.
+    pub slo: Slo,
+    /// Absolute completion deadline, if any.
+    pub deadline: Option<Instant>,
+}
+
+/// Synchronization point of one sharded sweep: the coordinator waits here
+/// while every worker (itself included) steals segments from the shard
+/// pool and deposits outputs.
+pub(crate) struct ShardJoin {
+    state: Mutex<JoinState>,
+    done: Condvar,
+}
+
+struct JoinState {
+    outputs: Vec<Option<Tensor>>,
+    remaining: usize,
+    failed: bool,
+}
+
+impl ShardJoin {
+    pub(crate) fn new(shards: usize) -> Self {
+        Self {
+            state: Mutex::new(JoinState {
+                outputs: (0..shards).map(|_| None).collect(),
+                remaining: shards,
+                failed: false,
+            }),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Deposits shard `index`'s output and wakes the coordinator when it
+    /// was the last one.
+    pub(crate) fn complete(&self, index: usize, output: Tensor) {
+        let mut st = self.state.lock().unwrap();
+        debug_assert!(st.outputs[index].is_none(), "shard completed twice");
+        st.outputs[index] = Some(output);
+        st.remaining -= 1;
+        let last = st.remaining == 0;
+        drop(st);
+        if last {
+            self.done.notify_all();
+        }
+    }
+
+    /// Marks the sweep failed (a shard executor panicked) and wakes the
+    /// coordinator, which propagates the panic to the waiting clients.
+    pub(crate) fn fail(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.failed = true;
+        drop(st);
+        self.done.notify_all();
+    }
+
+    /// Blocks until every shard completed, returning the ordered outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any shard executor panicked.
+    pub(crate) fn wait(&self) -> Vec<Tensor> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            assert!(!st.failed, "a sharded serving worker panicked");
+            if st.remaining == 0 {
+                return st.outputs.iter_mut().map(|o| o.take().unwrap()).collect();
+            }
+            st = self.done.wait(st).unwrap();
+        }
+    }
+
+    /// Non-blocking progress check: `Some(true)` = all shards done,
+    /// `Some(false)` = still in flight, panicking if a shard failed.
+    pub(crate) fn is_done(&self) -> bool {
+        let st = self.state.lock().unwrap();
+        assert!(!st.failed, "a sharded serving worker panicked");
+        st.remaining == 0
+    }
+}
+
+/// One batch-segment shard of an oversized sweep, executed by whichever
+/// worker steals it first.
+pub(crate) struct ShardTask {
+    /// Registry index of the target model.
+    pub model: usize,
+    /// The `[b, C, H, W]` row segment to run.
+    pub segment: Tensor,
+    /// Position of this segment in the sweep (for ordered rejoin).
+    pub index: usize,
+    /// Class of the originating sweep: shards inherit their request's
+    /// priority, so a sharded **bulk** request never commandeers workers
+    /// ahead of latency sweeps.
+    pub slo: Slo,
+    /// Where the segment output goes.
+    pub join: Arc<ShardJoin>,
+}
+
+/// Per-[`Slo`]-class counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassStats {
+    /// Requests admitted into the queue under this class.
+    pub submitted: u64,
+    /// Requests fulfilled (every admitted request is fulfilled before
+    /// `serve` returns).
+    pub served: u64,
+    /// Fulfilments that carried a deadline.
+    pub with_deadline: u64,
+    /// Fulfilments that happened after the request's deadline.
+    pub missed: u64,
 }
 
 /// Aggregate serving counters, snapshotted when a serve scope ends.
@@ -161,17 +317,42 @@ pub struct ServeStats {
     pub rows_swept: u64,
     /// Largest single sweep handed to a model (may exceed `max_batch`
     /// when one oversized request is swept alone — the model chunks it
-    /// internally).
+    /// internally, or the shard pool splits it across workers).
     pub max_sweep_rows: usize,
     /// Deepest the queue ever got (sampled after each admission).
     pub peak_queue_depth: usize,
     /// Mean queue depth over those samples.
     pub mean_queue_depth: f64,
+    /// Counters for [`Slo::Latency`] requests.
+    pub latency: ClassStats,
+    /// Counters for [`Slo::Bulk`] requests.
+    pub bulk: ClassStats,
+    /// Sweeps split into batch-segment shards.
+    pub sharded_sweeps: u64,
+    /// Shard tasks executed across all workers.
+    pub shards_executed: u64,
+}
+
+impl ServeStats {
+    /// Fraction of deadline-carrying fulfilments that missed (`0.0` when
+    /// no fulfilment carried a deadline) — deadline-less traffic does not
+    /// dilute the rate.
+    pub fn deadline_miss_rate(&self) -> f64 {
+        let with_deadline = self.latency.with_deadline + self.bulk.with_deadline;
+        if with_deadline == 0 {
+            0.0
+        } else {
+            (self.latency.missed + self.bulk.missed) as f64 / with_deadline as f64
+        }
+    }
 }
 
 #[derive(Default)]
 struct QueueState {
-    items: VecDeque<QueuedRequest>,
+    latency: VecDeque<QueuedRequest>,
+    bulk: VecDeque<QueuedRequest>,
+    latency_shards: VecDeque<ShardTask>,
+    bulk_shards: VecDeque<ShardTask>,
     closed: bool,
     submitted: u64,
     rejected: u64,
@@ -182,6 +363,23 @@ struct QueueState {
     peak_depth: usize,
     depth_sum: u64,
     depth_samples: u64,
+    latency_stats: ClassStats,
+    bulk_stats: ClassStats,
+    sharded_sweeps: u64,
+    shards_executed: u64,
+}
+
+impl QueueState {
+    fn depth(&self) -> usize {
+        self.latency.len() + self.bulk.len()
+    }
+
+    fn class_stats_mut(&mut self, slo: Slo) -> &mut ClassStats {
+        match slo {
+            Slo::Latency => &mut self.latency_stats,
+            Slo::Bulk => &mut self.bulk_stats,
+        }
+    }
 }
 
 /// The bounded multi-producer queue shared by clients and workers.
@@ -203,14 +401,16 @@ impl RequestQueue {
         }
     }
 
-    /// Admits `req` under `admission` (see [`Admission`]).
+    /// Admits `req` under `admission` (see [`Admission`]). The capacity
+    /// bound covers both classes together; shard tasks (derived from
+    /// already-admitted requests) do not count against it.
     pub(crate) fn submit(
         &self,
         req: QueuedRequest,
         admission: Admission,
     ) -> Result<(), SubmitError> {
         let mut st = self.state.lock().unwrap();
-        while st.items.len() >= self.capacity {
+        while st.depth() >= self.capacity {
             if st.closed {
                 return Err(SubmitError::Closed(req.input));
             }
@@ -225,15 +425,61 @@ impl RequestQueue {
         if st.closed {
             return Err(SubmitError::Closed(req.input));
         }
-        st.items.push_back(req);
         st.submitted += 1;
-        let depth = st.items.len();
+        st.class_stats_mut(req.slo).submitted += 1;
+        match req.slo {
+            Slo::Latency => st.latency.push_back(req),
+            Slo::Bulk => st.bulk.push_back(req),
+        }
+        let depth = st.depth();
         st.peak_depth = st.peak_depth.max(depth);
         st.depth_sum += depth as u64;
         st.depth_samples += 1;
         drop(st);
         self.not_empty.notify_one();
         Ok(())
+    }
+
+    /// Publishes shard tasks of one sweep to the work-stealing pool
+    /// (tasks land in their class's shard deque) and wakes every worker.
+    pub(crate) fn push_shards(&self, tasks: impl IntoIterator<Item = ShardTask>) {
+        let mut st = self.state.lock().unwrap();
+        let mut added = 0usize;
+        for task in tasks {
+            match task.slo {
+                Slo::Latency => st.latency_shards.push_back(task),
+                Slo::Bulk => st.bulk_shards.push_back(task),
+            }
+            added += 1;
+        }
+        st.sharded_sweeps += 1;
+        drop(st);
+        if added > 0 {
+            self.not_empty.notify_all();
+        }
+    }
+
+    /// Steals the next shard task — latency-origin first — if any (never
+    /// blocks).
+    pub(crate) fn try_pop_shard(&self) -> Option<ShardTask> {
+        let mut st = self.state.lock().unwrap();
+        let task = st
+            .latency_shards
+            .pop_front()
+            .or_else(|| st.bulk_shards.pop_front());
+        if task.is_some() {
+            st.shards_executed += 1;
+        }
+        task
+    }
+
+    /// Records one fulfilment for per-class accounting.
+    pub(crate) fn note_served(&self, slo: Slo, had_deadline: bool, missed: bool) {
+        let mut st = self.state.lock().unwrap();
+        let cs = st.class_stats_mut(slo);
+        cs.served += 1;
+        cs.with_deadline += u64::from(had_deadline);
+        cs.missed += u64::from(missed);
     }
 
     /// Marks the queue closed: workers drain what is left and exit, and
@@ -260,12 +506,25 @@ impl RequestQueue {
             } else {
                 st.depth_sum as f64 / st.depth_samples as f64
             },
+            latency: st.latency_stats,
+            bulk: st.bulk_stats,
+            sharded_sweeps: st.sharded_sweeps,
+            shards_executed: st.shards_executed,
         }
     }
 }
 
+/// One unit of worker work.
+pub(crate) enum Work {
+    /// A coalesced sweep of whole requests (one model, one class).
+    Sweep(Vec<QueuedRequest>),
+    /// A stolen batch segment of someone else's oversized sweep.
+    Shard(ShardTask),
+}
+
 /// Forms coalesced sweeps from the shared queue under the
-/// `max_batch` / `max_wait` policy. Each worker thread owns one.
+/// `max_batch` / `max_wait` policy with strict [`Slo`] priority. Each
+/// worker thread owns one.
 pub(crate) struct BatchScheduler<'q> {
     queue: &'q RequestQueue,
     max_batch: Option<usize>,
@@ -286,26 +545,69 @@ impl<'q> BatchScheduler<'q> {
         }
     }
 
-    /// Blocks for the next sweep: a maximal FIFO run of same-model
-    /// requests whose rows fit under `max_batch` and share the first
-    /// request's `[C, H, W]` (mismatched shapes cannot ride one sweep),
-    /// lingering up to `max_wait` (from the moment the sweep starts
-    /// forming) for more arrivals while it is unfilled. A single request
-    /// larger than the cap is swept alone — the model chunks it
-    /// internally. Returns `None` once the queue is closed and drained.
-    pub(crate) fn next_batch(&self) -> Option<Vec<QueuedRequest>> {
+    /// Blocks for the next unit of work, in strict priority order:
+    ///
+    /// 1. **Latency-origin shard tasks** — finishing an in-flight sharded
+    ///    latency request beats starting anything new.
+    /// 2. **Latency sweeps** — a maximal FIFO run of same-model,
+    ///    same-shape [`Slo::Latency`] requests under `max_batch`. Latency
+    ///    sweeps never linger: they coalesce only what is already queued.
+    /// 3. **Bulk-origin shard tasks** — shards inherit their request's
+    ///    class, so one sharded bulk request cooperates across *idle*
+    ///    workers but never commandeers the pool ahead of latency work
+    ///    (its coordinator keeps draining the pool itself regardless, so
+    ///    deprioritized bulk shards still complete).
+    /// 4. **Bulk sweeps** — as before, lingering up to `max_wait` for more
+    ///    same-model arrivals while unfilled, but the linger (and sweep
+    ///    growth) aborts the moment latency or shard work arrives — that
+    ///    is the preemption of bulk batch formation.
+    ///
+    /// A single request larger than the cap is swept alone — the model
+    /// chunks it internally (or the shard pool splits it). Returns `None`
+    /// once the queue is closed and drained.
+    pub(crate) fn next_work(&self) -> Option<Work> {
         let cap = self.max_batch.unwrap_or(usize::MAX);
         let mut st = self.queue.state.lock().unwrap();
         loop {
-            if !st.items.is_empty() {
-                break;
+            if let Some(task) = st.latency_shards.pop_front() {
+                st.shards_executed += 1;
+                return Some(Work::Shard(task));
+            }
+            if !st.latency.is_empty() {
+                return Some(Work::Sweep(self.form_sweep(st, Slo::Latency, cap)));
+            }
+            if let Some(task) = st.bulk_shards.pop_front() {
+                st.shards_executed += 1;
+                return Some(Work::Shard(task));
+            }
+            if !st.bulk.is_empty() {
+                return Some(Work::Sweep(self.form_sweep(st, Slo::Bulk, cap)));
             }
             if st.closed {
                 return None;
             }
             st = self.queue.not_empty.wait(st).unwrap();
         }
-        let first = st.items.pop_front().unwrap();
+    }
+
+    /// Pops the head of `class`'s deque and coalesces the following
+    /// same-model, same-shape run under `cap` (strict FIFO within the
+    /// class: never serves around the head). Only bulk sweeps linger.
+    fn form_sweep(
+        &self,
+        mut st: std::sync::MutexGuard<'_, QueueState>,
+        class: Slo,
+        cap: usize,
+    ) -> Vec<QueuedRequest> {
+        fn class_queue(st: &mut QueueState, class: Slo) -> &mut VecDeque<QueuedRequest> {
+            match class {
+                Slo::Latency => &mut st.latency,
+                Slo::Bulk => &mut st.bulk,
+            }
+        }
+        let first = class_queue(&mut st, class)
+            .pop_front()
+            .expect("form_sweep on an empty class");
         // Every pop frees capacity *now* — wake blocked submitters before
         // lingering, or they would stall a full `max_wait` behind us.
         self.queue.not_full.notify_all();
@@ -315,13 +617,13 @@ impl<'q> BatchScheduler<'q> {
         let mut batch = vec![first];
         let deadline = Instant::now() + self.max_wait;
         while rows < cap {
-            match st.items.front() {
+            match class_queue(&mut st, class).front() {
                 Some(next)
                     if next.model == model
                         && next.input.shape()[1..] == inner[..]
                         && rows + next.input.dim(0) <= cap =>
                 {
-                    let q = st.items.pop_front().unwrap();
+                    let q = class_queue(&mut st, class).pop_front().unwrap();
                     rows += q.input.dim(0);
                     batch.push(q);
                     self.queue.not_full.notify_all();
@@ -330,7 +632,14 @@ impl<'q> BatchScheduler<'q> {
                 // the sweep (strict FIFO: never serve around the head).
                 Some(_) => break,
                 None => {
-                    if st.closed {
+                    // Latency sweeps never linger; bulk linger aborts the
+                    // moment higher-priority work shows up.
+                    if class == Slo::Latency
+                        || st.closed
+                        || !st.latency.is_empty()
+                        || !st.latency_shards.is_empty()
+                        || !st.bulk_shards.is_empty()
+                    {
                         break;
                     }
                     let now = Instant::now();
@@ -350,7 +659,7 @@ impl<'q> BatchScheduler<'q> {
         st.rows_swept += rows as u64;
         st.max_sweep_rows = st.max_sweep_rows.max(rows);
         st.served += batch.len() as u64;
-        Some(batch)
+        batch
     }
 }
 
@@ -359,11 +668,24 @@ mod tests {
     use super::*;
 
     fn req(model: usize, rows: usize) -> QueuedRequest {
+        class_req(model, rows, Slo::Bulk)
+    }
+
+    fn class_req(model: usize, rows: usize, slo: Slo) -> QueuedRequest {
         QueuedRequest {
             model,
             input: Tensor::zeros(&[rows, 1, 1, 1]),
             slot: Arc::new(ResponseSlot::new()),
+            slo,
+            deadline: None,
         }
+    }
+
+    fn next_batch(sched: &BatchScheduler<'_>) -> Option<Vec<QueuedRequest>> {
+        sched.next_work().map(|w| match w {
+            Work::Sweep(b) => b,
+            Work::Shard(_) => panic!("unexpected shard task"),
+        })
     }
 
     /// Reject admission must turn requests away exactly when the queue is
@@ -372,14 +694,17 @@ mod tests {
     fn reject_admission_bounds_the_queue() {
         let q = RequestQueue::new(2);
         q.submit(req(0, 1), Admission::Reject).unwrap();
-        q.submit(req(0, 1), Admission::Reject).unwrap();
+        q.submit(class_req(0, 1, Slo::Latency), Admission::Reject)
+            .unwrap();
         match q.submit(req(0, 3), Admission::Reject) {
             Err(SubmitError::QueueFull(t)) => assert_eq!(t.dim(0), 3, "input handed back"),
             other => panic!("expected QueueFull, got {other:?}"),
         }
         let s = q.stats();
         assert_eq!((s.submitted, s.rejected), (2, 1));
-        assert_eq!(s.peak_queue_depth, 2);
+        assert_eq!(s.peak_queue_depth, 2, "both classes share the bound");
+        assert_eq!(s.latency.submitted, 1);
+        assert_eq!(s.bulk.submitted, 1);
     }
 
     /// Block admission must wait for space instead of rejecting.
@@ -391,7 +716,7 @@ mod tests {
         let drainer = std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(20));
             let sched = BatchScheduler::new(&q2, Some(4), Duration::ZERO);
-            sched.next_batch().unwrap().len()
+            next_batch(&sched).unwrap().len()
         });
         // Blocks until the drainer frees the single slot.
         q.submit(req(0, 1), Admission::Block).unwrap();
@@ -410,7 +735,7 @@ mod tests {
         }
         q.close();
         let sched = BatchScheduler::new(&q, Some(4), Duration::ZERO);
-        let sizes: Vec<(usize, usize)> = std::iter::from_fn(|| sched.next_batch())
+        let sizes: Vec<(usize, usize)> = std::iter::from_fn(|| next_batch(&sched))
             .map(|b| {
                 let rows: usize = b.iter().map(|r| r.input.dim(0)).sum();
                 (b[0].model, rows)
@@ -425,6 +750,122 @@ mod tests {
         assert_eq!(s.served, 6);
     }
 
+    /// Latency-class work always schedules before bulk work, even when the
+    /// bulk requests were submitted first, and the two classes never ride
+    /// one sweep.
+    #[test]
+    fn latency_class_schedules_before_earlier_bulk() {
+        let q = RequestQueue::new(16);
+        q.submit(class_req(0, 1, Slo::Bulk), Admission::Block)
+            .unwrap();
+        q.submit(class_req(0, 1, Slo::Bulk), Admission::Block)
+            .unwrap();
+        q.submit(class_req(0, 1, Slo::Latency), Admission::Block)
+            .unwrap();
+        q.submit(class_req(0, 1, Slo::Latency), Admission::Block)
+            .unwrap();
+        q.close();
+        let sched = BatchScheduler::new(&q, Some(8), Duration::ZERO);
+        let classes: Vec<Vec<Slo>> = std::iter::from_fn(|| next_batch(&sched))
+            .map(|b| b.iter().map(|r| r.slo).collect())
+            .collect();
+        assert_eq!(
+            classes,
+            vec![vec![Slo::Latency, Slo::Latency], vec![Slo::Bulk, Slo::Bulk],]
+        );
+    }
+
+    /// A latency arrival preempts bulk batch formation: the lingering bulk
+    /// sweep stops immediately instead of waiting out `max_wait`.
+    #[test]
+    fn latency_arrival_preempts_bulk_linger() {
+        let q = Arc::new(RequestQueue::new(16));
+        q.submit(class_req(0, 1, Slo::Bulk), Admission::Block)
+            .unwrap();
+        let q2 = q.clone();
+        let poker = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            q2.submit(class_req(0, 1, Slo::Latency), Admission::Block)
+                .unwrap();
+        });
+        // A very generous linger: without preemption this would block for
+        // 10 s; with it, the sweep closes as soon as the latency request
+        // lands.
+        let sched = BatchScheduler::new(&q, Some(4), Duration::from_secs(10));
+        let t0 = Instant::now();
+        let first = next_batch(&sched).unwrap();
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "bulk linger was not preempted"
+        );
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].slo, Slo::Bulk);
+        let second = next_batch(&sched).unwrap();
+        assert_eq!(second[0].slo, Slo::Latency);
+        poker.join().unwrap();
+    }
+
+    /// Shard tasks schedule by their origin class: latency-origin shards
+    /// before latency sweeps, bulk-origin shards after latency sweeps but
+    /// before bulk sweeps — a sharded bulk request never commandeers
+    /// workers ahead of latency traffic.
+    #[test]
+    fn shards_schedule_by_origin_class() {
+        let q = RequestQueue::new(4);
+        q.submit(class_req(0, 1, Slo::Latency), Admission::Block)
+            .unwrap();
+        q.submit(class_req(0, 1, Slo::Bulk), Admission::Block)
+            .unwrap();
+        let shard = |slo: Slo, join: &Arc<ShardJoin>| ShardTask {
+            model: 0,
+            segment: Tensor::zeros(&[1, 1, 1, 1]),
+            index: 0,
+            slo,
+            join: join.clone(),
+        };
+        let bulk_join = Arc::new(ShardJoin::new(1));
+        let latency_join = Arc::new(ShardJoin::new(1));
+        q.push_shards([shard(Slo::Bulk, &bulk_join)]);
+        q.push_shards([shard(Slo::Latency, &latency_join)]);
+        let sched = BatchScheduler::new(&q, None, Duration::ZERO);
+        let order: Vec<&'static str> = std::iter::from_fn(|| {
+            let w = sched.next_work()?;
+            Some(match w {
+                Work::Shard(t) => {
+                    t.join.complete(t.index, Tensor::zeros(&[1, 1, 1, 1]));
+                    match t.slo {
+                        Slo::Latency => "latency-shard",
+                        Slo::Bulk => "bulk-shard",
+                    }
+                }
+                Work::Sweep(b) => match b[0].slo {
+                    Slo::Latency => "latency-sweep",
+                    Slo::Bulk => "bulk-sweep",
+                },
+            })
+        })
+        .take(4)
+        .collect();
+        assert_eq!(
+            order,
+            vec!["latency-shard", "latency-sweep", "bulk-shard", "bulk-sweep"]
+        );
+        assert!(latency_join.is_done() && bulk_join.is_done());
+        let s = q.stats();
+        assert_eq!(s.sharded_sweeps, 2);
+        assert_eq!(s.shards_executed, 2);
+    }
+
+    /// A failed shard join panics the waiting coordinator.
+    #[test]
+    fn failed_shard_join_panics_waiter() {
+        let join = ShardJoin::new(2);
+        join.complete(1, Tensor::zeros(&[1]));
+        join.fail();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| join.wait()));
+        assert!(err.is_err(), "waiting on a failed join must panic");
+    }
+
     /// Requests with mismatched `[C, H, W]` must never ride one sweep —
     /// they cannot be concatenated — even when the model id matches.
     #[test]
@@ -434,13 +875,15 @@ mod tests {
             model: 0,
             input: Tensor::zeros(&[1, 2, 3, 3]),
             slot: Arc::new(ResponseSlot::new()),
+            slo: Slo::Bulk,
+            deadline: None,
         };
         q.submit(req(0, 1), Admission::Block).unwrap();
         q.submit(wide, Admission::Block).unwrap();
         q.submit(req(0, 1), Admission::Block).unwrap();
         q.close();
         let sched = BatchScheduler::new(&q, Some(8), Duration::ZERO);
-        let shapes: Vec<Vec<Vec<usize>>> = std::iter::from_fn(|| sched.next_batch())
+        let shapes: Vec<Vec<Vec<usize>>> = std::iter::from_fn(|| next_batch(&sched))
             .map(|b| b.iter().map(|r| r.input.shape().to_vec()).collect())
             .collect();
         assert_eq!(
@@ -460,14 +903,33 @@ mod tests {
         let slot = Arc::new(ResponseSlot::new());
         slot.fulfill(Tensor::zeros(&[1]));
         slot.abandon(); // no-op: already fulfilled
-        let ticket = Ticket::new(slot);
+        let ticket = Ticket::new(slot, Slo::Bulk, None);
         assert_eq!(ticket.wait().output, Tensor::zeros(&[1]));
 
         let slot = Arc::new(ResponseSlot::new());
-        let ticket = Ticket::new(slot.clone());
+        let ticket = Ticket::new(slot.clone(), Slo::Latency, None);
         slot.abandon();
         let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ticket.wait()));
         assert!(err.is_err(), "waiting on an abandoned slot must panic");
+    }
+
+    /// An expired deadline stamps the completion `missed` without losing
+    /// the output; a generous deadline does not.
+    #[test]
+    fn deadlines_stamp_missed_on_late_fulfilment() {
+        let slot = Arc::new(ResponseSlot::new());
+        let ticket = Ticket::new(slot.clone(), Slo::Latency, Some(Duration::ZERO));
+        std::thread::sleep(Duration::from_millis(2));
+        slot.fulfill(Tensor::zeros(&[1]));
+        let done = ticket.wait();
+        assert!(done.missed, "expired deadline must stamp missed");
+        assert_eq!(done.slo, Slo::Latency);
+        assert_eq!(done.output, Tensor::zeros(&[1]), "output still delivered");
+
+        let slot = Arc::new(ResponseSlot::new());
+        let ticket = Ticket::new(slot.clone(), Slo::Latency, Some(Duration::from_secs(600)));
+        slot.fulfill(Tensor::zeros(&[1]));
+        assert!(!ticket.wait().missed);
     }
 
     /// Closing wakes blocked submitters with `Closed` and lets schedulers
@@ -482,7 +944,7 @@ mod tests {
             Err(SubmitError::Closed(_))
         ));
         let sched = BatchScheduler::new(&q, None, Duration::ZERO);
-        assert_eq!(sched.next_batch().unwrap().len(), 1);
-        assert!(sched.next_batch().is_none());
+        assert_eq!(next_batch(&sched).unwrap().len(), 1);
+        assert!(sched.next_work().is_none());
     }
 }

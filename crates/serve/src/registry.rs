@@ -1,15 +1,19 @@
 //! Multi-model residency: a registry mapping model ids to independently
 //! frozen [`PreparedCimModel`]s.
 //!
-//! Each resident model sits behind its own mutex and carries its own
-//! frozen weights and scratch buffers, so workers serve different models
-//! concurrently while sweeps into one model serialize (one scratch, one
-//! crossbar program). Outputs are bit-identical to calling the standalone
-//! `PreparedCimModel` directly — residency changes scheduling only.
+//! Each resident model sits behind its own reader-writer lock and carries
+//! its own frozen weights and scratch buffers. Coalesced sweeps take the
+//! write lock (one scratch, one crossbar program), so sweeps into one
+//! model serialize while workers serve different models concurrently.
+//! Batch-segment **shards** take the read lock and run through the
+//! shared-state path ([`PreparedCimModel::infer_shared`]), so every
+//! worker can execute a segment of the same oversized sweep at once.
+//! Outputs are bit-identical to calling the standalone `PreparedCimModel`
+//! directly — residency changes scheduling only.
 
 use cq_core::PreparedCimModel;
 use cq_tensor::Tensor;
-use std::sync::Mutex;
+use std::sync::RwLock;
 
 /// Opaque handle to a registered model (index into the registry).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -18,7 +22,7 @@ pub struct ModelId(pub(crate) usize);
 /// The resident model set of a [`CimServer`](crate::CimServer).
 #[derive(Default)]
 pub struct ModelRegistry {
-    models: Vec<(String, Mutex<PreparedCimModel>)>,
+    models: Vec<(String, RwLock<PreparedCimModel>)>,
 }
 
 impl ModelRegistry {
@@ -35,7 +39,7 @@ impl ModelRegistry {
     pub fn register(&mut self, id: impl Into<String>, model: PreparedCimModel) -> ModelId {
         let id = id.into();
         assert!(self.id(&id).is_none(), "model id '{id}' already registered");
-        self.models.push((id, Mutex::new(model)));
+        self.models.push((id, RwLock::new(model)));
         ModelId(self.models.len() - 1)
     }
 
@@ -63,10 +67,17 @@ impl ModelRegistry {
         self.models.is_empty()
     }
 
-    /// Locks model `id` and serves `requests` through its coalescing
+    /// Write-locks model `id` and serves `requests` through its coalescing
     /// [`PreparedCimModel::infer_batch`].
     pub fn infer_batch(&self, id: ModelId, requests: &[Tensor]) -> Vec<Tensor> {
-        self.models[id.0].1.lock().unwrap().infer_batch(requests)
+        self.models[id.0].1.write().unwrap().infer_batch(requests)
+    }
+
+    /// Read-locks model `id` and serves one batch segment through the
+    /// shared-state path — many workers may do this concurrently on one
+    /// model (see [`PreparedCimModel::infer_shared`]).
+    pub fn infer_shared(&self, id: ModelId, segment: &Tensor) -> Tensor {
+        self.models[id.0].1.read().unwrap().infer_shared(segment)
     }
 
     /// Caps every resident model's sweep size (see
@@ -74,6 +85,14 @@ impl ModelRegistry {
     pub fn set_max_batch(&mut self, max_batch: Option<usize>) {
         for (_, m) in &mut self.models {
             m.get_mut().unwrap().set_max_batch(max_batch);
+        }
+    }
+
+    /// Sets the row-tile shard count of every resident model's frozen
+    /// convolutions (see [`PreparedCimModel::set_row_tile_shards`]).
+    pub fn set_row_tile_shards(&mut self, shards: Option<usize>) {
+        for (_, m) in &mut self.models {
+            m.get_mut().unwrap().set_row_tile_shards(shards);
         }
     }
 

@@ -5,6 +5,7 @@
 //! the target model and per-request batch size drawn uniformly — all from
 //! one seeded [`CqRng`], so a stream is exactly reproducible.
 
+use crate::Slo;
 use cq_tensor::CqRng;
 use std::time::Duration;
 
@@ -17,6 +18,8 @@ pub struct StreamRequest {
     pub model: usize,
     /// Images in this request.
     pub batch: usize,
+    /// Priority class of this request.
+    pub slo: Slo,
 }
 
 /// Specification of a Poisson-ish open-loop stream.
@@ -30,6 +33,9 @@ pub struct StreamSpec {
     pub models: usize,
     /// Batch sizes drawn uniformly per request.
     pub batch_choices: Vec<usize>,
+    /// Fraction of requests drawn as [`Slo::Latency`] (`0.0` = pure bulk,
+    /// the PR 3 FIFO-equivalent workload).
+    pub latency_fraction: f64,
     /// RNG seed — same seed, same stream.
     pub seed: u64,
 }
@@ -39,12 +45,16 @@ impl StreamSpec {
     ///
     /// # Panics
     ///
-    /// Panics if `rate_rps <= 0`, `models == 0`, or `batch_choices` is
-    /// empty.
+    /// Panics if `rate_rps <= 0`, `models == 0`, `batch_choices` is
+    /// empty, or `latency_fraction` is outside `0.0..=1.0`.
     pub fn generate(&self) -> Vec<StreamRequest> {
         assert!(self.rate_rps > 0.0, "arrival rate must be positive");
         assert!(self.models > 0, "need at least one model");
         assert!(!self.batch_choices.is_empty(), "need batch choices");
+        assert!(
+            (0.0..=1.0).contains(&self.latency_fraction),
+            "latency_fraction must be in 0..=1"
+        );
         let mut rng = CqRng::new(self.seed);
         let mut t = 0.0f64;
         (0..self.requests)
@@ -56,6 +66,11 @@ impl StreamSpec {
                     at: Duration::from_secs_f64(t),
                     model: rng.below(self.models),
                     batch: self.batch_choices[rng.below(self.batch_choices.len())],
+                    slo: if (rng.uniform() as f64) < self.latency_fraction {
+                        Slo::Latency
+                    } else {
+                        Slo::Bulk
+                    },
                 }
             })
             .collect()
@@ -72,6 +87,7 @@ mod tests {
             requests: 500,
             models: 3,
             batch_choices: vec![1, 2, 4],
+            latency_fraction: 0.25,
             seed,
         }
     }
@@ -95,5 +111,23 @@ mod tests {
         assert!((3.0..8.0).contains(&span), "span {span}");
         assert!(s.iter().all(|r| r.model < 3));
         assert!(s.iter().all(|r| [1, 2, 4].contains(&r.batch)));
+    }
+
+    #[test]
+    fn latency_fraction_controls_the_class_mix() {
+        let latency = |f: f64| {
+            StreamSpec {
+                latency_fraction: f,
+                ..spec(9)
+            }
+            .generate()
+            .iter()
+            .filter(|r| r.slo == Slo::Latency)
+            .count()
+        };
+        assert_eq!(latency(0.0), 0, "pure bulk stream");
+        assert_eq!(latency(1.0), 500, "pure latency stream");
+        let mixed = latency(0.25);
+        assert!((75..=175).contains(&mixed), "~25% latency, got {mixed}");
     }
 }

@@ -58,6 +58,8 @@ fn queued_serving_is_bit_exact_vs_direct() {
             max_batch: Some(3),
             max_wait: Duration::from_millis(1),
             workers: 2,
+            shard_rows: None,
+            row_tile_shards: None,
         },
     );
     let (got, stats) = server.serve(|h| {
@@ -99,6 +101,8 @@ fn reject_admission_sheds_load_with_exact_accounting() {
             max_batch: Some(2),
             max_wait: Duration::ZERO,
             workers: 1,
+            shard_rows: None,
+            row_tile_shards: None,
         },
     );
     let (results, stats) = server.serve(|h| {
@@ -147,6 +151,7 @@ fn multi_model_residency_is_isolated_and_bit_exact() {
         requests: 24,
         models: 2,
         batch_choices: vec![1, 2, 5],
+        latency_fraction: 0.0,
         seed: 99,
     }
     .generate();
@@ -177,6 +182,8 @@ fn multi_model_residency_is_isolated_and_bit_exact() {
             max_batch: Some(4),
             max_wait: Duration::from_millis(1),
             workers: 3,
+            shard_rows: None,
+            row_tile_shards: None,
         },
     );
     let (got, stats) = server.serve(|h| {
@@ -206,6 +213,7 @@ fn scheduler_is_deterministic_under_a_seeded_stream() {
         requests: 16,
         models: 1,
         batch_choices: vec![1],
+        latency_fraction: 0.0,
         seed: 7,
     }
     .generate();
@@ -223,6 +231,8 @@ fn scheduler_is_deterministic_under_a_seeded_stream() {
                 max_batch: Some(4),
                 max_wait: Duration::from_secs(2),
                 workers: 1,
+                shard_rows: None,
+                row_tile_shards: None,
             },
         );
         server.serve(|h| {
@@ -260,6 +270,8 @@ fn model_rejecting_an_input_panics_instead_of_hanging() {
         registry,
         ServeConfig {
             workers: 1,
+            shard_rows: None,
+            row_tile_shards: None,
             ..ServeConfig::default()
         },
     );
@@ -283,4 +295,84 @@ fn unknown_model_is_rejected_at_submit() {
             .unwrap()
     });
     assert!(matches!(err, SubmitError::UnknownModel(name) if name == "missing"));
+}
+
+/// Batch-segment sharding across the worker pool (plus row-tile sharding
+/// inside every frozen conv) must leave every output bit-identical to the
+/// direct standalone path — sharding changes scheduling only.
+#[test]
+fn sharded_serving_is_bit_exact_vs_direct() {
+    let mut reference = warmed_net(60);
+    let rng = &mut CqRng::new(61);
+    // 9- and 7-row requests exceed shard_rows=2 and are split into ≤2-row
+    // segments executed cooperatively; singles ride normal sweeps.
+    let inputs: Vec<Tensor> = [9usize, 1, 7, 2, 1]
+        .iter()
+        .map(|&b| request(rng, b))
+        .collect();
+    let want: Vec<Tensor> = inputs
+        .iter()
+        .map(|x| reference.forward(x, Mode::Eval))
+        .collect();
+
+    let mut registry = ModelRegistry::new();
+    registry.register("m", prepared(60));
+    let server = CimServer::new(
+        registry,
+        ServeConfig {
+            queue_capacity: 16,
+            admission: Admission::Block,
+            max_batch: Some(4),
+            max_wait: Duration::from_millis(1),
+            workers: 3,
+            shard_rows: Some(2),
+            row_tile_shards: Some(2),
+        },
+    );
+    let (got, stats) = server.serve(|h| {
+        let tickets: Vec<Ticket> = inputs
+            .iter()
+            .map(|x| h.submit("m", x.clone()).unwrap())
+            .collect();
+        tickets
+            .into_iter()
+            .map(|t| t.wait().output)
+            .collect::<Vec<_>>()
+    });
+    assert_eq!(got, want, "sharded serving diverged from direct inference");
+    assert_eq!(stats.served, 5);
+    assert!(
+        stats.sharded_sweeps >= 2,
+        "both oversized requests must shard, got {}",
+        stats.sharded_sweeps
+    );
+    // 9 rows -> 5 segments, 7 rows -> 4 segments (≤ 2 rows each).
+    assert!(
+        stats.shards_executed >= 9,
+        "expected ≥9 shard executions, got {}",
+        stats.shards_executed
+    );
+}
+
+/// One-worker sharding must not deadlock: the coordinator drains its own
+/// shard tasks from the pool while it waits for the join.
+#[test]
+fn single_worker_sharding_drains_its_own_pool() {
+    let mut reference = warmed_net(62);
+    let big = CqRng::new(63).normal_tensor(&[6, 3, 12, 12], 1.0);
+    let want = reference.forward(&big, Mode::Eval);
+    let mut registry = ModelRegistry::new();
+    registry.register("m", prepared(62));
+    let server = CimServer::new(
+        registry,
+        ServeConfig {
+            workers: 1,
+            shard_rows: Some(2),
+            ..ServeConfig::default()
+        },
+    );
+    let (got, stats) = server.serve(|h| h.submit("m", big.clone()).unwrap().wait().output);
+    assert_eq!(got, want);
+    assert_eq!(stats.sharded_sweeps, 1);
+    assert_eq!(stats.shards_executed, 3);
 }

@@ -1,0 +1,301 @@
+//! Deterministic concurrency test harness for the SLO-aware scheduler and
+//! the work-stealing shard pool: seeded multi-producer stress (no
+//! deadlock, no lost ticket), latency-over-stale-bulk completion
+//! ordering, deadline `missed` stamping, and panic propagation out of
+//! sharded workers (extending the close-on-unwind coverage from the FIFO
+//! front-end).
+
+use cq_cim::CimConfig;
+use cq_core::{build_cim_resnet, PreparedCimModel, QuantScheme};
+use cq_nn::{Layer, Mode, ResNet, ResNetSpec};
+use cq_serve::{Admission, CimServer, ModelRegistry, ServeConfig, Slo, Ticket};
+use cq_tensor::{CqRng, Tensor};
+use std::time::{Duration, Instant};
+
+/// A small CIM ResNet with all lazy scales initialized (deterministic per
+/// seed).
+fn warmed_net(seed: u64) -> ResNet {
+    let mut net = build_cim_resnet(
+        ResNetSpec::resnet8(4, 4),
+        &CimConfig::tiny(),
+        &QuantScheme::ours(),
+        seed,
+    );
+    let x = CqRng::new(seed + 1000).normal_tensor(&[2, 3, 12, 12], 1.0);
+    let _ = net.forward(&x, Mode::Eval);
+    net
+}
+
+fn prepared(seed: u64) -> PreparedCimModel {
+    PreparedCimModel::new(Box::new(warmed_net(seed)))
+}
+
+fn request(rng: &mut CqRng, batch: usize) -> Tensor {
+    rng.normal_tensor(&[batch, 3, 12, 12], 1.0)
+}
+
+/// Seeded-RNG stress: N producer threads submit mixed `Latency`/`Bulk`
+/// tickets (varied batch sizes, some oversized and sharded) against two
+/// resident models through a small queue. The serve scope must terminate
+/// (no deadlock), resolve every ticket with a correctly-shaped output (no
+/// lost ticket), and keep exact per-class accounting.
+#[test]
+fn mixed_slo_stress_no_deadlock_no_lost_tickets() {
+    const PRODUCERS: u64 = 4;
+    const PER_PRODUCER: usize = 12;
+
+    let mut registry = ModelRegistry::new();
+    let ids = [
+        registry.register("model-a", prepared(70)),
+        registry.register("model-b", prepared(71)),
+    ];
+    let server = CimServer::new(
+        registry,
+        ServeConfig {
+            queue_capacity: 8, // small: producers must block on admission
+            admission: Admission::Block,
+            max_batch: Some(3),
+            max_wait: Duration::from_micros(200),
+            workers: 3,
+            shard_rows: Some(2),
+            row_tile_shards: Some(2),
+        },
+    );
+
+    let (outcomes, stats) = server.serve(|h| {
+        std::thread::scope(|sc| {
+            let handles: Vec<_> = (0..PRODUCERS)
+                .map(|p| {
+                    sc.spawn(move || {
+                        let mut rng = CqRng::new(7000 + p);
+                        let mut in_flight = Vec::new();
+                        for _ in 0..PER_PRODUCER {
+                            let batch = [1, 1, 2, 5][rng.below(4)];
+                            let slo = if rng.below(2) == 0 {
+                                Slo::Latency
+                            } else {
+                                Slo::Bulk
+                            };
+                            let deadline = match slo {
+                                Slo::Latency => Some(Duration::from_secs(30)),
+                                Slo::Bulk => None,
+                            };
+                            let model = ids[rng.below(2)];
+                            let x = request(&mut rng, batch);
+                            // Submission blocks when the 8-slot queue is
+                            // full — producers and workers exercise the
+                            // admission/linger/steal interleavings hard.
+                            in_flight
+                                .push((batch, h.submit_to_with(model, x, slo, deadline).unwrap()));
+                        }
+                        in_flight
+                            .into_iter()
+                            .map(|(b, t)| (b, t.wait()))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect::<Vec<_>>()
+        })
+    });
+
+    let total = (PRODUCERS as usize * PER_PRODUCER) as u64;
+    assert_eq!(outcomes.len() as u64, total, "every ticket resolved");
+    for (batch, completed) in &outcomes {
+        assert_eq!(
+            completed.output.dim(0),
+            *batch,
+            "output batch dim matches the request"
+        );
+        if completed.slo == Slo::Bulk {
+            assert!(!completed.missed, "deadline-free bulk cannot miss");
+        }
+    }
+    assert_eq!(stats.submitted, total);
+    assert_eq!(stats.rejected, 0, "Block admission never rejects");
+    assert_eq!(stats.served, total);
+    assert_eq!(
+        stats.latency.served + stats.bulk.served,
+        total,
+        "per-class served covers every request"
+    );
+    assert_eq!(
+        stats.latency.submitted + stats.bulk.submitted,
+        total,
+        "per-class submitted covers every request"
+    );
+    assert_eq!(stats.bulk.missed, 0, "deadline-free bulk cannot miss");
+    assert_eq!(stats.bulk.with_deadline, 0);
+    assert_eq!(
+        stats.latency.with_deadline, stats.latency.served,
+        "every latency ticket carried a deadline"
+    );
+    assert!(stats.latency.missed <= stats.latency.served);
+    assert!(
+        stats.peak_queue_depth <= 8,
+        "capacity bound violated under stress"
+    );
+    assert!(
+        stats.sharded_sweeps > 0,
+        "batch-5 requests over shard_rows=2 must shard"
+    );
+}
+
+/// Priority ordering: with one worker pinned on a long bulk sweep, every
+/// `Latency` ticket submitted afterwards completes before any `Bulk`
+/// ticket that was submitted ≥ `max_wait` earlier than the latency batch
+/// — the scheduler drains the whole latency class before returning to
+/// queued bulk work.
+#[test]
+fn latency_completes_before_stale_bulk() {
+    let mut registry = ModelRegistry::new();
+    registry.register("m", prepared(80));
+    let max_wait = Duration::from_millis(1);
+    let server = CimServer::new(
+        registry,
+        ServeConfig {
+            queue_capacity: 64,
+            admission: Admission::Block,
+            max_batch: Some(2),
+            max_wait,
+            workers: 1,
+            shard_rows: None,
+            row_tile_shards: None,
+        },
+    );
+
+    let t0 = Instant::now();
+    let ((latency_done, bulk_done), stats) = server.serve(|h| {
+        let rng = &mut CqRng::new(81);
+        // A long plug occupies the single worker (32 rows, chunked into
+        // 16 internal sweeps) while everything else is submitted.
+        let plug = h.submit("m", request(rng, 32)).unwrap();
+        // Stale bulk backlog, submitted well over `max_wait` before the
+        // latency tickets below.
+        let bulk: Vec<(Duration, Ticket)> = (0..6)
+            .map(|_| (t0.elapsed(), h.submit("m", request(rng, 1)).unwrap()))
+            .collect();
+        std::thread::sleep(3 * max_wait);
+        let latency: Vec<(Duration, Ticket)> = (0..6)
+            .map(|_| {
+                let t = h
+                    .submit_with("m", request(rng, 1), Slo::Latency, None)
+                    .unwrap();
+                (t0.elapsed(), t)
+            })
+            .collect();
+        let finish = |v: Vec<(Duration, Ticket)>| {
+            v.into_iter()
+                .map(|(at, t)| at + t.wait().latency)
+                .collect::<Vec<Duration>>()
+        };
+        let latency_done = finish(latency);
+        let bulk_done = finish(bulk);
+        let _ = plug.wait();
+        (latency_done, bulk_done)
+    });
+
+    let last_latency = latency_done.iter().max().unwrap();
+    let first_bulk = bulk_done.iter().min().unwrap();
+    assert!(
+        last_latency < first_bulk,
+        "a latency ticket completed after a bulk ticket submitted \
+         ≥ max_wait earlier: last latency at {last_latency:?}, first bulk \
+         at {first_bulk:?}"
+    );
+    assert_eq!(stats.latency.served, 6);
+    assert_eq!(stats.bulk.served, 7);
+}
+
+/// Deadline-expired tickets still complete — with bit-exact outputs — but
+/// carry the `Missed` status, and the per-class stats count them.
+#[test]
+fn expired_deadlines_complete_with_missed_status() {
+    let mut reference = warmed_net(90);
+    let rng = &mut CqRng::new(91);
+    let plug_input = request(rng, 24);
+    let inputs: Vec<Tensor> = (0..4).map(|_| request(rng, 1)).collect();
+    let want: Vec<Tensor> = inputs
+        .iter()
+        .map(|x| reference.forward(x, Mode::Eval))
+        .collect();
+
+    let mut registry = ModelRegistry::new();
+    registry.register("m", prepared(90));
+    let server = CimServer::new(
+        registry,
+        ServeConfig {
+            queue_capacity: 64,
+            admission: Admission::Block,
+            max_batch: Some(2),
+            max_wait: Duration::ZERO,
+            workers: 1,
+            shard_rows: None,
+            row_tile_shards: None,
+        },
+    );
+    let (outcomes, stats) = server.serve(|h| {
+        // The plug guarantees the deadline below expires while queued.
+        let plug = h.submit("m", plug_input.clone()).unwrap();
+        let tickets: Vec<Ticket> = inputs
+            .iter()
+            .map(|x| {
+                h.submit_with("m", x.clone(), Slo::Latency, Some(Duration::ZERO))
+                    .unwrap()
+            })
+            .collect();
+        let done: Vec<_> = tickets.into_iter().map(Ticket::wait).collect();
+        let _ = plug.wait();
+        done
+    });
+    for (completed, want) in outcomes.iter().zip(&want) {
+        assert!(completed.missed, "zero deadline behind a plug must miss");
+        assert_eq!(completed.slo, Slo::Latency);
+        assert_eq!(&completed.output, want, "missed ticket output diverged");
+    }
+    assert_eq!(stats.latency.missed, 4);
+    assert_eq!(stats.latency.served, 4);
+
+    // A generous deadline under the same load does not miss.
+    let (completed, stats) = server.serve(|h| {
+        h.submit_with(
+            "m",
+            inputs[0].clone(),
+            Slo::Latency,
+            Some(Duration::from_secs(600)),
+        )
+        .unwrap()
+        .wait()
+    });
+    assert!(!completed.missed);
+    assert_eq!(stats.latency.missed, 0);
+}
+
+/// A panicking shard executor must propagate: the failed join panics the
+/// coordinating worker, which abandons its tickets, which panics the
+/// waiting client — `serve` never deadlocks (the sharded extension of the
+/// PR 3 close-on-unwind guarantee).
+#[test]
+#[should_panic]
+fn panic_in_sharded_worker_propagates() {
+    let mut registry = ModelRegistry::new();
+    registry.register("m", prepared(95));
+    let server = CimServer::new(
+        registry,
+        ServeConfig {
+            workers: 2,
+            shard_rows: Some(1),
+            ..ServeConfig::default()
+        },
+    );
+    let ((), _) = server.serve(|h| {
+        // Wrong channel count on an oversized (sharded) request: every
+        // shard executor's forward rejects it.
+        let bad = Tensor::zeros(&[5, 5, 12, 12]);
+        let t = h.submit("m", bad).unwrap();
+        let _ = t.wait(); // panics: the coordinator abandoned the ticket
+    });
+}
