@@ -1,10 +1,14 @@
 //! **Serving SLO** — open-loop latency/throughput of the `cq-serve`
 //! front-end (bounded queue + SLO-aware batch scheduler + work-stealing
 //! shard pool + multi-model registry) under seeded Poisson-ish request
-//! streams.
+//! streams, driven through the **owned-session client**: one replay
+//! thread keeps every ticket in flight and multiplexes completions
+//! through a single `CompletionSet::wait_any_timeout` loop (no
+//! thread-per-ticket), with every wait bounded so a scheduler regression
+//! fails CI loudly instead of hanging it.
 //!
 //! The experiment first calibrates closed-loop capacity (submit
-//! everything at once, Block admission), then replays three open-loop
+//! everything at once, Block admission), then replays four open-loop
 //! points against two resident models:
 //!
 //! * **underload** — ~60% of calibrated capacity, Block admission, mixed
@@ -13,24 +17,35 @@
 //!   FIFO scheduling with sharding off — the PR 3 baseline;
 //! * **overload-slo** — the **same offered load** with 50% latency-class
 //!   tickets (deadlines attached) and sharding enabled, so the artifact
-//!   directly shows the latency-class p99 win over FIFO at equal load.
+//!   directly shows the latency-class p99 win over FIFO at equal load;
+//! * **overload-aged** — the identical stream again under
+//!   `SchedulerPolicy::Aging`, so the artifact also shows the bulk
+//!   starvation bound working (aged promotions > 0, bulk p99 pulled back
+//!   toward the FIFO level) at a small latency-class cost.
 //!
 //! Per point it reports p50/p99 submit→complete latency (overall and per
 //! class), deadline-miss rate, achieved images/sec, shed requests, queue
-//! depth, and shard-pool counters. Results are returned as markdown and
-//! written to `BENCH_serving.json`; the sharded/SLO points are also
-//! written to `BENCH_serving_sharded.json` (both consumed by CI as
-//! artifacts). Arrival schedules and inputs are seeded; wall-clock
-//! numbers vary with the machine, the stream replayed does not.
+//! depth, shard-pool counters, and aged promotions. Results are returned
+//! as markdown and written to `BENCH_serving.json`; the sharded/SLO
+//! points are also written to `BENCH_serving_sharded.json` (both
+//! consumed by CI as artifacts). Arrival schedules and inputs are
+//! seeded; wall-clock numbers vary with the machine, the stream replayed
+//! does not.
 
 use crate::{markdown_table, ExperimentSetting, Scale};
 use cq_core::{build_cim_resnet, PreparedCimModel, QuantScheme};
 use cq_nn::{Layer, Mode};
 use cq_serve::{
-    Admission, CimServer, ModelId, ModelRegistry, ServeConfig, Slo, StreamSpec, SubmitError, Ticket,
+    Admission, CimServer, CompletionSet, ModelId, ModelRegistry, Request, SchedulerPolicy,
+    ServeConfig, ServeSession, ServeStats, Slo, StreamSpec, SubmitError,
 };
 use cq_tensor::{max_threads, CqRng, Tensor};
 use std::time::{Duration, Instant};
+
+/// Upper bound on any single completion wait during a replay: generous
+/// against slow CI machines, but finite — a scheduler deadlock or lost
+/// wakeup fails the benchmark instead of hanging the job.
+const STALL_BOUND: Duration = Duration::from_secs(120);
 
 /// Per-SLO-class measurements at one load point.
 #[derive(Debug, Clone)]
@@ -50,7 +65,8 @@ pub struct ClassPoint {
 /// One measured offered-load point.
 #[derive(Debug, Clone)]
 pub struct LoadPoint {
-    /// Point label ("underload" / "overload-fifo" / "overload-slo").
+    /// Point label ("underload" / "overload-fifo" / "overload-slo" /
+    /// "overload-aged").
     pub label: &'static str,
     /// Admission policy at this point.
     pub admission: Admission,
@@ -64,6 +80,10 @@ pub struct LoadPoint {
     pub fifo: bool,
     /// Whether batch-segment + row-tile sharding was enabled.
     pub sharded: bool,
+    /// Scheduler policy label ("strict" / "aging").
+    pub policy: &'static str,
+    /// The aging threshold, when `policy == "aging"`.
+    pub bulk_max_age_ms: Option<f64>,
     /// Requests admitted and served.
     pub completed: u64,
     /// Requests shed by Reject admission.
@@ -85,6 +105,9 @@ pub struct LoadPoint {
     pub sharded_sweeps: u64,
     /// Shard tasks executed across all workers.
     pub shards_executed: u64,
+    /// Bulk sweeps served ahead of pending latency work by the aging
+    /// policy.
+    pub aged_promotions: u64,
     /// Per-class breakdown (present for classes that saw traffic).
     pub classes: Vec<ClassPoint>,
 }
@@ -130,11 +153,13 @@ fn point_json(p: &LoadPoint) -> String {
     format!(
         "    {{\"label\": \"{}\", \"admission\": \"{}\", \"offered_rps\": {:.3}, \
          \"latency_fraction\": {:.2}, \"scheduling\": \"{}\", \"sharded\": {}, \
+         \"policy\": \"{}\", \"bulk_max_age_ms\": {}, \
          \"completed\": {}, \"rejected\": {}, \"images_per_sec\": {:.3}, \
          \"p50_latency_ms\": {:.3}, \"p99_latency_ms\": {:.3}, \
          \"deadline_miss_rate\": {:.4}, \
          \"mean_queue_depth\": {:.3}, \"peak_queue_depth\": {}, \
          \"sharded_sweeps\": {}, \"shards_executed\": {}, \
+         \"aged_promotions\": {}, \
          \"classes\": [{}]}}",
         p.label,
         match p.admission {
@@ -145,6 +170,9 @@ fn point_json(p: &LoadPoint) -> String {
         p.latency_fraction,
         if p.fifo { "fifo" } else { "slo" },
         p.sharded,
+        p.policy,
+        p.bulk_max_age_ms
+            .map_or("null".to_string(), |ms| format!("{ms:.3}")),
         p.completed,
         p.rejected,
         p.images_per_sec,
@@ -155,6 +183,7 @@ fn point_json(p: &LoadPoint) -> String {
         p.peak_queue_depth,
         p.sharded_sweeps,
         p.shards_executed,
+        p.aged_promotions,
         classes
     )
 }
@@ -236,9 +265,12 @@ struct Outcome {
     latency: Duration,
 }
 
-/// Replays `stream` (paired with pre-generated inputs) against `server`:
-/// submits each request at its arrival offset, waits every admitted
-/// ticket, and returns (outcomes, makespan, stats).
+/// Replays `stream` (paired with pre-generated inputs) against an owned
+/// session: submits each request at its arrival offset through the
+/// `Request` builder, keeps every admitted ticket in flight in one
+/// `CompletionSet`, then drains them through bounded
+/// `wait_any_timeout` calls — one thread multiplexing the entire
+/// in-flight window, and a hang-proof failure mode.
 ///
 /// With `fifo` set, every request is submitted as [`Slo::Bulk`] — the
 /// PR 3 FIFO baseline — but outcomes still carry the request's *stream*
@@ -247,46 +279,57 @@ struct Outcome {
 /// requests carry `deadline` in both modes (deadline accounting is
 /// orthogonal to scheduling class).
 fn replay(
-    server: &CimServer,
+    session: &ServeSession,
     ids: &[ModelId],
     stream: &[cq_serve::StreamRequest],
     inputs: &[Tensor],
     deadline: Option<Duration>,
     fifo: bool,
-) -> (Vec<Outcome>, Duration, cq_serve::ServeStats) {
+) -> (Vec<Outcome>, Duration) {
     let t0 = Instant::now();
-    let (outcomes, stats) = server.serve(|h| {
-        let mut tickets: Vec<(Slo, Ticket)> = Vec::with_capacity(stream.len());
-        for (r, x) in stream.iter().zip(inputs) {
-            let target = t0 + r.at;
-            let now = Instant::now();
-            if target > now {
-                std::thread::sleep(target - now);
-            }
-            let ticket_deadline = match r.slo {
-                Slo::Latency => deadline,
-                Slo::Bulk => None,
-            };
-            let submit_slo = if fifo { Slo::Bulk } else { r.slo };
-            match h.submit_to_with(ids[r.model], x.clone(), submit_slo, ticket_deadline) {
-                Ok(t) => tickets.push((r.slo, t)),
-                Err(SubmitError::QueueFull(_)) => {} // shed; counted in stats
-                Err(e) => panic!("unexpected submit error: {e:?}"),
+    let mut inflight = CompletionSet::new();
+    // Stream class per inserted ticket, indexed by the set's dense keys.
+    let mut stream_slo: Vec<Slo> = Vec::with_capacity(stream.len());
+    for (r, x) in stream.iter().zip(inputs) {
+        let target = t0 + r.at;
+        let now = Instant::now();
+        if target > now {
+            std::thread::sleep(target - now);
+        }
+        let submit_slo = if fifo { Slo::Bulk } else { r.slo };
+        let mut req = Request::to_id(ids[r.model])
+            .batch(x.clone())
+            .slo(submit_slo);
+        if r.slo == Slo::Latency {
+            if let Some(d) = deadline {
+                req = req.deadline(d);
             }
         }
-        tickets
-            .into_iter()
-            .map(|(stream_slo, t)| {
-                let c = t.wait();
-                Outcome {
-                    slo: stream_slo,
-                    missed: c.missed,
-                    latency: c.latency,
-                }
-            })
-            .collect::<Vec<_>>()
-    });
-    (outcomes, t0.elapsed(), stats)
+        match session.submit(req) {
+            Ok(t) => {
+                inflight.insert(t);
+                stream_slo.push(r.slo);
+            }
+            Err(SubmitError::QueueFull(_)) => {} // shed; counted in stats
+            Err(e) => panic!("unexpected submit error: {e:?}"),
+        }
+    }
+    let mut outcomes = Vec::with_capacity(inflight.len());
+    while !inflight.is_empty() {
+        match inflight.wait_any_timeout(STALL_BOUND) {
+            Some((key, c)) => outcomes.push(Outcome {
+                slo: stream_slo[key.index()],
+                missed: c.missed,
+                latency: c.latency,
+            }),
+            None => panic!(
+                "serving stalled: {} tickets unresolved after {STALL_BOUND:?} \
+                 (scheduler regression?)",
+                inflight.len()
+            ),
+        }
+    }
+    (outcomes, t0.elapsed())
 }
 
 /// Measures the serving SLO experiment and returns the structured result.
@@ -306,20 +349,24 @@ pub fn measure(scale: Scale) -> ServingResult {
         registry.register("resnet-a", build_model(&setting, 501)),
         registry.register("resnet-b", build_model(&setting, 503)),
     ];
-    let cfg = |admission: Admission, sharded: bool| ServeConfig {
-        queue_capacity: 32,
-        admission,
-        max_batch: Some(8),
-        max_wait: Duration::from_micros(500),
-        workers,
-        shard_rows: sharded.then_some(shard_rows),
-        row_tile_shards: sharded.then_some(row_tile_shards),
+    let cfg = |admission: Admission, sharded: bool, policy: SchedulerPolicy| {
+        ServeConfig::builder()
+            .queue_capacity(32)
+            .admission(admission)
+            .max_batch(Some(8))
+            .max_wait(Duration::from_micros(500))
+            .workers(workers)
+            .shard_rows(sharded.then_some(shard_rows))
+            .row_tile_shards(sharded.then_some(row_tile_shards))
+            .policy(policy)
+            .build()
+            .expect("valid serve config")
     };
-    let mut server = CimServer::new(registry, cfg(Admission::Block, false));
 
     // Closed-loop calibration: everything arrives at t=0, Block admission —
     // the server runs flat out, giving the capacity the open-loop points
-    // are scaled from.
+    // are scaled from. Each point runs one owned session; between points
+    // the models round-trip through `shutdown` → `from_models`.
     let cal_stream = StreamSpec {
         rate_rps: 1e9,
         requests,
@@ -334,25 +381,67 @@ pub fn measure(scale: Scale) -> ServingResult {
         .iter()
         .map(|_| rng.normal_tensor(&[1, c, hw, hw], 1.0).map(|v| v.max(0.0)))
         .collect();
-    let (_, cal_span, cal_stats) = replay(&server, &ids, &cal_stream, &cal_inputs, None, true);
+    let session = CimServer::new(
+        registry,
+        cfg(Admission::Block, false, SchedulerPolicy::Strict),
+    )
+    .start();
+    let (_, cal_span) = replay(&session, &ids, &cal_stream, &cal_inputs, None, true);
+    let (cal_stats, mut models): (ServeStats, _) = session.shutdown();
     let calibrated_ips = cal_stats.rows_swept as f64 / cal_span.as_secs_f64().max(1e-9);
     // Latency deadline: a generous multiple of the mean per-image service
     // time, so misses mean real queueing, not noise.
     let deadline = Duration::from_secs_f64(20.0 / calibrated_ips.max(1.0));
+    // Aging threshold for the overload-aged point: well above the latency
+    // deadline (latency keeps near-absolute priority at burst scale) but
+    // far below the replay makespan, so promotions actually fire.
+    let bulk_max_age = 2 * deadline;
 
     let mut points = Vec::new();
-    for (label, factor, admission, fifo, sharded, seed) in [
-        ("underload", 0.6, Admission::Block, false, true, 520u64),
-        // The PR 3 baseline and the SLO/sharded run replay the IDENTICAL
-        // request stream (same seed, same arrivals, same batch sizes,
-        // same would-be classes) at the same offered load — only the
-        // scheduling differs — so the latency-class p99 is directly
-        // comparable against FIFO.
-        ("overload-fifo", 1.3, Admission::Reject, true, false, 530),
-        ("overload-slo", 1.3, Admission::Reject, false, true, 530),
+    for (label, factor, admission, fifo, sharded, policy, seed) in [
+        (
+            "underload",
+            0.6,
+            Admission::Block,
+            false,
+            true,
+            SchedulerPolicy::Strict,
+            520u64,
+        ),
+        // The PR 3 baseline, the SLO/sharded run, and the aged run replay
+        // the IDENTICAL request stream (same seed, same arrivals, same
+        // batch sizes, same would-be classes) at the same offered load —
+        // only the scheduling differs — so the latency-class p99 (and the
+        // bulk starvation bound) are directly comparable against FIFO.
+        (
+            "overload-fifo",
+            1.3,
+            Admission::Reject,
+            true,
+            false,
+            SchedulerPolicy::Strict,
+            530,
+        ),
+        (
+            "overload-slo",
+            1.3,
+            Admission::Reject,
+            false,
+            true,
+            SchedulerPolicy::Strict,
+            530,
+        ),
+        (
+            "overload-aged",
+            1.3,
+            Admission::Reject,
+            false,
+            true,
+            SchedulerPolicy::Aging { bulk_max_age },
+            530,
+        ),
     ] {
         let latency_fraction = 0.5;
-        server.set_config(cfg(admission, sharded));
         let offered_rps = (calibrated_ips * factor).max(1.0);
         // Mostly single-image requests with an occasional 6-image burst:
         // the bursts create the head-of-line blocking that priority
@@ -375,7 +464,14 @@ pub fn measure(scale: Scale) -> ServingResult {
                     .map(|v| v.max(0.0))
             })
             .collect();
-        let (outcomes, span, stats) = replay(&server, &ids, &stream, &inputs, Some(deadline), fifo);
+        let session = CimServer::new(
+            ModelRegistry::from_models(models),
+            cfg(admission, sharded, policy),
+        )
+        .start();
+        let (outcomes, span) = replay(&session, &ids, &stream, &inputs, Some(deadline), fifo);
+        let (stats, returned) = session.shutdown();
+        models = returned;
         let mut all: Vec<Duration> = outcomes.iter().map(|o| o.latency).collect();
         let mut classes = Vec::new();
         for (slo, name) in [(Slo::Latency, "latency"), (Slo::Bulk, "bulk")] {
@@ -406,6 +502,11 @@ pub fn measure(scale: Scale) -> ServingResult {
             latency_fraction,
             fifo,
             sharded,
+            policy: match policy {
+                SchedulerPolicy::Strict => "strict",
+                SchedulerPolicy::Aging { .. } => "aging",
+            },
+            bulk_max_age_ms: policy.bulk_max_age().map(|d| d.as_secs_f64() * 1e3),
             completed: stats.served,
             rejected: stats.rejected,
             images_per_sec: stats.rows_swept as f64 / span.as_secs_f64().max(1e-9),
@@ -420,6 +521,7 @@ pub fn measure(scale: Scale) -> ServingResult {
             peak_queue_depth: stats.peak_queue_depth,
             sharded_sweeps: stats.sharded_sweeps,
             shards_executed: stats.shards_executed,
+            aged_promotions: stats.aged_promotions,
             classes,
         });
     }
@@ -444,10 +546,10 @@ pub fn run(scale: Scale) -> String {
     let r = measure(scale);
     std::fs::write("BENCH_serving.json", r.to_json()).expect("write BENCH_serving.json");
     // The sharded/SLO points as their own artifact, uploaded next to the
-    // full report so the shard-enabled run is directly diffable.
+    // full report so the shard-enabled runs are directly diffable.
     std::fs::write(
         "BENCH_serving_sharded.json",
-        r.json_for(Some(&["underload", "overload-slo"])),
+        r.json_for(Some(&["underload", "overload-slo", "overload-aged"])),
     )
     .expect("write BENCH_serving_sharded.json");
 
@@ -466,6 +568,7 @@ pub fn run(scale: Scale) -> String {
             vec![
                 p.label.to_string(),
                 format!("{:?}", p.admission),
+                p.policy.to_string(),
                 format!("{:.1}", p.offered_rps),
                 format!("{:.1}", p.images_per_sec),
                 format!("{}", p.completed),
@@ -474,21 +577,25 @@ pub fn run(scale: Scale) -> String {
                 class_cell(p, "bulk"),
                 format!("{:.1}%", p.deadline_miss_rate * 100.0),
                 format!("{}/{}", p.sharded_sweeps, p.shards_executed),
+                format!("{}", p.aged_promotions),
                 format!("{:.1} / {}", p.mean_queue_depth, p.peak_queue_depth),
             ]
         })
         .collect();
     let mut out = String::from(
         "## Serving SLO — open-loop load against the cq-serve front-end \
-         (priority classes + sharding)\n\n",
+         (priority classes + aging + sharding, multiplexed session client)\n\n",
     );
     out.push_str(&format!(
         "{} requests per point over {} resident models ({}×{}×{} images), \
          {} workers, {} kernel threads, closed-loop capacity {:.1} images/sec; \
          sharded points split sweeps into ≤{}-row segments with {} row-tile \
-         shards per conv ({:?} scale). `overload-fifo` and `overload-slo` \
-         replay the same offered load, so the latency-class p99 is directly \
-         comparable against the FIFO baseline.\n\n",
+         shards per conv ({:?} scale). One client thread replays each point \
+         through an owned `ServeSession`, multiplexing every in-flight ticket \
+         with `CompletionSet::wait_any` (all waits bounded). The three \
+         `overload-*` points replay the same offered load, so the \
+         latency-class p99 (SLO vs FIFO) and the bulk starvation bound \
+         (aged vs strict) are directly comparable.\n\n",
         r.requests,
         r.models,
         r.image[0],
@@ -505,6 +612,7 @@ pub fn run(scale: Scale) -> String {
         &[
             "point",
             "admission",
+            "policy",
             "offered req/s",
             "images/sec",
             "completed",
@@ -513,15 +621,17 @@ pub fn run(scale: Scale) -> String {
             "bulk p50/p99 ms",
             "miss rate",
             "sharded sweeps/shards",
+            "aged",
             "queue depth (mean/peak)",
         ],
         &rows,
     ));
     out.push_str(
-        "\nEvery served output — including sharded sweeps — is bit-identical \
-         to the direct `PreparedCimModel::infer` result (pinned by `cq-serve` \
-         tests and the `sharded_equivalence` matrix); the numbers above are \
-         written to `BENCH_serving.json` and `BENCH_serving_sharded.json`.\n",
+        "\nEvery served output — including sharded sweeps and every ticket \
+         resolution path — is bit-identical to the direct \
+         `PreparedCimModel::infer` result (pinned by `cq-serve` tests and \
+         the `sharded_equivalence` matrix); the numbers above are written \
+         to `BENCH_serving.json` and `BENCH_serving_sharded.json`.\n",
     );
     out
 }

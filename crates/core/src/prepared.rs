@@ -81,6 +81,15 @@ impl PreparedCimModel {
         self.max_batch = max_batch;
     }
 
+    /// The active sweep cap (`None` = unbounded) — the introspection
+    /// counterpart of [`set_max_batch`](PreparedCimModel::set_max_batch).
+    /// Note the `cq-serve` front-end installs its own `ServeConfig`
+    /// cap on every resident model, so after a serving round-trip this
+    /// reflects the last server's policy, not the pre-registration value.
+    pub fn max_batch(&self) -> Option<usize> {
+        self.max_batch
+    }
+
     /// Serves one already-batched tensor `[B, C, H, W]`.
     pub fn infer(&mut self, images: &Tensor) -> Tensor {
         self.model.forward(images, Mode::Eval)

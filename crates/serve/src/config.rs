@@ -1,0 +1,312 @@
+//! Serving policy configuration: [`ServeConfig`], its validating
+//! [`ServeConfigBuilder`], and the [`SchedulerPolicy`] that governs how
+//! the strict Latency≻Bulk priority order is tempered by aging.
+
+use crate::queue::Admission;
+use std::fmt;
+use std::time::Duration;
+
+/// How the batch scheduler orders [`Slo::Latency`](crate::Slo) work
+/// against [`Slo::Bulk`](crate::Slo) work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerPolicy {
+    /// Strict priority: latency work always schedules before bulk work.
+    /// Under a sustained latency flood, bulk requests can starve for the
+    /// whole flood duration. The default.
+    #[default]
+    Strict,
+    /// Strict priority **with aging**: once *any* queued bulk request's
+    /// weighted age reaches `bulk_max_age`, the bulk class outranks new
+    /// latency arrivals (and is served FIFO from its head), so bulk
+    /// traffic has a provable starvation bound — every admitted bulk
+    /// request is picked up within `bulk_max_age / weight` of submission,
+    /// plus the sweep (or in-flight shard) a worker is already executing
+    /// and the bulk requests queued ahead of it (bounded by
+    /// [`ServeConfig::queue_capacity`]). The whole bulk deque is
+    /// scanned — not just its head — so a fast-aging request queued
+    /// behind a slow-aging one still trips the promotion on its own
+    /// clock.
+    ///
+    /// A request's weighted age is `elapsed × weight` (see
+    /// [`Request::weight`](crate::Request::weight)): weight `2.0` crosses
+    /// the threshold twice as fast, weight `0.5` half as fast. Latency
+    /// work keeps absolute priority until the threshold trips, so the
+    /// latency-class p99 win over FIFO is preserved for any
+    /// `bulk_max_age` larger than the latency burst scale.
+    Aging {
+        /// Weighted queue age at which a queued bulk request makes its
+        /// class outrank new latency arrivals. Must be non-zero.
+        bulk_max_age: Duration,
+    },
+}
+
+impl SchedulerPolicy {
+    /// The aging threshold, if this policy ages bulk work.
+    pub fn bulk_max_age(&self) -> Option<Duration> {
+        match self {
+            SchedulerPolicy::Strict => None,
+            SchedulerPolicy::Aging { bulk_max_age } => Some(*bulk_max_age),
+        }
+    }
+}
+
+/// Why a [`ServeConfig`] was rejected, by the builder or by
+/// [`CimServer::set_config`](crate::CimServer::set_config).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `workers` was zero.
+    ZeroWorkers,
+    /// `queue_capacity` was zero.
+    ZeroQueueCapacity,
+    /// `max_batch` was `Some(0)`.
+    ZeroMaxBatch,
+    /// `shard_rows` was `Some(0)`.
+    ZeroShardRows,
+    /// `row_tile_shards` was `Some(0)`.
+    ZeroRowTileShards,
+    /// [`SchedulerPolicy::Aging`] carried a zero `bulk_max_age`.
+    ZeroBulkMaxAge,
+    /// [`CimServer::set_config`](crate::CimServer::set_config) was called
+    /// while a serving session still holds the server's shared state.
+    SessionActive,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ConfigError::ZeroWorkers => "need at least one worker",
+            ConfigError::ZeroQueueCapacity => "queue capacity must be positive",
+            ConfigError::ZeroMaxBatch => "max_batch must be positive",
+            ConfigError::ZeroShardRows => "shard_rows must be positive",
+            ConfigError::ZeroRowTileShards => "row_tile_shards must be positive",
+            ConfigError::ZeroBulkMaxAge => "bulk_max_age must be positive",
+            ConfigError::SessionActive => {
+                "config can only change between sessions: a serving session is still active"
+            }
+        })
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Serving policy knobs. Build one with [`ServeConfig::builder`], which
+/// validates every invariant and returns [`ConfigError`] instead of
+/// panicking deep inside the server.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bounded queue capacity, in requests (both
+    /// [`Slo`](crate::Slo) classes share it).
+    pub queue_capacity: usize,
+    /// What a submission does when the queue is full.
+    pub admission: Admission,
+    /// Images per coalesced sweep (`None` = unbounded). Also installed as
+    /// every resident model's `max_batch`, so even a single oversized
+    /// request is executed in ≤ cap chunks.
+    pub max_batch: Option<usize>,
+    /// How long a scheduler lingers for more same-model arrivals while a
+    /// **bulk** sweep is unfilled (measured from when the sweep starts
+    /// forming). Latency sweeps never linger, and a latency arrival
+    /// aborts an in-progress bulk linger.
+    pub max_wait: Duration,
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// **Batch-segment sharding**: a sweep with more rows than this is
+    /// split into segments published to the shard pool, where every
+    /// worker — the coordinator included — steals and executes them
+    /// concurrently before the bit-exact rejoin. Segments carry at most
+    /// `min(shard_rows, max_batch)` rows, so the sweep cap stays in
+    /// force on the sharded path too. Shards inherit their request's
+    /// [`Slo`](crate::Slo) class for scheduling. `None` disables sharding
+    /// (each sweep runs on one worker).
+    pub shard_rows: Option<usize>,
+    /// **Row-tile sharding**: splits every frozen convolution's
+    /// grouped-conv front-end into this many independent row-tile shards
+    /// (clamped per layer; see
+    /// [`cq_core::PreparedCimModel::set_row_tile_shards`]). `None`
+    /// disables it. Bit-identical either way. Shard threads multiply
+    /// with the conv kernel's own `threads_for`/`CQ_THREADS` pool —
+    /// budget `workers × shards × CQ_THREADS` against the machine.
+    pub row_tile_shards: Option<usize>,
+    /// How latency work is ordered against bulk work (strict priority, or
+    /// strict-with-aging for a bulk starvation bound).
+    pub policy: SchedulerPolicy,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 64,
+            admission: Admission::Block,
+            max_batch: Some(8),
+            max_wait: Duration::from_micros(200),
+            workers: 2,
+            shard_rows: None,
+            row_tile_shards: None,
+            policy: SchedulerPolicy::Strict,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// A validating builder seeded with [`ServeConfig::default`].
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            cfg: Self::default(),
+        }
+    }
+
+    /// Checks every invariant the server relies on.
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant, as a [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.workers == 0 {
+            return Err(ConfigError::ZeroWorkers);
+        }
+        if self.queue_capacity == 0 {
+            return Err(ConfigError::ZeroQueueCapacity);
+        }
+        if self.max_batch == Some(0) {
+            return Err(ConfigError::ZeroMaxBatch);
+        }
+        if self.shard_rows == Some(0) {
+            return Err(ConfigError::ZeroShardRows);
+        }
+        if self.row_tile_shards == Some(0) {
+            return Err(ConfigError::ZeroRowTileShards);
+        }
+        if self.policy.bulk_max_age() == Some(Duration::ZERO) {
+            return Err(ConfigError::ZeroBulkMaxAge);
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`ServeConfig`]; every setter mirrors the field of the
+/// same name, and [`build`](ServeConfigBuilder::build) validates the
+/// result.
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    cfg: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Bounded queue capacity, in requests.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.cfg.queue_capacity = capacity;
+        self
+    }
+
+    /// What a submission does when the queue is full.
+    pub fn admission(mut self, admission: Admission) -> Self {
+        self.cfg.admission = admission;
+        self
+    }
+
+    /// Images per coalesced sweep (`None` = unbounded).
+    pub fn max_batch(mut self, max_batch: Option<usize>) -> Self {
+        self.cfg.max_batch = max_batch;
+        self
+    }
+
+    /// Bulk-sweep linger budget.
+    pub fn max_wait(mut self, max_wait: Duration) -> Self {
+        self.cfg.max_wait = max_wait;
+        self
+    }
+
+    /// Worker threads draining the queue.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.cfg.workers = workers;
+        self
+    }
+
+    /// Batch-segment sharding bound (`None` disables).
+    pub fn shard_rows(mut self, shard_rows: Option<usize>) -> Self {
+        self.cfg.shard_rows = shard_rows;
+        self
+    }
+
+    /// Row-tile shards per frozen convolution (`None` disables).
+    pub fn row_tile_shards(mut self, shards: Option<usize>) -> Self {
+        self.cfg.row_tile_shards = shards;
+        self
+    }
+
+    /// Scheduling policy (strict priority or strict-with-aging).
+    pub fn policy(mut self, policy: SchedulerPolicy) -> Self {
+        self.cfg.policy = policy;
+        self
+    }
+
+    /// Shorthand for `policy(SchedulerPolicy::Aging { bulk_max_age })`.
+    pub fn bulk_max_age(self, bulk_max_age: Duration) -> Self {
+        self.policy(SchedulerPolicy::Aging { bulk_max_age })
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant, as a [`ConfigError`].
+    pub fn build(self) -> Result<ServeConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_validate() {
+        let cfg = ServeConfig::builder().build().unwrap();
+        assert_eq!(cfg.queue_capacity, 64);
+        assert_eq!(cfg.policy, SchedulerPolicy::Strict);
+    }
+
+    #[test]
+    fn builder_rejects_every_zero_invariant() {
+        let cases: Vec<(ServeConfigBuilder, ConfigError)> = vec![
+            (ServeConfig::builder().workers(0), ConfigError::ZeroWorkers),
+            (
+                ServeConfig::builder().queue_capacity(0),
+                ConfigError::ZeroQueueCapacity,
+            ),
+            (
+                ServeConfig::builder().max_batch(Some(0)),
+                ConfigError::ZeroMaxBatch,
+            ),
+            (
+                ServeConfig::builder().shard_rows(Some(0)),
+                ConfigError::ZeroShardRows,
+            ),
+            (
+                ServeConfig::builder().row_tile_shards(Some(0)),
+                ConfigError::ZeroRowTileShards,
+            ),
+            (
+                ServeConfig::builder().bulk_max_age(Duration::ZERO),
+                ConfigError::ZeroBulkMaxAge,
+            ),
+        ];
+        for (builder, want) in cases {
+            assert_eq!(builder.build().unwrap_err(), want);
+        }
+    }
+
+    #[test]
+    fn aging_shorthand_sets_the_policy() {
+        let cfg = ServeConfig::builder()
+            .bulk_max_age(Duration::from_millis(50))
+            .build()
+            .unwrap();
+        assert_eq!(
+            cfg.policy.bulk_max_age(),
+            Some(Duration::from_millis(50)),
+            "bulk_max_age shorthand must install the aging policy"
+        );
+    }
+}

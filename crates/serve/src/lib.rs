@@ -5,23 +5,24 @@
 //! (scheduling and batching, not array arithmetic):
 //!
 //! ```text
-//!  clients              CimServer::serve
-//!  ──────────────┐   ┌──────────────────────────────────────────────┐
-//!  submit_with   ├──►│ RequestQueue (bounded; Block | Reject)       │
-//!  (Slo,deadline)│   │  ├ Latency deque   (strict priority)         │
-//!  ──────────────┘   │  ├ Bulk deque      (FIFO, linger ≤ max_wait) │
-//!                    │  └ Shard pool      (work-stealing segments)  │
-//!                    └───────────────┬──────────────────────────────┘
-//!                                    │ BatchScheduler per worker:
-//!                                    │ shards ≻ latency ≻ bulk;
-//!                                    │ latency arrivals preempt bulk
-//!                                    │ linger; oversized sweeps split
-//!                                    │ into ≤ shard_rows segments
-//!              ┌─────────────────────┴────┐
-//!              ▼                          ▼
-//!        worker thread  …           worker thread      (thread::scope)
-//!              │ write-locked sweeps      │ read-locked shards
-//!              ▼                          ▼
+//!  client (one thread,         CimServer::start() -> ServeSession
+//!  many in-flight)          ┌──────────────────────────────────────────────┐
+//!  ───────────────────┐     │ RequestQueue (bounded; Block | Reject)       │
+//!  session.submit(    ├────►│  ├ Latency deque   (priority)                │
+//!   Request::to(..)   │     │  ├ Bulk deque      (FIFO + aging; linger     │
+//!    .batch(x).slo(..)│     │  │                  ≤ max_wait)              │
+//!    .deadline(..)    │     │  └ Shard pool      (work-stealing segments)  │
+//!    .weight(..))     │     └───────────────┬──────────────────────────────┘
+//!  ───────────────────┘                     │ BatchScheduler per worker:
+//!        │ Ticket                           │ shards ≻ aged bulk ≻ latency
+//!        ▼                                  │ ≻ bulk; latency arrivals
+//!  CompletionSet::wait_any()                │ preempt bulk linger; sweeps
+//!  try_wait / wait_timeout / wait           │ > shard_rows split
+//!              ┌────────────────────────────┴─┐
+//!              ▼                              ▼
+//!        worker thread  …               worker thread    (owned threads)
+//!              │ write-locked sweeps          │ read-locked shards
+//!              ▼                              ▼
 //!  ┌──────────────────────────────────────────────────┐
 //!  │ ModelRegistry: id → RwLock<PreparedCimModel>     │
 //!  │ (frozen weights; scratch pools; optional         │
@@ -30,28 +31,49 @@
 //!              │ shard outputs rejoined (exact concat),
 //!              │ outputs split back per request
 //!              ▼
-//!   Ticket::wait() → Completed { output, latency, slo, missed }
+//!   Completed { output, latency, slo, missed }
+//!   ServeSession::shutdown() -> (ServeStats, models)
 //! ```
 //!
 //! Every serving-path output — coalesced, chunked oversized requests,
 //! batch-segment sharded, row-tile sharded, multi-model — is
 //! **bit-identical** to calling the standalone
-//! [`PreparedCimModel`](cq_core::PreparedCimModel) on the same input:
+//! [`PreparedCimModel`] on the same input:
 //! the front-end only reorders *which sweep (or shard)* a request rides
 //! in, every layer processes batch elements independently with a fixed
 //! f32 operation order, and shard rejoins are exact copies
 //! (`tests/serving.rs`, `tests/slo_stress.rs`, and the `cq-core`
-//! `sharded_equivalence` matrix pin this).
+//! `sharded_equivalence` matrix pin this). The same holds across
+//! **resolution paths**: [`Ticket::wait`], [`Ticket::try_wait`],
+//! [`Ticket::wait_timeout`], and [`CompletionSet::wait_any`] all hand
+//! over the same moved output tensor.
 //!
-//! **SLO scheduling.** Requests carry an [`Slo`] class and an optional
-//! deadline: [`Slo::Latency`] work always schedules before
+//! **Sessions.** [`CimServer::start`] consumes the server and returns an
+//! owned [`ServeSession`]: worker threads are plain `std::thread::spawn`
+//! threads sharing the session state through `Arc` (no scope borrow, no
+//! async runtime — hand-rolled on `std::sync` like the rest of the
+//! offline dependency stack). Submission is **non-blocking by default**:
+//! [`ServeSession::submit`] takes a fluent [`Request`] and returns a
+//! pollable [`Ticket`]; a [`CompletionSet`] multiplexes hundreds of
+//! in-flight tickets through one condvar. [`ServeSession::shutdown`]
+//! drains every admitted request, joins the workers, and returns the
+//! final [`ServeStats`] with the resident models. The PR 3/4 closure
+//! flow survives as [`CimServer::serve`], a thin wrapper over the same
+//! machinery.
+//!
+//! **SLO scheduling.** Requests carry an [`Slo`] class, an optional
+//! deadline, and an aging weight: [`Slo::Latency`] work schedules before
 //! [`Slo::Bulk`] work and preempts bulk batch formation (a lingering
 //! bulk sweep closes the moment a latency request lands); bulk keeps its
-//! FIFO coalescing behaviour. Deadline-expired tickets are **still
-//! served** — bit-exactness and the every-ticket-resolves guarantee are
-//! never traded away — but complete with
-//! [`Completed::missed`] set, and [`ServeStats`] reports per-class
-//! served/missed counters.
+//! FIFO coalescing behaviour. Under
+//! [`SchedulerPolicy::Aging`], once any queued bulk request's weighted
+//! age reaches `bulk_max_age` the bulk class outranks new latency
+//! arrivals (served FIFO from its head), giving bulk a provable
+//! per-request starvation bound under sustained latency floods. Deadline-
+//! expired tickets are **still served** — bit-exactness and the
+//! every-ticket-resolves guarantee are never traded away — but complete
+//! with [`Completed::missed`] set, and [`ServeStats`] reports per-class
+//! served/missed counters plus [`ServeStats::aged_promotions`].
 //!
 //! **Sharding.** With [`ServeConfig::shard_rows`] set, a sweep larger
 //! than the bound is split into batch-segment [`cq_cim::ShardPlan`]
@@ -65,9 +87,10 @@
 //!
 //! [`StreamSpec`] generates seeded Poisson-ish open-loop request streams
 //! with a configurable latency-class fraction; the `cq-bench` `serving`
-//! experiment replays them against a server and reports per-class p50/p99
-//! latency, deadline-miss rate, images/sec, and queue depth
-//! (`BENCH_serving.json`, `BENCH_serving_sharded.json`).
+//! experiment replays them through a multiplexed [`CompletionSet`]
+//! client and reports per-class p50/p99 latency, deadline-miss rate,
+//! images/sec, and queue depth (`BENCH_serving.json`,
+//! `BENCH_serving_sharded.json`).
 //!
 //! ## Example
 //!
@@ -75,7 +98,7 @@
 //! use cq_cim::CimConfig;
 //! use cq_core::{build_cim_resnet, PreparedCimModel, QuantScheme};
 //! use cq_nn::{Layer, Mode, ResNetSpec};
-//! use cq_serve::{CimServer, ModelRegistry, ServeConfig};
+//! use cq_serve::{CimServer, CompletionSet, ModelRegistry, Request, ServeConfig};
 //! use cq_tensor::CqRng;
 //!
 //! // Freeze a (here: untrained but warmed) model for serving.
@@ -90,29 +113,44 @@
 //!
 //! let mut registry = ModelRegistry::new();
 //! registry.register("resnet8", PreparedCimModel::new(Box::new(net)));
-//! let server = CimServer::new(registry, ServeConfig::default());
+//! let cfg = ServeConfig::builder().workers(2).build().unwrap();
 //!
-//! let (outputs, stats) = server.serve(|h| {
-//!     let tickets: Vec<_> = (0..4)
-//!         .map(|i| {
-//!             let x = CqRng::new(10 + i).normal_tensor(&[1, 3, 12, 12], 1.0);
-//!             h.submit("resnet8", x).unwrap()
-//!         })
-//!         .collect();
-//!     tickets.into_iter().map(|t| t.wait().output).collect::<Vec<_>>()
-//! });
+//! // Owned session: no closure scope, nothing blocks the client.
+//! let session = CimServer::new(registry, cfg).start();
+//! let mut inflight = CompletionSet::new();
+//! for i in 0..4 {
+//!     let x = CqRng::new(10 + i).normal_tensor(&[1, 3, 12, 12], 1.0);
+//!     inflight.insert(session.submit(Request::to("resnet8").batch(x)).unwrap());
+//! }
+//! let mut outputs = Vec::new();
+//! while let Some((_key, done)) = inflight.wait_any() {
+//!     outputs.push(done.output);
+//! }
+//! let (stats, models) = session.shutdown();
 //! assert_eq!(outputs.len(), 4);
 //! assert_eq!(stats.served, 4);
+//! assert_eq!(models.len(), 1, "resident models handed back");
 //! ```
 
 #![warn(missing_docs)]
 
+mod completion;
+mod config;
 mod queue;
 mod registry;
+mod request;
 mod server;
+mod session;
 mod stream;
 
+pub use completion::{CompletionSet, TicketKey};
+pub use config::{ConfigError, SchedulerPolicy, ServeConfig, ServeConfigBuilder};
+// Re-exported so `ServeSession::shutdown`'s return type is nameable from
+// this crate alone.
+pub use cq_core::PreparedCimModel;
 pub use queue::{Admission, ClassStats, Completed, ServeStats, Slo, SubmitError, Ticket};
 pub use registry::{ModelId, ModelRegistry};
-pub use server::{CimServer, ServeConfig, ServerHandle};
+pub use request::Request;
+pub use server::CimServer;
+pub use session::ServeSession;
 pub use stream::{StreamRequest, StreamSpec};

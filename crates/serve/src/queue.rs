@@ -1,17 +1,19 @@
 //! The bounded request queue, admission control, SLO-aware batch
 //! scheduler, and work-stealing shard pool of the serving front-end.
 //!
-//! Clients [`submit`](crate::ServerHandle::submit) requests into one
-//! shared [`RequestQueue`]; each request carries an [`Slo`] class and an
-//! optional deadline. Worker threads each drive a [`BatchScheduler`] that
-//! pops runs of same-model, same-class requests and coalesces them into
-//! sweeps under the `max_batch` / `max_wait` policy, with strict class
-//! priority: [`Slo::Latency`] work always schedules before
-//! [`Slo::Bulk`] work, and a latency arrival **preempts** bulk batch
-//! formation (the bulk sweep stops lingering immediately). Admission is
-//! enforced at the queue: when it is full, a submission either blocks
-//! until a worker frees space or is rejected immediately with the input
-//! handed back.
+//! Clients [`submit`](crate::ServeSession::submit) requests into one
+//! shared [`RequestQueue`]; each request carries an [`Slo`] class, an
+//! optional deadline, and an aging weight. Worker threads each drive a
+//! [`BatchScheduler`] that pops runs of same-model, same-class requests
+//! and coalesces them into sweeps under the `max_batch` / `max_wait`
+//! policy, with class priority: [`Slo::Latency`] work schedules before
+//! [`Slo::Bulk`] work and **preempts** bulk batch formation (a lingering
+//! bulk sweep closes the moment a latency request lands). Under
+//! [`SchedulerPolicy::Aging`](crate::SchedulerPolicy), a bulk head whose
+//! weighted queue age reaches `bulk_max_age` outranks new latency
+//! arrivals — the starvation bound. Admission is enforced at the queue:
+//! when it is full, a submission either blocks until a worker frees space
+//! or is rejected immediately with the input handed back.
 //!
 //! The queue also carries the **shard pool**: when a worker decides to
 //! split one oversized sweep into batch-segment shards, the shard tasks
@@ -21,7 +23,18 @@
 //! ahead of new sweeps *within* it (finishing an in-flight request beats
 //! starting a new one), but a sharded bulk request never jumps ahead of
 //! latency work.
+//!
+//! On the client side, a [`Ticket`] is a **pollable** completion handle:
+//! blocking [`wait`](Ticket::wait), non-blocking
+//! [`try_wait`](Ticket::try_wait), bounded
+//! [`wait_timeout`](Ticket::wait_timeout), and — through
+//! [`CompletionSet`](crate::CompletionSet) — a condvar-backed
+//! wait-on-any over hundreds of in-flight tickets. Every path hands over
+//! the same moved output tensor, so resolution style never affects the
+//! served bits.
 
+use crate::completion::ReadyList;
+use crate::config::SchedulerPolicy;
 use cq_tensor::Tensor;
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
@@ -34,7 +47,9 @@ pub enum Slo {
     /// bulk batch formation.
     Latency,
     /// Throughput-oriented: serves in FIFO order whenever no latency work
-    /// is pending. The default class.
+    /// is pending (or when aged past the
+    /// [`SchedulerPolicy::Aging`](crate::SchedulerPolicy) threshold). The
+    /// default class.
     Bulk,
 }
 
@@ -55,6 +70,9 @@ pub enum SubmitError {
     QueueFull(Tensor),
     /// No model with this id is registered.
     UnknownModel(String),
+    /// The [`Request`](crate::Request) was built without
+    /// [`batch`](crate::Request::batch) — there is nothing to run.
+    MissingInput,
     /// The server is shutting down; the input is handed back.
     Closed(Tensor),
 }
@@ -81,35 +99,53 @@ pub struct Completed {
 /// Where a worker parks one request's output; the client side waits on it
 /// through a [`Ticket`].
 pub(crate) struct ResponseSlot {
-    state: Mutex<Option<SlotResult>>,
+    state: Mutex<SlotState>,
     ready: Condvar,
+}
+
+struct SlotState {
+    result: Option<SlotResult>,
+    /// One-shot notification target registered by
+    /// [`CompletionSet::insert`](crate::CompletionSet::insert); fired
+    /// exactly once, by whichever of fulfil/abandon resolves the slot (or
+    /// by registration itself when already resolved).
+    watcher: Option<(Arc<ReadyList>, usize)>,
 }
 
 enum SlotResult {
     Done(Tensor, Instant),
     /// The worker holding this request panicked before fulfilling it;
-    /// `Ticket::wait` propagates the failure instead of hanging.
+    /// every `Ticket` resolution path propagates the failure instead of
+    /// hanging.
     Abandoned,
 }
 
 impl ResponseSlot {
     pub(crate) fn new() -> Self {
         Self {
-            state: Mutex::new(None),
+            state: Mutex::new(SlotState {
+                result: None,
+                watcher: None,
+            }),
             ready: Condvar::new(),
         }
     }
 
-    /// Parks `output` and wakes the waiting client, returning the stamped
-    /// completion instant (the same instant `Ticket::wait` will see, so
-    /// queue-side and client-side deadline accounting agree).
+    /// Parks `output`, wakes the waiting client, and fires the watcher (if
+    /// any), returning the stamped completion instant (the same instant
+    /// every `Ticket` resolution path will see, so queue-side and
+    /// client-side deadline accounting agree).
     pub(crate) fn fulfill(&self, output: Tensor) -> Instant {
         let at = Instant::now();
         let mut st = self.state.lock().unwrap();
-        debug_assert!(st.is_none(), "slot fulfilled twice");
-        *st = Some(SlotResult::Done(output, at));
+        debug_assert!(st.result.is_none(), "slot fulfilled twice");
+        st.result = Some(SlotResult::Done(output, at));
+        let watcher = st.watcher.take();
         drop(st);
         self.ready.notify_all();
+        if let Some((list, key)) = watcher {
+            list.push(key);
+        }
         at
     }
 
@@ -117,33 +153,107 @@ impl ResponseSlot {
     /// a worker unwinds so waiting clients fail loudly instead of hanging.
     pub(crate) fn abandon(&self) {
         let mut st = self.state.lock().unwrap();
-        if st.is_none() {
-            *st = Some(SlotResult::Abandoned);
+        if st.result.is_none() {
+            st.result = Some(SlotResult::Abandoned);
+            let watcher = st.watcher.take();
             drop(st);
             self.ready.notify_all();
+            if let Some((list, key)) = watcher {
+                list.push(key);
+            }
+        }
+    }
+
+    /// Registers the one-shot watcher; fires it immediately when the slot
+    /// already resolved (so a late insertion is never missed).
+    fn watch(&self, list: Arc<ReadyList>, key: usize) {
+        let mut st = self.state.lock().unwrap();
+        if st.result.is_some() {
+            drop(st);
+            list.push(key);
+        } else {
+            debug_assert!(st.watcher.is_none(), "slot watched twice");
+            st.watcher = Some((list, key));
+        }
+    }
+
+    fn is_ready(&self) -> bool {
+        self.state.lock().unwrap().result.is_some()
+    }
+
+    fn take(st: &mut SlotState) -> Option<(Tensor, Instant)> {
+        match st.result.take() {
+            Some(SlotResult::Done(output, at)) => Some((output, at)),
+            Some(SlotResult::Abandoned) => {
+                panic!("serving worker panicked before fulfilling this request")
+            }
+            None => None,
         }
     }
 
     fn wait(&self) -> (Tensor, Instant) {
         let mut st = self.state.lock().unwrap();
         loop {
-            match st.take() {
-                Some(SlotResult::Done(output, at)) => return (output, at),
-                Some(SlotResult::Abandoned) => {
-                    panic!("serving worker panicked before fulfilling this request")
-                }
+            match Self::take(&mut st) {
+                Some(done) => return done,
                 None => st = self.ready.wait(st).unwrap(),
             }
         }
     }
+
+    fn try_take(&self) -> Option<(Tensor, Instant)> {
+        Self::take(&mut self.state.lock().unwrap())
+    }
+
+    fn take_timeout(&self, timeout: Duration) -> Option<(Tensor, Instant)> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some(done) = Self::take(&mut st) {
+                return Some(done);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            st = self.ready.wait_timeout(st, deadline - now).unwrap().0;
+        }
+    }
 }
 
-/// Handle to one in-flight request, returned by a successful submission.
+/// Pollable handle to one in-flight request, returned by a successful
+/// submission.
+///
+/// Resolution paths — all returning the **same** [`Completed`] (the
+/// output tensor is moved, never recomputed):
+///
+/// * [`wait`](Ticket::wait) — block until fulfilled (consumes the
+///   ticket);
+/// * [`try_wait`](Ticket::try_wait) — non-blocking poll; hands the ticket
+///   back when still in flight;
+/// * [`wait_timeout`](Ticket::wait_timeout) — bounded block; hands the
+///   ticket back on timeout;
+/// * [`CompletionSet`](crate::CompletionSet) — multiplex many tickets
+///   through one condvar-backed wait-on-any.
+///
+/// Tickets outlive their session: a ticket resolved before
+/// [`ServeSession::shutdown`](crate::ServeSession::shutdown) can still be
+/// waited afterwards (shutdown resolves every admitted ticket first).
 pub struct Ticket {
     slot: Arc<ResponseSlot>,
     submitted_at: Instant,
     slo: Slo,
     deadline: Option<Instant>,
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket")
+            .field("slo", &self.slo)
+            .field("deadline", &self.deadline)
+            .field("ready", &self.is_ready())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Ticket {
@@ -160,8 +270,27 @@ impl Ticket {
     }
 
     /// The absolute deadline, if one was set at submission.
-    pub(crate) fn deadline(&self) -> Option<Instant> {
+    pub fn deadline(&self) -> Option<Instant> {
         self.deadline
+    }
+
+    /// The [`Slo`] class this request was submitted under.
+    pub fn slo(&self) -> Slo {
+        self.slo
+    }
+
+    /// The instant the submission call was made (before any admission
+    /// blocking) — the zero point of [`Completed::latency`].
+    pub fn submitted_at(&self) -> Instant {
+        self.submitted_at
+    }
+
+    /// Whether the request has resolved — a following
+    /// [`try_wait`](Ticket::try_wait) will not block. Note that an
+    /// **abandoned** ticket (its worker panicked) also reads ready: the
+    /// resolution call is what propagates the panic.
+    pub fn is_ready(&self) -> bool {
+        self.slot.is_ready()
     }
 
     /// Blocks until a worker fulfils the request.
@@ -173,6 +302,49 @@ impl Ticket {
     /// waiting client instead of hanging it.
     pub fn wait(self) -> Completed {
         let (output, at) = self.slot.wait();
+        self.complete(output, at)
+    }
+
+    /// Non-blocking poll: `Ok(done)` when the request has resolved,
+    /// `Err(self)` — the ticket handed back, still valid — when it is
+    /// still in flight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker serving this request panicked (see
+    /// [`wait`](Ticket::wait)).
+    pub fn try_wait(self) -> Result<Completed, Ticket> {
+        match self.slot.try_take() {
+            Some((output, at)) => Ok(self.complete(output, at)),
+            None => Err(self),
+        }
+    }
+
+    /// Blocks for at most `timeout`: `Ok(done)` when the request resolved
+    /// in time, `Err(self)` — the ticket handed back, still valid — on
+    /// timeout. `Duration::ZERO` behaves like
+    /// [`try_wait`](Ticket::try_wait).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker serving this request panicked (see
+    /// [`wait`](Ticket::wait)).
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Completed, Ticket> {
+        match self.slot.take_timeout(timeout) {
+            Some((output, at)) => Ok(self.complete(output, at)),
+            None => Err(self),
+        }
+    }
+
+    /// Registers this ticket with a [`CompletionSet`](crate::CompletionSet)
+    /// ready-list under `key`.
+    pub(crate) fn watch(&self, list: Arc<ReadyList>, key: usize) {
+        self.slot.watch(list, key);
+    }
+
+    /// The single completion constructor every resolution path funnels
+    /// through — one latency formula, one `missed` rule, one moved output.
+    fn complete(self, output: Tensor, at: Instant) -> Completed {
         Completed {
             output,
             latency: at.saturating_duration_since(self.submitted_at),
@@ -194,6 +366,19 @@ pub(crate) struct QueuedRequest {
     pub slo: Slo,
     /// Absolute completion deadline, if any.
     pub deadline: Option<Instant>,
+    /// When the request was submitted (before admission blocking) — the
+    /// zero point of its aging clock.
+    pub submitted_at: Instant,
+    /// Aging-rate multiplier (weighted age = elapsed × weight).
+    pub weight: f32,
+}
+
+impl QueuedRequest {
+    /// The request's weighted queue age at `now`.
+    fn weighted_age(&self, now: Instant) -> Duration {
+        now.saturating_duration_since(self.submitted_at)
+            .mul_f64(self.weight as f64)
+    }
 }
 
 /// Synchronization point of one sharded sweep: the coordinator waits here
@@ -292,8 +477,8 @@ pub(crate) struct ShardTask {
 pub struct ClassStats {
     /// Requests admitted into the queue under this class.
     pub submitted: u64,
-    /// Requests fulfilled (every admitted request is fulfilled before
-    /// `serve` returns).
+    /// Requests fulfilled (every admitted request is fulfilled before the
+    /// session shuts down).
     pub served: u64,
     /// Fulfilments that carried a deadline.
     pub with_deadline: u64,
@@ -301,7 +486,9 @@ pub struct ClassStats {
     pub missed: u64,
 }
 
-/// Aggregate serving counters, snapshotted when a serve scope ends.
+/// Aggregate serving counters, snapshotted live via
+/// [`ServeSession::stats`](crate::ServeSession::stats) and finally by
+/// [`ServeSession::shutdown`](crate::ServeSession::shutdown).
 #[derive(Debug, Clone, Default)]
 pub struct ServeStats {
     /// Requests admitted into the queue.
@@ -309,7 +496,7 @@ pub struct ServeStats {
     /// Requests turned away by [`Admission::Reject`].
     pub rejected: u64,
     /// Requests handed to a model sweep (every admitted request is served
-    /// before `serve` returns).
+    /// before the session shuts down).
     pub served: u64,
     /// Coalesced sweeps formed by the schedulers.
     pub batches: u64,
@@ -331,6 +518,10 @@ pub struct ServeStats {
     pub sharded_sweeps: u64,
     /// Shard tasks executed across all workers.
     pub shards_executed: u64,
+    /// Bulk sweeps served **ahead of pending latency work** because their
+    /// head crossed the [`SchedulerPolicy::Aging`](crate::SchedulerPolicy)
+    /// threshold — the starvation-bound mechanism firing.
+    pub aged_promotions: u64,
 }
 
 impl ServeStats {
@@ -367,6 +558,7 @@ struct QueueState {
     bulk_stats: ClassStats,
     sharded_sweeps: u64,
     shards_executed: u64,
+    aged_promotions: u64,
 }
 
 impl QueueState {
@@ -510,6 +702,7 @@ impl RequestQueue {
             bulk: st.bulk_stats,
             sharded_sweeps: st.sharded_sweeps,
             shards_executed: st.shards_executed,
+            aged_promotions: st.aged_promotions,
         }
     }
 }
@@ -523,12 +716,13 @@ pub(crate) enum Work {
 }
 
 /// Forms coalesced sweeps from the shared queue under the
-/// `max_batch` / `max_wait` policy with strict [`Slo`] priority. Each
-/// worker thread owns one.
+/// `max_batch` / `max_wait` policy with [`Slo`] priority (strict, or
+/// strict-with-aging). Each worker thread owns one.
 pub(crate) struct BatchScheduler<'q> {
     queue: &'q RequestQueue,
     max_batch: Option<usize>,
     max_wait: Duration,
+    policy: SchedulerPolicy,
 }
 
 impl<'q> BatchScheduler<'q> {
@@ -536,28 +730,59 @@ impl<'q> BatchScheduler<'q> {
         queue: &'q RequestQueue,
         max_batch: Option<usize>,
         max_wait: Duration,
+        policy: SchedulerPolicy,
     ) -> Self {
         assert!(max_batch != Some(0), "max_batch must be positive");
         Self {
             queue,
             max_batch,
             max_wait,
+            policy,
         }
     }
 
-    /// Blocks for the next unit of work, in strict priority order:
+    /// Whether **any** queued bulk request's weighted age has crossed the
+    /// aging threshold (always `false` under
+    /// [`SchedulerPolicy::Strict`](crate::SchedulerPolicy)). Scanning the
+    /// whole deque — not just the head — keeps the starvation bound
+    /// per-request even with heterogeneous weights: a weight-1.0 request
+    /// queued behind a slow-aging weight-0.1 head still trips the
+    /// promotion on its own clock (bulk then drains FIFO from the head,
+    /// so it is reached within the requests ahead of it — bounded by the
+    /// queue capacity). The scan is O(queue depth) under the lock, and
+    /// the depth is bounded by `queue_capacity`.
+    fn bulk_is_stale(&self, st: &QueueState) -> bool {
+        match self.policy.bulk_max_age() {
+            None => false,
+            Some(limit) => {
+                let now = Instant::now();
+                st.bulk.iter().any(|r| r.weighted_age(now) >= limit)
+            }
+        }
+    }
+
+    /// Blocks for the next unit of work, in priority order:
     ///
     /// 1. **Latency-origin shard tasks** — finishing an in-flight sharded
     ///    latency request beats starting anything new.
-    /// 2. **Latency sweeps** — a maximal FIFO run of same-model,
+    /// 2. **Aged bulk sweeps** (only under
+    ///    [`SchedulerPolicy::Aging`](crate::SchedulerPolicy)) — when any
+    ///    queued bulk request's weighted age has reached `bulk_max_age`,
+    ///    the bulk class outranks new latency arrivals (served FIFO from
+    ///    its head). This is the starvation bound: under a sustained
+    ///    latency flood, every admitted bulk request is picked up within
+    ///    `bulk_max_age / weight` of submission, plus the sweep a worker
+    ///    already has in flight and the (capacity-bounded) bulk requests
+    ///    queued ahead of it.
+    /// 3. **Latency sweeps** — a maximal FIFO run of same-model,
     ///    same-shape [`Slo::Latency`] requests under `max_batch`. Latency
     ///    sweeps never linger: they coalesce only what is already queued.
-    /// 3. **Bulk-origin shard tasks** — shards inherit their request's
+    /// 4. **Bulk-origin shard tasks** — shards inherit their request's
     ///    class, so one sharded bulk request cooperates across *idle*
     ///    workers but never commandeers the pool ahead of latency work
     ///    (its coordinator keeps draining the pool itself regardless, so
     ///    deprioritized bulk shards still complete).
-    /// 4. **Bulk sweeps** — as before, lingering up to `max_wait` for more
+    /// 5. **Bulk sweeps** — as before, lingering up to `max_wait` for more
     ///    same-model arrivals while unfilled, but the linger (and sweep
     ///    growth) aborts the moment latency or shard work arrives — that
     ///    is the preemption of bulk batch formation.
@@ -572,6 +797,13 @@ impl<'q> BatchScheduler<'q> {
             if let Some(task) = st.latency_shards.pop_front() {
                 st.shards_executed += 1;
                 return Some(Work::Shard(task));
+            }
+            // Aged bulk outranks *pending* latency work; when no latency
+            // work is queued, the normal order below serves bulk anyway
+            // (and the promotion counter only counts real overtakes).
+            if !st.latency.is_empty() && self.bulk_is_stale(&st) {
+                st.aged_promotions += 1;
+                return Some(Work::Sweep(self.form_sweep(st, Slo::Bulk, cap)));
             }
             if !st.latency.is_empty() {
                 return Some(Work::Sweep(self.form_sweep(st, Slo::Latency, cap)));
@@ -666,6 +898,7 @@ impl<'q> BatchScheduler<'q> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::CompletionSet;
 
     fn req(model: usize, rows: usize) -> QueuedRequest {
         class_req(model, rows, Slo::Bulk)
@@ -678,7 +911,17 @@ mod tests {
             slot: Arc::new(ResponseSlot::new()),
             slo,
             deadline: None,
+            submitted_at: Instant::now(),
+            weight: 1.0,
         }
+    }
+
+    fn strict(
+        queue: &RequestQueue,
+        max_batch: Option<usize>,
+        max_wait: Duration,
+    ) -> BatchScheduler<'_> {
+        BatchScheduler::new(queue, max_batch, max_wait, SchedulerPolicy::Strict)
     }
 
     fn next_batch(sched: &BatchScheduler<'_>) -> Option<Vec<QueuedRequest>> {
@@ -715,7 +958,7 @@ mod tests {
         let q2 = q.clone();
         let drainer = std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(20));
-            let sched = BatchScheduler::new(&q2, Some(4), Duration::ZERO);
+            let sched = strict(&q2, Some(4), Duration::ZERO);
             next_batch(&sched).unwrap().len()
         });
         // Blocks until the drainer frees the single slot.
@@ -734,7 +977,7 @@ mod tests {
             q.submit(req(m, b), Admission::Block).unwrap();
         }
         q.close();
-        let sched = BatchScheduler::new(&q, Some(4), Duration::ZERO);
+        let sched = strict(&q, Some(4), Duration::ZERO);
         let sizes: Vec<(usize, usize)> = std::iter::from_fn(|| next_batch(&sched))
             .map(|b| {
                 let rows: usize = b.iter().map(|r| r.input.dim(0)).sum();
@@ -765,7 +1008,7 @@ mod tests {
         q.submit(class_req(0, 1, Slo::Latency), Admission::Block)
             .unwrap();
         q.close();
-        let sched = BatchScheduler::new(&q, Some(8), Duration::ZERO);
+        let sched = strict(&q, Some(8), Duration::ZERO);
         let classes: Vec<Vec<Slo>> = std::iter::from_fn(|| next_batch(&sched))
             .map(|b| b.iter().map(|r| r.slo).collect())
             .collect();
@@ -773,6 +1016,102 @@ mod tests {
             classes,
             vec![vec![Slo::Latency, Slo::Latency], vec![Slo::Bulk, Slo::Bulk],]
         );
+    }
+
+    /// Under the aging policy, a bulk head older than `bulk_max_age`
+    /// outranks latency work that arrived after it — and the promotion is
+    /// counted. Fresh bulk still yields to latency.
+    #[test]
+    fn aged_bulk_head_outranks_pending_latency() {
+        let q = RequestQueue::new(16);
+        let mut stale = class_req(0, 1, Slo::Bulk);
+        // Backdate the bulk head far past the threshold (no sleeping).
+        stale.submitted_at = Instant::now() - Duration::from_secs(60);
+        q.submit(stale, Admission::Block).unwrap();
+        q.submit(class_req(0, 1, Slo::Latency), Admission::Block)
+            .unwrap();
+        q.submit(class_req(0, 1, Slo::Bulk), Admission::Block)
+            .unwrap();
+        q.close();
+        let sched = BatchScheduler::new(
+            &q,
+            Some(1),
+            Duration::ZERO,
+            SchedulerPolicy::Aging {
+                bulk_max_age: Duration::from_secs(30),
+            },
+        );
+        let classes: Vec<Slo> = std::iter::from_fn(|| next_batch(&sched))
+            .map(|b| b[0].slo)
+            .collect();
+        // Stale bulk first (promoted), then latency, then the fresh bulk.
+        assert_eq!(classes, vec![Slo::Bulk, Slo::Latency, Slo::Bulk]);
+        assert_eq!(q.stats().aged_promotions, 1, "exactly one real overtake");
+    }
+
+    /// The stale scan covers the whole bulk deque, not just its head: a
+    /// fast-aging request queued behind a slow-aging head trips the
+    /// promotion on its own clock, and bulk then drains FIFO from the
+    /// head — no per-request starvation behind a low-weight head.
+    #[test]
+    fn stale_bulk_behind_slow_aging_head_still_promotes() {
+        let q = RequestQueue::new(16);
+        let mut slow_head = class_req(0, 1, Slo::Bulk);
+        // Head: 40 s old but weight 0.1 → weighted age 4 s, not stale.
+        slow_head.submitted_at = Instant::now() - Duration::from_secs(40);
+        slow_head.weight = 0.1;
+        q.submit(slow_head, Admission::Block).unwrap();
+        let mut fast_second = class_req(0, 1, Slo::Bulk);
+        // Behind it: 35 s old at weight 1.0 → stale past the 30 s limit.
+        fast_second.submitted_at = Instant::now() - Duration::from_secs(35);
+        q.submit(fast_second, Admission::Block).unwrap();
+        q.submit(class_req(0, 1, Slo::Latency), Admission::Block)
+            .unwrap();
+        q.close();
+        let sched = BatchScheduler::new(
+            &q,
+            Some(1),
+            Duration::ZERO,
+            SchedulerPolicy::Aging {
+                bulk_max_age: Duration::from_secs(30),
+            },
+        );
+        let classes: Vec<Slo> = std::iter::from_fn(|| next_batch(&sched))
+            .map(|b| b[0].slo)
+            .collect();
+        // Both bulk sweeps outrank the latency arrival (FIFO within the
+        // class: the slow head rides the first promoted sweep).
+        assert_eq!(classes, vec![Slo::Bulk, Slo::Bulk, Slo::Latency]);
+        assert_eq!(q.stats().aged_promotions, 2);
+    }
+
+    /// Per-request weights scale the aging clock: at equal queue age, a
+    /// heavy bulk head crosses the threshold while a weight-1 head does
+    /// not.
+    #[test]
+    fn aging_weight_scales_the_clock() {
+        let age = Duration::from_secs(10);
+        let policy = SchedulerPolicy::Aging {
+            bulk_max_age: Duration::from_secs(30),
+        };
+        for (weight, promoted) in [(1.0f32, false), (4.0, true)] {
+            let q = RequestQueue::new(16);
+            let mut head = class_req(0, 1, Slo::Bulk);
+            head.submitted_at = Instant::now() - age;
+            head.weight = weight;
+            q.submit(head, Admission::Block).unwrap();
+            q.submit(class_req(0, 1, Slo::Latency), Admission::Block)
+                .unwrap();
+            q.close();
+            let sched = BatchScheduler::new(&q, Some(1), Duration::ZERO, policy);
+            let first = next_batch(&sched).unwrap();
+            let want = if promoted { Slo::Bulk } else { Slo::Latency };
+            assert_eq!(
+                first[0].slo, want,
+                "weight {weight} at age {age:?} promoted={promoted}"
+            );
+            assert_eq!(q.stats().aged_promotions, u64::from(promoted));
+        }
     }
 
     /// A latency arrival preempts bulk batch formation: the lingering bulk
@@ -791,7 +1130,7 @@ mod tests {
         // A very generous linger: without preemption this would block for
         // 10 s; with it, the sweep closes as soon as the latency request
         // lands.
-        let sched = BatchScheduler::new(&q, Some(4), Duration::from_secs(10));
+        let sched = strict(&q, Some(4), Duration::from_secs(10));
         let t0 = Instant::now();
         let first = next_batch(&sched).unwrap();
         assert!(
@@ -827,7 +1166,7 @@ mod tests {
         let latency_join = Arc::new(ShardJoin::new(1));
         q.push_shards([shard(Slo::Bulk, &bulk_join)]);
         q.push_shards([shard(Slo::Latency, &latency_join)]);
-        let sched = BatchScheduler::new(&q, None, Duration::ZERO);
+        let sched = strict(&q, None, Duration::ZERO);
         let order: Vec<&'static str> = std::iter::from_fn(|| {
             let w = sched.next_work()?;
             Some(match w {
@@ -877,12 +1216,14 @@ mod tests {
             slot: Arc::new(ResponseSlot::new()),
             slo: Slo::Bulk,
             deadline: None,
+            submitted_at: Instant::now(),
+            weight: 1.0,
         };
         q.submit(req(0, 1), Admission::Block).unwrap();
         q.submit(wide, Admission::Block).unwrap();
         q.submit(req(0, 1), Admission::Block).unwrap();
         q.close();
-        let sched = BatchScheduler::new(&q, Some(8), Duration::ZERO);
+        let sched = strict(&q, Some(8), Duration::ZERO);
         let shapes: Vec<Vec<Vec<usize>>> = std::iter::from_fn(|| next_batch(&sched))
             .map(|b| b.iter().map(|r| r.input.shape().to_vec()).collect())
             .collect();
@@ -913,12 +1254,93 @@ mod tests {
         assert!(err.is_err(), "waiting on an abandoned slot must panic");
     }
 
+    /// The pollable paths: `try_wait` hands the ticket back while in
+    /// flight and resolves once ready; `wait_timeout` times out cleanly
+    /// and later resolves; `is_ready` flips exactly at fulfilment.
+    #[test]
+    fn pollable_ticket_paths_resolve_without_blocking() {
+        let slot = Arc::new(ResponseSlot::new());
+        let ticket = Ticket::new(slot.clone(), Slo::Bulk, None);
+        assert!(!ticket.is_ready());
+        let ticket = ticket.try_wait().expect_err("nothing fulfilled yet");
+        let t0 = Instant::now();
+        let ticket = ticket
+            .wait_timeout(Duration::from_millis(10))
+            .expect_err("timeout must hand the ticket back");
+        assert!(t0.elapsed() >= Duration::from_millis(10));
+        slot.fulfill(Tensor::zeros(&[2]));
+        assert!(ticket.is_ready());
+        let done = ticket.try_wait().expect("fulfilled: try_wait resolves");
+        assert_eq!(done.output, Tensor::zeros(&[2]));
+    }
+
+    /// An abandoned ticket panics through `try_wait` too — pollable paths
+    /// share the loud-failure contract.
+    #[test]
+    fn abandoned_slot_panics_through_try_wait() {
+        let slot = Arc::new(ResponseSlot::new());
+        let ticket = Ticket::new(slot.clone(), Slo::Bulk, None);
+        slot.abandon();
+        assert!(ticket.is_ready(), "abandoned reads ready");
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ticket.try_wait()));
+        assert!(err.is_err(), "try_wait on an abandoned slot must panic");
+    }
+
+    /// CompletionSet fundamentals at the queue level: already-resolved
+    /// tickets are immediately ready, resolution arrives in completion
+    /// order, and an abandoned member panics the drain.
+    #[test]
+    fn completion_set_delivers_in_completion_order() {
+        let slots: Vec<Arc<ResponseSlot>> = (0..3).map(|_| Arc::new(ResponseSlot::new())).collect();
+        let mut set = CompletionSet::new();
+        // Insert the first ticket pre-resolved: it must surface first.
+        slots[0].fulfill(Tensor::zeros(&[1]));
+        let keys: Vec<_> = slots
+            .iter()
+            .map(|s| set.insert(Ticket::new(s.clone(), Slo::Bulk, None)))
+            .collect();
+        assert_eq!(set.len(), 3);
+        slots[2].fulfill(Tensor::zeros(&[3]));
+        slots[1].fulfill(Tensor::zeros(&[2]));
+        let order: Vec<usize> = std::iter::from_fn(|| set.wait_any())
+            .map(|(k, done)| {
+                assert_eq!(done.output.dim(0), k.index() + 1, "key maps to its ticket");
+                k.index()
+            })
+            .collect();
+        assert_eq!(order, vec![0, 2, 1], "completion order, not insertion");
+        assert!(set.is_empty());
+        assert_eq!(keys.len(), 3);
+        assert!(set.try_any().is_none(), "drained set yields nothing");
+    }
+
+    /// `wait_any_timeout` gives up when nothing resolves, then delivers
+    /// once something does; an abandoned ticket panics the drain.
+    #[test]
+    fn completion_set_timeout_and_abandon() {
+        let slot = Arc::new(ResponseSlot::new());
+        let mut set = CompletionSet::new();
+        set.insert(Ticket::new(slot.clone(), Slo::Bulk, None));
+        assert!(
+            set.wait_any_timeout(Duration::from_millis(5)).is_none(),
+            "nothing resolved inside the timeout"
+        );
+        assert_eq!(set.len(), 1, "timeout does not drain");
+        slot.abandon();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            set.wait_any_timeout(Duration::from_secs(1))
+        }));
+        assert!(err.is_err(), "abandoned member must panic the drain");
+    }
+
     /// An expired deadline stamps the completion `missed` without losing
     /// the output; a generous deadline does not.
     #[test]
     fn deadlines_stamp_missed_on_late_fulfilment() {
         let slot = Arc::new(ResponseSlot::new());
         let ticket = Ticket::new(slot.clone(), Slo::Latency, Some(Duration::ZERO));
+        assert_eq!(ticket.slo(), Slo::Latency);
+        assert!(ticket.deadline().is_some(), "deadline introspectable");
         std::thread::sleep(Duration::from_millis(2));
         slot.fulfill(Tensor::zeros(&[1]));
         let done = ticket.wait();
@@ -943,7 +1365,7 @@ mod tests {
             q.submit(req(0, 1), Admission::Block),
             Err(SubmitError::Closed(_))
         ));
-        let sched = BatchScheduler::new(&q, None, Duration::ZERO);
+        let sched = strict(&q, None, Duration::ZERO);
         assert_eq!(next_batch(&sched).unwrap().len(), 1);
         assert!(sched.next_work().is_none());
     }

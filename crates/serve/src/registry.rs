@@ -31,6 +31,23 @@ impl ModelRegistry {
         Self::default()
     }
 
+    /// Rebuilds a registry from the `(name, model)` pairs a
+    /// [`ServeSession::shutdown`](crate::ServeSession::shutdown) (or
+    /// [`into_models`](ModelRegistry::into_models)) handed back,
+    /// preserving registration order — so [`ModelId`]s resolved against
+    /// the dissolved registry stay valid against the rebuilt one.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names.
+    pub fn from_models(models: Vec<(String, PreparedCimModel)>) -> Self {
+        let mut registry = Self::new();
+        for (name, model) in models {
+            registry.register(name, model);
+        }
+        registry
+    }
+
     /// Registers `model` under `id` and returns its handle.
     ///
     /// # Panics

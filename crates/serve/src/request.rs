@@ -1,0 +1,142 @@
+//! The unified request builder: one submission type instead of a
+//! `submit`/`submit_with`/`submit_to`/`submit_to_with` method explosion.
+//!
+//! ```text
+//! Request::to("resnet8")        // or Request::to_id(model_id)
+//!     .batch(input)             // [B, C, H, W] tensor (required)
+//!     .slo(Slo::Latency)        // default: Slo::Bulk
+//!     .deadline(d)              // default: none
+//!     .weight(2.0)              // aging-rate multiplier, default 1.0
+//! ```
+//!
+//! A `Request` is inert until handed to
+//! [`ServeSession::submit`](crate::ServeSession::submit), which resolves
+//! the target against the registry and admits it into the queue.
+
+use crate::queue::Slo;
+use crate::registry::ModelId;
+use cq_tensor::Tensor;
+use std::time::Duration;
+
+/// Where a request is going: a model name (resolved at submission) or a
+/// pre-resolved registry handle (skips the name lookup on hot paths).
+#[derive(Debug, Clone)]
+pub(crate) enum Target {
+    /// Resolved against the registry by `ServeSession::submit`.
+    Name(String),
+    /// Already resolved (from [`ServeSession::model_id`](crate::ServeSession::model_id)
+    /// or [`ModelRegistry::register`](crate::ModelRegistry::register)).
+    Id(ModelId),
+}
+
+/// One serving request, built fluently and submitted through
+/// [`ServeSession::submit`](crate::ServeSession::submit).
+///
+/// Defaults: [`Slo::Bulk`], no deadline, aging weight `1.0`. The input
+/// batch is **required** — submitting without one fails with
+/// [`SubmitError::MissingInput`](crate::SubmitError).
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub(crate) target: Target,
+    pub(crate) input: Option<Tensor>,
+    pub(crate) slo: Slo,
+    pub(crate) deadline: Option<Duration>,
+    pub(crate) weight: f32,
+}
+
+impl Request {
+    fn with_target(target: Target) -> Self {
+        Self {
+            target,
+            input: None,
+            slo: Slo::Bulk,
+            deadline: None,
+            weight: 1.0,
+        }
+    }
+
+    /// Starts a request to the named model (resolved at submission;
+    /// unknown names fail with
+    /// [`SubmitError::UnknownModel`](crate::SubmitError)).
+    pub fn to(model: impl Into<String>) -> Self {
+        Self::with_target(Target::Name(model.into()))
+    }
+
+    /// Starts a request to a pre-resolved [`ModelId`] (skips the name
+    /// lookup — use for hot submission loops).
+    pub fn to_id(model: ModelId) -> Self {
+        Self::with_target(Target::Id(model))
+    }
+
+    /// The input batch, `[B, C, H, W]`. Required.
+    pub fn batch(mut self, input: Tensor) -> Self {
+        self.input = Some(input);
+        self
+    }
+
+    /// The request's [`Slo`] class (default [`Slo::Bulk`]).
+    pub fn slo(mut self, slo: Slo) -> Self {
+        self.slo = slo;
+        self
+    }
+
+    /// Completion deadline relative to submission. A deadline-expired
+    /// request is still served bit-exactly — the violation is recorded in
+    /// [`Completed::missed`](crate::Completed) and the per-class stats.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Aging-rate multiplier under
+    /// [`SchedulerPolicy::Aging`](crate::SchedulerPolicy): the request's
+    /// weighted queue age is `elapsed × weight`, so weight `2.0` crosses
+    /// `bulk_max_age` twice as fast and `0.5` half as fast. Ignored under
+    /// [`SchedulerPolicy::Strict`](crate::SchedulerPolicy) and for
+    /// latency-class requests (which are never the aged party). Default
+    /// `1.0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `weight` is finite and positive.
+    pub fn weight(mut self, weight: f32) -> Self {
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "request weight must be finite and positive, got {weight}"
+        );
+        self.weight = weight;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_and_overrides() {
+        let r = Request::to("m");
+        assert!(matches!(&r.target, Target::Name(n) if n == "m"));
+        assert!(r.input.is_none());
+        assert_eq!(r.slo, Slo::Bulk);
+        assert_eq!(r.deadline, None);
+        assert_eq!(r.weight, 1.0);
+
+        let r = Request::to_id(ModelId(3))
+            .batch(Tensor::zeros(&[1, 1, 1, 1]))
+            .slo(Slo::Latency)
+            .deadline(Duration::from_millis(5))
+            .weight(2.5);
+        assert!(matches!(r.target, Target::Id(ModelId(3))));
+        assert!(r.input.is_some());
+        assert_eq!(r.slo, Slo::Latency);
+        assert_eq!(r.deadline, Some(Duration::from_millis(5)));
+        assert_eq!(r.weight, 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn zero_weight_is_rejected() {
+        let _ = Request::to("m").weight(0.0);
+    }
+}

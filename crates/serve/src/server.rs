@@ -1,80 +1,33 @@
-//! The worker-threaded serving front-end tying queue, scheduler, shard
-//! pool, and registry together.
+//! The serving front-end entry point: [`CimServer`] holds the resident
+//! models and the active policy, and turns into running
+//! [`ServeSession`]s.
 
-use crate::queue::{
-    Admission, BatchScheduler, QueuedRequest, RequestQueue, ResponseSlot, ServeStats, ShardJoin,
-    ShardTask, Slo, SubmitError, Ticket, Work,
-};
-use crate::registry::{ModelId, ModelRegistry};
-use cq_cim::ShardPlan;
-use cq_tensor::Tensor;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::config::{ConfigError, ServeConfig};
+use crate::queue::ServeStats;
+use crate::registry::ModelRegistry;
+use crate::session::{ServeSession, ServerCore};
 use std::sync::Arc;
-use std::time::Duration;
-
-/// Serving policy knobs.
-#[derive(Debug, Clone)]
-pub struct ServeConfig {
-    /// Bounded queue capacity, in requests (both [`Slo`] classes share
-    /// it).
-    pub queue_capacity: usize,
-    /// What a submission does when the queue is full.
-    pub admission: Admission,
-    /// Images per coalesced sweep (`None` = unbounded). Also installed as
-    /// every resident model's `max_batch`, so even a single oversized
-    /// request is executed in ≤ cap chunks.
-    pub max_batch: Option<usize>,
-    /// How long a scheduler lingers for more same-model arrivals while a
-    /// **bulk** sweep is unfilled (measured from when the sweep starts
-    /// forming). Latency sweeps never linger, and a latency arrival
-    /// aborts an in-progress bulk linger.
-    pub max_wait: Duration,
-    /// Worker threads draining the queue.
-    pub workers: usize,
-    /// **Batch-segment sharding**: a sweep with more rows than this is
-    /// split into segments published to the shard pool, where every
-    /// worker — the coordinator included — steals and executes them
-    /// concurrently before the bit-exact rejoin. Segments carry at most
-    /// `min(shard_rows, max_batch)` rows, so the sweep cap stays in
-    /// force on the sharded path too. Shards inherit their request's
-    /// [`Slo`] class for scheduling. `None` disables sharding (each
-    /// sweep runs on one worker, as before).
-    pub shard_rows: Option<usize>,
-    /// **Row-tile sharding**: splits every frozen convolution's
-    /// grouped-conv front-end into this many independent row-tile shards
-    /// (clamped per layer; see
-    /// [`cq_core::PreparedCimModel::set_row_tile_shards`]). `None`
-    /// disables it. Bit-identical either way. Shard threads multiply
-    /// with the conv kernel's own `threads_for`/`CQ_THREADS` pool —
-    /// budget `workers × shards × CQ_THREADS` against the machine.
-    pub row_tile_shards: Option<usize>,
-}
-
-impl Default for ServeConfig {
-    fn default() -> Self {
-        Self {
-            queue_capacity: 64,
-            admission: Admission::Block,
-            max_batch: Some(8),
-            max_wait: Duration::from_micros(200),
-            workers: 2,
-            shard_rows: None,
-            row_tile_shards: None,
-        }
-    }
-}
 
 /// A serving front-end over a set of resident frozen models: a bounded
-/// request queue with admission control and [`Slo`] priority classes,
-/// per-worker batch schedulers, a work-stealing shard pool for oversized
-/// sweeps, and `std::thread::scope` workers draining sweeps into the
-/// registry (see crate docs for the full picture).
+/// request queue with admission control, [`Slo`](crate::Slo) priority
+/// classes (optionally aging-weighted), per-worker batch schedulers, a
+/// work-stealing shard pool for oversized sweeps, and owned worker
+/// threads draining sweeps into the registry (see crate docs for the full
+/// picture).
+///
+/// Two ways to run it:
+///
+/// * [`start`](CimServer::start) — the **owned session** flow: consumes
+///   the server, returns a [`ServeSession`] whose worker threads run
+///   until [`shutdown`](ServeSession::shutdown) hands back the final
+///   [`ServeStats`] and the resident models. Nothing is scoped to a
+///   closure; tickets are pollable and multiplexable.
+/// * [`serve`](CimServer::serve) — the scoped compatibility flow from
+///   PR 3/4: runs a closure against a session and drains it before
+///   returning. A thin wrapper over the same session machinery.
 pub struct CimServer {
-    registry: ModelRegistry,
+    core: Arc<ServerCore>,
     cfg: ServeConfig,
-    /// Number of `serve` scopes currently running (see
-    /// [`CimServer::set_config`]).
-    active_serves: AtomicUsize,
 }
 
 impl CimServer {
@@ -84,23 +37,23 @@ impl CimServer {
     ///
     /// # Panics
     ///
-    /// Panics if the registry is empty, `cfg.workers == 0`,
-    /// `cfg.queue_capacity == 0`, or any of `cfg.max_batch`,
-    /// `cfg.shard_rows`, `cfg.row_tile_shards` is `Some(0)`.
-    pub fn new(registry: ModelRegistry, cfg: ServeConfig) -> Self {
+    /// Panics if the registry is empty or `cfg` is invalid (see
+    /// [`ServeConfig::validate`] — [`ServeConfig::builder`] surfaces the
+    /// same violations as recoverable [`ConfigError`]s instead).
+    pub fn new(mut registry: ModelRegistry, cfg: ServeConfig) -> Self {
         assert!(!registry.is_empty(), "registry has no models");
-        let mut server = Self {
-            registry,
-            cfg: cfg.clone(),
-            active_serves: AtomicUsize::new(0),
-        };
-        server.set_config(cfg);
-        server
+        cfg.validate().expect("invalid serve config");
+        registry.set_max_batch(cfg.max_batch);
+        registry.set_row_tile_shards(cfg.row_tile_shards);
+        Self {
+            core: Arc::new(ServerCore { registry }),
+            cfg,
+        }
     }
 
     /// The resident model set.
     pub fn registry(&self) -> &ModelRegistry {
-        &self.registry
+        &self.core.registry
     }
 
     /// The active policy.
@@ -112,311 +65,62 @@ impl CimServer {
     /// sweeping admission modes over one resident model set); resident
     /// models get the new sweep cap and row-tile shard count.
     ///
-    /// The new policy takes effect only for **future** [`CimServer::serve`]
-    /// calls: a running serve scope snapshots the policy when it starts
-    /// (its queue, workers, and schedulers are built from that snapshot),
-    /// so reconfiguring mid-session is not possible. The exclusive
-    /// `&mut self` borrow makes calling this inside an active `serve`
-    /// body unrepresentable in safe Rust; a debug assertion additionally
-    /// guards the invariant against future interior-mutability refactors.
+    /// The new policy takes effect for future sessions only: a running
+    /// session snapshots the policy when it starts (its queue, workers,
+    /// and schedulers are built from that snapshot), so reconfiguring
+    /// mid-session is not possible. The sessions-only contract is
+    /// enforced mechanically — the registry can only be re-tuned while no
+    /// session shares it — and violations are a hard
+    /// [`ConfigError::SessionActive`] error, not a debug assertion.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Same invariants as [`CimServer::new`].
-    pub fn set_config(&mut self, cfg: ServeConfig) {
-        debug_assert_eq!(
-            self.active_serves.load(Ordering::SeqCst),
-            0,
-            "set_config called during an active serve scope"
-        );
-        assert!(cfg.workers > 0, "need at least one worker");
-        assert!(cfg.queue_capacity > 0, "queue capacity must be positive");
-        assert!(cfg.max_batch != Some(0), "max_batch must be positive");
-        assert!(cfg.shard_rows != Some(0), "shard_rows must be positive");
-        assert!(
-            cfg.row_tile_shards != Some(0),
-            "row_tile_shards must be positive"
-        );
-        self.registry.set_max_batch(cfg.max_batch);
-        self.registry.set_row_tile_shards(cfg.row_tile_shards);
+    /// [`ConfigError::SessionActive`] when a session still shares the
+    /// server state, or the violated invariant for an invalid `cfg`.
+    pub fn set_config(&mut self, cfg: ServeConfig) -> Result<(), ConfigError> {
+        cfg.validate()?;
+        let core = Arc::get_mut(&mut self.core).ok_or(ConfigError::SessionActive)?;
+        core.registry.set_max_batch(cfg.max_batch);
+        core.registry.set_row_tile_shards(cfg.row_tile_shards);
         self.cfg = cfg;
+        Ok(())
     }
 
-    /// Runs one serving session: spawns the workers, calls `body` with a
-    /// [`ServerHandle`] for submitting requests, and — once `body`
-    /// returns — closes the queue, drains every admitted request, joins
-    /// the workers, and returns `body`'s result with the session stats.
+    /// Starts an owned serving session: spawns the worker threads and
+    /// hands the whole server over to the returned [`ServeSession`].
+    /// Submit with [`ServeSession::submit`]; finish with
+    /// [`ServeSession::shutdown`], which drains every admitted request
+    /// and returns the final stats plus the resident models.
+    pub fn start(self) -> ServeSession {
+        ServeSession::spawn(self.core, self.cfg)
+    }
+
+    /// Runs one scoped serving session (the PR 3/4 compatibility flow):
+    /// starts a session, calls `body` with it for submitting requests,
+    /// and — once `body` returns — closes the queue, drains every
+    /// admitted request, joins the workers, and returns `body`'s result
+    /// with the session stats. A thin wrapper over the [`ServeSession`]
+    /// machinery; the server (and its registry) stays usable afterwards.
     ///
     /// Every ticket obtained inside `body` is guaranteed to be resolved;
-    /// `Ticket::wait` may be called inside or after `body`. Panics — in
-    /// `body` or in a worker (e.g. an input shape the model rejects) —
-    /// propagate out of `serve` instead of deadlocking: the queue closes
-    /// on unwind, panicked workers abandon their tickets (which makes the
-    /// corresponding `Ticket::wait` panic too), and a panicked shard
+    /// it may be waited inside or after `body`. Panics — in `body` or in
+    /// a worker (e.g. an input shape the model rejects) — propagate out
+    /// of `serve` instead of deadlocking: the queue closes on unwind,
+    /// panicked workers abandon their tickets (which makes the
+    /// corresponding ticket resolution panic too), and a panicked shard
     /// executor fails its join so the coordinating worker panics as well.
-    pub fn serve<R>(&self, body: impl FnOnce(&ServerHandle<'_>) -> R) -> (R, ServeStats) {
-        struct ActiveGuard<'a>(&'a AtomicUsize);
-        impl Drop for ActiveGuard<'_> {
-            fn drop(&mut self) {
-                self.0.fetch_sub(1, Ordering::SeqCst);
-            }
-        }
-        self.active_serves.fetch_add(1, Ordering::SeqCst);
-        let _active = ActiveGuard(&self.active_serves);
-
-        let queue = RequestQueue::new(self.cfg.queue_capacity);
-        let handle = ServerHandle {
-            queue: &queue,
-            registry: &self.registry,
-            admission: self.cfg.admission,
-        };
-        let out = std::thread::scope(|sc| {
-            for _ in 0..self.cfg.workers {
-                sc.spawn(|| self.worker(&queue));
-            }
-            // Close on unwind too: if `body` panics, `thread::scope` joins
-            // the workers before propagating — without closing, they would
-            // wait on the queue forever.
-            struct CloseOnDrop<'q>(&'q RequestQueue);
-            impl Drop for CloseOnDrop<'_> {
-                fn drop(&mut self) {
-                    self.0.close();
-                }
-            }
-            let closer = CloseOnDrop(&queue);
-            let r = body(&handle);
-            drop(closer);
-            r
-        });
-        (out, queue.stats())
+    pub fn serve<R>(&self, body: impl FnOnce(&ServeSession) -> R) -> (R, ServeStats) {
+        let session = ServeSession::spawn(self.core.clone(), self.cfg.clone());
+        let out = body(&session);
+        (out, session.finish())
     }
 
     /// Dissolves the server, returning the resident models.
     pub fn into_models(self) -> Vec<(String, cq_core::PreparedCimModel)> {
-        self.registry.into_models()
-    }
-
-    /// One worker: steal shards, form sweeps, fulfil tickets.
-    fn worker(&self, queue: &RequestQueue) {
-        let sched = BatchScheduler::new(queue, self.cfg.max_batch, self.cfg.max_wait);
-        while let Some(work) = sched.next_work() {
-            match work {
-                Work::Shard(task) => self.run_shard(task),
-                Work::Sweep(batch) => self.serve_sweep(queue, batch),
-            }
-        }
-    }
-
-    /// Executes one stolen batch segment through the shared-state model
-    /// path (read lock — concurrent with other segments of the same
-    /// model). If execution panics, the join is failed on unwind so the
-    /// coordinator propagates the panic instead of hanging.
-    fn run_shard(&self, task: ShardTask) {
-        struct FailOnDrop {
-            join: Arc<ShardJoin>,
-            armed: bool,
-        }
-        impl Drop for FailOnDrop {
-            fn drop(&mut self) {
-                if self.armed {
-                    self.join.fail();
-                }
-            }
-        }
-        let mut guard = FailOnDrop {
-            join: task.join.clone(),
-            armed: true,
-        };
-        let output = self
+        Arc::try_unwrap(self.core)
+            .ok()
+            .expect("a session still shares the server state")
             .registry
-            .infer_shared(ModelId(task.model), &task.segment);
-        guard.armed = false;
-        task.join.complete(task.index, output);
-    }
-
-    /// Serves one formed sweep: runs it (whole, or sharded across the
-    /// worker pool), splits the output back per request, and fulfils the
-    /// tickets with per-class deadline accounting.
-    fn serve_sweep(&self, queue: &RequestQueue, batch: Vec<QueuedRequest>) {
-        // If anything below panics, abandon the unfulfilled tickets on
-        // unwind so their waiters fail loudly instead of hanging.
-        struct AbandonOnDrop(Vec<Arc<ResponseSlot>>);
-        impl Drop for AbandonOnDrop {
-            fn drop(&mut self) {
-                for slot in &self.0 {
-                    slot.abandon();
-                }
-            }
-        }
-        let model = ModelId(batch[0].model);
-        let mut inputs = Vec::with_capacity(batch.len());
-        let mut metas = Vec::with_capacity(batch.len());
-        let mut slots = Vec::with_capacity(batch.len());
-        for q in batch {
-            inputs.push(q.input);
-            metas.push((q.slo, q.deadline));
-            slots.push(q.slot);
-        }
-        let guard = AbandonOnDrop(slots);
-        let rows: usize = inputs.iter().map(|t| t.dim(0)).sum();
-        let slo = metas[0].0; // sweeps are single-class
-        let shardable = self
-            .cfg
-            .shard_rows
-            .is_some_and(|cap| rows > cap && inputs.iter().all(|t| t.dim(0) > 0));
-        let outputs = if shardable {
-            self.infer_sharded(queue, model, slo, &inputs, rows)
-        } else {
-            self.registry.infer_batch(model, &inputs)
-        };
-        debug_assert_eq!(outputs.len(), guard.0.len());
-        for ((slot, output), (slo, deadline)) in guard.0.iter().zip(outputs).zip(&metas) {
-            let at = slot.fulfill(output);
-            queue.note_served(*slo, deadline.is_some(), deadline.is_some_and(|d| at > d));
-        }
-        // All fulfilled; the guard's abandon() calls are now no-ops.
-    }
-
-    /// Executes one oversized sweep cooperatively: the coalesced rows are
-    /// split into segments of at most `min(shard_rows, max_batch)` rows —
-    /// the sweep cap stays in force, since the shared segment path does
-    /// no internal chunking — published to the shard pool, and executed
-    /// by whichever workers steal them; this coordinator drains the pool
-    /// too while it waits. Segment outputs are rejoined by exact
-    /// concatenation and sliced back per request, bit-identical to the
-    /// unsharded sweep (every layer processes batch rows independently;
-    /// `sharded_equivalence` and the serving tests pin this).
-    fn infer_sharded(
-        &self,
-        queue: &RequestQueue,
-        model: ModelId,
-        slo: Slo,
-        inputs: &[Tensor],
-        rows: usize,
-    ) -> Vec<Tensor> {
-        let owned;
-        let coalesced: &Tensor = if inputs.len() == 1 {
-            &inputs[0]
-        } else {
-            owned = Tensor::concat_outer(&inputs.iter().collect::<Vec<_>>());
-            &owned
-        };
-        let seg_rows = self
-            .cfg
-            .shard_rows
-            .unwrap()
-            .min(self.cfg.max_batch.unwrap_or(usize::MAX));
-        let plan = ShardPlan::split_max(rows, seg_rows);
-        let join = Arc::new(ShardJoin::new(plan.num_shards()));
-        queue.push_shards(plan.iter().enumerate().map(|(index, seg)| ShardTask {
-            model: model.0,
-            segment: coalesced.slice_outer(seg.start, seg.end),
-            index,
-            slo,
-            join: join.clone(),
-        }));
-        // Cooperative wait: keep stealing shard tasks (ours or another
-        // coordinator's) while our join is incomplete; block only when
-        // the pool is empty — every queued task is then in flight on some
-        // worker, so the join (or a failure) is guaranteed to resolve.
-        let parts = loop {
-            if join.is_done() {
-                break join.wait();
-            }
-            match queue.try_pop_shard() {
-                Some(task) => self.run_shard(task),
-                None => break join.wait(),
-            }
-        };
-        let merged = Tensor::concat_outer(&parts.iter().collect::<Vec<_>>());
-        let mut outputs = Vec::with_capacity(inputs.len());
-        let mut start = 0;
-        for input in inputs {
-            let b = input.dim(0);
-            outputs.push(merged.slice_outer(start, start + b));
-            start += b;
-        }
-        outputs
-    }
-}
-
-/// Client-side handle for submitting requests into a running serve scope.
-pub struct ServerHandle<'s> {
-    queue: &'s RequestQueue,
-    registry: &'s ModelRegistry,
-    admission: Admission,
-}
-
-impl ServerHandle<'_> {
-    /// Submits one request (`[b, C, H, W]`) to the named model under the
-    /// default [`Slo::Bulk`] class with no deadline.
-    ///
-    /// # Errors
-    ///
-    /// [`SubmitError::UnknownModel`] for an unregistered id;
-    /// [`SubmitError::QueueFull`] when full under [`Admission::Reject`]
-    /// (the input is handed back); [`SubmitError::Closed`] after the
-    /// serve scope started shutting down.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `input` is not rank 4.
-    pub fn submit(&self, model: &str, input: Tensor) -> Result<Ticket, SubmitError> {
-        self.submit_with(model, input, Slo::Bulk, None)
-    }
-
-    /// Submits one request under an explicit [`Slo`] class and optional
-    /// completion deadline (relative to now). A deadline-expired request
-    /// is still served — its [`Completed::missed`](crate::Completed)
-    /// flag and the per-class stats record the violation.
-    ///
-    /// # Errors
-    ///
-    /// See [`ServerHandle::submit`].
-    pub fn submit_with(
-        &self,
-        model: &str,
-        input: Tensor,
-        slo: Slo,
-        deadline: Option<Duration>,
-    ) -> Result<Ticket, SubmitError> {
-        match self.registry.id(model) {
-            Some(id) => self.submit_to_with(id, input, slo, deadline),
-            None => Err(SubmitError::UnknownModel(model.to_string())),
-        }
-    }
-
-    /// Like [`ServerHandle::submit`] with a pre-resolved [`ModelId`].
-    pub fn submit_to(&self, model: ModelId, input: Tensor) -> Result<Ticket, SubmitError> {
-        self.submit_to_with(model, input, Slo::Bulk, None)
-    }
-
-    /// Like [`ServerHandle::submit_with`] with a pre-resolved [`ModelId`].
-    pub fn submit_to_with(
-        &self,
-        model: ModelId,
-        input: Tensor,
-        slo: Slo,
-        deadline: Option<Duration>,
-    ) -> Result<Ticket, SubmitError> {
-        assert_eq!(input.rank(), 4, "request must be [B,C,H,W]");
-        let slot = Arc::new(ResponseSlot::new());
-        let ticket = Ticket::new(slot.clone(), slo, deadline);
-        self.queue.submit(
-            QueuedRequest {
-                model: model.0,
-                input,
-                slot,
-                slo,
-                deadline: ticket.deadline(),
-            },
-            self.admission,
-        )?;
-        Ok(ticket)
-    }
-
-    /// Resolves a model name (convenience passthrough to the registry).
-    pub fn model_id(&self, name: &str) -> Option<ModelId> {
-        self.registry.id(name)
+            .into_models()
     }
 }

@@ -1,0 +1,382 @@
+//! The owned, non-blocking serving session: worker threads, the sweep /
+//! shard execution paths, and the client-side submission surface.
+//!
+//! A [`ServeSession`] is created by [`CimServer::start`](crate::CimServer::start)
+//! (owned flow — `shutdown` hands the resident models back) or internally
+//! by [`CimServer::serve`](crate::CimServer::serve) (scoped compatibility
+//! flow). Its worker threads are **owned** `std::thread::spawn` threads
+//! sharing the session state through `Arc` — no scope borrow, so the
+//! session can be moved, stored, and shut down from anywhere, and clients
+//! never block inside a closure unless they choose to.
+
+use crate::config::ServeConfig;
+use crate::queue::BatchScheduler;
+use crate::queue::{
+    QueuedRequest, RequestQueue, ResponseSlot, ServeStats, ShardJoin, ShardTask, Slo, SubmitError,
+    Ticket, Work,
+};
+use crate::registry::{ModelId, ModelRegistry};
+use crate::request::{Request, Target};
+use cq_cim::ShardPlan;
+use cq_core::PreparedCimModel;
+use cq_tensor::Tensor;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// The server state a session shares with its workers (and, in the
+/// compatibility flow, with the originating [`CimServer`](crate::CimServer)).
+pub(crate) struct ServerCore {
+    pub(crate) registry: ModelRegistry,
+}
+
+/// Everything one session's workers share.
+struct SessionShared {
+    core: Arc<ServerCore>,
+    queue: RequestQueue,
+    cfg: ServeConfig,
+}
+
+/// Live session internals; `Option`-wrapped in [`ServeSession`] so both
+/// `shutdown(self)` and `Drop` can take them exactly once.
+struct SessionInner {
+    shared: Arc<SessionShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// An owned, running serving session: worker threads are spawned at
+/// creation and drain the queue until [`shutdown`](ServeSession::shutdown).
+///
+/// * [`submit`](ServeSession::submit) is the **single** submission entry
+///   point, taking a [`Request`] built fluently
+///   (`Request::to("m").batch(x).slo(..).deadline(..).weight(..)`).
+/// * Tickets are pollable ([`Ticket::try_wait`], [`Ticket::wait_timeout`])
+///   and multiplexable ([`CompletionSet`](crate::CompletionSet)), so one
+///   client thread can keep hundreds of requests in flight — nothing
+///   about the session ever forces a block.
+/// * [`shutdown`](ServeSession::shutdown) closes the queue, drains every
+///   admitted request (each outstanding ticket resolves — fulfilment or a
+///   propagated worker panic, never a hang), joins the workers, and
+///   returns the final [`ServeStats`] together with the resident models.
+///
+/// Dropping a session without `shutdown` (e.g. while a client panic
+/// unwinds) closes the queue and joins the workers too, so worker threads
+/// never leak; worker panics are swallowed in that path (the client's own
+/// panic is already propagating).
+pub struct ServeSession {
+    inner: Option<SessionInner>,
+}
+
+impl ServeSession {
+    /// Spawns the session's worker threads over `core` under `cfg`
+    /// (validated by the caller).
+    pub(crate) fn spawn(core: Arc<ServerCore>, cfg: ServeConfig) -> Self {
+        let workers = cfg.workers;
+        let shared = Arc::new(SessionShared {
+            queue: RequestQueue::new(cfg.queue_capacity),
+            core,
+            cfg,
+        });
+        let workers = (0..workers)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("cq-serve-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn serving worker")
+            })
+            .collect();
+        Self {
+            inner: Some(SessionInner { shared, workers }),
+        }
+    }
+
+    fn inner(&self) -> &SessionInner {
+        self.inner.as_ref().expect("session already shut down")
+    }
+
+    /// Submits one request, returning its pollable [`Ticket`].
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::UnknownModel`] for an unregistered target;
+    /// [`SubmitError::MissingInput`] for a request built without
+    /// [`Request::batch`]; [`SubmitError::QueueFull`] when full under
+    /// [`Admission::Reject`](crate::Admission) (the input is handed
+    /// back); [`SubmitError::Closed`] once shutdown has begun.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not rank 4.
+    pub fn submit(&self, request: Request) -> Result<Ticket, SubmitError> {
+        let shared = &self.inner().shared;
+        let model = match request.target {
+            Target::Id(id) => id,
+            Target::Name(name) => match shared.core.registry.id(&name) {
+                Some(id) => id,
+                None => return Err(SubmitError::UnknownModel(name)),
+            },
+        };
+        let input = request.input.ok_or(SubmitError::MissingInput)?;
+        assert_eq!(input.rank(), 4, "request must be [B,C,H,W]");
+        let slot = Arc::new(ResponseSlot::new());
+        let ticket = Ticket::new(slot.clone(), request.slo, request.deadline);
+        shared.queue.submit(
+            QueuedRequest {
+                model: model.0,
+                input,
+                slot,
+                slo: request.slo,
+                deadline: ticket.deadline(),
+                submitted_at: ticket.submitted_at(),
+                weight: request.weight,
+            },
+            shared.cfg.admission,
+        )?;
+        Ok(ticket)
+    }
+
+    /// Resolves a model name to its registry handle (for
+    /// [`Request::to_id`] hot paths).
+    pub fn model_id(&self, name: &str) -> Option<ModelId> {
+        self.inner().shared.core.registry.id(name)
+    }
+
+    /// The resident model set.
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.inner().shared.core.registry
+    }
+
+    /// The policy this session was started under.
+    pub fn config(&self) -> &ServeConfig {
+        &self.inner().shared.cfg
+    }
+
+    /// Live counter snapshot (the final numbers come from
+    /// [`shutdown`](ServeSession::shutdown)).
+    pub fn stats(&self) -> ServeStats {
+        self.inner().shared.queue.stats()
+    }
+
+    /// Shuts the session down: closes the queue (further submissions fail
+    /// with [`SubmitError::Closed`]), lets the workers drain every
+    /// already-admitted request, joins them, and returns the final stats
+    /// together with the resident models — ready to re-register for the
+    /// next session ([`ModelRegistry::from_models`]).
+    ///
+    /// Every ticket obtained from this session is resolved by the time
+    /// `shutdown` returns: fulfilled, or — when its worker panicked —
+    /// abandoned so that resolving it propagates the panic.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first worker panic (after all workers joined), so a
+    /// failed sweep cannot be silently dropped.
+    pub fn shutdown(mut self) -> (ServeStats, Vec<(String, PreparedCimModel)>) {
+        let inner = self.inner.take().expect("session already shut down");
+        let stats = close_and_join(&inner.shared, inner.workers);
+        let shared = Arc::try_unwrap(inner.shared)
+            .ok()
+            .expect("workers joined but session state still shared");
+        let core = Arc::try_unwrap(shared.core)
+            .ok()
+            .expect("session does not own the server: shut down through CimServer::serve instead");
+        (stats, core.registry.into_models())
+    }
+
+    /// The compatibility drain used by [`CimServer::serve`](crate::CimServer::serve):
+    /// close, drain, join, return stats — without dissolving the shared
+    /// core (the server keeps its registry).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first worker panic, matching the PR 3/4 `serve`
+    /// contract.
+    pub(crate) fn finish(mut self) -> ServeStats {
+        let inner = self.inner.take().expect("session already shut down");
+        close_and_join(&inner.shared, inner.workers)
+    }
+}
+
+impl Drop for ServeSession {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            // Unwind path (shutdown/finish take `inner` on the normal
+            // paths): close so workers exit, join so threads never leak,
+            // swallow worker panics — the client's panic is already
+            // propagating and a double panic would abort.
+            inner.shared.queue.close();
+            for worker in inner.workers {
+                let _ = worker.join();
+            }
+        }
+    }
+}
+
+/// Closes the queue, joins every worker, and snapshots the final stats;
+/// re-raises the first worker panic after all workers joined.
+fn close_and_join(shared: &SessionShared, workers: Vec<JoinHandle<()>>) -> ServeStats {
+    shared.queue.close();
+    let mut first_panic = None;
+    for worker in workers {
+        if let Err(panic) = worker.join() {
+            first_panic.get_or_insert(panic);
+        }
+    }
+    let stats = shared.queue.stats();
+    if let Some(panic) = first_panic {
+        std::panic::resume_unwind(panic);
+    }
+    stats
+}
+
+/// One worker: steal shards, form sweeps, fulfil tickets.
+fn worker_loop(shared: &SessionShared) {
+    let sched = BatchScheduler::new(
+        &shared.queue,
+        shared.cfg.max_batch,
+        shared.cfg.max_wait,
+        shared.cfg.policy,
+    );
+    while let Some(work) = sched.next_work() {
+        match work {
+            Work::Shard(task) => run_shard(shared, task),
+            Work::Sweep(batch) => serve_sweep(shared, batch),
+        }
+    }
+}
+
+/// Executes one stolen batch segment through the shared-state model path
+/// (read lock — concurrent with other segments of the same model). If
+/// execution panics, the join is failed on unwind so the coordinator
+/// propagates the panic instead of hanging.
+fn run_shard(shared: &SessionShared, task: ShardTask) {
+    struct FailOnDrop {
+        join: Arc<ShardJoin>,
+        armed: bool,
+    }
+    impl Drop for FailOnDrop {
+        fn drop(&mut self) {
+            if self.armed {
+                self.join.fail();
+            }
+        }
+    }
+    let mut guard = FailOnDrop {
+        join: task.join.clone(),
+        armed: true,
+    };
+    let output = shared
+        .core
+        .registry
+        .infer_shared(ModelId(task.model), &task.segment);
+    guard.armed = false;
+    task.join.complete(task.index, output);
+}
+
+/// Serves one formed sweep: runs it (whole, or sharded across the worker
+/// pool), splits the output back per request, and fulfils the tickets
+/// with per-class deadline accounting.
+fn serve_sweep(shared: &SessionShared, batch: Vec<QueuedRequest>) {
+    // If anything below panics, abandon the unfulfilled tickets on unwind
+    // so their waiters fail loudly instead of hanging.
+    struct AbandonOnDrop(Vec<Arc<ResponseSlot>>);
+    impl Drop for AbandonOnDrop {
+        fn drop(&mut self) {
+            for slot in &self.0 {
+                slot.abandon();
+            }
+        }
+    }
+    let model = ModelId(batch[0].model);
+    let mut inputs = Vec::with_capacity(batch.len());
+    let mut metas = Vec::with_capacity(batch.len());
+    let mut slots = Vec::with_capacity(batch.len());
+    for q in batch {
+        inputs.push(q.input);
+        metas.push((q.slo, q.deadline));
+        slots.push(q.slot);
+    }
+    let guard = AbandonOnDrop(slots);
+    let rows: usize = inputs.iter().map(|t| t.dim(0)).sum();
+    let slo = metas[0].0; // sweeps are single-class
+    let shardable = shared
+        .cfg
+        .shard_rows
+        .is_some_and(|cap| rows > cap && inputs.iter().all(|t| t.dim(0) > 0));
+    let outputs = if shardable {
+        infer_sharded(shared, model, slo, &inputs, rows)
+    } else {
+        shared.core.registry.infer_batch(model, &inputs)
+    };
+    debug_assert_eq!(outputs.len(), guard.0.len());
+    for ((slot, output), (slo, deadline)) in guard.0.iter().zip(outputs).zip(&metas) {
+        let at = slot.fulfill(output);
+        shared
+            .queue
+            .note_served(*slo, deadline.is_some(), deadline.is_some_and(|d| at > d));
+    }
+    // All fulfilled; the guard's abandon() calls are now no-ops.
+}
+
+/// Executes one oversized sweep cooperatively: the coalesced rows are
+/// split into segments of at most `min(shard_rows, max_batch)` rows — the
+/// sweep cap stays in force, since the shared segment path does no
+/// internal chunking — published to the shard pool, and executed by
+/// whichever workers steal them; this coordinator drains the pool too
+/// while it waits. Segment outputs are rejoined by exact concatenation
+/// and sliced back per request, bit-identical to the unsharded sweep
+/// (every layer processes batch rows independently; `sharded_equivalence`
+/// and the serving tests pin this).
+fn infer_sharded(
+    shared: &SessionShared,
+    model: ModelId,
+    slo: Slo,
+    inputs: &[Tensor],
+    rows: usize,
+) -> Vec<Tensor> {
+    let owned;
+    let coalesced: &Tensor = if inputs.len() == 1 {
+        &inputs[0]
+    } else {
+        owned = Tensor::concat_outer(&inputs.iter().collect::<Vec<_>>());
+        &owned
+    };
+    let seg_rows = shared
+        .cfg
+        .shard_rows
+        .unwrap()
+        .min(shared.cfg.max_batch.unwrap_or(usize::MAX));
+    let plan = ShardPlan::split_max(rows, seg_rows);
+    let join = Arc::new(ShardJoin::new(plan.num_shards()));
+    shared
+        .queue
+        .push_shards(plan.iter().enumerate().map(|(index, seg)| ShardTask {
+            model: model.0,
+            segment: coalesced.slice_outer(seg.start, seg.end),
+            index,
+            slo,
+            join: join.clone(),
+        }));
+    // Cooperative wait: keep stealing shard tasks (ours or another
+    // coordinator's) while our join is incomplete; block only when the
+    // pool is empty — every queued task is then in flight on some worker,
+    // so the join (or a failure) is guaranteed to resolve.
+    let parts = loop {
+        if join.is_done() {
+            break join.wait();
+        }
+        match shared.queue.try_pop_shard() {
+            Some(task) => run_shard(shared, task),
+            None => break join.wait(),
+        }
+    };
+    let merged = Tensor::concat_outer(&parts.iter().collect::<Vec<_>>());
+    let mut outputs = Vec::with_capacity(inputs.len());
+    let mut start = 0;
+    for input in inputs {
+        let b = input.dim(0);
+        outputs.push(merged.slice_outer(start, start + b));
+        start += b;
+    }
+    outputs
+}

@@ -3,7 +3,11 @@
 //! The SLO benchmark replays Poisson-ish request streams against the
 //! server: exponential inter-arrival gaps at a configured mean rate, with
 //! the target model and per-request batch size drawn uniformly — all from
-//! one seeded [`CqRng`], so a stream is exactly reproducible.
+//! one seeded [`CqRng`], so a stream is exactly reproducible. Each
+//! [`StreamRequest`] maps onto one [`Request`](crate::Request) builder
+//! call at replay time (`Request::to_id(ids[r.model]).batch(input)
+//! .slo(r.slo)`), and the replay loop multiplexes the resulting tickets
+//! through a [`CompletionSet`](crate::CompletionSet).
 
 use crate::Slo;
 use cq_tensor::CqRng;

@@ -1,12 +1,15 @@
 //! Serving-layer integration tests: admission control, multi-model
-//! isolation, deterministic scheduling under a seeded stream, and
-//! bit-exactness of every serving path against the direct
-//! `PreparedCimModel::infer` result.
+//! isolation, deterministic scheduling under a seeded stream, the owned
+//! session lifecycle, and bit-exactness of every serving path against
+//! the direct `PreparedCimModel::infer` result.
 
 use cq_cim::CimConfig;
 use cq_core::{build_cim_resnet, PreparedCimModel, QuantScheme};
 use cq_nn::{Layer, Mode, ResNet, ResNetSpec};
-use cq_serve::{Admission, CimServer, ModelRegistry, ServeConfig, StreamSpec, SubmitError, Ticket};
+use cq_serve::{
+    Admission, CimServer, ConfigError, ModelRegistry, Request, ServeConfig, Slo, StreamSpec,
+    SubmitError, Ticket,
+};
 use cq_tensor::{CqRng, Tensor};
 use std::time::Duration;
 
@@ -52,20 +55,19 @@ fn queued_serving_is_bit_exact_vs_direct() {
     registry.register("m", prepared(1));
     let server = CimServer::new(
         registry,
-        ServeConfig {
-            queue_capacity: 4,
-            admission: Admission::Block,
-            max_batch: Some(3),
-            max_wait: Duration::from_millis(1),
-            workers: 2,
-            shard_rows: None,
-            row_tile_shards: None,
-        },
+        ServeConfig::builder()
+            .queue_capacity(4)
+            .admission(Admission::Block)
+            .max_batch(Some(3))
+            .max_wait(Duration::from_millis(1))
+            .workers(2)
+            .build()
+            .unwrap(),
     );
-    let (got, stats) = server.serve(|h| {
+    let (got, stats) = server.serve(|s| {
         let tickets: Vec<Ticket> = inputs
             .iter()
-            .map(|x| h.submit("m", x.clone()).unwrap())
+            .map(|x| s.submit(Request::to("m").batch(x.clone())).unwrap())
             .collect();
         tickets
             .into_iter()
@@ -77,6 +79,92 @@ fn queued_serving_is_bit_exact_vs_direct() {
     assert_eq!(stats.served, 7);
     assert_eq!(stats.rejected, 0, "Block admission never rejects");
     assert_eq!(stats.rows_swept, 20);
+}
+
+/// The owned-session flow: `start` detaches the server into a session,
+/// tickets resolve through pollable paths while the session runs, and
+/// `shutdown` resolves every outstanding ticket, returns exact stats,
+/// and hands the resident models back (still frozen and usable).
+#[test]
+fn owned_session_start_shutdown_roundtrip() {
+    let mut reference = warmed_net(5);
+    let rng = &mut CqRng::new(6);
+    let inputs: Vec<Tensor> = (0..6).map(|_| request(rng, 1)).collect();
+    let want: Vec<Tensor> = inputs
+        .iter()
+        .map(|x| reference.forward(x, Mode::Eval))
+        .collect();
+
+    let mut registry = ModelRegistry::new();
+    registry.register("m", prepared(5));
+    let cfg = ServeConfig::builder()
+        .max_batch(Some(2))
+        .workers(2)
+        .build()
+        .unwrap();
+    let session = CimServer::new(registry, cfg.clone()).start();
+    let tickets: Vec<Ticket> = inputs
+        .iter()
+        .map(|x| s_submit(&session, x))
+        .collect::<Vec<_>>();
+    // Shut down with every ticket still outstanding: shutdown must
+    // resolve all of them (drain-then-join), and the tickets stay
+    // waitable afterwards.
+    let (stats, models) = session.shutdown();
+    assert_eq!(stats.submitted, 6);
+    assert_eq!(stats.served, 6, "shutdown drains every admitted request");
+    let got: Vec<Tensor> = tickets.into_iter().map(|t| t.wait().output).collect();
+    assert_eq!(got, want, "post-shutdown resolution diverged");
+
+    // The models come back by name and still serve directly.
+    assert_eq!(models.len(), 1);
+    assert_eq!(models[0].0, "m");
+    let registry = ModelRegistry::from_models(models);
+    let (direct, stats2) = CimServer::new(registry, cfg).serve(|s| {
+        s.submit(Request::to("m").batch(inputs[0].clone()))
+            .unwrap()
+            .wait()
+            .output
+    });
+    assert_eq!(direct, want[0], "returned model diverged after round-trip");
+    assert_eq!(stats2.served, 1);
+
+    fn s_submit(session: &cq_serve::ServeSession, x: &Tensor) -> Ticket {
+        session.submit(Request::to("m").batch(x.clone())).unwrap()
+    }
+}
+
+/// `set_config` is a hard error while unreachable mid-session (the
+/// sessions-only contract), rejects invalid configs loudly, and applies
+/// cleanly between sessions.
+#[test]
+fn set_config_validates_and_is_sessions_only() {
+    let mut registry = ModelRegistry::new();
+    registry.register("m", prepared(8));
+    let mut server = CimServer::new(registry, ServeConfig::default());
+    // The builder refuses invalid configs; construct the invalid value
+    // directly (fields are public precisely so tests can) to exercise
+    // `set_config`'s own validation path.
+    let invalid = ServeConfig {
+        workers: 0,
+        ..ServeConfig::default()
+    };
+    assert_eq!(
+        server.set_config(invalid),
+        Err(ConfigError::ZeroWorkers),
+        "invalid config must be rejected, not asserted"
+    );
+    // Between sessions, reconfiguration succeeds and the policy sticks.
+    let cfg = ServeConfig::builder().workers(3).build().unwrap();
+    server.set_config(cfg).unwrap();
+    assert_eq!(server.config().workers, 3);
+    let ((), stats) = server.serve(|_s| {});
+    assert_eq!(stats.submitted, 0);
+    // Still reconfigurable after a session drained.
+    server
+        .set_config(ServeConfig::builder().workers(1).build().unwrap())
+        .unwrap();
+    assert_eq!(server.config().workers, 1);
 }
 
 /// Reject admission bounds the queue: some of a fast burst is shed, the
@@ -95,22 +183,23 @@ fn reject_admission_sheds_load_with_exact_accounting() {
     registry.register("m", prepared(3));
     let server = CimServer::new(
         registry,
-        ServeConfig {
-            queue_capacity: 2,
-            admission: Admission::Reject,
-            max_batch: Some(2),
-            max_wait: Duration::ZERO,
-            workers: 1,
-            shard_rows: None,
-            row_tile_shards: None,
-        },
+        ServeConfig::builder()
+            .queue_capacity(2)
+            .admission(Admission::Reject)
+            .max_batch(Some(2))
+            .max_wait(Duration::ZERO)
+            .workers(1)
+            .build()
+            .unwrap(),
     );
-    let (results, stats) = server.serve(|h| {
+    let (results, stats) = server.serve(|s| {
         // Submit the whole burst first (the worker needs milliseconds per
         // sweep; submission takes microseconds, so the tiny queue must
         // overflow), then wait the admitted tickets.
-        let tickets: Vec<Result<Ticket, SubmitError>> =
-            inputs.iter().map(|x| h.submit("m", x.clone())).collect();
+        let tickets: Vec<Result<Ticket, SubmitError>> = inputs
+            .iter()
+            .map(|x| s.submit(Request::to("m").batch(x.clone())))
+            .collect();
         tickets
             .into_iter()
             .map(|r| r.map(Ticket::wait))
@@ -176,22 +265,21 @@ fn multi_model_residency_is_isolated_and_bit_exact() {
     let id_b = registry.register("model-b", prepared(20));
     let server = CimServer::new(
         registry,
-        ServeConfig {
-            queue_capacity: 32,
-            admission: Admission::Block,
-            max_batch: Some(4),
-            max_wait: Duration::from_millis(1),
-            workers: 3,
-            shard_rows: None,
-            row_tile_shards: None,
-        },
+        ServeConfig::builder()
+            .queue_capacity(32)
+            .admission(Admission::Block)
+            .max_batch(Some(4))
+            .max_wait(Duration::from_millis(1))
+            .workers(3)
+            .build()
+            .unwrap(),
     );
-    let (got, stats) = server.serve(|h| {
+    let (got, stats) = server.serve(|s| {
         let tickets: Vec<Ticket> = inputs
             .iter()
             .map(|(m, x)| {
                 let id = if *m == 0 { id_a } else { id_b };
-                h.submit_to(id, x.clone()).unwrap()
+                s.submit(Request::to_id(id).batch(x.clone())).unwrap()
             })
             .collect();
         tickets
@@ -225,23 +313,22 @@ fn scheduler_is_deterministic_under_a_seeded_stream() {
         registry.register("m", prepared(30));
         let server = CimServer::new(
             registry,
-            ServeConfig {
-                queue_capacity: 32,
-                admission: Admission::Block,
-                max_batch: Some(4),
-                max_wait: Duration::from_secs(2),
-                workers: 1,
-                shard_rows: None,
-                row_tile_shards: None,
-            },
+            ServeConfig::builder()
+                .queue_capacity(32)
+                .admission(Admission::Block)
+                .max_batch(Some(4))
+                .max_wait(Duration::from_secs(2))
+                .workers(1)
+                .build()
+                .unwrap(),
         );
-        server.serve(|h| {
+        server.serve(|s| {
             // Pre-submit the whole stream, then wait: the single worker's
             // scheduler always finds a full queue (or lingers far longer
             // than the submission loop takes), so sweeps fill to the cap.
             let tickets: Vec<Ticket> = inputs
                 .iter()
-                .map(|x| h.submit("m", x.clone()).unwrap())
+                .map(|x| s.submit(Request::to("m").batch(x.clone())).unwrap())
                 .collect();
             tickets
                 .into_iter()
@@ -266,35 +353,62 @@ fn scheduler_is_deterministic_under_a_seeded_stream() {
 fn model_rejecting_an_input_panics_instead_of_hanging() {
     let mut registry = ModelRegistry::new();
     registry.register("m", prepared(50));
-    let server = CimServer::new(
-        registry,
-        ServeConfig {
-            workers: 1,
-            shard_rows: None,
-            row_tile_shards: None,
-            ..ServeConfig::default()
-        },
-    );
-    let ((), _) = server.serve(|h| {
+    let server = CimServer::new(registry, ServeConfig::builder().workers(1).build().unwrap());
+    let ((), _) = server.serve(|s| {
         // Wrong channel count: the model's first conv rejects it.
         let bad = Tensor::zeros(&[1, 5, 12, 12]);
-        let t = h.submit("m", bad).unwrap();
+        let t = s.submit(Request::to("m").batch(bad)).unwrap();
         let _ = t.wait(); // panics: the worker abandoned the ticket
     });
 }
 
-/// Unknown model ids fail fast at submission.
+/// Unknown models and batch-less requests fail recoverably at
+/// submission — no panic, the session stays usable.
 #[test]
-fn unknown_model_is_rejected_at_submit() {
+fn unknown_model_and_missing_input_are_rejected_at_submit() {
     let mut registry = ModelRegistry::new();
     registry.register("only", prepared(40));
     let server = CimServer::new(registry, ServeConfig::default());
-    let (err, _) = server.serve(|h| {
-        h.submit("missing", Tensor::zeros(&[1, 3, 12, 12]))
+    let ((unknown, missing, served), _) = server.serve(|s| {
+        let unknown = s
+            .submit(Request::to("missing").batch(Tensor::zeros(&[1, 3, 12, 12])))
             .err()
+            .unwrap();
+        let missing = s.submit(Request::to("only")).err().unwrap();
+        // The session survives both rejections.
+        let served = s
+            .submit(Request::to("only").batch(Tensor::zeros(&[1, 3, 12, 12])))
             .unwrap()
+            .wait();
+        (unknown, missing, served)
     });
-    assert!(matches!(err, SubmitError::UnknownModel(name) if name == "missing"));
+    assert!(matches!(unknown, SubmitError::UnknownModel(name) if name == "missing"));
+    assert!(matches!(missing, SubmitError::MissingInput));
+    assert_eq!(served.output.dim(0), 1);
+}
+
+/// Session ergonomics: `model_id` resolves names for `Request::to_id`
+/// hot paths, a ticket resolved before shutdown stays valid, and a
+/// session dropped without `shutdown` (client bailed out) neither leaks
+/// worker threads nor hangs.
+#[test]
+fn session_model_ids_and_drop_without_shutdown() {
+    let mut registry = ModelRegistry::new();
+    registry.register("m", prepared(45));
+    let session = CimServer::new(registry, ServeConfig::default()).start();
+    assert!(session.model_id("missing").is_none());
+    let id = session.model_id("m").unwrap();
+    let warm = session
+        .submit(Request::to_id(id).batch(Tensor::zeros(&[1, 3, 12, 12])))
+        .unwrap();
+    let (stats, models) = session.shutdown();
+    assert_eq!(stats.served, 1);
+    assert!(!warm.wait().missed);
+    // A fresh session over the returned models works; dropping it without
+    // shutdown must close the queue and join the workers.
+    let session =
+        CimServer::new(ModelRegistry::from_models(models), ServeConfig::default()).start();
+    drop(session);
 }
 
 /// Batch-segment sharding across the worker pool (plus row-tile sharding
@@ -319,20 +433,21 @@ fn sharded_serving_is_bit_exact_vs_direct() {
     registry.register("m", prepared(60));
     let server = CimServer::new(
         registry,
-        ServeConfig {
-            queue_capacity: 16,
-            admission: Admission::Block,
-            max_batch: Some(4),
-            max_wait: Duration::from_millis(1),
-            workers: 3,
-            shard_rows: Some(2),
-            row_tile_shards: Some(2),
-        },
+        ServeConfig::builder()
+            .queue_capacity(16)
+            .admission(Admission::Block)
+            .max_batch(Some(4))
+            .max_wait(Duration::from_millis(1))
+            .workers(3)
+            .shard_rows(Some(2))
+            .row_tile_shards(Some(2))
+            .build()
+            .unwrap(),
     );
-    let (got, stats) = server.serve(|h| {
+    let (got, stats) = server.serve(|s| {
         let tickets: Vec<Ticket> = inputs
             .iter()
-            .map(|x| h.submit("m", x.clone()).unwrap())
+            .map(|x| s.submit(Request::to("m").batch(x.clone())).unwrap())
             .collect();
         tickets
             .into_iter()
@@ -365,14 +480,39 @@ fn single_worker_sharding_drains_its_own_pool() {
     registry.register("m", prepared(62));
     let server = CimServer::new(
         registry,
-        ServeConfig {
-            workers: 1,
-            shard_rows: Some(2),
-            ..ServeConfig::default()
-        },
+        ServeConfig::builder()
+            .workers(1)
+            .shard_rows(Some(2))
+            .build()
+            .unwrap(),
     );
-    let (got, stats) = server.serve(|h| h.submit("m", big.clone()).unwrap().wait().output);
+    let (got, stats) = server.serve(|s| {
+        s.submit(Request::to("m").batch(big.clone()))
+            .unwrap()
+            .wait()
+            .output
+    });
     assert_eq!(got, want);
     assert_eq!(stats.sharded_sweeps, 1);
     assert_eq!(stats.shards_executed, 3);
+}
+
+/// The stream-class distribution helper still drives the replay loop —
+/// a regression guard that `Slo` defaults survive the request builder.
+#[test]
+fn request_builder_defaults_to_bulk() {
+    let mut registry = ModelRegistry::new();
+    registry.register("m", prepared(65));
+    let server = CimServer::new(registry, ServeConfig::default());
+    let (slo, stats) = server.serve(|s| {
+        let t = s
+            .submit(Request::to("m").batch(Tensor::zeros(&[1, 3, 12, 12])))
+            .unwrap();
+        assert_eq!(t.slo(), Slo::Bulk, "builder default class");
+        assert!(t.deadline().is_none(), "builder default deadline");
+        t.wait().slo
+    });
+    assert_eq!(slo, Slo::Bulk);
+    assert_eq!(stats.bulk.served, 1);
+    assert_eq!(stats.latency.served, 0);
 }

@@ -59,6 +59,9 @@ pub use cq_core::{
 pub use cq_data::SyntheticSpec;
 pub use cq_nn::{Layer, Mode, ResNet, ResNetSpec};
 pub use cq_quant::Granularity;
-pub use cq_serve::{Admission, CimServer, ModelRegistry, ServeConfig, StreamSpec};
+pub use cq_serve::{
+    Admission, CimServer, CompletionSet, ModelRegistry, Request, SchedulerPolicy, ServeConfig,
+    ServeSession, Slo, StreamSpec, Ticket,
+};
 pub use cq_tensor::Tensor;
 pub use cq_train::{train_with_scheme, TrainConfig, TrainResult};
