@@ -1,0 +1,9 @@
+//! Kernel micro-benchmark: integer i8/i32 psum panels vs the f32
+//! grouped-conv front-end, plus the end-to-end frozen-engine comparison.
+//! Emits `BENCH_kernels.json`.
+fn main() {
+    println!(
+        "{}",
+        cq_bench::experiments::kernels::run(cq_bench::Scale::from_env())
+    );
+}

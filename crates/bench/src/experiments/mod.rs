@@ -9,6 +9,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod kernels;
 pub mod serving;
 pub mod tables;
 pub mod throughput;

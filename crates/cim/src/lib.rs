@@ -16,6 +16,10 @@
 //! * [`PreparedConv`] — the frozen serving executor: weight quantization,
 //!   bit-splitting, and grouping done **once** at load, per-call
 //!   intermediates reused through a [`ConvScratch`].
+//! * [`PsumKernel`] — serving-side kernel selection: the psum front-end
+//!   dispatches to freeze-time repacked `i8×i8→i32` panel kernels
+//!   ([`IntGroupedWeights`]) when the frozen slices are integer-exact,
+//!   with bit-identical f32 fallback (e.g. under device variation).
 //! * [`ShardPlan`] — contiguous partitioning of row tiles (or batch rows)
 //!   behind the bit-exact sharded execution paths: shards compute
 //!   independent partial-sum blocks that are scattered — never re-summed —
@@ -58,7 +62,8 @@ pub use crossbar::Crossbar;
 pub use engine::{CrossbarLayer, QuantizedConv};
 pub use overhead::{dequant_mults, overhead_class, stored_scale_factors, OverheadClass};
 pub use pipeline::{
-    AdcDigitizer, ColumnDigitizer, IdealDigitizer, PerturbedDigitizer, PsumPipeline,
+    AdcDigitizer, ColumnDigitizer, IdealDigitizer, IntGroupedWeights, PerturbedDigitizer,
+    PsumKernel, PsumPipeline,
 };
 pub use prepared::{ConvScratch, PreparedConv};
 pub use shard::ShardPlan;

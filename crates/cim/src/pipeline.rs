@@ -25,8 +25,49 @@
 
 use crate::{Adc, Crossbar, ShardPlan, TilingPlan};
 use cq_quant::BitSplit;
-use cq_tensor::{conv2d_grouped, conv2d_grouped_into, conv_out_dim, threads_for, CqRng, Tensor};
+use cq_tensor::{
+    accum_to_f32, conv2d_grouped, conv2d_grouped_into, conv_out_dim, igemm_into, im2col_i8,
+    threads_for, widen_i8_to_i32, ConvShape, CqRng, PackedPanels, Tensor,
+};
 use std::ops::Range;
+
+/// Which arithmetic the grouped partial-sum front-end uses (see
+/// [`PreparedConv::set_psum_kernel`](crate::PreparedConv::set_psum_kernel)).
+///
+/// Partial sums are exact integers well inside f32's 24-bit mantissa, so
+/// the integer kernels are **bit-identical** to the f32 grouped
+/// convolution whenever they are applicable — the choice is purely about
+/// speed. The digitizer is downstream of the psums, so both ideal and
+/// ADC digitizers run unchanged over either kernel's output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PsumKernel {
+    /// The integer `i8×i8→i32` panel kernels whenever the frozen weight
+    /// slices are integer-exact, the f32 kernels otherwise (e.g. when
+    /// device variation has perturbed slices off-integer).
+    #[default]
+    Auto,
+    /// Always the f32 grouped-convolution kernels (the oracle path).
+    F32,
+    /// Require the integer kernels; selection panics if the frozen
+    /// slices are not integer-eligible.
+    Int,
+}
+
+/// One bit-split's grouped weights repacked for the integer kernel: one
+/// [`PackedPanels`] per row-tile group, each packing that group's
+/// `[OC, c_pa·K·K]` slice. Built once at freeze time by
+/// [`PsumPipeline::split_grouped_weights_int`].
+#[derive(Debug, Clone)]
+pub struct IntGroupedWeights {
+    panels: Vec<PackedPanels>,
+}
+
+impl IntGroupedWeights {
+    /// The per-row-tile packed panel sets.
+    pub fn panels(&self) -> &[PackedPanels] {
+        &self.panels
+    }
+}
 
 /// Digitizes one physical column's analog partial sum into its dequantized
 /// value `p̂` (the ADC output multiplied back by the column's scale factor,
@@ -38,6 +79,34 @@ pub trait ColumnDigitizer: Sync {
     /// Digitizes the analog current of physical column
     /// (`split`, `row_tile`, `oc`).
     fn digitize(&self, analog: f32, split: usize, row_tile: usize, oc: usize) -> f32;
+
+    /// Digitizes one physical column's contiguous psum block and
+    /// accumulates `((digitize(p) · sw) · shift) · gain` into `out` —
+    /// the shift-and-add hot loop of [`PsumPipeline::accumulate`].
+    ///
+    /// The provided body forwards to
+    /// [`digitize`](ColumnDigitizer::digitize) per value, but it is
+    /// monomorphized per implementor, so that call inlines and the loop
+    /// vectorizes: dynamic dispatch happens once per **column**, not
+    /// once per value. Overrides must keep the exact multiply order
+    /// (digitize, `· sw`, `· shift`, `· gain`) — outputs are pinned
+    /// bit-exact across every execution path.
+    #[allow(clippy::too_many_arguments)] // mirrors `digitize`'s column coordinates plus the three merged scales
+    fn digitize_axpy(
+        &self,
+        psums: &[f32],
+        split: usize,
+        row_tile: usize,
+        oc: usize,
+        sw: f32,
+        shift: f32,
+        gain: f32,
+        out: &mut [f32],
+    ) {
+        for (yv, &pv) in out.iter_mut().zip(psums) {
+            *yv += ((self.digitize(pv, split, row_tile, oc) * sw) * shift) * gain;
+        }
+    }
 }
 
 /// The ideal ADC bypass: partial sums pass through unquantized
@@ -230,6 +299,61 @@ impl PsumPipeline {
             .collect()
     }
 
+    /// The integer sibling of [`PsumPipeline::split_grouped_weights`]:
+    /// repacks already-grouped (and possibly variation-transformed) weight
+    /// slices into per-row-tile integer panels for
+    /// [`PsumPipeline::grouped_psums_int_into`].
+    ///
+    /// Returns `None` — the cue to stay on the f32 kernels — when any
+    /// slice value is not an exact integer in i8 range (device variation),
+    /// when activations do not fit i8 (`act_max_abs > 127`), or when the
+    /// worst-case column sum `max|w| · act_max_abs · c_pa·K·K` could leave
+    /// the 2²⁴ window in which f32 carries integers exactly. Every
+    /// unperturbed CIM configuration is orders of magnitude inside these
+    /// bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grouped_weights` disagrees with the plan.
+    pub fn split_grouped_weights_int(
+        &self,
+        grouped_weights: &[Tensor],
+        act_max_abs: f32,
+    ) -> Option<Vec<IntGroupedWeights>> {
+        let p = &self.plan;
+        assert_eq!(
+            grouped_weights.len(),
+            p.num_splits,
+            "one weight set per split"
+        );
+        if !(0.0..=127.0).contains(&act_max_abs) {
+            return None;
+        }
+        let cr = p.ch_per_array * p.kh * p.kw;
+        let mut max_abs = 0i32;
+        let sets = grouped_weights
+            .iter()
+            .map(|wg| {
+                debug_assert_eq!(
+                    wg.shape(),
+                    &[p.num_row_tiles * p.out_ch, p.ch_per_array, p.kh, p.kw],
+                    "grouped weight shape vs plan"
+                );
+                let panels = (0..p.num_row_tiles)
+                    .map(|g| {
+                        let rows = g * p.out_ch * cr..(g + 1) * p.out_ch * cr;
+                        let packed = PackedPanels::pack(p.out_ch, cr, &wg.data()[rows])?;
+                        max_abs = max_abs.max(packed.max_abs());
+                        Some(packed)
+                    })
+                    .collect::<Option<Vec<_>>>()?;
+                Some(IntGroupedWeights { panels })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        let bound = max_abs as f64 * act_max_abs as f64 * cr as f64;
+        (bound < (1u64 << 24) as f64).then_some(sets)
+    }
+
     /// Computes every split's integer partial sums `[B, G·OC, OH, OW]` by
     /// group convolution over channel-padded integer activations — the
     /// fast emulation front-end (Fig. 5 step #3). `grouped_weights` comes
@@ -268,7 +392,8 @@ impl PsumPipeline {
             self.plan.num_splits,
             "one weight set per split"
         );
-        psums.resize_with(self.plan.num_splits, || Tensor::zeros(&[1]));
+        let shape = self.psum_shape(a_pad, self.plan.num_row_tiles);
+        psums.resize_with(self.plan.num_splits, || Tensor::zeros(&shape));
         for (wg, ps) in grouped_weights.iter().zip(psums.iter_mut()) {
             conv2d_grouped_into(
                 a_pad,
@@ -279,7 +404,124 @@ impl PsumPipeline {
                 ps,
                 col,
             );
+            debug_assert_eq!(ps.shape(), shape, "per-split psum shape vs plan");
         }
+    }
+
+    /// Final `[B, groups·OC, OH, OW]` per-split psum shape for an
+    /// activation tensor covering `groups` row tiles — so resized psum
+    /// tensors are allocated at their final shape directly instead of
+    /// through a placeholder.
+    fn psum_shape(&self, a: &Tensor, groups: usize) -> [usize; 4] {
+        let (b, h, w) = (a.dim(0), a.dim(2), a.dim(3));
+        [
+            b,
+            groups * self.plan.out_ch,
+            conv_out_dim(h, self.plan.kh, self.stride, self.pad),
+            conv_out_dim(w, self.plan.kw, self.stride, self.pad),
+        ]
+    }
+
+    /// The integer twin of [`PsumPipeline::grouped_psums_into`], also
+    /// covering the shard case of
+    /// [`PsumPipeline::grouped_psums_shard_into`]: computes the partial
+    /// sums of row tiles `tiles` from activations `a` (`[B, len·c_pa, H,
+    /// W]` — the full padded tensor when `tiles` spans the plan, or a
+    /// [`PsumPipeline::slice_padded_row_tiles`] block) with the
+    /// `i8×i8→i32` panel kernels, writing exact `i32→f32` conversions
+    /// into `psums`.
+    ///
+    /// The im2col patch matrix is built **once per (image, row tile)** in
+    /// i8, widened once, and reused across every bit-split's GEMM — the
+    /// f32 path re-runs im2col per split — and work is parallelized
+    /// across `batch × row-tile` items like
+    /// [`PsumPipeline::crossbar_psums`]. Output values are bit-identical
+    /// to the f32 path (psums are exact integers inside f32's mantissa;
+    /// the `engine_equivalence` tests pin the whole matrix).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `int_weights`, `tiles`, or the activation shape disagree
+    /// with the plan.
+    pub fn grouped_psums_int_into(
+        &self,
+        a: &Tensor,
+        int_weights: &[IntGroupedWeights],
+        tiles: Range<usize>,
+        psums: &mut Vec<Tensor>,
+    ) {
+        let p = &self.plan;
+        assert_eq!(int_weights.len(), p.num_splits, "one weight set per split");
+        assert!(
+            tiles.start < tiles.end && tiles.end <= p.num_row_tiles,
+            "row-tile shard {tiles:?} out of range"
+        );
+        let groups = tiles.len();
+        let shape = self.psum_shape(a, groups);
+        psums.resize_with(p.num_splits, || Tensor::zeros(&shape));
+        for ps in psums.iter_mut() {
+            if ps.shape() != shape {
+                *ps = Tensor::zeros(&shape);
+            }
+        }
+        let s = ConvShape::new(
+            a.shape(),
+            &[groups * p.out_ch, p.ch_per_array, p.kh, p.kw],
+            self.stride,
+            self.pad,
+            groups,
+        );
+        let (batch, inner) = (shape[0], shape[2] * shape[3]);
+        if batch == 0 || inner == 0 {
+            return; // nothing to compute; empty tensors are correct
+        }
+        let (cr, cc) = (s.col_rows(), s.col_cols());
+        let in_img = s.in_ch * s.in_h * s.in_w;
+
+        // One work item per (batch element, row tile); each owns the
+        // `[OC, inner]` channel block it writes in every split tensor.
+        struct Item<'a> {
+            bi: usize,
+            g: usize,
+            chunks: Vec<&'a mut [f32]>,
+        }
+        let block = p.out_ch * inner;
+        let mut per_split: Vec<_> = psums
+            .iter_mut()
+            .map(|t| t.data_mut().chunks_mut(block))
+            .collect();
+        let mut items: Vec<Item<'_>> = Vec::with_capacity(batch * groups);
+        for bi in 0..batch {
+            for g in 0..groups {
+                items.push(Item {
+                    bi,
+                    g,
+                    chunks: per_split.iter_mut().map(|it| it.next().unwrap()).collect(),
+                });
+            }
+        }
+        let work = items.len() * p.num_splits * p.out_ch * cr * cc;
+        let nt = threads_for(work).min(items.len()).max(1);
+        let per = items.len().div_ceil(nt);
+        std::thread::scope(|sc| {
+            for group in items.chunks_mut(per) {
+                sc.spawn(move || {
+                    let mut col = vec![0i8; cr * cc];
+                    let mut b32 = vec![0i32; cr * cc];
+                    let mut acc = vec![0i32; p.out_ch * cc];
+                    for item in group {
+                        let img = &a.data()[item.bi * in_img..(item.bi + 1) * in_img];
+                        im2col_i8(img, item.g * p.ch_per_array, p.ch_per_array, &s, &mut col);
+                        widen_i8_to_i32(&col, &mut b32);
+                        for (iw, chunk) in int_weights.iter().zip(item.chunks.iter_mut()) {
+                            acc.fill(0);
+                            igemm_into(&iw.panels[tiles.start + item.g], &b32, cc, &mut acc);
+                            accum_to_f32(&acc, chunk);
+                        }
+                    }
+                });
+            }
+        });
     }
 
     // ---- row-tile sharding: shardable front-end entry points -----------
@@ -358,9 +600,11 @@ impl PsumPipeline {
             self.plan.num_splits,
             "one weight set per split"
         );
-        psums.resize_with(self.plan.num_splits, || Tensor::zeros(&[1]));
+        let shape = self.psum_shape(a_shard, tiles.len());
+        psums.resize_with(self.plan.num_splits, || Tensor::zeros(&shape));
         for (wg, ps) in shard_weights.iter().zip(psums.iter_mut()) {
             conv2d_grouped_into(a_shard, wg, self.stride, self.pad, tiles.len(), ps, col);
+            debug_assert_eq!(ps.shape(), shape, "per-split shard psum shape vs plan");
         }
     }
 
@@ -653,9 +897,7 @@ impl PsumPipeline {
                     let src = ((bi * p.num_row_tiles + g) * p.out_ch + oc) * inner;
                     let pd = &ps.data()[src..src + inner];
                     let ob = &mut out[oc * inner..(oc + 1) * inner];
-                    for (yv, &pv) in ob.iter_mut().zip(pd) {
-                        *yv += ((digitizer.digitize(pv, s, g, oc) * sw) * shift) * gain;
-                    }
+                    digitizer.digitize_axpy(pd, s, g, oc, sw, shift, gain, ob);
                 }
             }
         }
@@ -786,6 +1028,74 @@ mod tests {
         // Reuse the (now dirty) scratch.
         pl.grouped_psums_into(&a_pad, &weights, &mut psums, &mut col);
         assert_eq!(psums, want, "dirty-scratch call diverged");
+    }
+
+    /// The integer panel front-end must match the f32 grouped convolution
+    /// bit-for-bit, for the full plan and for every row-tile shard, on
+    /// dirty reused buffers.
+    #[test]
+    fn integer_psums_match_f32_path() {
+        let (pl, w_int) = small_pipeline();
+        let p = pl.plan().clone();
+        let mut rng = CqRng::new(29);
+        let a_int = rng
+            .uniform_tensor(&[2, p.in_ch, 6, 6], 0.0, 8.0)
+            .map(f32::floor);
+        let mut a_pad = Tensor::zeros(&[2, p.padded_in_ch, 6, 6]);
+        let chw = p.in_ch * 36;
+        let pchw = p.padded_in_ch * 36;
+        for bi in 0..2 {
+            a_pad.data_mut()[bi * pchw..bi * pchw + chw]
+                .copy_from_slice(&a_int.data()[bi * chw..(bi + 1) * chw]);
+        }
+        let weights = pl.split_grouped_weights(&w_int);
+        let int_weights = pl
+            .split_grouped_weights_int(&weights, 7.0)
+            .expect("tiny config slices are integer-eligible");
+        let want = pl.grouped_psums(&a_pad, &weights);
+        let mut psums = Vec::new();
+        pl.grouped_psums_int_into(&a_pad, &int_weights, 0..p.num_row_tiles, &mut psums);
+        assert_eq!(psums, want);
+        // Dirty reuse must stay identical.
+        pl.grouped_psums_int_into(&a_pad, &int_weights, 0..p.num_row_tiles, &mut psums);
+        assert_eq!(psums, want, "dirty-scratch call diverged");
+        // Every single-tile shard must equal its channel block.
+        let mut a_shard = Tensor::zeros(&[1]);
+        for g in 0..p.num_row_tiles {
+            pl.slice_padded_row_tiles(&a_pad, g..g + 1, &mut a_shard);
+            let mut shard_psums = Vec::new();
+            pl.grouped_psums_int_into(&a_shard, &int_weights, g..g + 1, &mut shard_psums);
+            for (sp, full) in shard_psums.iter().zip(&want) {
+                let inner = 36;
+                let blk = p.out_ch * inner;
+                let full_blk = p.num_row_tiles * p.out_ch * inner;
+                for bi in 0..2 {
+                    assert_eq!(
+                        &sp.data()[bi * blk..(bi + 1) * blk],
+                        &full.data()[bi * full_blk + g * blk..bi * full_blk + (g + 1) * blk],
+                        "shard {g} psums differ"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Integer repacking must refuse off-integer slices (the variation
+    /// fallback), out-of-range activations, and accumulators that could
+    /// leave the f32-exact window.
+    #[test]
+    fn integer_repack_eligibility_gates() {
+        let (pl, w_int) = small_pipeline();
+        let weights = pl.split_grouped_weights(&w_int);
+        assert!(pl.split_grouped_weights_int(&weights, 7.0).is_some());
+        // Variation-style perturbation makes slices off-integer.
+        let perturbed: Vec<Tensor> = weights.iter().map(|w| w.scale(1.37)).collect();
+        assert!(pl.split_grouped_weights_int(&perturbed, 7.0).is_none());
+        // Activations beyond i8 cannot feed the i8 im2col.
+        assert!(pl.split_grouped_weights_int(&weights, 255.0).is_none());
+        // Integer slices too large for i8 are refused.
+        let huge: Vec<Tensor> = weights.iter().map(|w| w.scale(200.0)).collect();
+        assert!(pl.split_grouped_weights_int(&huge, 7.0).is_none());
     }
 
     /// reduce with the ideal digitizer equals the hand-written

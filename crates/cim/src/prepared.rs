@@ -19,7 +19,10 @@
 //! reused across requests, so a steady-state serving loop allocates only
 //! its output tensors.
 
-use crate::{Adc, AdcDigitizer, IdealDigitizer, PsumPipeline, QuantizedConv, ShardPlan};
+use crate::pipeline::IntGroupedWeights;
+use crate::{
+    Adc, AdcDigitizer, IdealDigitizer, PsumKernel, PsumPipeline, QuantizedConv, ShardPlan,
+};
 use cq_quant::{GroupLayout, LsqQuantizer};
 use cq_tensor::{conv_out_dim, Tensor};
 
@@ -74,6 +77,13 @@ pub struct PreparedConv {
     /// One grouped `[G·OC, c_pa, K, K]` weight tensor per bit-split,
     /// computed at construction.
     grouped_weights: Vec<Tensor>,
+    /// The same slices repacked into integer panels at construction, when
+    /// they are integer-eligible (see
+    /// [`PsumPipeline::split_grouped_weights_int`]); `None` under device
+    /// variation or out-of-range formats.
+    int_weights: Option<Vec<IntGroupedWeights>>,
+    /// Which kernel family the serving body dispatches to.
+    kernel: PsumKernel,
     adc: Adc,
     a_quant: LsqQuantizer,
     /// Row-tile sharded front-end, when enabled (see
@@ -108,7 +118,7 @@ impl PreparedConv {
         desc.validate();
         let pipeline = desc.pipeline();
         let shape = desc.w_int.shape().to_vec();
-        let grouped_weights = (0..desc.plan.num_splits)
+        let grouped_weights: Vec<Tensor> = (0..desc.plan.num_splits)
             .map(|s| {
                 let slice = transform(s, desc.bit_split.split_tensor(&desc.w_int, s));
                 assert_eq!(slice.shape(), &shape[..], "slice transform changed shape");
@@ -118,14 +128,60 @@ impl PreparedConv {
         let mut a_quant = LsqQuantizer::new(desc.act_format, 1);
         a_quant.set_scales(&[desc.act_scale]);
         let adc = Adc::new(desc.psum_format);
+        let act_max_abs = desc.act_format.qn().abs().max(desc.act_format.qp());
+        let int_weights = pipeline.split_grouped_weights_int(&grouped_weights, act_max_abs);
         Self {
             pipeline,
             grouped_weights,
+            int_weights,
+            kernel: PsumKernel::default(),
             adc,
             a_quant,
             desc,
             shard: None,
         }
+    }
+
+    /// Selects the partial-sum kernel family (default
+    /// [`PsumKernel::Auto`]): with `Auto`, the `i8×i8→i32` panel kernels
+    /// run whenever the frozen slices were integer-eligible at
+    /// construction, falling back to the f32 grouped convolution
+    /// otherwise (e.g. when a slice transform baked in device variation).
+    /// The choice is pure speed — outputs are bit-identical either way —
+    /// and applies to both the whole-sweep and row-tile-sharded paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`PsumKernel::Int`] when the frozen slices are not
+    /// integer-eligible.
+    pub fn set_psum_kernel(&mut self, kernel: PsumKernel) {
+        assert!(
+            kernel != PsumKernel::Int || self.int_weights.is_some(),
+            "integer kernel required but frozen slices are not integer-eligible \
+             (device variation or out-of-range formats); use Auto for f32 fallback"
+        );
+        self.kernel = kernel;
+    }
+
+    /// The selected kernel family.
+    pub fn psum_kernel(&self) -> PsumKernel {
+        self.kernel
+    }
+
+    /// Whether serving currently dispatches to the integer kernels (the
+    /// selected family permits them and the frozen slices are
+    /// integer-eligible).
+    pub fn integer_kernel_active(&self) -> bool {
+        self.kernel != PsumKernel::F32 && self.int_weights.is_some()
+    }
+
+    /// The integer panel sets when the kernel selection dispatches to
+    /// them (see [`PreparedConv::integer_kernel_active`]).
+    fn active_int_weights(&self) -> Option<&[IntGroupedWeights]> {
+        if self.kernel == PsumKernel::F32 {
+            return None;
+        }
+        self.int_weights.as_deref()
     }
 
     /// Enables (or disables, with `None`/`Some(1)`) **row-tile sharding**:
@@ -227,11 +283,16 @@ impl PreparedConv {
             ..
         } = scratch;
         self.desc.plan.pad_channels_into(a_int, a_pad);
-        match &self.shard {
-            None => self
+        let tiles = self.desc.plan.num_row_tiles;
+        match (&self.shard, self.active_int_weights()) {
+            (None, Some(iw)) => self
                 .pipeline
-                .grouped_psums_into(a_pad, &self.grouped_weights, psums, col),
-            Some(se) => self.sharded_psums(se, a_pad, psums, shards),
+                .grouped_psums_int_into(a_pad, iw, 0..tiles, psums),
+            (None, None) => {
+                self.pipeline
+                    .grouped_psums_into(a_pad, &self.grouped_weights, psums, col)
+            }
+            (Some(se), _) => self.sharded_psums(se, a_pad, psums, shards),
         }
         if self.desc.psum_quant {
             let dig = AdcDigitizer::new(self.adc, &self.desc.psum_scales, &self.desc.plan);
@@ -254,19 +315,25 @@ impl PreparedConv {
         shards: &mut Vec<ShardScratch>,
     ) {
         let p = &self.desc.plan;
+        let int_weights = self.active_int_weights();
         shards.resize_with(se.plan.num_shards(), ShardScratch::default);
         std::thread::scope(|sc| {
             for (tiles, (sw, ss)) in se.plan.iter().zip(se.weights.iter().zip(shards.iter_mut())) {
                 let pipeline = &self.pipeline;
                 sc.spawn(move || {
                     pipeline.slice_padded_row_tiles(a_pad, tiles.clone(), &mut ss.a_shard);
-                    pipeline.grouped_psums_shard_into(
-                        &ss.a_shard,
-                        sw,
-                        tiles,
-                        &mut ss.psums,
-                        &mut ss.col,
-                    );
+                    match int_weights {
+                        Some(iw) => {
+                            pipeline.grouped_psums_int_into(&ss.a_shard, iw, tiles, &mut ss.psums)
+                        }
+                        None => pipeline.grouped_psums_shard_into(
+                            &ss.a_shard,
+                            sw,
+                            tiles,
+                            &mut ss.psums,
+                            &mut ss.col,
+                        ),
+                    }
                 });
             }
         });
@@ -275,7 +342,7 @@ impl PreparedConv {
         let oh = conv_out_dim(h, p.kh, self.desc.stride, self.desc.pad);
         let ow = conv_out_dim(w, p.kw, self.desc.stride, self.desc.pad);
         let shape = [b, p.num_row_tiles * p.out_ch, oh, ow];
-        psums.resize_with(p.num_splits, || Tensor::zeros(&[1]));
+        psums.resize_with(p.num_splits, || Tensor::zeros(&shape));
         for ps in psums.iter_mut() {
             if ps.shape() != shape {
                 *ps = Tensor::zeros(&shape);
@@ -400,6 +467,71 @@ mod tests {
                 assert_eq!(sharded.infer(&x), want, "disable diverged");
             }
         }
+    }
+
+    /// Kernel selection is pure speed: the integer panel path must equal
+    /// the f32 path bit-for-bit, sharded or not, with and without psum
+    /// quantization.
+    #[test]
+    fn integer_kernel_is_bit_exact_and_selectable() {
+        for psq in [false, true] {
+            let desc = small_desc(psq);
+            let mut f32_forced = PreparedConv::new(desc.clone());
+            f32_forced.set_psum_kernel(PsumKernel::F32);
+            assert!(!f32_forced.integer_kernel_active());
+            let mut int_forced = PreparedConv::new(desc.clone());
+            int_forced.set_psum_kernel(PsumKernel::Int);
+            assert!(int_forced.integer_kernel_active());
+            let auto = PreparedConv::new(desc.clone());
+            assert_eq!(auto.psum_kernel(), PsumKernel::Auto);
+            assert!(auto.integer_kernel_active(), "clean slices must qualify");
+            let mut rng = CqRng::new(17);
+            let x = rng.normal_tensor(&[2, 7, 6, 6], 1.0).map(|v| v.max(0.0));
+            let want = f32_forced.infer(&x);
+            assert_eq!(int_forced.infer(&x), want, "psq={psq}");
+            assert_eq!(auto.infer(&x), want, "psq={psq}");
+            // Sharded integer path.
+            let mut sharded = PreparedConv::new(desc);
+            sharded.set_psum_kernel(PsumKernel::Int);
+            sharded.set_row_tile_shards(Some(2));
+            let mut scratch = ConvScratch::new();
+            assert_eq!(
+                sharded.infer_with_scratch(&x, &mut scratch),
+                want,
+                "sharded int psq={psq}"
+            );
+            assert_eq!(
+                sharded.infer_with_scratch(&x, &mut scratch),
+                want,
+                "dirty-scratch sharded int psq={psq}"
+            );
+        }
+    }
+
+    /// A variation-style slice transform disqualifies the integer path:
+    /// `Auto` falls back to f32 (bit-identical to forcing f32) and `Int`
+    /// is rejected.
+    #[test]
+    fn variation_falls_back_to_f32() {
+        let desc = small_desc(true);
+        let auto = PreparedConv::with_slice_transform(desc.clone(), |_, s| s.scale(1.37));
+        assert!(
+            !auto.integer_kernel_active(),
+            "off-integer slices must disqualify the integer kernel"
+        );
+        let mut f32_forced = PreparedConv::with_slice_transform(desc, |_, s| s.scale(1.37));
+        f32_forced.set_psum_kernel(PsumKernel::F32);
+        let mut rng = CqRng::new(19);
+        let x = rng.normal_tensor(&[1, 7, 6, 6], 1.0).map(|v| v.max(0.0));
+        assert_eq!(auto.infer(&x), f32_forced.infer(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "not integer-eligible")]
+    fn forcing_int_kernel_under_variation_panics() {
+        let mut prepared =
+            PreparedConv::with_slice_transform(small_desc(false), |_, s| s.scale(1.37));
+        prepared.set_psum_kernel(PsumKernel::Int);
     }
 
     #[test]

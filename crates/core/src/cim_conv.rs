@@ -37,7 +37,7 @@ use std::collections::HashMap;
 
 use cq_cim::{
     dequant_mults, Adc, AdcDigitizer, CimConfig, ConvScratch, IdealDigitizer, PreparedConv,
-    PsumPipeline, QuantizedConv, TilingPlan,
+    PsumKernel, PsumPipeline, QuantizedConv, TilingPlan,
 };
 use cq_nn::{
     accumulate_bias_grad, add_channel_bias, kaiming_conv_init, Layer, Mode, Param, ParamKind,
@@ -141,6 +141,9 @@ pub struct CimConv2d {
     /// Row-tile shard count applied to the frozen executor (kept across
     /// re-freezes). `None` = unsharded.
     row_tile_shards: Option<usize>,
+    /// Partial-sum kernel selection applied to the frozen executor (kept
+    /// across re-freezes).
+    psum_kernel: PsumKernel,
 }
 
 impl CimConv2d {
@@ -198,6 +201,7 @@ impl CimConv2d {
             p_layout_cache: HashMap::new(),
             frozen: None,
             row_tile_shards: None,
+            psum_kernel: PsumKernel::default(),
             cfg,
         }
     }
@@ -592,6 +596,7 @@ impl CimConv2d {
             Self::apply_variation_to_slice(var, weight_factors.as_ref(), s, slice)
         });
         prepared.set_row_tile_shards(self.row_tile_shards);
+        prepared.set_psum_kernel(self.psum_kernel);
         self.frozen = Some(FrozenConv::new(prepared));
     }
 
@@ -609,6 +614,38 @@ impl CimConv2d {
         if let Some(fr) = &mut self.frozen {
             fr.prepared.set_row_tile_shards(shards);
         }
+    }
+
+    /// Selects the partial-sum kernel family of the frozen executor (see
+    /// [`PreparedConv::set_psum_kernel`] — bit-identical outputs either
+    /// way; the integer path is a pure speed change). Applies to the
+    /// current frozen state, if any, and persists across re-freezes. The
+    /// unfrozen per-call path always runs the f32 oracle kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`PsumKernel::Int`] when the layer is frozen and its
+    /// slices are not integer-eligible (e.g. under device variation).
+    pub fn set_psum_kernel(&mut self, kernel: PsumKernel) {
+        self.psum_kernel = kernel;
+        if let Some(fr) = &mut self.frozen {
+            fr.prepared.set_psum_kernel(kernel);
+        }
+    }
+
+    /// The selected partial-sum kernel family.
+    pub fn psum_kernel(&self) -> PsumKernel {
+        self.psum_kernel
+    }
+
+    /// Whether the frozen executor currently dispatches to the integer
+    /// kernels (`false` when unfrozen, when f32 is forced, or when the
+    /// frozen slices were not integer-eligible — see
+    /// [`PreparedConv::integer_kernel_active`]).
+    pub fn integer_kernel_active(&self) -> bool {
+        self.frozen
+            .as_ref()
+            .is_some_and(|fr| fr.prepared.integer_kernel_active())
     }
 
     /// Drops the frozen serving state (the next eval forward runs the full

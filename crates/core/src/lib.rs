@@ -50,7 +50,9 @@ pub use cim_conv::{CimConv2d, VariationCfg, VariationMode};
 pub use cim_linear::CimLinear;
 // The shared execution layer both conv paths drive (lives in `cq-cim`;
 // re-exported here because it is the framework's central abstraction).
-pub use cq_cim::{AdcDigitizer, ColumnDigitizer, IdealDigitizer, PerturbedDigitizer, PsumPipeline};
+pub use cq_cim::{
+    AdcDigitizer, ColumnDigitizer, IdealDigitizer, PerturbedDigitizer, PsumKernel, PsumPipeline,
+};
 pub use model::{
     accelerator_report, build_cim_resnet, count_cim_convs, for_each_cim_conv, load_cim_checkpoint,
     model_dequant_mults, ptq_calibrate, save_cim_checkpoint, set_psum_quant_enabled,

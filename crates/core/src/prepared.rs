@@ -17,6 +17,7 @@
 //! coalescing is also bit-exact per sample.
 
 use crate::{for_each_cim_conv, load_cim_checkpoint};
+use cq_cim::PsumKernel;
 use cq_nn::{Layer, Mode};
 use cq_tensor::Tensor;
 use std::ops::Range;
@@ -121,6 +122,33 @@ impl PreparedCimModel {
     /// `None` disables sharding. Outputs are bit-identical either way.
     pub fn set_row_tile_shards(&mut self, shards: Option<usize>) {
         for_each_cim_conv(self.model.as_mut(), |c| c.set_row_tile_shards(shards));
+    }
+
+    /// Selects the partial-sum kernel family of every frozen CIM
+    /// convolution (see [`crate::CimConv2d::set_psum_kernel`]): with
+    /// [`PsumKernel::Auto`] each layer runs the repacked `i8×i8→i32`
+    /// panel kernels when its frozen slices are integer-exact and the f32
+    /// kernels otherwise. Outputs are bit-identical either way — the
+    /// choice is pure speed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`PsumKernel::Int`] when any layer's slices are not
+    /// integer-eligible (e.g. under device variation).
+    pub fn set_psum_kernel(&mut self, kernel: PsumKernel) {
+        for_each_cim_conv(self.model.as_mut(), |c| c.set_psum_kernel(kernel));
+    }
+
+    /// Counts `(layers dispatching to the integer kernels, total CIM
+    /// layers)` — the observability hook tests and benchmarks use to
+    /// assert which kernel actually ran.
+    pub fn count_integer_kernels(&mut self) -> (usize, usize) {
+        let (mut active, mut total) = (0usize, 0usize);
+        for_each_cim_conv(self.model.as_mut(), |c| {
+            total += 1;
+            active += c.integer_kernel_active() as usize;
+        });
+        (active, total)
     }
 
     /// Serves many independent requests (each `[b_i, C, H, W]`, typically

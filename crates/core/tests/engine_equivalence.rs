@@ -6,7 +6,7 @@
 //! variation, for every granularity combination, with and without
 //! partial-sum quantization.
 
-use cq_cim::{CimConfig, CrossbarLayer, PreparedConv};
+use cq_cim::{CimConfig, CrossbarLayer, PreparedConv, PsumKernel};
 use cq_core::CimConv2d;
 use cq_nn::{Layer, Mode};
 use cq_quant::Granularity;
@@ -51,24 +51,45 @@ fn check_equivalence(cfg: CimConfig, in_ch: usize, out_ch: usize, stride: usize,
             );
 
             // Prepared path #1: a standalone PreparedConv built from the
-            // exported description serves raw activations bit-identically.
-            let prepared = PreparedConv::new(layer.to_quantized_conv());
-            let served = prepared.infer(&x);
+            // exported description serves raw activations bit-identically —
+            // on **both** kernel families. Every cell of this matrix has
+            // integer-exact slices, so forcing the integer kernels must
+            // succeed and match the f32 oracle bit-for-bit.
+            let mut prepared = PreparedConv::new(layer.to_quantized_conv());
+            prepared.set_psum_kernel(PsumKernel::F32);
+            assert!(!prepared.integer_kernel_active());
+            let served_f32 = prepared.infer(&x);
             assert_eq!(
-                fast, served,
-                "PreparedConv mismatch at w={w_gran} p={p_gran} psq={psq}"
+                fast, served_f32,
+                "PreparedConv f32 mismatch at w={w_gran} p={p_gran} psq={psq}"
+            );
+            prepared.set_psum_kernel(PsumKernel::Int);
+            assert!(prepared.integer_kernel_active());
+            let served_int = prepared.infer(&x);
+            assert_eq!(
+                fast, served_int,
+                "PreparedConv integer-kernel mismatch at w={w_gran} p={p_gran} psq={psq}"
             );
 
             // Prepared path #2: the frozen layer itself (weight-side work
-            // done once) must stay bit-identical across repeated serves.
-            layer.freeze();
-            let frozen1 = layer.forward(&x, Mode::Eval);
-            let frozen2 = layer.forward(&x, Mode::Eval);
-            assert_eq!(
-                fast, frozen1,
-                "frozen forward mismatch at w={w_gran} p={p_gran} psq={psq}"
-            );
-            assert_eq!(frozen1, frozen2, "frozen forward not idempotent");
+            // done once) must stay bit-identical across repeated serves,
+            // again on both kernel families.
+            for kernel in [PsumKernel::F32, PsumKernel::Int] {
+                layer.set_psum_kernel(kernel);
+                layer.freeze();
+                assert_eq!(
+                    layer.integer_kernel_active(),
+                    kernel == PsumKernel::Int,
+                    "kernel selection did not reach the frozen executor"
+                );
+                let frozen1 = layer.forward(&x, Mode::Eval);
+                let frozen2 = layer.forward(&x, Mode::Eval);
+                assert_eq!(
+                    fast, frozen1,
+                    "frozen forward mismatch at w={w_gran} p={p_gran} psq={psq} {kernel:?}"
+                );
+                assert_eq!(frozen1, frozen2, "frozen forward not idempotent");
+            }
         }
     }
 }

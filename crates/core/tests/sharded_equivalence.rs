@@ -2,7 +2,10 @@
 //! inference (and the shared `&self` path behind batch-segment sharding)
 //! must equal the unsharded `PreparedCimModel::infer_batch` bit-for-bit
 //! across psq mode × granularity × digitizer × shard counts {1, 2, 7} —
-//! including a shard count larger than any layer's number of row tiles.
+//! including a shard count larger than any layer's number of row tiles —
+//! on **both partial-sum kernel families**: every cell runs the forced
+//! f32 oracle and the `Auto` selection (integer i8/i32 kernels where the
+//! frozen slices are integer-eligible, f32 fallback under variation).
 //!
 //! Digitizer regimes map onto the pipeline as in `prepared_inference`:
 //! with psum quantization off the ideal (infinite-precision) converter
@@ -11,8 +14,8 @@
 
 use cq_cim::CimConfig;
 use cq_core::{
-    build_cim_resnet, set_psum_quant_enabled, set_variation, PreparedCimModel, QuantScheme,
-    VariationMode,
+    build_cim_resnet, set_psum_quant_enabled, set_variation, PreparedCimModel, PsumKernel,
+    QuantScheme, VariationMode,
 };
 use cq_nn::{Layer, Mode, ResNetSpec};
 use cq_quant::Granularity;
@@ -57,26 +60,52 @@ fn check_cell(psq: bool, gran: Granularity, dig: Digitizer, seed: u64) {
     ];
     let mut pm = prepared_model(psq, gran, dig, seed);
     pm.set_max_batch(Some(3));
+    // The forced f32 kernels are the oracle the whole cell pins against.
+    pm.set_psum_kernel(PsumKernel::F32);
     let want = pm.infer_batch(&requests);
 
-    for shards in [1usize, 2, 7] {
-        // 7 exceeds every layer's row-tile count in this tiny config —
-        // the plan must clamp, never produce empty shards.
-        pm.set_row_tile_shards(Some(shards));
-        let got = pm.infer_batch(&requests);
-        assert_eq!(got, want, "{ctx} shards={shards}: infer_batch diverged");
-        // The shared (`&self`) path — what serve workers run on their
-        // batch-segment shards — under the same row-tile sharding.
-        for (req, w) in requests.iter().zip(&want) {
+    for kernel in [PsumKernel::F32, PsumKernel::Auto] {
+        pm.set_psum_kernel(kernel);
+        // Under `Auto`, Clean cells run the integer kernels in every
+        // frozen conv (tiny-config slices are always integer-eligible)
+        // while Variation cells fall back to f32 in every conv (the
+        // baked per-cell perturbation pushes slices off-integer).
+        let (active, total) = pm.count_integer_kernels();
+        assert!(total > 0, "{ctx}: no frozen convs counted");
+        let expect_active = match (kernel, dig) {
+            (PsumKernel::Auto, Digitizer::Clean) => total,
+            _ => 0,
+        };
+        assert_eq!(
+            active, expect_active,
+            "{ctx} {kernel:?}: integer-kernel activation count"
+        );
+        for shards in [1usize, 2, 7] {
+            // 7 exceeds every layer's row-tile count in this tiny config —
+            // the plan must clamp, never produce empty shards.
+            pm.set_row_tile_shards(Some(shards));
+            let got = pm.infer_batch(&requests);
             assert_eq!(
-                &pm.infer_shared(req),
-                w,
-                "{ctx} shards={shards}: infer_shared diverged"
+                got, want,
+                "{ctx} {kernel:?} shards={shards}: infer_batch diverged"
             );
+            // The shared (`&self`) path — what serve workers run on their
+            // batch-segment shards — under the same row-tile sharding.
+            for (req, w) in requests.iter().zip(&want) {
+                assert_eq!(
+                    &pm.infer_shared(req),
+                    w,
+                    "{ctx} {kernel:?} shards={shards}: infer_shared diverged"
+                );
+            }
         }
+        pm.set_row_tile_shards(None);
+        assert_eq!(
+            pm.infer_batch(&requests),
+            want,
+            "{ctx} {kernel:?}: disable diverged"
+        );
     }
-    pm.set_row_tile_shards(None);
-    assert_eq!(pm.infer_batch(&requests), want, "{ctx}: disable diverged");
 }
 
 /// psq {off, on} × granularity × digitizer × shard counts {1, 2, 7}.

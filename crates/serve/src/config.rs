@@ -3,6 +3,7 @@
 //! the strict Latency≻Bulk priority order is tempered by aging.
 
 use crate::queue::Admission;
+use cq_core::PsumKernel;
 use std::fmt;
 use std::time::Duration;
 
@@ -130,6 +131,14 @@ pub struct ServeConfig {
     /// How latency work is ordered against bulk work (strict priority, or
     /// strict-with-aging for a bulk starvation bound).
     pub policy: SchedulerPolicy,
+    /// Partial-sum kernel family installed on every resident model (see
+    /// [`cq_core::PreparedCimModel::set_psum_kernel`]): with the default
+    /// [`PsumKernel::Auto`] each frozen convolution runs the repacked
+    /// `i8×i8→i32` panel kernels when its slices are integer-exact and
+    /// the f32 kernels otherwise. Outputs are bit-identical either way —
+    /// the knob exists for A/B benchmarking and forcing (`Int` panics at
+    /// install time if any layer is ineligible, e.g. under variation).
+    pub psum_kernel: PsumKernel,
 }
 
 impl Default for ServeConfig {
@@ -143,6 +152,7 @@ impl Default for ServeConfig {
             shard_rows: None,
             row_tile_shards: None,
             policy: SchedulerPolicy::Strict,
+            psum_kernel: PsumKernel::Auto,
         }
     }
 }
@@ -234,6 +244,12 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Partial-sum kernel family for every resident model.
+    pub fn psum_kernel(mut self, kernel: PsumKernel) -> Self {
+        self.cfg.psum_kernel = kernel;
+        self
+    }
+
     /// Scheduling policy (strict priority or strict-with-aging).
     pub fn policy(mut self, policy: SchedulerPolicy) -> Self {
         self.cfg.policy = policy;
@@ -265,6 +281,16 @@ mod tests {
         let cfg = ServeConfig::builder().build().unwrap();
         assert_eq!(cfg.queue_capacity, 64);
         assert_eq!(cfg.policy, SchedulerPolicy::Strict);
+        assert_eq!(cfg.psum_kernel, PsumKernel::Auto);
+    }
+
+    #[test]
+    fn psum_kernel_setter_installs_the_choice() {
+        let cfg = ServeConfig::builder()
+            .psum_kernel(PsumKernel::F32)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.psum_kernel, PsumKernel::F32);
     }
 
     #[test]

@@ -113,6 +113,15 @@ impl ModelRegistry {
         }
     }
 
+    /// Selects the partial-sum kernel family of every resident model's
+    /// frozen convolutions (see [`PreparedCimModel::set_psum_kernel`] —
+    /// bit-identical outputs either way).
+    pub fn set_psum_kernel(&mut self, kernel: cq_core::PsumKernel) {
+        for (_, m) in &mut self.models {
+            m.get_mut().unwrap().set_psum_kernel(kernel);
+        }
+    }
+
     /// Dissolves the registry, returning the resident models.
     pub fn into_models(self) -> Vec<(String, PreparedCimModel)> {
         self.models

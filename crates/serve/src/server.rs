@@ -32,8 +32,9 @@ pub struct CimServer {
 
 impl CimServer {
     /// Creates a server over `registry`; every resident model's sweep cap
-    /// is set to `cfg.max_batch` and its row-tile shard count to
-    /// `cfg.row_tile_shards`.
+    /// is set to `cfg.max_batch`, its row-tile shard count to
+    /// `cfg.row_tile_shards`, and its partial-sum kernel family to
+    /// `cfg.psum_kernel`.
     ///
     /// # Panics
     ///
@@ -45,6 +46,7 @@ impl CimServer {
         cfg.validate().expect("invalid serve config");
         registry.set_max_batch(cfg.max_batch);
         registry.set_row_tile_shards(cfg.row_tile_shards);
+        registry.set_psum_kernel(cfg.psum_kernel);
         Self {
             core: Arc::new(ServerCore { registry }),
             cfg,
@@ -82,6 +84,7 @@ impl CimServer {
         let core = Arc::get_mut(&mut self.core).ok_or(ConfigError::SessionActive)?;
         core.registry.set_max_batch(cfg.max_batch);
         core.registry.set_row_tile_shards(cfg.row_tile_shards);
+        core.registry.set_psum_kernel(cfg.psum_kernel);
         self.cfg = cfg;
         Ok(())
     }

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 mod conv;
+mod igemm;
 mod matmul;
 mod pool;
 mod rng;
@@ -34,6 +35,9 @@ mod tensor;
 pub use conv::{
     conv2d, conv2d_backward_input, conv2d_backward_weight, conv2d_grouped, conv2d_grouped_into,
     conv2d_naive, conv_out_dim, ConvShape,
+};
+pub use igemm::{
+    accum_to_f32, igemm_into, im2col_i8, shift_add_into, widen_i8_to_i32, PackedPanels, PANEL_ROWS,
 };
 pub use matmul::{
     gemm_nn_acc, gemm_nt_acc, matmul, matmul_a_bt, matmul_at_b, max_threads, threads_for,

@@ -19,8 +19,11 @@ use crate::Tensor;
 const PAR_THRESHOLD: usize = 1 << 20;
 
 /// Thread count for a kernel doing `work` multiply-accumulates: 1 below the
-/// fork-overhead threshold, otherwise the `CQ_THREADS` override (if set)
-/// or the machine's available parallelism.
+/// fork-overhead threshold, then roughly one thread per threshold's worth of
+/// work, capped by the `CQ_THREADS` override (if set) or the machine's
+/// available parallelism — so a conv tail barely past the threshold forks
+/// two threads, not the whole pool (tiny GEMMs used to spawn every core and
+/// drown micro-benchmarks in fork noise).
 ///
 /// `CQ_THREADS` exists so benchmark numbers are reproducible on shared CI
 /// runners whose visible core count varies run to run; it is read once and
@@ -29,7 +32,7 @@ pub fn threads_for(work: usize) -> usize {
     if work < PAR_THRESHOLD {
         return 1;
     }
-    max_threads()
+    max_threads().min(work / PAR_THRESHOLD).max(1)
 }
 
 /// The `CQ_THREADS`-capped machine parallelism (read once, cached).
