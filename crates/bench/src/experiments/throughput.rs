@@ -17,7 +17,7 @@
 use crate::{markdown_table, ExperimentSetting, Scale};
 use cq_core::{build_cim_resnet, PreparedCimModel, QuantScheme};
 use cq_nn::{Layer, Mode};
-use cq_tensor::{max_threads, CqRng, Tensor};
+use cq_tensor::{exec, max_threads, CqRng, Tensor};
 use std::time::Instant;
 
 /// One measured serving configuration.
@@ -27,6 +27,20 @@ pub struct ThroughputPoint {
     pub max_batch: usize,
     /// Serving rate over the whole request stream.
     pub images_per_sec: f64,
+}
+
+/// One executor configuration of the A/B comparison (fixed `max_batch`).
+#[derive(Debug, Clone)]
+pub struct ExecutorPoint {
+    /// `spawn_per_call` (pre-executor behaviour), `pooled` (persistent
+    /// pool, pipelining off), or `pooled_pipelined` (persistent pool +
+    /// cross-layer wave pipelining — the serving default).
+    pub mode: &'static str,
+    /// Serving rate over the whole request stream.
+    pub images_per_sec: f64,
+    /// OS threads created during the measured sweeps (after warm-up).
+    /// Asserted `0` for both pooled modes.
+    pub spawned_threads: usize,
 }
 
 /// Full result of the throughput experiment.
@@ -44,6 +58,9 @@ pub struct ThroughputResult {
     pub unprepared_ips: f64,
     /// Prepared engine at each coalescing cap.
     pub prepared: Vec<ThroughputPoint>,
+    /// Executor A/B at the largest coalescing cap: spawn-per-call vs
+    /// pooled vs pooled + pipelined.
+    pub executor: Vec<ExecutorPoint>,
     /// Best prepared rate / unprepared rate.
     pub speedup: f64,
 }
@@ -71,6 +88,17 @@ impl ThroughputResult {
                 p.max_batch,
                 p.images_per_sec,
                 if i + 1 < self.prepared.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"executor\": [\n");
+        for (i, e) in self.executor.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"mode\": \"{}\", \"images_per_sec\": {:.3}, \"spawned_threads\": {}}}{}\n",
+                e.mode,
+                e.images_per_sec,
+                e.spawned_threads,
+                if i + 1 < self.executor.len() { "," } else { "" }
             ));
         }
         s.push_str("  ],\n");
@@ -142,6 +170,40 @@ pub fn measure(scale: Scale) -> ThroughputResult {
             images_per_sec: ips,
         });
     }
+    // Executor A/B at the largest cap: the pre-pool spawn-per-call
+    // reference, the persistent pool alone, and the pool with cross-layer
+    // wave pipelining (the serving default). Outputs are bit-identical
+    // across all three — only the schedule differs.
+    pm.set_max_batch(Some(*batches.last().unwrap()));
+    let mut executor = Vec::new();
+    for (mode, backend, depth) in [
+        ("spawn_per_call", exec::Backend::SpawnPerCall, 1usize),
+        ("pooled", exec::Backend::Pooled, 1),
+        ("pooled_pipelined", exec::Backend::Pooled, 2),
+    ] {
+        exec::set_backend(backend);
+        pm.set_pipeline_depth(depth);
+        // Warm-up sweep: lazily creates the global pool; the measured
+        // sweeps after it must spawn nothing on the pooled backend.
+        std::hint::black_box(pm.infer_batch(&requests));
+        let spawned_before = exec::os_threads_spawned();
+        let ips = measure_ips(num_requests, reps, || {
+            std::hint::black_box(pm.infer_batch(&requests));
+        });
+        let spawned_threads = exec::os_threads_spawned() - spawned_before;
+        assert!(
+            backend == exec::Backend::SpawnPerCall || spawned_threads == 0,
+            "pooled serving must spawn zero OS threads per sweep (saw {spawned_threads})"
+        );
+        executor.push(ExecutorPoint {
+            mode,
+            images_per_sec: ips,
+            spawned_threads,
+        });
+    }
+    exec::set_backend(exec::Backend::Pooled);
+    pm.set_pipeline_depth(2);
+
     let best = prepared
         .iter()
         .map(|p| p.images_per_sec)
@@ -153,6 +215,7 @@ pub fn measure(scale: Scale) -> ThroughputResult {
         image: [c, hw, hw],
         unprepared_ips,
         prepared,
+        executor,
         speedup: best / unprepared_ips.max(1e-9),
     }
 }
@@ -186,5 +249,36 @@ pub fn run(scale: Scale) -> String {
          (written to `BENCH_throughput.json`).\n",
         r.speedup
     ));
+
+    let base = r.executor.first().map(|e| e.images_per_sec).unwrap_or(0.0);
+    let exec_rows: Vec<Vec<String>> = r
+        .executor
+        .iter()
+        .map(|e| {
+            vec![
+                e.mode.to_string(),
+                format!("{:.1}", e.images_per_sec),
+                format!("{:.2}x", e.images_per_sec / base.max(1e-9)),
+                e.spawned_threads.to_string(),
+            ]
+        })
+        .collect();
+    out.push_str(&format!(
+        "\n### Executor comparison (max_batch={})\n\n",
+        r.prepared.last().map(|p| p.max_batch).unwrap_or(0)
+    ));
+    out.push_str(&markdown_table(
+        &[
+            "executor",
+            "images/sec",
+            "vs spawn-per-call",
+            "threads spawned",
+        ],
+        &exec_rows,
+    ));
+    out.push_str(
+        "\nBoth pooled rows spawn **zero** OS threads across the measured \
+         sweeps (asserted at run time).\n",
+    );
     out
 }

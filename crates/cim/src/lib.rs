@@ -15,7 +15,7 @@
 //!   bit-exact against the fast group-convolution emulation in `cq-core`.
 //! * [`PreparedConv`] — the frozen serving executor: weight quantization,
 //!   bit-splitting, and grouping done **once** at load, per-call
-//!   intermediates reused through a [`ConvScratch`].
+//!   intermediates checked out of per-worker [`cq_tensor::arena`] pools.
 //! * [`PsumKernel`] — serving-side kernel selection: the psum front-end
 //!   dispatches to freeze-time repacked `i8×i8→i32` panel kernels
 //!   ([`IntGroupedWeights`]) when the frozen slices are integer-exact,
@@ -65,7 +65,7 @@ pub use pipeline::{
     AdcDigitizer, ColumnDigitizer, IdealDigitizer, IntGroupedWeights, PerturbedDigitizer,
     PsumKernel, PsumPipeline,
 };
-pub use prepared::{ConvScratch, PreparedConv};
+pub use prepared::PreparedConv;
 pub use shard::ShardPlan;
 pub use tiling::TilingPlan;
 pub use variation::{apply_lognormal, apply_lognormal_in_place, FIG10_SIGMAS};

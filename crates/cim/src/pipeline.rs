@@ -19,15 +19,17 @@
 //! f32 operation order, the two paths agree **bit-exactly** at zero
 //! variation (`engine_equivalence` integration tests pin this).
 //!
-//! Heavy loops are parallelized across `batch × row-tile` work items with
-//! `std::thread::scope`, using the same [`cq_tensor::threads_for`] policy
-//! (and `CQ_THREADS` override) as the GEMM kernels.
+//! Heavy loops are parallelized across `batch × row-tile` work items on the
+//! persistent [`cq_tensor::exec`] pool, using the same
+//! [`cq_tensor::threads_for`] policy (and `CQ_THREADS` override) as the GEMM
+//! kernels; per-task integer scratch comes from the executing worker's
+//! [`cq_tensor::arena`].
 
 use crate::{Adc, Crossbar, ShardPlan, TilingPlan};
 use cq_quant::BitSplit;
 use cq_tensor::{
-    accum_to_f32, conv2d_grouped, conv2d_grouped_into, conv_out_dim, igemm_into, im2col_i8,
-    threads_for, widen_i8_to_i32, ConvShape, CqRng, PackedPanels, Tensor,
+    accum_to_f32, arena, conv2d_grouped, conv2d_grouped_into, conv_out_dim, exec, igemm_into,
+    im2col_i8, threads_for, widen_i8_to_i32, ConvShape, CqRng, PackedPanels, Tensor,
 };
 use std::ops::Range;
 
@@ -503,12 +505,15 @@ impl PsumPipeline {
         let work = items.len() * p.num_splits * p.out_ch * cr * cc;
         let nt = threads_for(work).min(items.len()).max(1);
         let per = items.len().div_ceil(nt);
-        std::thread::scope(|sc| {
+        exec::scope(|sc| {
             for group in items.chunks_mut(per) {
                 sc.spawn(move || {
-                    let mut col = vec![0i8; cr * cc];
-                    let mut b32 = vec![0i32; cr * cc];
-                    let mut acc = vec![0i32; p.out_ch * cc];
+                    // Integer scratch from the executing worker's arena: the
+                    // im2col patch matrix, its i32 widening, and the GEMM
+                    // accumulator are recycled across tasks and layers.
+                    let mut col = arena::take_i8(cr * cc);
+                    let mut b32 = arena::take_i32(cr * cc);
+                    let mut acc = arena::take_i32(p.out_ch * cc);
                     for item in group {
                         let img = &a.data()[item.bi * in_img..(item.bi + 1) * in_img];
                         im2col_i8(img, item.g * p.ch_per_array, p.ch_per_array, &s, &mut col);
@@ -519,6 +524,9 @@ impl PsumPipeline {
                             accum_to_f32(&acc, chunk);
                         }
                     }
+                    arena::put_i8(col);
+                    arena::put_i32(b32);
+                    arena::put_i32(acc);
                 });
             }
         });
@@ -733,10 +741,10 @@ impl PsumPipeline {
             let work = items.len() * inner * p.rows_used * cols_per_tile;
             let nt = threads_for(work).min(items.len()).max(1);
             let per = items.len().div_ceil(nt);
-            std::thread::scope(|sc| {
+            exec::scope(|sc| {
                 for group in items.chunks_mut(per) {
                     sc.spawn(move || {
-                        let mut patch = vec![0.0f32; p.rows_used];
+                        let mut patch = arena::take_f32_zeroed(p.rows_used);
                         for item in group {
                             self.drive_row_tile(
                                 arrays,
@@ -750,6 +758,7 @@ impl PsumPipeline {
                                 &mut item.chunks,
                             );
                         }
+                        arena::put_f32(patch);
                     });
                 }
             });
@@ -866,7 +875,7 @@ impl PsumPipeline {
         let work = batch * p.num_splits * gch * inner;
         let nt = threads_for(work).min(batch).max(1);
         let per = batch.div_ceil(nt);
-        std::thread::scope(|sc| {
+        exec::scope(|sc| {
             for (chunk_i, out_chunk) in out.data_mut().chunks_mut(per * block).enumerate() {
                 sc.spawn(move || {
                     let b0 = chunk_i * per;

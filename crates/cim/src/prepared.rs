@@ -14,49 +14,19 @@
 //! zero device variation; the `engine_equivalence` and
 //! `prepared_inference` integration tests pin this.
 //!
-//! Per-call intermediates (channel-padded activations, per-split partial
-//! sums, the im2col matrix) live in a caller-owned [`ConvScratch`] and are
-//! reused across requests, so a steady-state serving loop allocates only
-//! its output tensors.
+//! Per-call intermediates (the quantized and channel-padded activations,
+//! per-split partial sums, the im2col matrix, shard slices) are checked out
+//! of the executing thread's [`cq_tensor::arena`], so a steady-state
+//! serving loop allocates only its output tensors — one arena per worker
+//! instead of the old per-layer scratch pools that multiplied across
+//! layers × workers × models.
 
 use crate::pipeline::IntGroupedWeights;
 use crate::{
     Adc, AdcDigitizer, IdealDigitizer, PsumKernel, PsumPipeline, QuantizedConv, ShardPlan,
 };
 use cq_quant::{GroupLayout, LsqQuantizer};
-use cq_tensor::{conv_out_dim, Tensor};
-
-/// Per-shard buffers of a row-tile-sharded sweep (see
-/// [`PreparedConv::set_row_tile_shards`]).
-#[derive(Debug, Clone, Default)]
-struct ShardScratch {
-    a_shard: Tensor,
-    psums: Vec<Tensor>,
-    col: Vec<f32>,
-}
-
-/// Reusable per-call buffers of a [`PreparedConv`] (see module docs).
-#[derive(Debug, Clone, Default)]
-pub struct ConvScratch {
-    a_int: Tensor,
-    a_pad: Tensor,
-    psums: Vec<Tensor>,
-    col: Vec<f32>,
-    shards: Vec<ShardScratch>,
-}
-
-impl ConvScratch {
-    /// Fresh, empty scratch (buffers grow on first use).
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// The per-split integer partial sums of the most recent call (empty
-    /// before the first call). Exposed for probing/analysis.
-    pub fn psums(&self) -> &[Tensor] {
-        &self.psums
-    }
-}
+use cq_tensor::{arena, conv_out_dim, exec, ConvShape, Tensor};
 
 /// Row-tile shard execution state: the shard plan plus the per-shard
 /// weight slices, computed once when sharding is enabled.
@@ -186,17 +156,18 @@ impl PreparedConv {
 
     /// Enables (or disables, with `None`/`Some(1)`) **row-tile sharding**:
     /// the grouped-conv front-end is split into up to `shards` independent
-    /// row-tile shards that execute on scoped threads and are rejoined by
-    /// exact scatter before the canonical fixed-order reduce — outputs are
-    /// **bit-identical** to the unsharded path for every shard count
-    /// (counts larger than the number of row tiles are clamped). Per-shard
-    /// weight slices are cut once here, so serving does no per-call weight
-    /// copying.
+    /// row-tile shards that execute as tasks on the shared
+    /// [`cq_tensor::exec`] pool and are rejoined by exact scatter before
+    /// the canonical fixed-order reduce — outputs are **bit-identical**
+    /// to the unsharded path for every shard count (counts larger than
+    /// the number of row tiles are clamped). Per-shard weight slices are
+    /// cut once here, so serving does no per-call weight copying.
     ///
-    /// Each shard's grouped convolution still uses the kernel's own
-    /// `threads_for`/`CQ_THREADS` policy internally, so shard threads
-    /// multiply with that pool — keep `shards × CQ_THREADS` within the
-    /// machine's core budget on a saturated host.
+    /// Shard tasks and the kernels they call all run on the one
+    /// `CQ_THREADS`-capped pool (nested scopes lend their caller to the
+    /// queue instead of spawning), so total parallelism never exceeds
+    /// `CQ_THREADS` no matter how many shards are configured — no
+    /// multiplicative thread budgeting needed.
     ///
     /// # Panics
     ///
@@ -236,25 +207,20 @@ impl PreparedConv {
         self.a_quant.forward_int(x, &GroupLayout::single())
     }
 
-    /// Serves one batch of raw activations `[B, Cin, H, W]`, allocating
-    /// fresh intermediates. Prefer [`PreparedConv::infer_with_scratch`] in
-    /// a serving loop.
-    pub fn infer(&self, x: &Tensor) -> Tensor {
-        self.infer_with_scratch(x, &mut ConvScratch::new())
-    }
-
-    /// Serves one batch of raw activations, reusing `scratch` for every
-    /// per-call intermediate.
+    /// Serves one batch of raw activations `[B, Cin, H, W]`. Per-call
+    /// intermediates come from the executing thread's
+    /// [`cq_tensor::arena`], so repeated calls on a warm worker allocate
+    /// only the output tensor.
     ///
     /// # Panics
     ///
     /// Panics if the input shape mismatches the plan.
-    pub fn infer_with_scratch(&self, x: &Tensor, scratch: &mut ConvScratch) -> Tensor {
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        let mut a_int = arena::take_tensor(x.shape());
         self.a_quant
-            .forward_int_into(x, &GroupLayout::single(), &mut scratch.a_int);
-        let a_int = std::mem::take(&mut scratch.a_int);
-        let y = self.run(&a_int, scratch);
-        scratch.a_int = a_int;
+            .forward_int_into(x, &GroupLayout::single(), &mut a_int);
+        let y = self.run(&a_int);
+        arena::put_tensor(a_int);
         y
     }
 
@@ -263,94 +229,141 @@ impl PreparedConv {
     /// # Panics
     ///
     /// Panics if the input shape mismatches the plan.
-    pub fn infer_quantized_with_scratch(
-        &self,
-        a_int: &Tensor,
-        scratch: &mut ConvScratch,
-    ) -> Tensor {
-        self.run(a_int, scratch)
+    pub fn infer_quantized(&self, a_int: &Tensor) -> Tensor {
+        self.run(a_int)
     }
 
     /// The shared serving body: pad channels, sweep the grouped conv
     /// (whole, or as independent row-tile shards rejoined by exact
     /// scatter), digitize and reduce.
-    fn run(&self, a_int: &Tensor, scratch: &mut ConvScratch) -> Tensor {
-        let ConvScratch {
-            a_pad,
-            psums,
-            col,
-            shards,
-            ..
-        } = scratch;
-        self.desc.plan.pad_channels_into(a_int, a_pad);
-        let tiles = self.desc.plan.num_row_tiles;
-        match (&self.shard, self.active_int_weights()) {
-            (None, Some(iw)) => self
-                .pipeline
-                .grouped_psums_int_into(a_pad, iw, 0..tiles, psums),
-            (None, None) => {
-                self.pipeline
-                    .grouped_psums_into(a_pad, &self.grouped_weights, psums, col)
-            }
-            (Some(se), _) => self.sharded_psums(se, a_pad, psums, shards),
-        }
-        if self.desc.psum_quant {
-            let dig = AdcDigitizer::new(self.adc, &self.desc.psum_scales, &self.desc.plan);
-            self.pipeline.reduce(psums, &dig)
-        } else {
-            self.pipeline.reduce(psums, &IdealDigitizer)
-        }
-    }
-
-    /// Row-tile sharded front-end: every shard computes its groups'
-    /// partial sums on its own scoped thread, then the shards are
-    /// scattered — exact copies, never re-summed — into the full per-split
-    /// tensors, so the subsequent reduce runs in the canonical unsharded
-    /// operation order.
-    fn sharded_psums(
-        &self,
-        se: &ShardExec,
-        a_pad: &Tensor,
-        psums: &mut Vec<Tensor>,
-        shards: &mut Vec<ShardScratch>,
-    ) {
+    fn run(&self, a_int: &Tensor) -> Tensor {
         let p = &self.desc.plan;
-        let int_weights = self.active_int_weights();
-        shards.resize_with(se.plan.num_shards(), ShardScratch::default);
-        std::thread::scope(|sc| {
-            for (tiles, (sw, ss)) in se.plan.iter().zip(se.weights.iter().zip(shards.iter_mut())) {
-                let pipeline = &self.pipeline;
-                sc.spawn(move || {
-                    pipeline.slice_padded_row_tiles(a_pad, tiles.clone(), &mut ss.a_shard);
-                    match int_weights {
-                        Some(iw) => {
-                            pipeline.grouped_psums_int_into(&ss.a_shard, iw, tiles, &mut ss.psums)
-                        }
-                        None => pipeline.grouped_psums_shard_into(
-                            &ss.a_shard,
-                            sw,
-                            tiles,
-                            &mut ss.psums,
-                            &mut ss.col,
-                        ),
-                    }
-                });
-            }
-        });
-        // Rejoin: size the full tensors, then scatter every shard block.
-        let (b, h, w) = (a_pad.dim(0), a_pad.dim(2), a_pad.dim(3));
+        let (b, h, w) = (a_int.dim(0), a_int.dim(2), a_int.dim(3));
+        let mut a_pad = arena::take_tensor(&[b, p.padded_in_ch, h, w]);
+        self.desc.plan.pad_channels_into(a_int, &mut a_pad);
         let oh = conv_out_dim(h, p.kh, self.desc.stride, self.desc.pad);
         let ow = conv_out_dim(w, p.kw, self.desc.stride, self.desc.pad);
         let shape = [b, p.num_row_tiles * p.out_ch, oh, ow];
-        psums.resize_with(p.num_splits, || Tensor::zeros(&shape));
-        for ps in psums.iter_mut() {
-            if ps.shape() != shape {
-                *ps = Tensor::zeros(&shape);
+        let mut psums: Vec<Tensor> = (0..p.num_splits)
+            .map(|_| arena::take_tensor(&shape))
+            .collect();
+        let tiles = p.num_row_tiles;
+        match (&self.shard, self.active_int_weights()) {
+            (None, Some(iw)) => {
+                self.pipeline
+                    .grouped_psums_int_into(&a_pad, iw, 0..tiles, &mut psums)
             }
+            (None, None) => {
+                let s = ConvShape::new(
+                    a_pad.shape(),
+                    &[tiles * p.out_ch, p.ch_per_array, p.kh, p.kw],
+                    self.desc.stride,
+                    self.desc.pad,
+                    tiles,
+                );
+                let mut col = arena::take_f32(s.col_rows() * s.col_cols());
+                self.pipeline.grouped_psums_into(
+                    &a_pad,
+                    &self.grouped_weights,
+                    &mut psums,
+                    &mut col,
+                );
+                arena::put_f32(col);
+            }
+            (Some(se), _) => self.sharded_psums(se, &a_pad, &mut psums),
         }
-        for (tiles, ss) in se.plan.iter().zip(shards.iter()) {
-            self.pipeline.scatter_psum_shard(&ss.psums, tiles, psums);
+        let y = if self.desc.psum_quant {
+            let dig = AdcDigitizer::new(self.adc, &self.desc.psum_scales, &self.desc.plan);
+            self.pipeline.reduce(&psums, &dig)
+        } else {
+            self.pipeline.reduce(&psums, &IdealDigitizer)
+        };
+        for ps in psums {
+            arena::put_tensor(ps);
         }
+        arena::put_tensor(a_pad);
+        y
+    }
+
+    /// Row-tile sharded front-end: every shard computes its groups'
+    /// partial sums as an executor task (shard scratch from the executing
+    /// worker's arena) and scatters them — exact copies, never re-summed —
+    /// straight into its pre-split blocks of the full per-split tensors,
+    /// so the subsequent reduce runs in the canonical unsharded operation
+    /// order.
+    fn sharded_psums(&self, se: &ShardExec, a_pad: &Tensor, psums: &mut [Tensor]) {
+        let p = &self.desc.plan;
+        let int_weights = self.active_int_weights();
+        let (b, h, w) = (a_pad.dim(0), a_pad.dim(2), a_pad.dim(3));
+        let oh = conv_out_dim(h, p.kh, self.desc.stride, self.desc.pad);
+        let ow = conv_out_dim(w, p.kw, self.desc.stride, self.desc.pad);
+        let inner = oh * ow;
+        let n_shards = se.plan.num_shards();
+        // Pre-split every full per-split tensor into its (batch element ×
+        // shard) destination blocks, so each shard task owns the disjoint
+        // canonical-layout slices it rejoins into.
+        let mut dst: Vec<Vec<Vec<&mut [f32]>>> = (0..n_shards)
+            .map(|_| (0..p.num_splits).map(|_| Vec::with_capacity(b)).collect())
+            .collect();
+        for (s, ps) in psums.iter_mut().enumerate() {
+            let mut rest: &mut [f32] = ps.data_mut();
+            for _bi in 0..b {
+                for (sh, tiles) in se.plan.iter().enumerate() {
+                    let blk = tiles.len() * p.out_ch * inner;
+                    let (head, tail) = rest.split_at_mut(blk);
+                    dst[sh][s].push(head);
+                    rest = tail;
+                }
+            }
+            debug_assert!(rest.is_empty(), "shard blocks must tile the psum tensor");
+        }
+        exec::scope(|sc| {
+            for ((tiles, sw), mut task_dst) in se.plan.iter().zip(se.weights.iter()).zip(dst) {
+                let pipeline = &self.pipeline;
+                let desc = &self.desc;
+                sc.spawn(move || {
+                    let len = tiles.len();
+                    let mut a_shard = arena::take_tensor(&[b, len * p.ch_per_array, h, w]);
+                    pipeline.slice_padded_row_tiles(a_pad, tiles.clone(), &mut a_shard);
+                    let mut sps: Vec<Tensor> = (0..p.num_splits)
+                        .map(|_| arena::take_tensor(&[b, len * p.out_ch, oh, ow]))
+                        .collect();
+                    match int_weights {
+                        Some(iw) => {
+                            pipeline.grouped_psums_int_into(&a_shard, iw, tiles.clone(), &mut sps)
+                        }
+                        None => {
+                            let s = ConvShape::new(
+                                a_shard.shape(),
+                                &[len * p.out_ch, p.ch_per_array, p.kh, p.kw],
+                                desc.stride,
+                                desc.pad,
+                                len,
+                            );
+                            let mut col = arena::take_f32(s.col_rows() * s.col_cols());
+                            pipeline.grouped_psums_shard_into(
+                                &a_shard,
+                                sw,
+                                tiles.clone(),
+                                &mut sps,
+                                &mut col,
+                            );
+                            arena::put_f32(col);
+                        }
+                    }
+                    let blk = len * p.out_ch * inner;
+                    for (sp, d) in sps.iter().zip(task_dst.iter_mut()) {
+                        for (bi, db) in d.iter_mut().enumerate() {
+                            db.copy_from_slice(&sp.data()[bi * blk..(bi + 1) * blk]);
+                        }
+                    }
+                    for t in sps {
+                        arena::put_tensor(t);
+                    }
+                    arena::put_tensor(a_shard);
+                });
+            }
+        });
     }
 }
 
@@ -407,22 +420,21 @@ mod tests {
         }
     }
 
-    /// Serving repeatedly through one scratch must be idempotent
-    /// bit-for-bit, including across interleaved input shapes.
+    /// Serving repeatedly on one thread (so every call reuses the same
+    /// warm arena buffers) must be idempotent bit-for-bit, including
+    /// across interleaved input shapes.
     #[test]
-    fn scratch_reuse_is_bit_stable() {
+    fn arena_reuse_is_bit_stable() {
         let prepared = PreparedConv::new(small_desc(true));
         let mut rng = CqRng::new(9);
         let a = rng.normal_tensor(&[1, 7, 6, 6], 1.0).map(|v| v.max(0.0));
         let b = rng.normal_tensor(&[3, 7, 4, 4], 1.0).map(|v| v.max(0.0));
-        let mut scratch = ConvScratch::new();
-        let ya1 = prepared.infer_with_scratch(&a, &mut scratch);
-        let yb1 = prepared.infer_with_scratch(&b, &mut scratch);
-        let ya2 = prepared.infer_with_scratch(&a, &mut scratch);
-        let yb2 = prepared.infer_with_scratch(&b, &mut scratch);
+        let ya1 = prepared.infer(&a);
+        let yb1 = prepared.infer(&b);
+        let ya2 = prepared.infer(&a);
+        let yb2 = prepared.infer(&b);
         assert_eq!(ya1, ya2);
         assert_eq!(yb1, yb2);
-        assert_eq!(ya1, prepared.infer(&a), "scratch path vs fresh path");
     }
 
     /// A slice transform (the variation hook) must change the output, and
@@ -441,8 +453,8 @@ mod tests {
 
     /// Row-tile sharded execution must be bit-identical to the unsharded
     /// path for every shard count — including counts above the number of
-    /// row tiles — with and without psum quantization, and across scratch
-    /// reuse.
+    /// row tiles — with and without psum quantization, and across warm
+    /// (arena-reusing) repeat calls.
     #[test]
     fn row_tile_sharding_is_bit_exact() {
         for psq in [false, true] {
@@ -457,11 +469,10 @@ mod tests {
                 let mut sharded = PreparedConv::new(desc.clone());
                 sharded.set_row_tile_shards(Some(n));
                 assert_eq!(sharded.row_tile_shards(), n.min(tiles));
-                let mut scratch = ConvScratch::new();
-                let got1 = sharded.infer_with_scratch(&x, &mut scratch);
-                let got2 = sharded.infer_with_scratch(&x, &mut scratch);
+                let got1 = sharded.infer(&x);
+                let got2 = sharded.infer(&x);
                 assert_eq!(got1, want, "shards={n} psq={psq}");
-                assert_eq!(got2, want, "dirty-scratch shards={n} psq={psq}");
+                assert_eq!(got2, want, "warm-arena shards={n} psq={psq}");
                 sharded.set_row_tile_shards(None);
                 assert_eq!(sharded.row_tile_shards(), 1);
                 assert_eq!(sharded.infer(&x), want, "disable diverged");
@@ -494,17 +505,8 @@ mod tests {
             let mut sharded = PreparedConv::new(desc);
             sharded.set_psum_kernel(PsumKernel::Int);
             sharded.set_row_tile_shards(Some(2));
-            let mut scratch = ConvScratch::new();
-            assert_eq!(
-                sharded.infer_with_scratch(&x, &mut scratch),
-                want,
-                "sharded int psq={psq}"
-            );
-            assert_eq!(
-                sharded.infer_with_scratch(&x, &mut scratch),
-                want,
-                "dirty-scratch sharded int psq={psq}"
-            );
+            assert_eq!(sharded.infer(&x), want, "sharded int psq={psq}");
+            assert_eq!(sharded.infer(&x), want, "warm-arena sharded int psq={psq}");
         }
     }
 

@@ -36,8 +36,8 @@
 use std::collections::HashMap;
 
 use cq_cim::{
-    dequant_mults, Adc, AdcDigitizer, CimConfig, ConvScratch, IdealDigitizer, PreparedConv,
-    PsumKernel, PsumPipeline, QuantizedConv, TilingPlan,
+    dequant_mults, Adc, AdcDigitizer, CimConfig, IdealDigitizer, PreparedConv, PsumKernel,
+    PsumPipeline, QuantizedConv, TilingPlan,
 };
 use cq_nn::{
     accumulate_bias_grad, add_channel_bias, kaiming_conv_init, Layer, Mode, Param, ParamKind,
@@ -68,35 +68,27 @@ pub struct VariationCfg {
     pub seed: u64,
 }
 
-/// Frozen serving state: the prepared executor plus a pool of reusable
-/// per-call scratch buffers. Present only between [`CimConv2d::freeze`]
-/// and the next invalidating mutation (training forward, stage toggle,
-/// scale reset, variation change, checkpoint restore).
+/// Frozen serving state: the prepared executor. Present only between
+/// [`CimConv2d::freeze`] and the next invalidating mutation (training
+/// forward, stage toggle, scale reset, variation change, checkpoint
+/// restore).
 ///
-/// The pool (rather than a single scratch) is what lets the **shared**
-/// eval path serve several batch-segment shards concurrently from one
-/// frozen layer: each in-flight call pops a scratch (or starts a fresh
-/// one) and returns it afterwards, so steady-state serving still
-/// allocates nothing while concurrent calls never contend on buffers.
+/// Per-call intermediates come from the executing worker's
+/// [`cq_tensor::arena`], so concurrent calls from the shared eval path
+/// never contend on buffers and steady-state serving allocates only
+/// outputs — without this struct carrying a scratch pool per layer.
 struct FrozenConv {
     prepared: PreparedConv,
-    scratch_pool: std::sync::Mutex<Vec<ConvScratch>>,
 }
 
 impl FrozenConv {
     fn new(prepared: PreparedConv) -> Self {
-        Self {
-            prepared,
-            scratch_pool: std::sync::Mutex::new(vec![ConvScratch::new()]),
-        }
+        Self { prepared }
     }
 
-    /// Serves one call through a pooled scratch (concurrency-safe).
+    /// Serves one call (concurrency-safe).
     fn infer(&self, x: &Tensor) -> Tensor {
-        let mut scratch = self.scratch_pool.lock().unwrap().pop().unwrap_or_default();
-        let y = self.prepared.infer_with_scratch(x, &mut scratch);
-        self.scratch_pool.lock().unwrap().push(scratch);
-        y
+        self.prepared.infer(x)
     }
 }
 

@@ -15,11 +15,20 @@
 //! then split back per request. Every layer in this workspace processes
 //! batch elements independently with a fixed f32 operation order, so
 //! coalescing is also bit-exact per sample.
+//!
+//! Sweeps are additionally **cross-layer pipelined** (see
+//! [`PreparedCimModel::set_pipeline_depth`]): a sweep's batch rows are
+//! split into contiguous waves that travel the network concurrently as
+//! tasks on the shared [`cq_tensor::exec`] pool, so one wave's late
+//! layers (digitize/shift-add/reduce) overlap the next wave's early
+//! layers (im2col/pack/GEMM). Because the waves are exactly the
+//! chunked-sweep decomposition, outputs stay bit-identical at every
+//! depth and pool width — pipelining reschedules work, never arithmetic.
 
 use crate::{for_each_cim_conv, load_cim_checkpoint};
 use cq_cim::PsumKernel;
 use cq_nn::{Layer, Mode};
-use cq_tensor::Tensor;
+use cq_tensor::{exec, Tensor};
 use std::ops::Range;
 use std::path::Path;
 
@@ -45,6 +54,9 @@ pub struct PreparedCimModel {
     /// Upper bound on coalesced rows per forward sweep (`None` = merge
     /// everything into one sweep).
     max_batch: Option<usize>,
+    /// Number of concurrent waves a multi-row sweep is split into (see
+    /// [`PreparedCimModel::set_pipeline_depth`]); `1` disables pipelining.
+    pipeline_depth: usize,
 }
 
 impl PreparedCimModel {
@@ -59,6 +71,7 @@ impl PreparedCimModel {
         Self {
             model,
             max_batch: None,
+            pipeline_depth: 2,
         }
     }
 
@@ -91,18 +104,47 @@ impl PreparedCimModel {
         self.max_batch
     }
 
-    /// Serves one already-batched tensor `[B, C, H, W]`.
+    /// Sets how many concurrent **waves** a multi-row sweep is split into
+    /// (default `2`, the two-stage software pipeline; `1` disables
+    /// pipelining). Waves are contiguous row chunks that travel the whole
+    /// network concurrently as shared-eval tasks on the
+    /// [`cq_tensor::exec`] pool, so one wave's reduce overlaps the next
+    /// wave's im2col/pack. Waves are exactly the chunked-sweep
+    /// decomposition every layer already guarantees bit-exact, so outputs
+    /// are bit-identical at every depth and pool width.
+    ///
+    /// # Panics
+    ///
+    /// Panics on depth `0`.
+    pub fn set_pipeline_depth(&mut self, depth: usize) {
+        assert!(depth >= 1, "pipeline depth must be positive");
+        self.pipeline_depth = depth;
+    }
+
+    /// The active wave count — the introspection counterpart of
+    /// [`set_pipeline_depth`](PreparedCimModel::set_pipeline_depth).
+    pub fn pipeline_depth(&self) -> usize {
+        self.pipeline_depth
+    }
+
+    /// Serves one already-batched tensor `[B, C, H, W]`, cross-layer
+    /// pipelined per [`set_pipeline_depth`](Self::set_pipeline_depth).
     pub fn infer(&mut self, images: &Tensor) -> Tensor {
-        self.model.forward(images, Mode::Eval)
+        if self.pipeline_depth > 1 && images.dim(0) > 1 {
+            self.infer_shared(images)
+        } else {
+            self.model.forward(images, Mode::Eval)
+        }
     }
 
     /// Serves one batch through **shared state** (`&self`): several
     /// threads may call this concurrently on one prepared model — the
     /// execution path behind batch-segment sharding, where serve workers
     /// cooperate on disjoint row segments of a single oversized sweep.
-    /// Bit-identical to [`PreparedCimModel::infer`] (pinned by tests);
-    /// note it does **not** apply `max_batch` chunking — callers shard
-    /// rows themselves.
+    /// Multi-row batches are cross-layer pipelined per
+    /// [`set_pipeline_depth`](Self::set_pipeline_depth). Bit-identical to
+    /// [`PreparedCimModel::infer`] (pinned by tests); note it does **not**
+    /// apply `max_batch` chunking — callers shard rows themselves.
     ///
     /// # Panics
     ///
@@ -110,9 +152,42 @@ impl PreparedCimModel {
     /// happen for models built by this workspace: every CIM conv is
     /// frozen at preparation and every other layer is stateless in eval).
     pub fn infer_shared(&self, images: &Tensor) -> Tensor {
-        self.model
-            .forward_shared(images)
-            .expect("prepared model has a layer without shared-eval support")
+        let b = images.dim(0);
+        let depth = self.pipeline_depth.min(b).max(1);
+        if depth <= 1 {
+            return self
+                .model
+                .forward_shared(images)
+                .expect("prepared model has a layer without shared-eval support");
+        }
+        // Contiguous waves; wave w+1's early layers overlap wave w's late
+        // layers on the pool. Rejoined by concatenation in row order, so
+        // this is exactly the (bit-exact) chunked-sweep decomposition.
+        let per = b.div_ceil(depth);
+        let mut outs: Vec<Option<Tensor>> = (0..depth).map(|_| None).collect();
+        exec::scope(|sc| {
+            for (wi, out) in outs.iter_mut().enumerate() {
+                let (lo, hi) = (wi * per, ((wi + 1) * per).min(b));
+                if lo >= hi {
+                    continue;
+                }
+                let model = self.model.as_ref();
+                sc.spawn(move || {
+                    let wave = images.slice_outer(lo, hi);
+                    *out = Some(
+                        model
+                            .forward_shared(&wave)
+                            .expect("prepared model has a layer without shared-eval support"),
+                    );
+                });
+            }
+        });
+        let parts: Vec<Tensor> = outs.into_iter().flatten().collect();
+        if parts.len() == 1 {
+            parts.into_iter().next().unwrap()
+        } else {
+            Tensor::concat_outer(&parts.iter().collect::<Vec<_>>())
+        }
     }
 
     /// Sets the row-tile shard count of every frozen CIM convolution (see
@@ -234,10 +309,10 @@ impl PreparedCimModel {
             .map(|((i, _), o)| o.as_ref().unwrap_or(&requests[*i]))
             .collect();
         let merged = if inputs.len() == 1 {
-            self.model.forward(inputs[0], Mode::Eval)
+            self.infer(inputs[0])
         } else {
             let coalesced = Tensor::concat_outer(&inputs);
-            self.model.forward(&coalesced, Mode::Eval)
+            self.infer(&coalesced)
         };
         let mut start = 0;
         for (i, r) in sweep.iter() {
@@ -337,6 +412,32 @@ mod tests {
         let want: Vec<Tensor> = pm.infer_batch(&reqs);
         pm.set_max_batch(Some(2));
         assert_eq!(pm.infer_batch(&reqs), want, "mixed stream diverged");
+    }
+
+    /// Cross-layer pipelined waves must be bit-identical to the plain
+    /// (depth-1) forward at every pipeline depth — including depths above
+    /// the batch — and every executor pool width.
+    #[test]
+    fn pipelined_waves_are_bit_exact_across_pool_widths() {
+        let mut net = warmed_net(13);
+        let x = CqRng::new(14).normal_tensor(&[5, 3, 12, 12], 1.0);
+        let want = net.forward(&x, Mode::Eval);
+        let mut pm = PreparedCimModel::new(Box::new(net));
+        for width in [1usize, 2, 4] {
+            let pool = cq_tensor::exec::ExecPool::with_threads(width);
+            pool.install(|| {
+                for depth in [1usize, 2, 3, 8] {
+                    pm.set_pipeline_depth(depth);
+                    assert_eq!(pm.pipeline_depth(), depth);
+                    assert_eq!(pm.infer(&x), want, "width={width} depth={depth}");
+                    assert_eq!(
+                        pm.infer_shared(&x),
+                        want,
+                        "shared width={width} depth={depth}"
+                    );
+                }
+            });
+        }
     }
 
     /// The shared (`&self`) path must equal the exclusive path bit-for-bit,

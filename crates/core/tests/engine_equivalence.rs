@@ -173,3 +173,45 @@ fn full_matrix_psq_granularity_tiling() {
         }
     }
 }
+
+/// The engine equivalence matrix must hold on executor pools of width 1,
+/// 2, and the machine parallelism, and a representative output must be
+/// bit-identical **across** those widths — pool size schedules work, it
+/// never changes the bits.
+#[test]
+fn engine_matrix_holds_at_every_pool_width() {
+    let ncpu = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut outputs: Vec<(usize, Tensor)> = Vec::new();
+    for width in [1, 2, ncpu] {
+        let pool = cq_tensor::exec::ExecPool::with_threads(width);
+        let y = pool.install(|| {
+            for psq in [false, true] {
+                check_equivalence(CimConfig::tiny(), 7, 5, 1, psq);
+            }
+            // Representative multi-row-tile forward for the cross-width pin
+            // (construction and input are deterministic per seed).
+            let mut rng = CqRng::new(99);
+            let mut layer = CimConv2d::new(
+                7,
+                5,
+                3,
+                1,
+                1,
+                CimConfig::tiny(),
+                Granularity::Column,
+                Granularity::Column,
+                true,
+                &mut rng,
+            );
+            let x = relu_input(100, &[2, 7, 6, 6]);
+            layer.forward(&x, Mode::Eval)
+        });
+        outputs.push((width, y));
+    }
+    let (w0, base) = &outputs[0];
+    for (w, y) in &outputs[1..] {
+        assert_eq!(y, base, "pool width {w} diverged from width {w0}");
+    }
+}

@@ -75,6 +75,89 @@ fn check_cell(w_gran: Granularity, p_gran: Granularity, dig: Digitizer, seed: u6
     assert_eq!(want, layer.forward(&x, Mode::Eval));
 }
 
+/// Builds one frozen matrix cell and serves it once (deterministic:
+/// layer init, scale warm-up, variation baking are all seeded).
+fn frozen_cell_output(
+    w_gran: Granularity,
+    p_gran: Granularity,
+    dig: Digitizer,
+    seed: u64,
+) -> Tensor {
+    let mut rng = CqRng::new(seed);
+    let mut layer = CimConv2d::new(
+        7,
+        5,
+        3,
+        1,
+        1,
+        CimConfig::tiny(),
+        w_gran,
+        p_gran,
+        true,
+        &mut rng,
+    );
+    match dig {
+        Digitizer::Ideal => layer.set_psum_quant_enabled(false),
+        Digitizer::Adc => {}
+        Digitizer::Variation(mode) => layer.set_variation(Some(VariationCfg {
+            mode,
+            sigma: 0.15,
+            seed: 77,
+        })),
+    }
+    let x = relu_input(seed + 1, &[2, 7, 6, 6]);
+    let _ = layer.forward(&x, Mode::Eval);
+    layer.freeze();
+    layer.forward(&x, Mode::Eval)
+}
+
+/// The pooled executor must be bit-identical to spawn-per-call scoped
+/// threads (the pre-pool execution shape) over the full scheme matrix,
+/// at pool widths 1, 2, and the machine's parallelism.
+#[test]
+fn pooled_executor_matches_spawn_per_call_across_widths() {
+    use cq_tensor::exec::{self, Backend, ExecPool};
+    let mut cells = Vec::new();
+    let mut seed = 900;
+    for w_gran in Granularity::ALL {
+        for p_gran in Granularity::ALL {
+            for dig in [
+                Digitizer::Ideal,
+                Digitizer::Adc,
+                Digitizer::Variation(VariationMode::PerWeight),
+                Digitizer::Variation(VariationMode::PerCell),
+            ] {
+                cells.push((w_gran, p_gran, dig, seed));
+                seed += 10;
+            }
+        }
+    }
+    // Reference: every scope spawns OS threads, as the kernels did before
+    // the persistent pool. (Backend choice never changes arithmetic, so
+    // flipping the global here is benign for concurrently running tests.)
+    exec::set_backend(Backend::SpawnPerCall);
+    let want: Vec<Tensor> = cells
+        .iter()
+        .map(|&(w, p, d, s)| frozen_cell_output(w, p, d, s))
+        .collect();
+    exec::set_backend(Backend::Pooled);
+    let ncpu = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    for width in [1, 2, ncpu] {
+        let pool = ExecPool::with_threads(width);
+        pool.install(|| {
+            for (&(w, p, d, s), want) in cells.iter().zip(&want) {
+                assert_eq!(
+                    &frozen_cell_output(w, p, d, s),
+                    want,
+                    "pool width {width} diverged at w={w} p={p} dig={d:?}"
+                );
+            }
+        });
+    }
+}
+
 /// psq {off,on} × weight granularity × psum granularity × digitizer.
 #[test]
 fn prepared_equivalence_full_matrix() {

@@ -122,6 +122,45 @@ fn sharded_equivalence_full_matrix() {
     }
 }
 
+/// A representative sharded cell must be bit-identical across executor
+/// pool widths 1, 2, and the machine parallelism — row-tile shard tasks
+/// and pipeline waves reschedule with the pool, the bits never move.
+#[test]
+fn sharded_cell_is_bit_exact_at_every_pool_width() {
+    let requests = {
+        let rng = &mut CqRng::new(31416);
+        [
+            rng.normal_tensor(&[1, 3, 12, 12], 1.0),
+            rng.normal_tensor(&[7, 3, 12, 12], 1.0),
+        ]
+    };
+    let ncpu = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut outputs: Vec<(usize, Vec<Tensor>)> = Vec::new();
+    for width in [1, 2, ncpu] {
+        let pool = cq_tensor::exec::ExecPool::with_threads(width);
+        let got = pool.install(|| {
+            // Rebuilt per width: construction is deterministic per seed.
+            let mut pm = prepared_model(true, Granularity::Column, Digitizer::Clean, 31415);
+            pm.set_max_batch(Some(3));
+            pm.set_row_tile_shards(Some(2));
+            let got = pm.infer_batch(&requests);
+            assert_eq!(
+                got,
+                pm.infer_batch(&requests),
+                "width {width}: not idempotent"
+            );
+            got
+        });
+        outputs.push((width, got));
+    }
+    let (w0, base) = &outputs[0];
+    for (w, got) in &outputs[1..] {
+        assert_eq!(got, base, "pool width {w} diverged from width {w0}");
+    }
+}
+
 /// Batch-segment sharding (the serve-layer decomposition): slicing an
 /// oversized request into row segments, running each through the shared
 /// path concurrently, and concatenating the slices must reproduce the

@@ -124,9 +124,11 @@ pub struct ServeConfig {
     /// grouped-conv front-end into this many independent row-tile shards
     /// (clamped per layer; see
     /// [`cq_core::PreparedCimModel::set_row_tile_shards`]). `None`
-    /// disables it. Bit-identical either way. Shard threads multiply
-    /// with the conv kernel's own `threads_for`/`CQ_THREADS` pool —
-    /// budget `workers × shards × CQ_THREADS` against the machine.
+    /// disables it. Bit-identical either way. Shard tasks and the conv
+    /// kernels both run on the shared `CQ_THREADS`-capped
+    /// `cq_tensor::exec` pool, so compute parallelism stays at
+    /// `CQ_THREADS` regardless of `workers × shards` — no multiplicative
+    /// budgeting needed.
     pub row_tile_shards: Option<usize>,
     /// How latency work is ordered against bulk work (strict priority, or
     /// strict-with-aging for a bulk starvation bound).

@@ -134,6 +134,82 @@ fn owned_session_start_shutdown_roundtrip() {
     }
 }
 
+/// Many concurrent clients hammering one owned session: every ticket
+/// resolves bit-exactly against the direct path, accounting is exact,
+/// and — once the executor pool is warm — serving spawns **zero** OS
+/// threads, no matter how many clients and sweeps run.
+#[test]
+fn many_client_hammer_is_bit_exact_with_zero_spawns() {
+    let mut reference = warmed_net(21);
+    let rng = &mut CqRng::new(22);
+    let (n_clients, per_client) = (8usize, 6usize);
+    let inputs: Vec<Vec<Tensor>> = (0..n_clients)
+        .map(|c| {
+            (0..per_client)
+                .map(|i| request(rng, 1 + (c + i) % 3))
+                .collect()
+        })
+        .collect();
+    let want: Vec<Vec<Tensor>> = inputs
+        .iter()
+        .map(|client| {
+            client
+                .iter()
+                .map(|x| reference.forward(x, Mode::Eval))
+                .collect()
+        })
+        .collect();
+
+    let mut registry = ModelRegistry::new();
+    registry.register("m", prepared(21));
+    let cfg = ServeConfig::builder()
+        .admission(Admission::Block)
+        .max_batch(Some(4))
+        .max_wait(Duration::from_millis(1))
+        .workers(3)
+        .build()
+        .unwrap();
+    let session = CimServer::new(registry, cfg).start();
+    // Warm-up: first sweep lazily creates the global executor pool (and
+    // any lazy serve state); everything after must spawn nothing.
+    let warm = session
+        .submit(Request::to("m").batch(inputs[0][0].clone()))
+        .unwrap();
+    assert_eq!(warm.wait().output, want[0][0]);
+    let spawned_before = cq_tensor::exec::os_threads_spawned();
+
+    let got: Vec<Vec<Tensor>> = std::thread::scope(|sc| {
+        let session = &session;
+        let handles: Vec<_> = inputs
+            .iter()
+            .map(|client| {
+                sc.spawn(move || {
+                    client
+                        .iter()
+                        .map(|x| {
+                            session
+                                .submit(Request::to("m").batch(x.clone()))
+                                .unwrap()
+                                .wait()
+                                .output
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(got, want, "hammered session diverged from direct path");
+    assert_eq!(
+        cq_tensor::exec::os_threads_spawned(),
+        spawned_before,
+        "steady-state serving must not spawn OS threads"
+    );
+    let (stats, _) = session.shutdown();
+    assert_eq!(stats.submitted as usize, n_clients * per_client + 1);
+    assert_eq!(stats.served as usize, n_clients * per_client + 1);
+}
+
 /// `set_config` is a hard error while unreachable mid-session (the
 /// sessions-only contract), rejects invalid configs loudly, and applies
 /// cleanly between sessions.

@@ -9,6 +9,10 @@
 //! with an obvious reference implementation next to it in the tests, because
 //! downstream crates rely on bit-exact integer arithmetic carried in `f32`
 //! (CIM partial sums are integers well below the 2²⁴ exactness limit).
+//! Parallel kernels run on the persistent [`exec`] executor (the one place
+//! in the workspace with an `unsafe` block — the scoped-task lifetime
+//! erasure, documented at the site), and per-call scratch comes from
+//! per-worker [`arena`] pools.
 //!
 //! ## Example
 //!
@@ -24,7 +28,9 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 mod conv;
+pub mod exec;
 mod igemm;
 mod matmul;
 mod pool;
@@ -32,6 +38,7 @@ mod rng;
 pub mod stats;
 mod tensor;
 
+pub use arena::ScratchArena;
 pub use conv::{
     conv2d, conv2d_backward_input, conv2d_backward_weight, conv2d_grouped, conv2d_grouped_into,
     conv2d_naive, conv_out_dim, ConvShape,

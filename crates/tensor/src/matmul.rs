@@ -9,9 +9,10 @@
 //!
 //! The inner kernels use an `i-k-j` loop order (axpy over contiguous output
 //! rows) or row-dot-products, both of which auto-vectorize well. Work is
-//! split across `std::thread::scope` threads once it is large enough to pay
-//! for the fork.
+//! split across the persistent [`crate::exec`] pool once it is large enough
+//! to pay for the submission overhead.
 
+use crate::exec;
 use crate::Tensor;
 
 /// Work threshold (multiply-accumulate count) below which threading is not
@@ -69,7 +70,7 @@ pub fn gemm_nn_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [
         return;
     }
     let rows_per = m.div_ceil(nt);
-    std::thread::scope(|s| {
+    exec::scope(|s| {
         for (chunk_i, c_chunk) in c.chunks_mut(rows_per * n).enumerate() {
             let a_off = chunk_i * rows_per * k;
             let rows = c_chunk.len() / n;
@@ -112,7 +113,7 @@ pub fn gemm_nt_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [
         return;
     }
     let rows_per = m.div_ceil(nt);
-    std::thread::scope(|s| {
+    exec::scope(|s| {
         for (chunk_i, c_chunk) in c.chunks_mut(rows_per * n).enumerate() {
             let a_off = chunk_i * rows_per * k;
             let rows = c_chunk.len() / n;
