@@ -1,18 +1,21 @@
-//! **Kernel micro-benchmark** — the f32 grouped-conv partial-sum
-//! front-end ([`PsumPipeline::grouped_psums_into`]) against the integer
-//! `i8`/`i32` panel kernels ([`PsumPipeline::grouped_psums_int_into`]),
-//! per shape, plus an end-to-end frozen-engine comparison (forced f32
-//! kernels vs `Auto` integer selection) on the serving model.
+//! **Kernel micro-benchmark** — every execution backend on the
+//! partial-sum front-end per shape: the scalar reference oracle
+//! (`ScalarRef`), the blocked f32 kernels (`SimdF32`, via
+//! [`PsumPipeline::grouped_psums_into`]), and the integer `i8`/`i32`
+//! panel kernels (`IntPanels`, via
+//! [`PsumPipeline::grouped_psums_int_into`]) — plus an end-to-end
+//! frozen-engine comparison (forced f32 chain vs the auto chain's
+//! integer selection) on the serving model.
 //!
-//! Every timed pair is first checked **bit-identical** — the integer
-//! path is a pure speed change, never a numerics change — and results
-//! are written to `BENCH_kernels.json` (consumed by CI as an artifact).
-//! The effective thread count (`CQ_THREADS` or machine parallelism) is
-//! recorded in the JSON.
+//! Every timed backend is first checked **bit-identical** against the
+//! others — backend choice is a pure speed change, never a numerics
+//! change — and results are written to `BENCH_kernels.json` (consumed by
+//! CI as an artifact). The effective thread count (`CQ_THREADS` or
+//! machine parallelism) is recorded in the JSON.
 
 use crate::{markdown_table, ExperimentSetting, Scale};
-use cq_cim::{CimConfig, PsumPipeline, TilingPlan};
-use cq_core::{build_cim_resnet, PreparedCimModel, PsumKernel, QuantScheme};
+use cq_cim::{CimConfig, IntPanels, PsumPipeline, ScalarRef, SimdF32, TilingPlan};
+use cq_core::{build_cim_resnet, BackendSet, PreparedCimModel, QuantScheme};
 use cq_nn::{Layer, Mode};
 use cq_tensor::{max_threads, CqRng, Tensor};
 use std::time::Instant;
@@ -34,6 +37,8 @@ pub struct KernelPoint {
     pub splits: usize,
     /// Row tiles (grouped-conv groups) of the plan.
     pub row_tiles: usize,
+    /// Best wall-clock of the scalar reference backend (ms).
+    pub scalar_ms: f64,
     /// Best wall-clock of the f32 kernels (ms).
     pub f32_ms: f64,
     /// Best wall-clock of the integer kernels (ms).
@@ -76,7 +81,9 @@ impl KernelsResult {
         for (i, p) in self.shapes.iter().enumerate() {
             s.push_str(&format!(
                 "    {{\"label\": \"{}\", \"in_ch\": {}, \"out_ch\": {}, \"hw\": {}, \
-                 \"batch\": {}, \"splits\": {}, \"row_tiles\": {}, \"f32_ms\": {:.3}, \
+                 \"batch\": {}, \"splits\": {}, \"row_tiles\": {}, \
+                 \"backends\": {{\"scalar_ms\": {:.3}, \"simd_f32_ms\": {:.3}, \
+                 \"int_panels_ms\": {:.3}}}, \"f32_ms\": {:.3}, \
                  \"int_ms\": {:.3}, \"speedup\": {:.3}}}{}\n",
                 p.label,
                 p.in_ch,
@@ -85,6 +92,9 @@ impl KernelsResult {
                 p.batch,
                 p.splits,
                 p.row_tiles,
+                p.scalar_ms,
+                p.f32_ms,
+                p.int_ms,
                 p.f32_ms,
                 p.int_ms,
                 p.speedup,
@@ -158,20 +168,39 @@ fn bench_shape(
         .uniform_tensor(&[batch, p.padded_in_ch, hw, hw], 0.0, 8.0)
         .map(f32::floor);
 
+    let mut ps_s: Vec<Tensor> = Vec::new();
     let mut ps_f: Vec<Tensor> = Vec::new();
     let mut col: Vec<f32> = Vec::new();
     let mut ps_i: Vec<Tensor> = Vec::new();
-    // Warm both paths once and pin bit-identity before timing.
-    pl.grouped_psums_into(&a_pad, &grouped, &mut ps_f, &mut col);
-    pl.grouped_psums_int_into(&a_pad, &int_weights, 0..p.num_row_tiles, &mut ps_i);
-    assert_eq!(ps_f, ps_i, "{label}: kernel families diverged");
+    // Warm every backend once and pin bit-identity before timing.
+    pl.grouped_psums_into(&ScalarRef, &a_pad, &grouped, &mut ps_s, &mut col);
+    pl.grouped_psums_into(&SimdF32, &a_pad, &grouped, &mut ps_f, &mut col);
+    pl.grouped_psums_int_into(
+        &IntPanels,
+        &a_pad,
+        &int_weights,
+        0..p.num_row_tiles,
+        &mut ps_i,
+    );
+    assert_eq!(ps_s, ps_f, "{label}: scalar and f32 backends diverged");
+    assert_eq!(ps_f, ps_i, "{label}: f32 and integer backends diverged");
 
+    let scalar_ms = measure_ms(reps, || {
+        pl.grouped_psums_into(&ScalarRef, &a_pad, &grouped, &mut ps_s, &mut col);
+        std::hint::black_box(&ps_s);
+    });
     let f32_ms = measure_ms(reps, || {
-        pl.grouped_psums_into(&a_pad, &grouped, &mut ps_f, &mut col);
+        pl.grouped_psums_into(&SimdF32, &a_pad, &grouped, &mut ps_f, &mut col);
         std::hint::black_box(&ps_f);
     });
     let int_ms = measure_ms(reps, || {
-        pl.grouped_psums_int_into(&a_pad, &int_weights, 0..p.num_row_tiles, &mut ps_i);
+        pl.grouped_psums_int_into(
+            &IntPanels,
+            &a_pad,
+            &int_weights,
+            0..p.num_row_tiles,
+            &mut ps_i,
+        );
         std::hint::black_box(&ps_i);
     });
     KernelPoint {
@@ -182,6 +211,7 @@ fn bench_shape(
         batch,
         splits: p.num_splits,
         row_tiles: p.num_row_tiles,
+        scalar_ms,
         f32_ms,
         int_ms,
         speedup: f32_ms / int_ms.max(1e-9),
@@ -256,8 +286,9 @@ pub fn measure(scale: Scale) -> KernelsResult {
         .collect();
     let mut pm = PreparedCimModel::new(Box::new(net));
     pm.set_max_batch(Some(8));
-    let engine_ips = |pm: &mut PreparedCimModel, kernel| {
-        pm.set_psum_kernel(kernel);
+    let engine_ips = |pm: &mut PreparedCimModel, backends: BackendSet| {
+        pm.set_backends(backends)
+            .expect("benchmark backend chain rejected");
         let mut best = f64::INFINITY;
         for _ in 0..engine_reps {
             let t0 = Instant::now();
@@ -266,8 +297,8 @@ pub fn measure(scale: Scale) -> KernelsResult {
         }
         engine_requests as f64 / best.max(1e-9)
     };
-    let engine_f32_ips = engine_ips(&mut pm, PsumKernel::F32);
-    let engine_int_ips = engine_ips(&mut pm, PsumKernel::Auto);
+    let engine_f32_ips = engine_ips(&mut pm, BackendSet::f32());
+    let engine_int_ips = engine_ips(&mut pm, BackendSet::auto());
     let (integer_convs, total_convs) = pm.count_integer_kernels();
 
     KernelsResult {
@@ -297,19 +328,28 @@ pub fn run(scale: Scale) -> String {
                 p.label.clone(),
                 format!("{}→{}·{}²·b{}", p.in_ch, p.out_ch, p.hw, p.batch),
                 format!("{}", p.row_tiles),
+                format!("{:.2}", p.scalar_ms),
                 format!("{:.2}", p.f32_ms),
                 format!("{:.2}", p.int_ms),
                 format!("{:.2}x", p.speedup),
             ]
         })
         .collect();
-    let mut out = String::from("## Psum kernels — integer i8/i32 panels vs f32 grouped conv\n\n");
+    let mut out = String::from("## Psum kernels — scalar vs f32 vs integer i8/i32 backends\n\n");
     out.push_str(&format!(
         "Bit-identical outputs checked before every timing; {} threads ({:?} scale).\n\n",
         r.threads, r.scale
     ));
     out.push_str(&markdown_table(
-        &["shape", "dims", "row tiles", "f32 ms", "int ms", "speedup"],
+        &[
+            "shape",
+            "dims",
+            "row tiles",
+            "scalar ms",
+            "f32 ms",
+            "int ms",
+            "speedup",
+        ],
         &rows,
     ));
     out.push_str(&format!(

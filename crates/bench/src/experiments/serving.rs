@@ -36,8 +36,8 @@ use crate::{markdown_table, ExperimentSetting, Scale};
 use cq_core::{build_cim_resnet, PreparedCimModel, QuantScheme};
 use cq_nn::{Layer, Mode};
 use cq_serve::{
-    Admission, CimServer, CompletionSet, ModelId, ModelRegistry, Request, SchedulerPolicy,
-    ServeConfig, ServeSession, ServeStats, Slo, StreamSpec, SubmitError,
+    Admission, BackendKind, BackendStats, CimServer, CompletionSet, ModelId, ModelRegistry,
+    Request, SchedulerPolicy, ServeConfig, ServeSession, ServeStats, Slo, StreamSpec, SubmitError,
 };
 use cq_tensor::{max_threads, CqRng, Tensor};
 use std::time::{Duration, Instant};
@@ -108,6 +108,9 @@ pub struct LoadPoint {
     /// Bulk sweeps served ahead of pending latency work by the aging
     /// policy.
     pub aged_promotions: u64,
+    /// Per-execution-backend counters (indexed by
+    /// [`BackendKind::index`]).
+    pub backends: [BackendStats; 3],
     /// Per-class breakdown (present for classes that saw traffic).
     pub classes: Vec<ClassPoint>,
 }
@@ -150,6 +153,22 @@ fn point_json(p: &LoadPoint) -> String {
         })
         .collect::<Vec<_>>()
         .join(", ");
+    let backends = BackendKind::ALL
+        .iter()
+        .map(|kind| {
+            let b = &p.backends[kind.index()];
+            format!(
+                "{{\"backend\": \"{}\", \"sweeps\": {}, \"shards\": {}, \
+                 \"images\": {}, \"active_layers\": {}}}",
+                kind.name(),
+                b.sweeps,
+                b.shards,
+                b.images,
+                b.active_layers
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
     format!(
         "    {{\"label\": \"{}\", \"admission\": \"{}\", \"offered_rps\": {:.3}, \
          \"latency_fraction\": {:.2}, \"scheduling\": \"{}\", \"sharded\": {}, \
@@ -160,6 +179,7 @@ fn point_json(p: &LoadPoint) -> String {
          \"mean_queue_depth\": {:.3}, \"peak_queue_depth\": {}, \
          \"sharded_sweeps\": {}, \"shards_executed\": {}, \
          \"aged_promotions\": {}, \
+         \"backends\": [{}], \
          \"classes\": [{}]}}",
         p.label,
         match p.admission {
@@ -184,6 +204,7 @@ fn point_json(p: &LoadPoint) -> String {
         p.sharded_sweeps,
         p.shards_executed,
         p.aged_promotions,
+        backends,
         classes
     )
 }
@@ -522,6 +543,7 @@ pub fn measure(scale: Scale) -> ServingResult {
             sharded_sweeps: stats.sharded_sweeps,
             shards_executed: stats.shards_executed,
             aged_promotions: stats.aged_promotions,
+            backends: stats.backends,
             classes,
         });
     }

@@ -15,7 +15,7 @@
 //! values — the cap is read once per process.
 
 use crate::{markdown_table, ExperimentSetting, Scale};
-use cq_core::{build_cim_resnet, PreparedCimModel, QuantScheme};
+use cq_core::{build_cim_resnet, BackendKind, PreparedCimModel, QuantScheme};
 use cq_nn::{Layer, Mode};
 use cq_tensor::{exec, max_threads, CqRng, Tensor};
 use std::time::Instant;
@@ -61,6 +61,9 @@ pub struct ThroughputResult {
     /// Executor A/B at the largest coalescing cap: spawn-per-call vs
     /// pooled vs pooled + pipelined.
     pub executor: Vec<ExecutorPoint>,
+    /// Active frozen convolutions per execution backend (indexed by
+    /// [`BackendKind::index`]) in the prepared engine's default chain.
+    pub backend_layers: [usize; 3],
     /// Best prepared rate / unprepared rate.
     pub speedup: f64,
 }
@@ -99,6 +102,20 @@ impl ThroughputResult {
                 e.images_per_sec,
                 e.spawned_threads,
                 if i + 1 < self.executor.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"backends\": [\n");
+        for (i, kind) in BackendKind::ALL.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"backend\": \"{}\", \"active_layers\": {}}}{}\n",
+                kind.name(),
+                self.backend_layers[kind.index()],
+                if i + 1 < BackendKind::ALL.len() {
+                    ","
+                } else {
+                    ""
+                }
             ));
         }
         s.push_str("  ],\n");
@@ -208,6 +225,7 @@ pub fn measure(scale: Scale) -> ThroughputResult {
         .iter()
         .map(|p| p.images_per_sec)
         .fold(0.0f64, f64::max);
+    let backend_layers = pm.backend_layer_counts();
     ThroughputResult {
         scale,
         threads: max_threads(),
@@ -216,6 +234,7 @@ pub fn measure(scale: Scale) -> ThroughputResult {
         unprepared_ips,
         prepared,
         executor,
+        backend_layers,
         speedup: best / unprepared_ips.max(1e-9),
     }
 }

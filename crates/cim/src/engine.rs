@@ -104,6 +104,23 @@ impl QuantizedConv {
         )
     }
 
+    /// Computes this description's backend capability profile — what a
+    /// `backend.supports(&desc.profile())` probe consumes. This runs the
+    /// real freeze-time front-end (grouping every bit-split slice and
+    /// attempting the integer repack), so it can never drift from the
+    /// kernels' own eligibility rules; it is correspondingly not cheap.
+    /// Frozen layers cache the result (`PreparedConv::profile`).
+    pub fn profile(&self) -> cq_tensor::ConvProfile {
+        let pipeline = self.pipeline();
+        let grouped = pipeline.split_grouped_weights(&self.w_int);
+        let act_max_abs = self.act_format.qn().abs().max(self.act_format.qp());
+        cq_tensor::ConvProfile {
+            integer_eligible: pipeline
+                .split_grouped_weights_int(&grouped, act_max_abs)
+                .is_some(),
+        }
+    }
+
     /// Weight scale of logical column (row tile `g`, output channel `oc`).
     #[inline]
     pub fn weight_scale(&self, g: usize, oc: usize) -> f32 {

@@ -16,14 +16,19 @@
 //! * [`PreparedConv`] — the frozen serving executor: weight quantization,
 //!   bit-splitting, and grouping done **once** at load, per-call
 //!   intermediates checked out of per-worker [`cq_tensor::arena`] pools.
-//! * [`PsumKernel`] — serving-side kernel selection: the psum front-end
-//!   dispatches to freeze-time repacked `i8×i8→i32` panel kernels
-//!   ([`IntGroupedWeights`]) when the frozen slices are integer-exact,
-//!   with bit-identical f32 fallback (e.g. under device variation).
+//! * [`BackendSet`] / [`ExecBackend`] (re-exported from `cq_tensor`) —
+//!   serving-side backend selection: the psum front-end resolves an
+//!   ordered fallback chain of execution backends (scalar reference,
+//!   blocked f32, freeze-time repacked `i8×i8→i32` panel kernels over
+//!   [`IntGroupedWeights`]) against each layer's capability profile, all
+//!   bit-identical where applicable. The legacy [`PsumKernel`] enum
+//!   survives as a thin compat constructor.
 //! * [`ShardPlan`] — contiguous partitioning of row tiles (or batch rows)
 //!   behind the bit-exact sharded execution paths: shards compute
 //!   independent partial-sum blocks that are scattered — never re-summed —
 //!   back into the canonical layout before the fixed-order accumulation.
+//!   Plans are optionally **placement-aware**: each shard can be pinned to
+//!   the backend that owns its weights.
 //! * [`dequant_mults`] / [`overhead_class`] — the dequantization-overhead
 //!   model behind the paper's Fig. 8.
 //! * [`apply_lognormal`] — the Eq. (5) memory-cell variation model.
@@ -58,12 +63,16 @@ mod variation;
 pub use adc::{Adc, AdcCostModel};
 pub use config::CimConfig;
 pub use cost::{layer_cost, LayerCost};
+pub use cq_tensor::{
+    backend_instance, BackendError, BackendKind, BackendSet, ConvProfile, ExecBackend, IntPanels,
+    PsumKernel, ScalarRef, SimdF32,
+};
 pub use crossbar::Crossbar;
 pub use engine::{CrossbarLayer, QuantizedConv};
 pub use overhead::{dequant_mults, overhead_class, stored_scale_factors, OverheadClass};
 pub use pipeline::{
     AdcDigitizer, ColumnDigitizer, IdealDigitizer, IntGroupedWeights, PerturbedDigitizer,
-    PsumKernel, PsumPipeline,
+    PsumPipeline,
 };
 pub use prepared::PreparedConv;
 pub use shard::ShardPlan;

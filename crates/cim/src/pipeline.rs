@@ -28,32 +28,10 @@
 use crate::{Adc, Crossbar, ShardPlan, TilingPlan};
 use cq_quant::BitSplit;
 use cq_tensor::{
-    accum_to_f32, arena, conv2d_grouped, conv2d_grouped_into, conv_out_dim, exec, igemm_into,
-    im2col_i8, threads_for, widen_i8_to_i32, ConvShape, CqRng, PackedPanels, Tensor,
+    arena, conv2d_grouped, conv_out_dim, exec, threads_for, ConvShape, CqRng, ExecBackend,
+    PackedPanels, Tensor,
 };
 use std::ops::Range;
-
-/// Which arithmetic the grouped partial-sum front-end uses (see
-/// [`PreparedConv::set_psum_kernel`](crate::PreparedConv::set_psum_kernel)).
-///
-/// Partial sums are exact integers well inside f32's 24-bit mantissa, so
-/// the integer kernels are **bit-identical** to the f32 grouped
-/// convolution whenever they are applicable — the choice is purely about
-/// speed. The digitizer is downstream of the psums, so both ideal and
-/// ADC digitizers run unchanged over either kernel's output.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum PsumKernel {
-    /// The integer `i8×i8→i32` panel kernels whenever the frozen weight
-    /// slices are integer-exact, the f32 kernels otherwise (e.g. when
-    /// device variation has perturbed slices off-integer).
-    #[default]
-    Auto,
-    /// Always the f32 grouped-convolution kernels (the oracle path).
-    F32,
-    /// Require the integer kernels; selection panics if the frozen
-    /// slices are not integer-eligible.
-    Int,
-}
 
 /// One bit-split's grouped weights repacked for the integer kernel: one
 /// [`PackedPanels`] per row-tile group, each packing that group's
@@ -376,14 +354,16 @@ impl PsumPipeline {
     /// Like [`PsumPipeline::grouped_psums`] but reusing caller-provided
     /// partial-sum tensors and an im2col scratch buffer — the prepared
     /// serving path calls this on every batch without reallocating the
-    /// (large) per-split intermediates. Bit-identical to
-    /// [`PsumPipeline::grouped_psums`].
+    /// (large) per-split intermediates — and running the sweep on an
+    /// execution `backend`'s f32 conv kernel. Bit-identical to
+    /// [`PsumPipeline::grouped_psums`] for every backend.
     ///
     /// # Panics
     ///
     /// Panics if `grouped_weights` disagrees with the plan.
     pub fn grouped_psums_into(
         &self,
+        backend: &dyn ExecBackend,
         a_pad: &Tensor,
         grouped_weights: &[Tensor],
         psums: &mut Vec<Tensor>,
@@ -397,7 +377,7 @@ impl PsumPipeline {
         let shape = self.psum_shape(a_pad, self.plan.num_row_tiles);
         psums.resize_with(self.plan.num_splits, || Tensor::zeros(&shape));
         for (wg, ps) in grouped_weights.iter().zip(psums.iter_mut()) {
-            conv2d_grouped_into(
+            backend.conv_grouped_into(
                 a_pad,
                 wg,
                 self.stride,
@@ -441,12 +421,17 @@ impl PsumPipeline {
     /// to the f32 path (psums are exact integers inside f32's mantissa;
     /// the `engine_equivalence` tests pin the whole matrix).
     ///
+    /// The integer chain (i8 im2col → widen → panel GEMM → i32→f32
+    /// epilogue) is routed through `backend`'s trait methods, so an
+    /// integer-capable backend owns every arithmetic step of its sweep.
+    ///
     /// # Panics
     ///
     /// Panics if `int_weights`, `tiles`, or the activation shape disagree
     /// with the plan.
     pub fn grouped_psums_int_into(
         &self,
+        backend: &dyn ExecBackend,
         a: &Tensor,
         int_weights: &[IntGroupedWeights],
         tiles: Range<usize>,
@@ -516,12 +501,23 @@ impl PsumPipeline {
                     let mut acc = arena::take_i32(p.out_ch * cc);
                     for item in group {
                         let img = &a.data()[item.bi * in_img..(item.bi + 1) * in_img];
-                        im2col_i8(img, item.g * p.ch_per_array, p.ch_per_array, &s, &mut col);
-                        widen_i8_to_i32(&col, &mut b32);
+                        backend.im2col_i8(
+                            img,
+                            item.g * p.ch_per_array,
+                            p.ch_per_array,
+                            &s,
+                            &mut col,
+                        );
+                        backend.widen_i8_to_i32(&col, &mut b32);
                         for (iw, chunk) in int_weights.iter().zip(item.chunks.iter_mut()) {
                             acc.fill(0);
-                            igemm_into(&iw.panels[tiles.start + item.g], &b32, cc, &mut acc);
-                            accum_to_f32(&acc, chunk);
+                            backend.igemm_into(
+                                &iw.panels[tiles.start + item.g],
+                                &b32,
+                                cc,
+                                &mut acc,
+                            );
+                            backend.accum_to_f32(&acc, chunk);
                         }
                     }
                     arena::put_i8(col);
@@ -592,11 +588,13 @@ impl PsumPipeline {
 
     /// Computes the integer partial sums of row tiles `tiles` **only**
     /// (`[B, len·OC, OH, OW]` per split, written into `psums`), from the
-    /// pre-sliced shard activations and weights. Group convolutions treat
-    /// groups independently, so every value is bit-identical to the
-    /// corresponding channel block of [`PsumPipeline::grouped_psums`].
+    /// pre-sliced shard activations and weights, on the f32 conv kernel of
+    /// the shard's assigned `backend`. Group convolutions treat groups
+    /// independently, so every value is bit-identical to the corresponding
+    /// channel block of [`PsumPipeline::grouped_psums`].
     pub fn grouped_psums_shard_into(
         &self,
+        backend: &dyn ExecBackend,
         a_shard: &Tensor,
         shard_weights: &[Tensor],
         tiles: Range<usize>,
@@ -611,7 +609,7 @@ impl PsumPipeline {
         let shape = self.psum_shape(a_shard, tiles.len());
         psums.resize_with(self.plan.num_splits, || Tensor::zeros(&shape));
         for (wg, ps) in shard_weights.iter().zip(psums.iter_mut()) {
-            conv2d_grouped_into(a_shard, wg, self.stride, self.pad, tiles.len(), ps, col);
+            backend.conv_grouped_into(a_shard, wg, self.stride, self.pad, tiles.len(), ps, col);
             debug_assert_eq!(ps.shape(), shape, "per-split shard psum shape vs plan");
         }
     }
@@ -937,6 +935,7 @@ mod tests {
     use super::*;
     use crate::CimConfig;
     use cq_quant::QuantFormat;
+    use cq_tensor::{IntPanels, SimdF32};
 
     fn small_pipeline() -> (PsumPipeline, Tensor) {
         let cfg = CimConfig::tiny(); // 32×32, 3 splits
@@ -1032,10 +1031,10 @@ mod tests {
         let want = pl.grouped_psums(&a_pad, &weights);
         let mut psums = Vec::new();
         let mut col = Vec::new();
-        pl.grouped_psums_into(&a_pad, &weights, &mut psums, &mut col);
+        pl.grouped_psums_into(&SimdF32, &a_pad, &weights, &mut psums, &mut col);
         assert_eq!(psums, want);
         // Reuse the (now dirty) scratch.
-        pl.grouped_psums_into(&a_pad, &weights, &mut psums, &mut col);
+        pl.grouped_psums_into(&SimdF32, &a_pad, &weights, &mut psums, &mut col);
         assert_eq!(psums, want, "dirty-scratch call diverged");
     }
 
@@ -1063,17 +1062,35 @@ mod tests {
             .expect("tiny config slices are integer-eligible");
         let want = pl.grouped_psums(&a_pad, &weights);
         let mut psums = Vec::new();
-        pl.grouped_psums_int_into(&a_pad, &int_weights, 0..p.num_row_tiles, &mut psums);
+        pl.grouped_psums_int_into(
+            &IntPanels,
+            &a_pad,
+            &int_weights,
+            0..p.num_row_tiles,
+            &mut psums,
+        );
         assert_eq!(psums, want);
         // Dirty reuse must stay identical.
-        pl.grouped_psums_int_into(&a_pad, &int_weights, 0..p.num_row_tiles, &mut psums);
+        pl.grouped_psums_int_into(
+            &IntPanels,
+            &a_pad,
+            &int_weights,
+            0..p.num_row_tiles,
+            &mut psums,
+        );
         assert_eq!(psums, want, "dirty-scratch call diverged");
         // Every single-tile shard must equal its channel block.
         let mut a_shard = Tensor::zeros(&[1]);
         for g in 0..p.num_row_tiles {
             pl.slice_padded_row_tiles(&a_pad, g..g + 1, &mut a_shard);
             let mut shard_psums = Vec::new();
-            pl.grouped_psums_int_into(&a_shard, &int_weights, g..g + 1, &mut shard_psums);
+            pl.grouped_psums_int_into(
+                &IntPanels,
+                &a_shard,
+                &int_weights,
+                g..g + 1,
+                &mut shard_psums,
+            );
             for (sp, full) in shard_psums.iter().zip(&want) {
                 let inner = 36;
                 let blk = p.out_ch * inner;

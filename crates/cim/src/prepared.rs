@@ -14,6 +14,14 @@
 //! zero device variation; the `engine_equivalence` and
 //! `prepared_inference` integration tests pin this.
 //!
+//! Sweeps execute on a pluggable [`ExecBackend`] resolved from a
+//! [`BackendSet`] fallback chain against the layer's [`ConvProfile`]
+//! (capability probe), and row-tile sharding is **placement-aware**: every
+//! shard of a [`ShardPlan`] can be pinned to its own backend, with
+//! freeze-time weight artifacts (grouped f32 slices, repacked integer
+//! panels) living with the backend that consumes them. All backends are
+//! bit-identical, so placement is purely about speed and locality.
+//!
 //! Per-call intermediates (the quantized and channel-padded activations,
 //! per-split partial sums, the im2col matrix, shard slices) are checked out
 //! of the executing thread's [`cq_tensor::arena`], so a steady-state
@@ -26,20 +34,35 @@ use crate::{
     Adc, AdcDigitizer, IdealDigitizer, PsumKernel, PsumPipeline, QuantizedConv, ShardPlan,
 };
 use cq_quant::{GroupLayout, LsqQuantizer};
-use cq_tensor::{arena, conv_out_dim, exec, ConvShape, Tensor};
+use cq_tensor::{
+    arena, backend_instance, conv_out_dim, exec, BackendError, BackendKind, BackendSet,
+    ConvProfile, ConvShape, ExecBackend, Tensor,
+};
+use std::sync::Arc;
 
-/// Row-tile shard execution state: the shard plan plus the per-shard
-/// weight slices, computed once when sharding is enabled.
+/// One shard's execution assignment: the backend it runs on plus the
+/// freeze-time weight artifacts that backend consumes (pre-sliced f32
+/// weights for f32-family backends; integer backends index the layer's
+/// full panel sets by tile range instead).
+#[derive(Debug, Clone)]
+struct ShardBackend {
+    backend: Arc<dyn ExecBackend>,
+    /// Per-split contiguous `[len·OC, c_pa, K, K]` slices; empty for
+    /// integer backends.
+    weights: Vec<Tensor>,
+}
+
+/// Row-tile shard execution state: the (possibly placement-aware) shard
+/// plan plus each shard's backend assignment and weight artifacts.
 #[derive(Debug, Clone)]
 struct ShardExec {
     plan: ShardPlan,
-    /// `weights[shard][split]` — contiguous `[len·OC, c_pa, K, K]` slices.
-    weights: Vec<Vec<Tensor>>,
+    shards: Vec<ShardBackend>,
 }
 
 /// A quantized convolution frozen for inference: weights quantized,
 /// bit-split, and grouped once; every serve drives the shared
-/// [`PsumPipeline`].
+/// [`PsumPipeline`] on the resolved execution backend.
 #[derive(Debug, Clone)]
 pub struct PreparedConv {
     desc: QuantizedConv,
@@ -52,12 +75,18 @@ pub struct PreparedConv {
     /// [`PsumPipeline::split_grouped_weights_int`]); `None` under device
     /// variation or out-of-range formats.
     int_weights: Option<Vec<IntGroupedWeights>>,
-    /// Which kernel family the serving body dispatches to.
-    kernel: PsumKernel,
+    /// What this layer offers to backend capability probes
+    /// ([`ExecBackend::supports`]).
+    profile: ConvProfile,
+    /// The configured fallback chain.
+    backends: BackendSet,
+    /// The resolved backend whole sweeps (and unplaced shards) run on.
+    active: Arc<dyn ExecBackend>,
     adc: Adc,
     a_quant: LsqQuantizer,
     /// Row-tile sharded front-end, when enabled (see
-    /// [`PreparedConv::set_row_tile_shards`]).
+    /// [`PreparedConv::set_row_tile_shards`] /
+    /// [`PreparedConv::set_shard_plan`]).
     shard: Option<ShardExec>,
 }
 
@@ -77,10 +106,14 @@ impl PreparedConv {
     /// bakes deterministic device variation into the prepared weights
     /// exactly where cells would be programmed.
     ///
+    /// The initial backend chain is [`BackendSet::standard`] (the
+    /// `CQ_BACKEND` process default).
+    ///
     /// # Panics
     ///
-    /// Panics if the description is inconsistent or a transformed slice
-    /// changes shape.
+    /// Panics if the description is inconsistent, a transformed slice
+    /// changes shape, or the process-default backend chain cannot execute
+    /// this layer (e.g. `CQ_BACKEND=int` with variation-perturbed slices).
     pub fn with_slice_transform(
         desc: QuantizedConv,
         mut transform: impl FnMut(usize, Tensor) -> Tensor,
@@ -100,11 +133,24 @@ impl PreparedConv {
         let adc = Adc::new(desc.psum_format);
         let act_max_abs = desc.act_format.qn().abs().max(desc.act_format.qp());
         let int_weights = pipeline.split_grouped_weights_int(&grouped_weights, act_max_abs);
+        let profile = ConvProfile {
+            integer_eligible: int_weights.is_some(),
+        };
+        let backends = BackendSet::standard();
+        let active = backends.resolve(&profile).unwrap_or_else(|| {
+            panic!(
+                "process-default backend chain (CQ_BACKEND) cannot execute this \
+                 layer: {}",
+                BackendError::NoBackend(backends.kinds())
+            )
+        });
         Self {
             pipeline,
             grouped_weights,
             int_weights,
-            kernel: PsumKernel::default(),
+            profile,
+            backends,
+            active,
             adc,
             a_quant,
             desc,
@@ -112,46 +158,75 @@ impl PreparedConv {
         }
     }
 
-    /// Selects the partial-sum kernel family (default
-    /// [`PsumKernel::Auto`]): with `Auto`, the `i8×i8→i32` panel kernels
-    /// run whenever the frozen slices were integer-eligible at
-    /// construction, falling back to the f32 grouped convolution
-    /// otherwise (e.g. when a slice transform baked in device variation).
-    /// The choice is pure speed — outputs are bit-identical either way —
-    /// and applies to both the whole-sweep and row-tile-sharded paths.
+    /// Selects the execution-backend fallback chain: the layer resolves
+    /// (and whole sweeps run on) the first chain entry whose capability
+    /// probe accepts this layer's [`ConvProfile`]. Any active row-tile
+    /// shard state is rebuilt with every shard on the newly resolved
+    /// backend (explicit placements are re-derived, see
+    /// [`PreparedConv::set_shard_plan`]). All backends are bit-identical,
+    /// so the choice is purely speed.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on [`PsumKernel::Int`] when the frozen slices are not
-    /// integer-eligible.
-    pub fn set_psum_kernel(&mut self, kernel: PsumKernel) {
-        assert!(
-            kernel != PsumKernel::Int || self.int_weights.is_some(),
-            "integer kernel required but frozen slices are not integer-eligible \
-             (device variation or out-of-range formats); use Auto for f32 fallback"
-        );
-        self.kernel = kernel;
-    }
-
-    /// The selected kernel family.
-    pub fn psum_kernel(&self) -> PsumKernel {
-        self.kernel
-    }
-
-    /// Whether serving currently dispatches to the integer kernels (the
-    /// selected family permits them and the frozen slices are
-    /// integer-eligible).
-    pub fn integer_kernel_active(&self) -> bool {
-        self.kernel != PsumKernel::F32 && self.int_weights.is_some()
-    }
-
-    /// The integer panel sets when the kernel selection dispatches to
-    /// them (see [`PreparedConv::integer_kernel_active`]).
-    fn active_int_weights(&self) -> Option<&[IntGroupedWeights]> {
-        if self.kernel == PsumKernel::F32 {
-            return None;
+    /// [`BackendError::NoBackend`] when no chain entry supports the layer
+    /// (e.g. [`BackendSet::int`] on slices that are not integer-eligible);
+    /// the previous configuration is left untouched.
+    pub fn set_backends(&mut self, backends: BackendSet) -> Result<(), BackendError> {
+        let active = backends
+            .resolve(&self.profile)
+            .ok_or_else(|| BackendError::NoBackend(backends.kinds()))?;
+        let old_active = std::mem::replace(&mut self.active, active);
+        let old_backends = std::mem::replace(&mut self.backends, backends);
+        if let Some(plan) = self.shard.as_ref().map(|se| se.plan.clone()) {
+            match self.build_shard_exec(&plan) {
+                Ok(se) => self.shard = Some(se),
+                Err(e) => {
+                    self.active = old_active;
+                    self.backends = old_backends;
+                    return Err(e);
+                }
+            }
         }
-        self.int_weights.as_deref()
+        Ok(())
+    }
+
+    /// The configured backend chain.
+    pub fn backends(&self) -> &BackendSet {
+        &self.backends
+    }
+
+    /// The resolved backend whole sweeps (and unplaced shards) run on.
+    pub fn active_backend(&self) -> BackendKind {
+        self.active.kind()
+    }
+
+    /// What this layer offers to backend capability probes.
+    pub fn profile(&self) -> ConvProfile {
+        self.profile
+    }
+
+    /// Compat selector for the legacy kernel-family enum: equivalent to
+    /// `set_backends(kernel.into())` (see [`BackendSet::from`]).
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError::NoBackend`] on [`PsumKernel::Int`] when the frozen
+    /// slices are not integer-eligible (device variation or out-of-range
+    /// formats); use `Auto` for f32 fallback.
+    pub fn set_psum_kernel(&mut self, kernel: PsumKernel) -> Result<(), BackendError> {
+        self.set_backends(kernel.into())
+    }
+
+    /// The legacy [`PsumKernel`] view of the configured chain (see
+    /// [`BackendSet::as_psum_kernel`]).
+    pub fn psum_kernel(&self) -> PsumKernel {
+        self.backends.as_psum_kernel()
+    }
+
+    /// Whether whole sweeps currently dispatch to the integer kernels
+    /// (the resolved backend runs the integer chain).
+    pub fn integer_kernel_active(&self) -> bool {
+        self.active.integer()
     }
 
     /// Enables (or disables, with `None`/`Some(1)`) **row-tile sharding**:
@@ -160,8 +235,10 @@ impl PreparedConv {
     /// [`cq_tensor::exec`] pool and are rejoined by exact scatter before
     /// the canonical fixed-order reduce — outputs are **bit-identical**
     /// to the unsharded path for every shard count (counts larger than
-    /// the number of row tiles are clamped). Per-shard weight slices are
-    /// cut once here, so serving does no per-call weight copying.
+    /// the number of row tiles are clamped). Every shard runs on the
+    /// layer's resolved backend; use [`PreparedConv::set_shard_plan`] for
+    /// per-shard placement. Per-shard weight slices are cut once here, so
+    /// serving does no per-call weight copying.
     ///
     /// Shard tasks and the kernels they call all run on the one
     /// `CQ_THREADS`-capped pool (nested scopes lend their caller to the
@@ -176,19 +253,92 @@ impl PreparedConv {
         assert!(shards != Some(0), "shard count must be positive");
         self.shard = shards.and_then(|n| {
             let plan = ShardPlan::split(self.desc.plan.num_row_tiles, n);
-            (!plan.is_trivial()).then(|| ShardExec {
-                weights: self
-                    .pipeline
-                    .shard_weight_sets(&self.grouped_weights, &plan),
-                plan,
+            (!plan.is_trivial()).then(|| {
+                self.build_shard_exec(&plan)
+                    .expect("unplaced shard plans always build on the resolved backend")
             })
         });
+    }
+
+    /// Installs an explicit (possibly **placement-aware**) row-tile shard
+    /// plan: each shard executes on its assigned [`BackendKind`] (unplaced
+    /// shards use the layer's resolved backend), and freeze-time weight
+    /// artifacts are cut per shard for the backend that consumes them.
+    /// Mixed-backend plans rejoin bit-exactly — every backend computes
+    /// identical partial sums, and the scatter rejoin preserves the
+    /// canonical reduce order.
+    ///
+    /// Unlike [`PreparedConv::set_row_tile_shards`], a trivial one-shard
+    /// plan is honored as given (useful for pinning a whole layer's sweep
+    /// onto one placed backend).
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError::Unsupported`] when a placed backend's capability
+    /// probe rejects this layer (placement is strict — there is no silent
+    /// fallback); the previous shard state is left untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan does not partition this layer's row tiles.
+    pub fn set_shard_plan(&mut self, plan: Option<ShardPlan>) -> Result<(), BackendError> {
+        match plan {
+            None => {
+                self.shard = None;
+                Ok(())
+            }
+            Some(plan) => {
+                self.shard = Some(self.build_shard_exec(&plan)?);
+                Ok(())
+            }
+        }
+    }
+
+    /// Resolves each shard's backend and cuts its weight artifacts.
+    fn build_shard_exec(&self, plan: &ShardPlan) -> Result<ShardExec, BackendError> {
+        assert_eq!(
+            plan.num_items(),
+            self.desc.plan.num_row_tiles,
+            "shard plan vs row tiles"
+        );
+        let shards = plan
+            .iter()
+            .enumerate()
+            .map(|(i, tiles)| {
+                let backend = match plan.backend_of(i) {
+                    Some(kind) => {
+                        let b = backend_instance(kind);
+                        if !b.supports(&self.profile) {
+                            return Err(BackendError::Unsupported(kind));
+                        }
+                        b
+                    }
+                    None => self.active.clone(),
+                };
+                let weights = if backend.integer() {
+                    Vec::new()
+                } else {
+                    self.pipeline
+                        .shard_grouped_weights(&self.grouped_weights, tiles)
+                };
+                Ok(ShardBackend { backend, weights })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ShardExec {
+            plan: plan.clone(),
+            shards,
+        })
     }
 
     /// The effective row-tile shard count (1 when sharding is off or the
     /// layer has a single row tile).
     pub fn row_tile_shards(&self) -> usize {
         self.shard.as_ref().map_or(1, |s| s.plan.num_shards())
+    }
+
+    /// The installed row-tile shard plan, if sharding is enabled.
+    pub fn shard_plan(&self) -> Option<&ShardPlan> {
+        self.shard.as_ref().map(|se| &se.plan)
     }
 
     /// The frozen layer description.
@@ -233,9 +383,9 @@ impl PreparedConv {
         self.run(a_int)
     }
 
-    /// The shared serving body: pad channels, sweep the grouped conv
-    /// (whole, or as independent row-tile shards rejoined by exact
-    /// scatter), digitize and reduce.
+    /// The shared serving body: pad channels, sweep the grouped conv on
+    /// the resolved backend (whole, or as independent per-backend row-tile
+    /// shards rejoined by exact scatter), digitize and reduce.
     fn run(&self, a_int: &Tensor) -> Tensor {
         let p = &self.desc.plan;
         let (b, h, w) = (a_int.dim(0), a_int.dim(2), a_int.dim(3));
@@ -248,12 +398,22 @@ impl PreparedConv {
             .map(|_| arena::take_tensor(&shape))
             .collect();
         let tiles = p.num_row_tiles;
-        match (&self.shard, self.active_int_weights()) {
-            (None, Some(iw)) => {
-                self.pipeline
-                    .grouped_psums_int_into(&a_pad, iw, 0..tiles, &mut psums)
+        match &self.shard {
+            Some(se) => self.sharded_psums(se, &a_pad, &mut psums),
+            None if self.active.integer() => {
+                let iw = self
+                    .int_weights
+                    .as_deref()
+                    .expect("integer backend resolved without panels");
+                self.pipeline.grouped_psums_int_into(
+                    self.active.as_ref(),
+                    &a_pad,
+                    iw,
+                    0..tiles,
+                    &mut psums,
+                );
             }
-            (None, None) => {
+            None => {
                 let s = ConvShape::new(
                     a_pad.shape(),
                     &[tiles * p.out_ch, p.ch_per_array, p.kh, p.kw],
@@ -263,6 +423,7 @@ impl PreparedConv {
                 );
                 let mut col = arena::take_f32(s.col_rows() * s.col_cols());
                 self.pipeline.grouped_psums_into(
+                    self.active.as_ref(),
                     &a_pad,
                     &self.grouped_weights,
                     &mut psums,
@@ -270,7 +431,6 @@ impl PreparedConv {
                 );
                 arena::put_f32(col);
             }
-            (Some(se), _) => self.sharded_psums(se, &a_pad, &mut psums),
         }
         let y = if self.desc.psum_quant {
             let dig = AdcDigitizer::new(self.adc, &self.desc.psum_scales, &self.desc.plan);
@@ -286,14 +446,14 @@ impl PreparedConv {
     }
 
     /// Row-tile sharded front-end: every shard computes its groups'
-    /// partial sums as an executor task (shard scratch from the executing
-    /// worker's arena) and scatters them — exact copies, never re-summed —
-    /// straight into its pre-split blocks of the full per-split tensors,
-    /// so the subsequent reduce runs in the canonical unsharded operation
-    /// order.
+    /// partial sums on its assigned backend as an executor task (shard
+    /// scratch from the executing worker's arena) and scatters them —
+    /// exact copies, never re-summed — straight into its pre-split blocks
+    /// of the full per-split tensors, so the subsequent reduce runs in the
+    /// canonical unsharded operation order regardless of placement.
     fn sharded_psums(&self, se: &ShardExec, a_pad: &Tensor, psums: &mut [Tensor]) {
         let p = &self.desc.plan;
-        let int_weights = self.active_int_weights();
+        let int_weights = self.int_weights.as_deref();
         let (b, h, w) = (a_pad.dim(0), a_pad.dim(2), a_pad.dim(3));
         let oh = conv_out_dim(h, p.kh, self.desc.stride, self.desc.pad);
         let ow = conv_out_dim(w, p.kw, self.desc.stride, self.desc.pad);
@@ -318,7 +478,7 @@ impl PreparedConv {
             debug_assert!(rest.is_empty(), "shard blocks must tile the psum tensor");
         }
         exec::scope(|sc| {
-            for ((tiles, sw), mut task_dst) in se.plan.iter().zip(se.weights.iter()).zip(dst) {
+            for ((tiles, sb), mut task_dst) in se.plan.iter().zip(se.shards.iter()).zip(dst) {
                 let pipeline = &self.pipeline;
                 let desc = &self.desc;
                 sc.spawn(move || {
@@ -328,28 +488,33 @@ impl PreparedConv {
                     let mut sps: Vec<Tensor> = (0..p.num_splits)
                         .map(|_| arena::take_tensor(&[b, len * p.out_ch, oh, ow]))
                         .collect();
-                    match int_weights {
-                        Some(iw) => {
-                            pipeline.grouped_psums_int_into(&a_shard, iw, tiles.clone(), &mut sps)
-                        }
-                        None => {
-                            let s = ConvShape::new(
-                                a_shard.shape(),
-                                &[len * p.out_ch, p.ch_per_array, p.kh, p.kw],
-                                desc.stride,
-                                desc.pad,
-                                len,
-                            );
-                            let mut col = arena::take_f32(s.col_rows() * s.col_cols());
-                            pipeline.grouped_psums_shard_into(
-                                &a_shard,
-                                sw,
-                                tiles.clone(),
-                                &mut sps,
-                                &mut col,
-                            );
-                            arena::put_f32(col);
-                        }
+                    if sb.backend.integer() {
+                        let iw = int_weights.expect("integer shard placed without panels");
+                        pipeline.grouped_psums_int_into(
+                            sb.backend.as_ref(),
+                            &a_shard,
+                            iw,
+                            tiles.clone(),
+                            &mut sps,
+                        );
+                    } else {
+                        let s = ConvShape::new(
+                            a_shard.shape(),
+                            &[len * p.out_ch, p.ch_per_array, p.kh, p.kw],
+                            desc.stride,
+                            desc.pad,
+                            len,
+                        );
+                        let mut col = arena::take_f32(s.col_rows() * s.col_cols());
+                        pipeline.grouped_psums_shard_into(
+                            sb.backend.as_ref(),
+                            &a_shard,
+                            &sb.weights,
+                            tiles.clone(),
+                            &mut sps,
+                            &mut col,
+                        );
+                        arena::put_f32(col);
                     }
                     let blk = len * p.out_ch * inner;
                     for (sp, d) in sps.iter().zip(task_dst.iter_mut()) {
@@ -480,33 +645,77 @@ mod tests {
         }
     }
 
-    /// Kernel selection is pure speed: the integer panel path must equal
-    /// the f32 path bit-for-bit, sharded or not, with and without psum
-    /// quantization.
+    /// Backend selection is pure speed: every backend (and the legacy
+    /// kernel-family selectors) must equal the forced-f32 path
+    /// bit-for-bit, sharded or not, with and without psum quantization.
     #[test]
     fn integer_kernel_is_bit_exact_and_selectable() {
         for psq in [false, true] {
             let desc = small_desc(psq);
             let mut f32_forced = PreparedConv::new(desc.clone());
-            f32_forced.set_psum_kernel(PsumKernel::F32);
+            f32_forced.set_psum_kernel(PsumKernel::F32).unwrap();
             assert!(!f32_forced.integer_kernel_active());
+            assert_eq!(f32_forced.active_backend(), BackendKind::SimdF32);
             let mut int_forced = PreparedConv::new(desc.clone());
-            int_forced.set_psum_kernel(PsumKernel::Int);
+            int_forced.set_psum_kernel(PsumKernel::Int).unwrap();
             assert!(int_forced.integer_kernel_active());
-            let auto = PreparedConv::new(desc.clone());
+            assert_eq!(int_forced.active_backend(), BackendKind::IntPanels);
+            let mut scalar = PreparedConv::new(desc.clone());
+            scalar.set_backends(BackendSet::scalar()).unwrap();
+            assert_eq!(scalar.active_backend(), BackendKind::Scalar);
+            let mut auto = PreparedConv::new(desc.clone());
+            auto.set_psum_kernel(PsumKernel::Auto).unwrap();
             assert_eq!(auto.psum_kernel(), PsumKernel::Auto);
             assert!(auto.integer_kernel_active(), "clean slices must qualify");
             let mut rng = CqRng::new(17);
             let x = rng.normal_tensor(&[2, 7, 6, 6], 1.0).map(|v| v.max(0.0));
             let want = f32_forced.infer(&x);
             assert_eq!(int_forced.infer(&x), want, "psq={psq}");
+            assert_eq!(scalar.infer(&x), want, "scalar psq={psq}");
             assert_eq!(auto.infer(&x), want, "psq={psq}");
             // Sharded integer path.
             let mut sharded = PreparedConv::new(desc);
-            sharded.set_psum_kernel(PsumKernel::Int);
+            sharded.set_psum_kernel(PsumKernel::Int).unwrap();
             sharded.set_row_tile_shards(Some(2));
             assert_eq!(sharded.infer(&x), want, "sharded int psq={psq}");
             assert_eq!(sharded.infer(&x), want, "warm-arena sharded int psq={psq}");
+        }
+    }
+
+    /// A placement-aware shard plan running every shard on a *different*
+    /// backend must rejoin bit-exactly, and re-selecting the chain must
+    /// rebuild shard state without drift.
+    #[test]
+    fn mixed_backend_placement_is_bit_exact() {
+        for psq in [false, true] {
+            let desc = small_desc(psq);
+            let tiles = desc.plan.num_row_tiles;
+            assert_eq!(tiles, 3, "tiny config must have 3 row tiles");
+            let baseline = PreparedConv::new(desc.clone());
+            let mut rng = CqRng::new(47);
+            let x = rng.normal_tensor(&[2, 7, 6, 6], 1.0).map(|v| v.max(0.0));
+            let want = baseline.infer(&x);
+            let mut placed = PreparedConv::new(desc.clone());
+            let plan = ShardPlan::split(tiles, 3).with_placement(vec![
+                BackendKind::IntPanels,
+                BackendKind::Scalar,
+                BackendKind::SimdF32,
+            ]);
+            placed.set_shard_plan(Some(plan.clone())).unwrap();
+            assert_eq!(placed.shard_plan(), Some(&plan));
+            assert_eq!(placed.infer(&x), want, "mixed placement psq={psq}");
+            assert_eq!(placed.infer(&x), want, "warm-arena mixed placement");
+            // Chain re-selection rebuilds shard artifacts consistently.
+            placed.set_backends(BackendSet::f32()).unwrap();
+            assert_eq!(placed.infer(&x), want, "rebuilt shards diverged");
+            // A trivial placed plan pins the whole sweep onto one backend.
+            let mut pinned = PreparedConv::new(desc);
+            pinned
+                .set_shard_plan(Some(
+                    ShardPlan::split(tiles, 1).with_placement(vec![BackendKind::Scalar]),
+                ))
+                .unwrap();
+            assert_eq!(pinned.infer(&x), want, "pinned scalar shard psq={psq}");
         }
     }
 
@@ -516,24 +725,41 @@ mod tests {
     #[test]
     fn variation_falls_back_to_f32() {
         let desc = small_desc(true);
-        let auto = PreparedConv::with_slice_transform(desc.clone(), |_, s| s.scale(1.37));
+        let mut auto = PreparedConv::with_slice_transform(desc.clone(), |_, s| s.scale(1.37));
+        auto.set_psum_kernel(PsumKernel::Auto).unwrap();
         assert!(
             !auto.integer_kernel_active(),
             "off-integer slices must disqualify the integer kernel"
         );
         let mut f32_forced = PreparedConv::with_slice_transform(desc, |_, s| s.scale(1.37));
-        f32_forced.set_psum_kernel(PsumKernel::F32);
+        f32_forced.set_psum_kernel(PsumKernel::F32).unwrap();
         let mut rng = CqRng::new(19);
         let x = rng.normal_tensor(&[1, 7, 6, 6], 1.0).map(|v| v.max(0.0));
         assert_eq!(auto.infer(&x), f32_forced.infer(&x));
     }
 
+    /// Forcing the integer backend on variation-perturbed slices is a
+    /// recoverable error (the PR 5 `ConfigError` convention), and an
+    /// integer placement on such a layer is rejected the same way —
+    /// leaving the previous configuration intact either way.
     #[test]
-    #[should_panic(expected = "not integer-eligible")]
-    fn forcing_int_kernel_under_variation_panics() {
+    fn ineligible_backend_selection_is_an_error() {
         let mut prepared =
             PreparedConv::with_slice_transform(small_desc(false), |_, s| s.scale(1.37));
-        prepared.set_psum_kernel(PsumKernel::Int);
+        prepared.set_psum_kernel(PsumKernel::F32).unwrap();
+        let err = prepared.set_psum_kernel(PsumKernel::Int).unwrap_err();
+        assert_eq!(err, BackendError::NoBackend(vec![BackendKind::IntPanels]));
+        assert!(err.to_string().contains("not integer-eligible"));
+        assert_eq!(prepared.psum_kernel(), PsumKernel::F32, "config clobbered");
+        let tiles = prepared.desc().plan.num_row_tiles;
+        let err = prepared
+            .set_shard_plan(Some(
+                ShardPlan::split(tiles, 2)
+                    .with_placement(vec![BackendKind::IntPanels, BackendKind::SimdF32]),
+            ))
+            .unwrap_err();
+        assert_eq!(err, BackendError::Unsupported(BackendKind::IntPanels));
+        assert_eq!(prepared.row_tile_shards(), 1, "shard state clobbered");
     }
 
     #[test]

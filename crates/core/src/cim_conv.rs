@@ -36,8 +36,8 @@
 use std::collections::HashMap;
 
 use cq_cim::{
-    dequant_mults, Adc, AdcDigitizer, CimConfig, IdealDigitizer, PreparedConv, PsumKernel,
-    PsumPipeline, QuantizedConv, TilingPlan,
+    dequant_mults, Adc, AdcDigitizer, BackendError, BackendKind, BackendSet, CimConfig,
+    IdealDigitizer, PreparedConv, PsumKernel, PsumPipeline, QuantizedConv, ShardPlan, TilingPlan,
 };
 use cq_nn::{
     accumulate_bias_grad, add_channel_bias, kaiming_conv_init, Layer, Mode, Param, ParamKind,
@@ -133,9 +133,9 @@ pub struct CimConv2d {
     /// Row-tile shard count applied to the frozen executor (kept across
     /// re-freezes). `None` = unsharded.
     row_tile_shards: Option<usize>,
-    /// Partial-sum kernel selection applied to the frozen executor (kept
+    /// Execution-backend chain applied to the frozen executor (kept
     /// across re-freezes).
-    psum_kernel: PsumKernel,
+    backends: BackendSet,
 }
 
 impl CimConv2d {
@@ -193,7 +193,7 @@ impl CimConv2d {
             p_layout_cache: HashMap::new(),
             frozen: None,
             row_tile_shards: None,
-            psum_kernel: PsumKernel::default(),
+            backends: BackendSet::standard(),
             cfg,
         }
     }
@@ -588,7 +588,9 @@ impl CimConv2d {
             Self::apply_variation_to_slice(var, weight_factors.as_ref(), s, slice)
         });
         prepared.set_row_tile_shards(self.row_tile_shards);
-        prepared.set_psum_kernel(self.psum_kernel);
+        prepared
+            .set_backends(self.backends.clone())
+            .expect("configured backend chain cannot execute the frozen layer");
         self.frozen = Some(FrozenConv::new(prepared));
     }
 
@@ -608,26 +610,69 @@ impl CimConv2d {
         }
     }
 
-    /// Selects the partial-sum kernel family of the frozen executor (see
-    /// [`PreparedConv::set_psum_kernel`] — bit-identical outputs either
-    /// way; the integer path is a pure speed change). Applies to the
-    /// current frozen state, if any, and persists across re-freezes. The
-    /// unfrozen per-call path always runs the f32 oracle kernels.
+    /// Installs an explicit — optionally placement-aware — row-tile shard
+    /// plan on the **current** frozen executor (see
+    /// [`PreparedConv::set_shard_plan`]); a no-op when unfrozen, and not
+    /// persisted across re-freezes (plans are geometry-specific; use
+    /// [`set_row_tile_shards`](CimConv2d::set_row_tile_shards) for a
+    /// persistent count).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on [`PsumKernel::Int`] when the layer is frozen and its
-    /// slices are not integer-eligible (e.g. under device variation).
-    pub fn set_psum_kernel(&mut self, kernel: PsumKernel) {
-        self.psum_kernel = kernel;
-        if let Some(fr) = &mut self.frozen {
-            fr.prepared.set_psum_kernel(kernel);
+    /// [`BackendError::Unsupported`] when a placed backend's capability
+    /// probe rejects this layer; the previous shard state is left
+    /// untouched.
+    pub fn set_shard_plan(&mut self, plan: Option<ShardPlan>) -> Result<(), BackendError> {
+        match &mut self.frozen {
+            Some(fr) => fr.prepared.set_shard_plan(plan),
+            None => Ok(()),
         }
     }
 
-    /// The selected partial-sum kernel family.
+    /// Selects the execution-backend chain of the frozen executor (see
+    /// [`PreparedConv::set_backends`] — bit-identical outputs on every
+    /// backend; the choice is a pure speed change). Applies to the
+    /// current frozen state, if any, and persists across re-freezes. The
+    /// unfrozen per-call path always runs the f32 kernels.
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError::NoBackend`] when the layer is frozen and no chain
+    /// entry supports it (e.g. [`BackendSet::int`] under device
+    /// variation); the previous configuration is left untouched.
+    pub fn set_backends(&mut self, backends: BackendSet) -> Result<(), BackendError> {
+        if let Some(fr) = &mut self.frozen {
+            fr.prepared.set_backends(backends.clone())?;
+        }
+        self.backends = backends;
+        Ok(())
+    }
+
+    /// The configured execution-backend chain.
+    pub fn backends(&self) -> &BackendSet {
+        &self.backends
+    }
+
+    /// Compat selector for the legacy kernel-family enum: equivalent to
+    /// `set_backends(kernel.into())`.
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError::NoBackend`] on [`PsumKernel::Int`] when the layer
+    /// is frozen and its slices are not integer-eligible (e.g. under
+    /// device variation).
+    pub fn set_psum_kernel(&mut self, kernel: PsumKernel) -> Result<(), BackendError> {
+        self.set_backends(kernel.into())
+    }
+
+    /// The legacy [`PsumKernel`] view of the configured chain.
     pub fn psum_kernel(&self) -> PsumKernel {
-        self.psum_kernel
+        self.backends.as_psum_kernel()
+    }
+
+    /// The backend the frozen executor resolved (`None` when unfrozen).
+    pub fn active_backend(&self) -> Option<BackendKind> {
+        self.frozen.as_ref().map(|fr| fr.prepared.active_backend())
     }
 
     /// Whether the frozen executor currently dispatches to the integer

@@ -51,7 +51,9 @@ pub use cim_linear::CimLinear;
 // The shared execution layer both conv paths drive (lives in `cq-cim`;
 // re-exported here because it is the framework's central abstraction).
 pub use cq_cim::{
-    AdcDigitizer, ColumnDigitizer, IdealDigitizer, PerturbedDigitizer, PsumKernel, PsumPipeline,
+    backend_instance, AdcDigitizer, BackendError, BackendKind, BackendSet, ColumnDigitizer,
+    ConvProfile, ExecBackend, IdealDigitizer, PerturbedDigitizer, PsumKernel, PsumPipeline,
+    ShardPlan,
 };
 pub use model::{
     accelerator_report, build_cim_resnet, count_cim_convs, for_each_cim_conv, load_cim_checkpoint,

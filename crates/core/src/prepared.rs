@@ -26,7 +26,7 @@
 //! depth and pool width — pipelining reschedules work, never arithmetic.
 
 use crate::{for_each_cim_conv, load_cim_checkpoint};
-use cq_cim::PsumKernel;
+use cq_cim::{BackendError, BackendKind, BackendSet, PsumKernel};
 use cq_nn::{Layer, Mode};
 use cq_tensor::{exec, Tensor};
 use std::ops::Range;
@@ -199,19 +199,41 @@ impl PreparedCimModel {
         for_each_cim_conv(self.model.as_mut(), |c| c.set_row_tile_shards(shards));
     }
 
-    /// Selects the partial-sum kernel family of every frozen CIM
-    /// convolution (see [`crate::CimConv2d::set_psum_kernel`]): with
-    /// [`PsumKernel::Auto`] each layer runs the repacked `i8×i8→i32`
-    /// panel kernels when its frozen slices are integer-exact and the f32
-    /// kernels otherwise. Outputs are bit-identical either way — the
-    /// choice is pure speed.
+    /// Selects the execution-backend chain of every frozen CIM
+    /// convolution (see [`crate::CimConv2d::set_backends`]): each layer
+    /// resolves the first chain entry whose capability probe accepts it
+    /// (e.g. [`BackendSet::auto`] runs the repacked `i8×i8→i32` panel
+    /// kernels when a layer's frozen slices are integer-exact and the f32
+    /// kernels otherwise). Outputs are bit-identical on every backend —
+    /// the choice is pure speed.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on [`PsumKernel::Int`] when any layer's slices are not
-    /// integer-eligible (e.g. under device variation).
-    pub fn set_psum_kernel(&mut self, kernel: PsumKernel) {
-        for_each_cim_conv(self.model.as_mut(), |c| c.set_psum_kernel(kernel));
+    /// The first [`BackendError`] encountered when a layer rejects the
+    /// chain (e.g. [`BackendSet::int`] with variation-perturbed slices).
+    /// Layers visited before the failing one keep the new chain; callers
+    /// treating the error as fatal should re-apply a known-good chain.
+    pub fn set_backends(&mut self, backends: BackendSet) -> Result<(), BackendError> {
+        let mut err = None;
+        for_each_cim_conv(self.model.as_mut(), |c| {
+            if let Err(e) = c.set_backends(backends.clone()) {
+                err.get_or_insert(e);
+            }
+        });
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Compat selector for the legacy kernel-family enum: equivalent to
+    /// `set_backends(kernel.into())`.
+    ///
+    /// # Errors
+    ///
+    /// See [`PreparedCimModel::set_backends`].
+    pub fn set_psum_kernel(&mut self, kernel: PsumKernel) -> Result<(), BackendError> {
+        self.set_backends(kernel.into())
     }
 
     /// Counts `(layers dispatching to the integer kernels, total CIM
@@ -224,6 +246,37 @@ impl PreparedCimModel {
             active += c.integer_kernel_active() as usize;
         });
         (active, total)
+    }
+
+    /// Counts frozen CIM layers by resolved backend, indexed by
+    /// [`BackendKind::index`] — the per-backend observability hook behind
+    /// `ServeStats` and the serving benches. Unfrozen layers count
+    /// nowhere.
+    pub fn backend_layer_counts(&mut self) -> [usize; 3] {
+        let mut counts = [0usize; 3];
+        for_each_cim_conv(self.model.as_mut(), |c| {
+            if let Some(kind) = c.active_backend() {
+                counts[kind.index()] += 1;
+            }
+        });
+        counts
+    }
+
+    /// The backend serving the most frozen layers (`None` when no layer
+    /// is frozen); ties prefer `IntPanels`, then `SimdF32`, then
+    /// `Scalar` — the order of increasing generality.
+    pub fn primary_backend(&mut self) -> Option<BackendKind> {
+        let counts = self.backend_layer_counts();
+        // `max_by_key` keeps the last of equally-maximal entries, so
+        // iterating in increasing preference implements the tie-break.
+        [
+            BackendKind::Scalar,
+            BackendKind::SimdF32,
+            BackendKind::IntPanels,
+        ]
+        .into_iter()
+        .filter(|k| counts[k.index()] > 0)
+        .max_by_key(|k| counts[k.index()])
     }
 
     /// Serves many independent requests (each `[b_i, C, H, W]`, typically

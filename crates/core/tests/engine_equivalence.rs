@@ -4,9 +4,10 @@
 //! **prepared serving path** (`cq_cim::PreparedConv` and the frozen
 //! `CimConv2d`) must produce **identical** outputs at zero device
 //! variation, for every granularity combination, with and without
-//! partial-sum quantization.
+//! partial-sum quantization — on **all three execution backends**
+//! (`ScalarRef` loop-nest oracle, `SimdF32`, `IntPanels`).
 
-use cq_cim::{CimConfig, CrossbarLayer, PreparedConv, PsumKernel};
+use cq_cim::{BackendKind, BackendSet, CimConfig, CrossbarLayer, PreparedConv, PsumKernel};
 use cq_core::CimConv2d;
 use cq_nn::{Layer, Mode};
 use cq_quant::Granularity;
@@ -52,41 +53,63 @@ fn check_equivalence(cfg: CimConfig, in_ch: usize, out_ch: usize, stride: usize,
 
             // Prepared path #1: a standalone PreparedConv built from the
             // exported description serves raw activations bit-identically —
-            // on **both** kernel families. Every cell of this matrix has
-            // integer-exact slices, so forcing the integer kernels must
-            // succeed and match the f32 oracle bit-for-bit.
+            // on **all three** backends. Every cell of this matrix has
+            // integer-exact slices, so forcing the integer backend must
+            // succeed and match the f32 oracle bit-for-bit, and both fast
+            // backends must match the scalar loop-nest reference.
             let mut prepared = PreparedConv::new(layer.to_quantized_conv());
-            prepared.set_psum_kernel(PsumKernel::F32);
+            prepared.set_psum_kernel(PsumKernel::F32).unwrap();
             assert!(!prepared.integer_kernel_active());
+            assert_eq!(prepared.active_backend(), BackendKind::SimdF32);
             let served_f32 = prepared.infer(&x);
             assert_eq!(
                 fast, served_f32,
                 "PreparedConv f32 mismatch at w={w_gran} p={p_gran} psq={psq}"
             );
-            prepared.set_psum_kernel(PsumKernel::Int);
+            prepared.set_psum_kernel(PsumKernel::Int).unwrap();
             assert!(prepared.integer_kernel_active());
+            assert_eq!(prepared.active_backend(), BackendKind::IntPanels);
             let served_int = prepared.infer(&x);
             assert_eq!(
                 fast, served_int,
                 "PreparedConv integer-kernel mismatch at w={w_gran} p={p_gran} psq={psq}"
             );
+            prepared.set_backends(BackendSet::scalar()).unwrap();
+            assert!(!prepared.integer_kernel_active());
+            assert_eq!(prepared.active_backend(), BackendKind::Scalar);
+            // The compat view reports the scalar chain as the f32 family.
+            assert_eq!(prepared.psum_kernel(), PsumKernel::F32);
+            let served_scalar = prepared.infer(&x);
+            assert_eq!(
+                fast, served_scalar,
+                "PreparedConv scalar-reference mismatch at w={w_gran} p={p_gran} psq={psq}"
+            );
 
             // Prepared path #2: the frozen layer itself (weight-side work
             // done once) must stay bit-identical across repeated serves,
-            // again on both kernel families.
-            for kernel in [PsumKernel::F32, PsumKernel::Int] {
-                layer.set_psum_kernel(kernel);
+            // again on every backend chain.
+            for (backends, kind) in [
+                (BackendSet::f32(), BackendKind::SimdF32),
+                (BackendSet::int(), BackendKind::IntPanels),
+                (BackendSet::scalar(), BackendKind::Scalar),
+            ] {
+                layer.set_backends(backends).unwrap();
                 layer.freeze();
                 assert_eq!(
+                    layer.active_backend(),
+                    Some(kind),
+                    "backend selection did not reach the frozen executor"
+                );
+                assert_eq!(
                     layer.integer_kernel_active(),
-                    kernel == PsumKernel::Int,
-                    "kernel selection did not reach the frozen executor"
+                    kind == BackendKind::IntPanels,
+                    "integer-kernel compat flag disagrees with the active backend"
                 );
                 let frozen1 = layer.forward(&x, Mode::Eval);
                 let frozen2 = layer.forward(&x, Mode::Eval);
                 assert_eq!(
                     fast, frozen1,
-                    "frozen forward mismatch at w={w_gran} p={p_gran} psq={psq} {kernel:?}"
+                    "frozen forward mismatch at w={w_gran} p={p_gran} psq={psq} {kind:?}"
                 );
                 assert_eq!(frozen1, frozen2, "frozen forward not idempotent");
             }

@@ -3,9 +3,12 @@
 //! must equal the unsharded `PreparedCimModel::infer_batch` bit-for-bit
 //! across psq mode × granularity × digitizer × shard counts {1, 2, 7} —
 //! including a shard count larger than any layer's number of row tiles —
-//! on **both partial-sum kernel families**: every cell runs the forced
-//! f32 oracle and the `Auto` selection (integer i8/i32 kernels where the
-//! frozen slices are integer-eligible, f32 fallback under variation).
+//! on **every backend chain**: every cell runs the forced f32 oracle,
+//! the `auto` chain (integer i8/i32 panels where the frozen slices are
+//! integer-eligible, simd-f32 fallback under variation), and the scalar
+//! loop-nest reference. A mixed-placement test additionally pins one
+//! sweep whose row-tile shards execute on *different* backends and must
+//! still rejoin bit-exactly.
 //!
 //! Digitizer regimes map onto the pipeline as in `prepared_inference`:
 //! with psum quantization off the ideal (infinite-precision) converter
@@ -14,8 +17,8 @@
 
 use cq_cim::CimConfig;
 use cq_core::{
-    build_cim_resnet, set_psum_quant_enabled, set_variation, PreparedCimModel, PsumKernel,
-    QuantScheme, VariationMode,
+    build_cim_resnet, for_each_cim_conv, set_psum_quant_enabled, set_variation, BackendKind,
+    BackendSet, PreparedCimModel, PsumKernel, QuantScheme, ShardPlan, VariationMode,
 };
 use cq_nn::{Layer, Mode, ResNetSpec};
 use cq_quant::Granularity;
@@ -61,50 +64,45 @@ fn check_cell(psq: bool, gran: Granularity, dig: Digitizer, seed: u64) {
     let mut pm = prepared_model(psq, gran, dig, seed);
     pm.set_max_batch(Some(3));
     // The forced f32 kernels are the oracle the whole cell pins against.
-    pm.set_psum_kernel(PsumKernel::F32);
+    pm.set_psum_kernel(PsumKernel::F32).unwrap();
     let want = pm.infer_batch(&requests);
 
-    for kernel in [PsumKernel::F32, PsumKernel::Auto] {
-        pm.set_psum_kernel(kernel);
-        // Under `Auto`, Clean cells run the integer kernels in every
-        // frozen conv (tiny-config slices are always integer-eligible)
-        // while Variation cells fall back to f32 in every conv (the
-        // baked per-cell perturbation pushes slices off-integer).
+    for backends in [BackendSet::f32(), BackendSet::auto(), BackendSet::scalar()] {
+        let ctx = format!("{ctx} chain={backends:?}");
+        pm.set_backends(backends.clone()).unwrap();
+        // Under the `auto` chain, Clean cells run the integer panels in
+        // every frozen conv (tiny-config slices are always
+        // integer-eligible) while Variation cells fall back to simd-f32
+        // in every conv (the baked per-cell perturbation pushes slices
+        // off-integer). The forced chains never activate the panels.
         let (active, total) = pm.count_integer_kernels();
         assert!(total > 0, "{ctx}: no frozen convs counted");
-        let expect_active = match (kernel, dig) {
+        let expect_active = match (backends.as_psum_kernel(), dig) {
             (PsumKernel::Auto, Digitizer::Clean) => total,
             _ => 0,
         };
         assert_eq!(
             active, expect_active,
-            "{ctx} {kernel:?}: integer-kernel activation count"
+            "{ctx}: integer-kernel activation count"
         );
         for shards in [1usize, 2, 7] {
             // 7 exceeds every layer's row-tile count in this tiny config —
             // the plan must clamp, never produce empty shards.
             pm.set_row_tile_shards(Some(shards));
             let got = pm.infer_batch(&requests);
-            assert_eq!(
-                got, want,
-                "{ctx} {kernel:?} shards={shards}: infer_batch diverged"
-            );
+            assert_eq!(got, want, "{ctx} shards={shards}: infer_batch diverged");
             // The shared (`&self`) path — what serve workers run on their
             // batch-segment shards — under the same row-tile sharding.
             for (req, w) in requests.iter().zip(&want) {
                 assert_eq!(
                     &pm.infer_shared(req),
                     w,
-                    "{ctx} {kernel:?} shards={shards}: infer_shared diverged"
+                    "{ctx} shards={shards}: infer_shared diverged"
                 );
             }
         }
         pm.set_row_tile_shards(None);
-        assert_eq!(
-            pm.infer_batch(&requests),
-            want,
-            "{ctx} {kernel:?}: disable diverged"
-        );
+        assert_eq!(pm.infer_batch(&requests), want, "{ctx}: disable diverged");
     }
 }
 
@@ -120,6 +118,73 @@ fn sharded_equivalence_full_matrix() {
             }
         }
     }
+}
+
+/// Placement-aware sharding: one sweep whose row-tile shards are pinned
+/// to *different* backends — integer panels, the scalar reference, and
+/// simd-f32 cycling across every frozen conv's shards — must rejoin
+/// bit-exactly with the unplaced f32 oracle, on both the batched and the
+/// shared (`&self`) path, and clearing the plans must restore baseline.
+#[test]
+fn mixed_backend_placed_shards_rejoin_bit_exactly() {
+    let requests = {
+        let rng = &mut CqRng::new(5152);
+        [
+            rng.normal_tensor(&[1, 3, 12, 12], 1.0),
+            rng.normal_tensor(&[7, 3, 12, 12], 1.0),
+        ]
+    };
+    let mut pm = prepared_model(true, Granularity::Column, Digitizer::Clean, 5151);
+    pm.set_max_batch(Some(3));
+    pm.set_psum_kernel(PsumKernel::F32).unwrap();
+    let want = pm.infer_batch(&requests);
+
+    pm.set_backends(BackendSet::auto()).unwrap();
+    let kinds = [
+        BackendKind::IntPanels,
+        BackendKind::Scalar,
+        BackendKind::SimdF32,
+    ];
+    let (mut placed, mut mixed) = (0usize, 0usize);
+    for_each_cim_conv(pm.model_mut(), |c| {
+        let tiles = c.plan().num_row_tiles;
+        let plan = ShardPlan::split(tiles, tiles.min(kinds.len()));
+        let placement: Vec<BackendKind> = (0..plan.num_shards())
+            .map(|i| kinds[i % kinds.len()])
+            .collect();
+        if placement.len() > 1 {
+            mixed += 1;
+        }
+        c.set_shard_plan(Some(plan.with_placement(placement)))
+            .unwrap();
+        placed += 1;
+    });
+    assert!(placed > 0, "no frozen convs to place");
+    assert!(
+        mixed > 0,
+        "no layer had more than one row-tile shard — mixed placement unexercised"
+    );
+    assert_eq!(
+        pm.infer_batch(&requests),
+        want,
+        "mixed-backend placed shards diverged on the batched path"
+    );
+    for (req, w) in requests.iter().zip(&want) {
+        assert_eq!(
+            &pm.infer_shared(req),
+            w,
+            "mixed-backend placed shards diverged on the shared path"
+        );
+    }
+
+    // Clearing the plans hands execution back to the chain's primary
+    // backend — same bits.
+    for_each_cim_conv(pm.model_mut(), |c| c.set_shard_plan(None).unwrap());
+    assert_eq!(
+        pm.infer_batch(&requests),
+        want,
+        "clearing placed plans diverged"
+    );
 }
 
 /// A representative sharded cell must be bit-identical across executor

@@ -3,7 +3,7 @@
 //! the strict Latency≻Bulk priority order is tempered by aging.
 
 use crate::queue::Admission;
-use cq_core::PsumKernel;
+use cq_core::{BackendError, BackendSet, PsumKernel};
 use std::fmt;
 use std::time::Duration;
 
@@ -53,7 +53,7 @@ impl SchedulerPolicy {
 
 /// Why a [`ServeConfig`] was rejected, by the builder or by
 /// [`CimServer::set_config`](crate::CimServer::set_config).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ConfigError {
     /// `workers` was zero.
     ZeroWorkers,
@@ -70,6 +70,10 @@ pub enum ConfigError {
     /// [`CimServer::set_config`](crate::CimServer::set_config) was called
     /// while a serving session still holds the server's shared state.
     SessionActive,
+    /// The configured [`ServeConfig::backends`] chain cannot execute some
+    /// resident model layer (see [`BackendError`]) — e.g. a bare
+    /// `BackendSet::int()` over a model frozen under device variation.
+    Backend(BackendError),
 }
 
 impl fmt::Display for ConfigError {
@@ -84,7 +88,14 @@ impl fmt::Display for ConfigError {
             ConfigError::SessionActive => {
                 "config can only change between sessions: a serving session is still active"
             }
+            ConfigError::Backend(err) => return write!(f, "backend chain rejected: {err}"),
         })
+    }
+}
+
+impl From<BackendError> for ConfigError {
+    fn from(err: BackendError) -> Self {
+        ConfigError::Backend(err)
     }
 }
 
@@ -133,14 +144,17 @@ pub struct ServeConfig {
     /// How latency work is ordered against bulk work (strict priority, or
     /// strict-with-aging for a bulk starvation bound).
     pub policy: SchedulerPolicy,
-    /// Partial-sum kernel family installed on every resident model (see
-    /// [`cq_core::PreparedCimModel::set_psum_kernel`]): with the default
-    /// [`PsumKernel::Auto`] each frozen convolution runs the repacked
+    /// Execution-backend fallback chain installed on every resident model
+    /// (see [`cq_core::PreparedCimModel::set_backends`]): each frozen
+    /// convolution resolves the first chain entry whose capability probe
+    /// accepts its profile. With the default [`BackendSet::standard`]
+    /// (`CQ_BACKEND`-overridable auto chain) a layer runs the repacked
     /// `i8×i8→i32` panel kernels when its slices are integer-exact and
-    /// the f32 kernels otherwise. Outputs are bit-identical either way —
-    /// the knob exists for A/B benchmarking and forcing (`Int` panics at
-    /// install time if any layer is ineligible, e.g. under variation).
-    pub psum_kernel: PsumKernel,
+    /// the blocked f32 kernels otherwise. Outputs are bit-identical
+    /// across backends — the knob exists for A/B benchmarking and
+    /// forcing; an unsatisfiable chain (e.g. bare `int` under variation)
+    /// is a [`ConfigError::Backend`] at install time.
+    pub backends: BackendSet,
 }
 
 impl Default for ServeConfig {
@@ -154,7 +168,7 @@ impl Default for ServeConfig {
             shard_rows: None,
             row_tile_shards: None,
             policy: SchedulerPolicy::Strict,
-            psum_kernel: PsumKernel::Auto,
+            backends: BackendSet::standard(),
         }
     }
 }
@@ -165,6 +179,12 @@ impl ServeConfig {
         ServeConfigBuilder {
             cfg: Self::default(),
         }
+    }
+
+    /// The legacy [`PsumKernel`] view of the configured backend chain
+    /// (see [`BackendSet::as_psum_kernel`]).
+    pub fn psum_kernel(&self) -> PsumKernel {
+        self.backends.as_psum_kernel()
     }
 
     /// Checks every invariant the server relies on.
@@ -246,10 +266,17 @@ impl ServeConfigBuilder {
         self
     }
 
-    /// Partial-sum kernel family for every resident model.
-    pub fn psum_kernel(mut self, kernel: PsumKernel) -> Self {
-        self.cfg.psum_kernel = kernel;
+    /// Execution-backend fallback chain for every resident model.
+    pub fn backends(mut self, backends: BackendSet) -> Self {
+        self.cfg.backends = backends;
         self
+    }
+
+    /// Legacy kernel-family shorthand: installs the [`BackendSet`] the
+    /// given [`PsumKernel`] maps to (`Auto` → auto chain, `F32` → f32
+    /// only, `Int` → int only).
+    pub fn psum_kernel(self, kernel: PsumKernel) -> Self {
+        self.backends(kernel.into())
     }
 
     /// Scheduling policy (strict priority or strict-with-aging).
@@ -283,16 +310,33 @@ mod tests {
         let cfg = ServeConfig::builder().build().unwrap();
         assert_eq!(cfg.queue_capacity, 64);
         assert_eq!(cfg.policy, SchedulerPolicy::Strict);
-        assert_eq!(cfg.psum_kernel, PsumKernel::Auto);
+        // The default chain follows the process default (CQ_BACKEND), so
+        // the assertion is env-robust rather than pinned to Auto.
+        assert_eq!(cfg.backends, BackendSet::standard());
     }
 
     #[test]
-    fn psum_kernel_setter_installs_the_choice() {
+    fn psum_kernel_setter_installs_the_mapped_chain() {
         let cfg = ServeConfig::builder()
             .psum_kernel(PsumKernel::F32)
             .build()
             .unwrap();
-        assert_eq!(cfg.psum_kernel, PsumKernel::F32);
+        assert_eq!(cfg.backends, BackendSet::f32());
+        assert_eq!(cfg.psum_kernel(), PsumKernel::F32);
+    }
+
+    #[test]
+    fn backends_setter_installs_the_chain() {
+        let cfg = ServeConfig::builder()
+            .backends(BackendSet::scalar())
+            .build()
+            .unwrap();
+        assert_eq!(cfg.backends, BackendSet::scalar());
+        assert_eq!(
+            cfg.psum_kernel(),
+            PsumKernel::F32,
+            "non-integer chains report the F32 compat view"
+        );
     }
 
     #[test]

@@ -147,8 +147,10 @@ pub use completion::{CompletionSet, TicketKey};
 pub use config::{ConfigError, SchedulerPolicy, ServeConfig, ServeConfigBuilder};
 // Re-exported so `ServeSession::shutdown`'s return type is nameable from
 // this crate alone.
-pub use cq_core::{PreparedCimModel, PsumKernel};
-pub use queue::{Admission, ClassStats, Completed, ServeStats, Slo, SubmitError, Ticket};
+pub use cq_core::{BackendError, BackendKind, BackendSet, PreparedCimModel, PsumKernel};
+pub use queue::{
+    Admission, BackendStats, ClassStats, Completed, ServeStats, Slo, SubmitError, Ticket,
+};
 pub use registry::{ModelId, ModelRegistry};
 pub use request::Request;
 pub use server::CimServer;

@@ -35,6 +35,7 @@
 
 use crate::completion::ReadyList;
 use crate::config::SchedulerPolicy;
+use cq_core::BackendKind;
 use cq_tensor::Tensor;
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
@@ -486,6 +487,25 @@ pub struct ClassStats {
     pub missed: u64,
 }
 
+/// Per-execution-backend serving counters (one slot per
+/// [`BackendKind`], indexed by [`BackendKind::index`] in
+/// [`ServeStats::backends`]). Sweeps and shards are attributed to the
+/// target model's **primary** backend — the backend most of its active
+/// frozen convolutions resolved to — while `active_layers` counts
+/// layers exactly, so mixed-placement models show up in both columns.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BackendStats {
+    /// Coalesced sweeps served by models primarily on this backend.
+    pub sweeps: u64,
+    /// Batch-segment shard tasks executed against such models.
+    pub shards: u64,
+    /// Images (batch rows) swept through such models.
+    pub images: u64,
+    /// Active frozen convolutions resolved onto this backend across the
+    /// resident model set (a session-start snapshot, not a counter).
+    pub active_layers: usize,
+}
+
 /// Aggregate serving counters, snapshotted live via
 /// [`ServeSession::stats`](crate::ServeSession::stats) and finally by
 /// [`ServeSession::shutdown`](crate::ServeSession::shutdown).
@@ -522,6 +542,9 @@ pub struct ServeStats {
     /// head crossed the [`SchedulerPolicy::Aging`](crate::SchedulerPolicy)
     /// threshold — the starvation-bound mechanism firing.
     pub aged_promotions: u64,
+    /// Per-backend counters, indexed by [`BackendKind::index`]
+    /// (`scalar`, `simd-f32`, `int-panels`).
+    pub backends: [BackendStats; 3],
 }
 
 impl ServeStats {
@@ -559,6 +582,7 @@ struct QueueState {
     sharded_sweeps: u64,
     shards_executed: u64,
     aged_promotions: u64,
+    backend_stats: [BackendStats; 3],
 }
 
 impl QueueState {
@@ -674,6 +698,28 @@ impl RequestQueue {
         cs.missed += u64::from(missed);
     }
 
+    /// Attributes one executed sweep of `images` rows to `kind`.
+    pub(crate) fn note_backend_sweep(&self, kind: BackendKind, images: u64) {
+        let mut st = self.state.lock().unwrap();
+        let bs = &mut st.backend_stats[kind.index()];
+        bs.sweeps += 1;
+        bs.images += images;
+    }
+
+    /// Attributes one executed shard task to `kind`.
+    pub(crate) fn note_backend_shard(&self, kind: BackendKind) {
+        self.state.lock().unwrap().backend_stats[kind.index()].shards += 1;
+    }
+
+    /// Installs the session-start snapshot of active frozen-layer counts
+    /// per backend (see [`BackendStats::active_layers`]).
+    pub(crate) fn set_backend_layers(&self, layers: [usize; 3]) {
+        let mut st = self.state.lock().unwrap();
+        for (bs, n) in st.backend_stats.iter_mut().zip(layers) {
+            bs.active_layers = n;
+        }
+    }
+
     /// Marks the queue closed: workers drain what is left and exit, and
     /// further submissions fail with [`SubmitError::Closed`].
     pub(crate) fn close(&self) {
@@ -703,6 +749,7 @@ impl RequestQueue {
             sharded_sweeps: st.sharded_sweeps,
             shards_executed: st.shards_executed,
             aged_promotions: st.aged_promotions,
+            backends: st.backend_stats,
         }
     }
 }

@@ -11,7 +11,7 @@
 //! Outputs are bit-identical to calling the standalone `PreparedCimModel`
 //! directly — residency changes scheduling only.
 
-use cq_core::PreparedCimModel;
+use cq_core::{BackendError, BackendKind, BackendSet, PreparedCimModel};
 use cq_tensor::Tensor;
 use std::sync::RwLock;
 
@@ -113,13 +113,66 @@ impl ModelRegistry {
         }
     }
 
-    /// Selects the partial-sum kernel family of every resident model's
-    /// frozen convolutions (see [`PreparedCimModel::set_psum_kernel`] —
-    /// bit-identical outputs either way).
-    pub fn set_psum_kernel(&mut self, kernel: cq_core::PsumKernel) {
+    /// Installs the execution-backend fallback chain on every resident
+    /// model's frozen convolutions (see
+    /// [`PreparedCimModel::set_backends`] — bit-identical outputs
+    /// across backends).
+    ///
+    /// # Errors
+    ///
+    /// The first [`BackendError`] hit; every model is still attempted, so
+    /// on error some models may carry the new chain and others their old
+    /// one — re-install a satisfiable chain to restore uniformity.
+    pub fn set_backends(&mut self, backends: &BackendSet) -> Result<(), BackendError> {
+        let mut first_err = None;
         for (_, m) in &mut self.models {
-            m.get_mut().unwrap().set_psum_kernel(kernel);
+            if let Err(e) = m.get_mut().unwrap().set_backends(backends.clone()) {
+                first_err.get_or_insert(e);
+            }
         }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Legacy kernel-family shorthand for
+    /// [`set_backends`](ModelRegistry::set_backends).
+    ///
+    /// # Errors
+    ///
+    /// See [`set_backends`](ModelRegistry::set_backends).
+    pub fn set_psum_kernel(&mut self, kernel: cq_core::PsumKernel) -> Result<(), BackendError> {
+        self.set_backends(&kernel.into())
+    }
+
+    /// The primary (most-common active) backend of each resident model,
+    /// in registration order — [`BackendKind::SimdF32`] for a model with
+    /// no frozen CIM convolutions (its layers run the plain f32 ops).
+    /// Used to attribute per-backend serving counters.
+    pub fn primary_backends(&mut self) -> Vec<BackendKind> {
+        self.models
+            .iter_mut()
+            .map(|(_, m)| {
+                m.get_mut()
+                    .unwrap()
+                    .primary_backend()
+                    .unwrap_or(BackendKind::SimdF32)
+            })
+            .collect()
+    }
+
+    /// Active frozen-convolution counts per [`BackendKind::index`],
+    /// summed over every resident model.
+    pub fn backend_layer_counts(&mut self) -> [usize; 3] {
+        let mut totals = [0usize; 3];
+        for (_, m) in &mut self.models {
+            let counts = m.get_mut().unwrap().backend_layer_counts();
+            for (t, c) in totals.iter_mut().zip(counts) {
+                *t += c;
+            }
+        }
+        totals
     }
 
     /// Dissolves the registry, returning the resident models.

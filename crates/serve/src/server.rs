@@ -33,22 +33,32 @@ pub struct CimServer {
 impl CimServer {
     /// Creates a server over `registry`; every resident model's sweep cap
     /// is set to `cfg.max_batch`, its row-tile shard count to
-    /// `cfg.row_tile_shards`, and its partial-sum kernel family to
-    /// `cfg.psum_kernel`.
+    /// `cfg.row_tile_shards`, and its execution-backend chain to
+    /// `cfg.backends`.
     ///
     /// # Panics
     ///
-    /// Panics if the registry is empty or `cfg` is invalid (see
+    /// Panics if the registry is empty, `cfg` is invalid (see
     /// [`ServeConfig::validate`] — [`ServeConfig::builder`] surfaces the
-    /// same violations as recoverable [`ConfigError`]s instead).
+    /// same violations as recoverable [`ConfigError`]s instead), or the
+    /// backend chain cannot execute some resident layer (e.g. a bare
+    /// `int` chain over a model frozen under variation).
     pub fn new(mut registry: ModelRegistry, cfg: ServeConfig) -> Self {
         assert!(!registry.is_empty(), "registry has no models");
         cfg.validate().expect("invalid serve config");
         registry.set_max_batch(cfg.max_batch);
         registry.set_row_tile_shards(cfg.row_tile_shards);
-        registry.set_psum_kernel(cfg.psum_kernel);
+        registry
+            .set_backends(&cfg.backends)
+            .expect("configured backend chain cannot execute a resident model");
+        let model_backends = registry.primary_backends();
+        let backend_layers = registry.backend_layer_counts();
         Self {
-            core: Arc::new(ServerCore { registry }),
+            core: Arc::new(ServerCore {
+                registry,
+                model_backends,
+                backend_layers,
+            }),
             cfg,
         }
     }
@@ -78,13 +88,18 @@ impl CimServer {
     /// # Errors
     ///
     /// [`ConfigError::SessionActive`] when a session still shares the
-    /// server state, or the violated invariant for an invalid `cfg`.
+    /// server state, the violated invariant for an invalid `cfg`, or
+    /// [`ConfigError::Backend`] when the new backend chain cannot execute
+    /// some resident layer (models already re-chained keep the new chain;
+    /// re-install a satisfiable one to restore uniformity).
     pub fn set_config(&mut self, cfg: ServeConfig) -> Result<(), ConfigError> {
         cfg.validate()?;
         let core = Arc::get_mut(&mut self.core).ok_or(ConfigError::SessionActive)?;
         core.registry.set_max_batch(cfg.max_batch);
         core.registry.set_row_tile_shards(cfg.row_tile_shards);
-        core.registry.set_psum_kernel(cfg.psum_kernel);
+        core.registry.set_backends(&cfg.backends)?;
+        core.model_backends = core.registry.primary_backends();
+        core.backend_layers = core.registry.backend_layer_counts();
         self.cfg = cfg;
         Ok(())
     }

@@ -18,7 +18,7 @@ use crate::queue::{
 use crate::registry::{ModelId, ModelRegistry};
 use crate::request::{Request, Target};
 use cq_cim::ShardPlan;
-use cq_core::PreparedCimModel;
+use cq_core::{BackendKind, PreparedCimModel};
 use cq_tensor::Tensor;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -27,6 +27,13 @@ use std::thread::JoinHandle;
 /// compatibility flow, with the originating [`CimServer`](crate::CimServer)).
 pub(crate) struct ServerCore {
     pub(crate) registry: ModelRegistry,
+    /// Primary backend per resident model (registry order), snapshotted
+    /// when the backend chain is installed — workers attribute sweeps and
+    /// shard tasks to it without touching the model locks.
+    pub(crate) model_backends: Vec<BackendKind>,
+    /// Active frozen-layer counts per [`BackendKind::index`], summed over
+    /// the resident model set at the same snapshot.
+    pub(crate) backend_layers: [usize; 3],
 }
 
 /// Everything one session's workers share.
@@ -76,6 +83,7 @@ impl ServeSession {
             core,
             cfg,
         });
+        shared.queue.set_backend_layers(shared.core.backend_layers);
         let workers = (0..workers)
             .map(|i| {
                 let shared = shared.clone();
@@ -270,6 +278,9 @@ fn run_shard(shared: &SessionShared, task: ShardTask) {
         .registry
         .infer_shared(ModelId(task.model), &task.segment);
     guard.armed = false;
+    shared
+        .queue
+        .note_backend_shard(shared.core.model_backends[task.model]);
     task.join.complete(task.index, output);
 }
 
@@ -308,6 +319,9 @@ fn serve_sweep(shared: &SessionShared, batch: Vec<QueuedRequest>) {
     } else {
         shared.core.registry.infer_batch(model, &inputs)
     };
+    shared
+        .queue
+        .note_backend_sweep(shared.core.model_backends[model.0], rows as u64);
     debug_assert_eq!(outputs.len(), guard.0.len());
     for ((slot, output), (slo, deadline)) in guard.0.iter().zip(outputs).zip(&metas) {
         let at = slot.fulfill(output);

@@ -146,7 +146,13 @@ impl ConvShape {
 /// image into `col` (shape `[c_len*kh*kw, out_h*out_w]`, row-major).
 ///
 /// `img` is the `[C, H, W]` slice of a single image.
-fn im2col_image(img: &[f32], c_start: usize, c_len: usize, s: &ConvShape, col: &mut [f32]) {
+pub(crate) fn im2col_image(
+    img: &[f32],
+    c_start: usize,
+    c_len: usize,
+    s: &ConvShape,
+    col: &mut [f32],
+) {
     let (h, w) = (s.in_h, s.in_w);
     let ohw = s.out_h * s.out_w;
     debug_assert_eq!(col.len(), c_len * s.kh * s.kw * ohw);

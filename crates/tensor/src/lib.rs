@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod arena;
+pub mod backend;
 mod conv;
 pub mod exec;
 mod igemm;
@@ -39,6 +40,10 @@ pub mod stats;
 mod tensor;
 
 pub use arena::ScratchArena;
+pub use backend::{
+    backend_instance, BackendError, BackendKind, BackendSet, ConvProfile, ExecBackend, IntPanels,
+    PsumKernel, ScalarRef, SimdF32,
+};
 pub use conv::{
     conv2d, conv2d_backward_input, conv2d_backward_weight, conv2d_grouped, conv2d_grouped_into,
     conv2d_naive, conv_out_dim, ConvShape,
