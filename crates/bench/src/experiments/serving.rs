@@ -36,8 +36,9 @@ use crate::{markdown_table, ExperimentSetting, Scale};
 use cq_core::{build_cim_resnet, PreparedCimModel, QuantScheme};
 use cq_nn::{Layer, Mode};
 use cq_serve::{
-    Admission, BackendKind, BackendStats, CimServer, CompletionSet, ModelId, ModelRegistry,
-    Request, SchedulerPolicy, ServeConfig, ServeSession, ServeStats, Slo, StreamSpec, SubmitError,
+    Admission, BackendKind, BackendStats, CimServer, CompletionSet, LatencyHistogram, ModelId,
+    ModelRegistry, Request, SchedulerPolicy, ServeConfig, ServeSession, ServeStats, Slo,
+    StreamSpec, SubmitError, TenantSpec,
 };
 use cq_tensor::{max_threads, CqRng, Tensor};
 use std::time::{Duration, Instant};
@@ -115,6 +116,75 @@ pub struct LoadPoint {
     pub classes: Vec<ClassPoint>,
 }
 
+/// Per-tenant measurements at the churn point (from
+/// [`TenantStats`](cq_serve::TenantStats), histogram collapsed to
+/// count/p50/p99).
+#[derive(Debug, Clone)]
+pub struct TenantPoint {
+    /// Tenant name.
+    pub name: String,
+    /// Weighted-fair scheduling weight.
+    pub weight: f32,
+    /// Requests served for this tenant.
+    pub served: u64,
+    /// Images served for this tenant (the unit WFQ balances).
+    pub rows: u64,
+    /// Submissions turned away at a quota.
+    pub quota_rejected: u64,
+    /// Observations in the tenant's latency histogram.
+    pub hist_count: u64,
+    /// Histogram p50 (bucket upper bound), microseconds.
+    pub hist_p50_us: u64,
+    /// Histogram p99 (bucket upper bound), microseconds.
+    pub hist_p99_us: u64,
+}
+
+/// The long-running hot-swap churn point: tenant-tagged traffic against
+/// an autoscaling pool while resident models are evicted and replaced
+/// mid-stream. `lost_tickets == 0` is asserted at run time — every
+/// admitted ticket resolved even across the swaps and pool resizes.
+#[derive(Debug, Clone)]
+pub struct ChurnPoint {
+    /// Offered arrival rate, requests/sec.
+    pub offered_rps: f64,
+    /// Requests replayed.
+    pub requests: usize,
+    /// Mid-stream evict+register cycles performed.
+    pub swaps: u64,
+    /// `ServeStats::hot_registered` after the run.
+    pub hot_registered: u64,
+    /// `ServeStats::evictions` after the run.
+    pub evictions: u64,
+    /// Evict tickets that resolved with their reclaimed model.
+    pub reclaimed: u64,
+    /// Admitted tickets that never resolved — asserted `0` at run time.
+    pub lost_tickets: u64,
+    /// Requests served.
+    pub completed: u64,
+    /// Served images over the point's makespan.
+    pub images_per_sec: f64,
+    /// Median submit→complete latency.
+    pub p50_ms: f64,
+    /// 99th-percentile submit→complete latency.
+    pub p99_ms: f64,
+    /// Autoscaler grow+shrink events.
+    pub worker_resizes: u64,
+    /// Configured pool floor.
+    pub workers_min: usize,
+    /// Configured pool ceiling.
+    pub workers_max: usize,
+    /// Most workers ever live at once.
+    pub workers_peak: usize,
+    /// Observations in the merged (latency + bulk) histogram.
+    pub hist_count: u64,
+    /// Merged-histogram p50 (bucket upper bound), microseconds.
+    pub hist_p50_us: u64,
+    /// Merged-histogram p99 (bucket upper bound), microseconds.
+    pub hist_p99_us: u64,
+    /// Per-tenant breakdown.
+    pub tenants: Vec<TenantPoint>,
+}
+
 /// Full result of the serving experiment.
 #[derive(Debug, Clone)]
 pub struct ServingResult {
@@ -138,6 +208,9 @@ pub struct ServingResult {
     pub calibrated_ips: f64,
     /// The measured offered-load points.
     pub points: Vec<LoadPoint>,
+    /// The hot-swap churn point (tenants + autoscaling + mid-stream
+    /// model swaps).
+    pub churn: ChurnPoint,
 }
 
 fn point_json(p: &LoadPoint) -> String {
@@ -209,6 +282,58 @@ fn point_json(p: &LoadPoint) -> String {
     )
 }
 
+fn churn_json(c: &ChurnPoint) -> String {
+    let tenants = c
+        .tenants
+        .iter()
+        .map(|t| {
+            format!(
+                "{{\"tenant\": \"{}\", \"weight\": {:.2}, \"served\": {}, \
+                 \"rows\": {}, \"quota_rejected\": {}, \
+                 \"histogram\": {{\"count\": {}, \"p50_us\": {}, \"p99_us\": {}}}}}",
+                t.name,
+                t.weight,
+                t.served,
+                t.rows,
+                t.quota_rejected,
+                t.hist_count,
+                t.hist_p50_us,
+                t.hist_p99_us
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "  \"churn\": {{\"offered_rps\": {:.3}, \"requests\": {}, \"swaps\": {}, \
+         \"hot_registered\": {}, \"evictions\": {}, \"reclaimed\": {}, \
+         \"lost_tickets\": {}, \"completed\": {}, \"images_per_sec\": {:.3}, \
+         \"p50_latency_ms\": {:.3}, \"p99_latency_ms\": {:.3}, \
+         \"worker_resizes\": {}, \"workers_min\": {}, \"workers_max\": {}, \
+         \"workers_peak\": {}, \
+         \"histogram\": {{\"count\": {}, \"p50_us\": {}, \"p99_us\": {}}}, \
+         \"tenants\": [{}]}}",
+        c.offered_rps,
+        c.requests,
+        c.swaps,
+        c.hot_registered,
+        c.evictions,
+        c.reclaimed,
+        c.lost_tickets,
+        c.completed,
+        c.images_per_sec,
+        c.p50_ms,
+        c.p99_ms,
+        c.worker_resizes,
+        c.workers_min,
+        c.workers_max,
+        c.workers_peak,
+        c.hist_count,
+        c.hist_p50_us,
+        c.hist_p99_us,
+        tenants
+    )
+}
+
 impl ServingResult {
     /// Renders the machine-readable report (hand-rolled JSON; the
     /// workspace is dependency-free). `points` selects a subset by label
@@ -243,7 +368,9 @@ impl ServingResult {
             s.push_str(&point_json(p));
             s.push_str(if i + 1 < selected.len() { ",\n" } else { "\n" });
         }
-        s.push_str("  ]\n}\n");
+        s.push_str("  ],\n");
+        s.push_str(&churn_json(&self.churn));
+        s.push_str("\n}\n");
         s
     }
 
@@ -395,6 +522,7 @@ pub fn measure(scale: Scale) -> ServingResult {
         batch_choices: vec![1],
         latency_fraction: 0.0,
         seed: 510,
+        tenants: vec![],
     }
     .generate();
     let rng = &mut CqRng::new(511);
@@ -475,6 +603,7 @@ pub fn measure(scale: Scale) -> ServingResult {
             batch_choices: vec![1, 1, 1, 6],
             latency_fraction,
             seed,
+            tenants: vec![],
         }
         .generate();
         let rng = &mut CqRng::new(seed + 1);
@@ -548,6 +677,8 @@ pub fn measure(scale: Scale) -> ServingResult {
         });
     }
 
+    let churn = measure_churn(&setting, models, requests, calibrated_ips, deadline);
+
     ServingResult {
         scale,
         threads: max_threads(),
@@ -559,6 +690,160 @@ pub fn measure(scale: Scale) -> ServingResult {
         row_tile_shards,
         calibrated_ips,
         points,
+        churn,
+    }
+}
+
+/// The hot-swap churn point: tenant-tagged traffic (acme at weight 2,
+/// beta at weight 1) against an autoscaling `1..=3` worker pool, with two
+/// mid-stream swap cycles — evict a live model, register a freshly built
+/// replacement under the **same name** — performed from the submit thread
+/// so every by-name submission atomically routes to whichever version is
+/// live. Block admission means every generated request is admitted, so
+/// `lost_tickets` (admitted minus resolved) is exact — and asserted zero.
+fn measure_churn(
+    setting: &ExperimentSetting,
+    models: Vec<(String, PreparedCimModel)>,
+    requests: usize,
+    calibrated_ips: f64,
+    deadline: Duration,
+) -> ChurnPoint {
+    let (c, hw) = (setting.data.channels, setting.data.image_size);
+    let names = ["resnet-a", "resnet-b"];
+    let tenant_names = ["acme", "beta"];
+    let offered_rps = (calibrated_ips * 0.9).max(1.0);
+    let stream = StreamSpec {
+        rate_rps: offered_rps,
+        requests,
+        models: 2,
+        batch_choices: vec![1, 2],
+        latency_fraction: 0.25,
+        seed: 540,
+        tenants: tenant_names.iter().map(|s| s.to_string()).collect(),
+    }
+    .generate();
+    let rng = &mut CqRng::new(541);
+    let inputs: Vec<Tensor> = stream
+        .iter()
+        .map(|r| {
+            rng.normal_tensor(&[r.batch, c, hw, hw], 1.0)
+                .map(|v| v.max(0.0))
+        })
+        .collect();
+    let cfg = ServeConfig::builder()
+        .queue_capacity(32)
+        .admission(Admission::Block)
+        .max_batch(Some(8))
+        .max_wait(Duration::from_micros(500))
+        .autoscale(1, 3)
+        .scale_up_after(Duration::from_millis(1))
+        .scale_down_idle(Duration::from_millis(25))
+        .tenant(TenantSpec::new("acme").weight(2.0))
+        .tenant(TenantSpec::new("beta"))
+        .build()
+        .expect("valid churn config");
+    let session = CimServer::new(ModelRegistry::from_models(models), cfg).start();
+    // Replacements are built before the replay so the swap itself is
+    // cheap; each fires once, at 1/3 and 2/3 of the stream.
+    let mut swaps = [
+        (requests / 3, names[0], Some(build_model(setting, 505))),
+        (2 * requests / 3, names[1], Some(build_model(setting, 507))),
+    ];
+    let t0 = Instant::now();
+    let mut inflight = CompletionSet::new();
+    let mut evict_tickets = Vec::new();
+    for (i, (r, x)) in stream.iter().zip(&inputs).enumerate() {
+        for (at, name, replacement) in &mut swaps {
+            if i == *at {
+                evict_tickets.push(session.evict(name).expect("evict a live model"));
+                session
+                    .register(*name, replacement.take().expect("swap fires once"))
+                    .expect("register the replacement");
+            }
+        }
+        let target = t0 + r.at;
+        let now = Instant::now();
+        if target > now {
+            std::thread::sleep(target - now);
+        }
+        let mut req = Request::to(names[r.model])
+            .batch(x.clone())
+            .slo(r.slo)
+            .tenant(tenant_names[r.tenant.expect("tenant-tagged stream")]);
+        if r.slo == Slo::Latency {
+            req = req.deadline(deadline);
+        }
+        inflight.insert(
+            session
+                .submit(req)
+                .expect("Block admission admits every churn request"),
+        );
+    }
+    let mut latencies: Vec<Duration> = Vec::with_capacity(inflight.len());
+    while !inflight.is_empty() {
+        match inflight.wait_any_timeout(STALL_BOUND) {
+            Some((_, done)) => latencies.push(done.latency),
+            None => panic!(
+                "churn point stalled: {} tickets unresolved after {STALL_BOUND:?}",
+                inflight.len()
+            ),
+        }
+    }
+    let span = t0.elapsed();
+    let mut reclaimed = 0u64;
+    for t in evict_tickets {
+        match t.wait_timeout(STALL_BOUND) {
+            Ok(model) => {
+                drop(model);
+                reclaimed += 1;
+            }
+            Err(_) => panic!("evict ticket resolves once its drain completes"),
+        }
+    }
+    let (stats, _swapped) = session.shutdown();
+    let lost_tickets = requests as u64 - latencies.len() as u64;
+    assert_eq!(lost_tickets, 0, "hot-swap churn lost tickets");
+    assert_eq!(stats.hot_registered, 2, "both swap registrations counted");
+    assert_eq!(stats.evictions, 2, "both evictions counted");
+    let mut hist = stats.latency_hist.clone();
+    hist.merge(&stats.bulk_hist);
+    let q_us = |h: &LatencyHistogram, q: f64| {
+        h.quantile(q)
+            .map_or(0, |d| d.as_micros().min(u64::MAX as u128) as u64)
+    };
+    ChurnPoint {
+        offered_rps,
+        requests,
+        swaps: 2,
+        hot_registered: stats.hot_registered,
+        evictions: stats.evictions,
+        reclaimed,
+        lost_tickets,
+        completed: stats.served,
+        images_per_sec: stats.rows_swept as f64 / span.as_secs_f64().max(1e-9),
+        p50_ms: percentile_ms(&mut latencies, 0.50),
+        p99_ms: percentile_ms(&mut latencies, 0.99),
+        worker_resizes: stats.workers.resizes,
+        workers_min: stats.workers.min,
+        workers_max: stats.workers.max,
+        workers_peak: stats.workers.peak,
+        hist_count: hist.count(),
+        hist_p50_us: q_us(&hist, 0.50),
+        hist_p99_us: q_us(&hist, 0.99),
+        tenants: stats
+            .tenants
+            .iter()
+            .map(|t| TenantPoint {
+                name: t.name.clone(),
+                weight: t.weight,
+                served: t.served,
+                rows: t.rows,
+                quota_rejected: t.quota_rejected,
+                hist_count: t.histogram.count(),
+                hist_p50_us: q_us(&t.histogram, 0.50),
+                hist_p99_us: q_us(&t.histogram, 0.99),
+            })
+            .collect(),
     }
 }
 
@@ -648,12 +933,33 @@ pub fn run(scale: Scale) -> String {
         ],
         &rows,
     ));
+    let ch = &r.churn;
+    out.push_str(&format!(
+        "\nChurn point: {} tenant-tagged requests at {:.1} req/s (acme at \
+         weight 2, beta at weight 1) against an autoscaling {}..={} worker \
+         pool, with {} mid-stream hot swaps (evict + re-register under the \
+         same name): {} completed, {} lost tickets (asserted 0 at run \
+         time), {} evict tickets reclaimed, {} worker resizes (peak {} \
+         workers), merged-histogram p50/p99 {}/{} µs.\n",
+        ch.requests,
+        ch.offered_rps,
+        ch.workers_min,
+        ch.workers_max,
+        ch.swaps,
+        ch.completed,
+        ch.lost_tickets,
+        ch.reclaimed,
+        ch.worker_resizes,
+        ch.workers_peak,
+        ch.hist_p50_us,
+        ch.hist_p99_us,
+    ));
     out.push_str(
-        "\nEvery served output — including sharded sweeps and every ticket \
-         resolution path — is bit-identical to the direct \
-         `PreparedCimModel::infer` result (pinned by `cq-serve` tests and \
-         the `sharded_equivalence` matrix); the numbers above are written \
-         to `BENCH_serving.json` and `BENCH_serving_sharded.json`.\n",
+        "\nEvery served output — including sharded sweeps, hot-swapped \
+         models, and every ticket resolution path — is bit-identical to \
+         the direct `PreparedCimModel::infer` result (pinned by `cq-serve` \
+         tests and the `sharded_equivalence` matrix); the numbers above are \
+         written to `BENCH_serving.json` and `BENCH_serving_sharded.json`.\n",
     );
     out
 }

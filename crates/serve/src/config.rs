@@ -51,12 +51,90 @@ impl SchedulerPolicy {
     }
 }
 
+/// Per-tenant scheduling weight and admission quotas, configured via
+/// [`ServeConfigBuilder::tenant`]. Requests opt in with
+/// [`Request::tenant`](crate::Request::tenant); untagged requests ride
+/// the built-in `"default"` tenant (weight 1, no quotas).
+///
+/// ```
+/// use cq_serve::TenantSpec;
+/// let spec = TenantSpec::new("acme").weight(3.0).max_queued(32).max_in_flight(64);
+/// assert_eq!(spec.weight, 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// Tenant name, matched against [`Request::tenant`](crate::Request::tenant).
+    pub name: String,
+    /// Weighted-fair share: under saturation each tenant's served-row
+    /// share converges to `weight / Σ weights` of the active tenants.
+    /// Must be finite and positive.
+    pub weight: f32,
+    /// Most requests this tenant may have **queued** (admitted, not yet
+    /// scheduled) at once; the quota rejects with
+    /// [`SubmitError::QuotaExceeded`](crate::SubmitError) — immediately,
+    /// never blocking. `None` = unlimited.
+    pub max_queued: Option<usize>,
+    /// Most requests this tenant may have **in flight** (admitted, not
+    /// yet fulfilled) at once. `None` = unlimited.
+    pub max_in_flight: Option<usize>,
+}
+
+impl TenantSpec {
+    /// A tenant with weight 1 and no quotas.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            weight: 1.0,
+            max_queued: None,
+            max_in_flight: None,
+        }
+    }
+
+    /// Sets the weighted-fair share (validated by the config builder).
+    pub fn weight(mut self, weight: f32) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Caps queued requests (admitted, not yet scheduled).
+    pub fn max_queued(mut self, max: usize) -> Self {
+        self.max_queued = Some(max);
+        self
+    }
+
+    /// Caps in-flight requests (admitted, not yet fulfilled).
+    pub fn max_in_flight(mut self, max: usize) -> Self {
+        self.max_in_flight = Some(max);
+        self
+    }
+}
+
 /// Why a [`ServeConfig`] was rejected, by the builder or by
 /// [`CimServer::set_config`](crate::CimServer::set_config).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ConfigError {
-    /// `workers` was zero.
+    /// `min_workers` (or both worker bounds, via
+    /// [`workers`](ServeConfigBuilder::workers)) was zero.
     ZeroWorkers,
+    /// `max_workers` was below `min_workers`.
+    WorkerBounds {
+        /// The configured lower bound.
+        min: usize,
+        /// The configured (smaller) upper bound.
+        max: usize,
+    },
+    /// Two [`TenantSpec`]s share a name, or one claims the built-in
+    /// `"default"` tenant.
+    DuplicateTenant(String),
+    /// A tenant's weight was zero, negative, or non-finite.
+    TenantWeight {
+        /// The offending tenant.
+        name: String,
+        /// The rejected weight.
+        weight: f32,
+    },
+    /// A tenant quota was `Some(0)` — it would reject every submission.
+    ZeroTenantQuota(String),
     /// `queue_capacity` was zero.
     ZeroQueueCapacity,
     /// `max_batch` was `Some(0)`.
@@ -80,6 +158,30 @@ impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
             ConfigError::ZeroWorkers => "need at least one worker",
+            ConfigError::WorkerBounds { min, max } => {
+                return write!(
+                    f,
+                    "max_workers ({max}) must be at least min_workers ({min})"
+                )
+            }
+            ConfigError::DuplicateTenant(name) => {
+                return write!(
+                    f,
+                    "tenant '{name}' configured twice (or shadows the built-in default tenant)"
+                )
+            }
+            ConfigError::TenantWeight { name, weight } => {
+                return write!(
+                    f,
+                    "tenant '{name}' weight must be finite and positive, got {weight}"
+                )
+            }
+            ConfigError::ZeroTenantQuota(name) => {
+                return write!(
+                    f,
+                    "tenant '{name}' has a zero quota — it would reject everything"
+                )
+            }
             ConfigError::ZeroQueueCapacity => "queue capacity must be positive",
             ConfigError::ZeroMaxBatch => "max_batch must be positive",
             ConfigError::ZeroShardRows => "shard_rows must be positive",
@@ -120,8 +222,26 @@ pub struct ServeConfig {
     /// forming). Latency sweeps never linger, and a latency arrival
     /// aborts an in-progress bulk linger.
     pub max_wait: Duration,
-    /// Worker threads draining the queue.
-    pub workers: usize,
+    /// Lower bound of the worker pool: the session starts with this many
+    /// workers and the autoscaler never shrinks below it.
+    pub min_workers: usize,
+    /// Upper bound of the worker pool. Equal to `min_workers` (the
+    /// [`workers`](ServeConfigBuilder::workers) shorthand) for a fixed
+    /// pool; larger to let the autoscaler grow it against sustained
+    /// queue depth.
+    pub max_workers: usize,
+    /// How long the queue must stay deeper than the live worker count
+    /// before the autoscaler spawns another worker (sustained-depth
+    /// filter: a single burst that drains immediately does not grow the
+    /// pool).
+    pub scale_up_after: Duration,
+    /// How long a worker must sit idle (no work arriving) before it
+    /// retires, down to `min_workers`.
+    pub scale_down_idle: Duration,
+    /// Per-tenant weights and quotas (see [`TenantSpec`]). Requests from
+    /// tenants not listed here — including untagged requests — get
+    /// weight 1 and no quotas.
+    pub tenants: Vec<TenantSpec>,
     /// **Batch-segment sharding**: a sweep with more rows than this is
     /// split into segments published to the shard pool, where every
     /// worker — the coordinator included — steals and executes them
@@ -164,7 +284,11 @@ impl Default for ServeConfig {
             admission: Admission::Block,
             max_batch: Some(8),
             max_wait: Duration::from_micros(200),
-            workers: 2,
+            min_workers: 2,
+            max_workers: 2,
+            scale_up_after: Duration::from_millis(2),
+            scale_down_idle: Duration::from_millis(50),
+            tenants: Vec::new(),
             shard_rows: None,
             row_tile_shards: None,
             policy: SchedulerPolicy::Strict,
@@ -193,8 +317,28 @@ impl ServeConfig {
     ///
     /// The first violated invariant, as a [`ConfigError`].
     pub fn validate(&self) -> Result<(), ConfigError> {
-        if self.workers == 0 {
+        if self.min_workers == 0 {
             return Err(ConfigError::ZeroWorkers);
+        }
+        if self.max_workers < self.min_workers {
+            return Err(ConfigError::WorkerBounds {
+                min: self.min_workers,
+                max: self.max_workers,
+            });
+        }
+        for (i, t) in self.tenants.iter().enumerate() {
+            if t.name == "default" || self.tenants[..i].iter().any(|o| o.name == t.name) {
+                return Err(ConfigError::DuplicateTenant(t.name.clone()));
+            }
+            if !t.weight.is_finite() || t.weight <= 0.0 {
+                return Err(ConfigError::TenantWeight {
+                    name: t.name.clone(),
+                    weight: t.weight,
+                });
+            }
+            if t.max_queued == Some(0) || t.max_in_flight == Some(0) {
+                return Err(ConfigError::ZeroTenantQuota(t.name.clone()));
+            }
         }
         if self.queue_capacity == 0 {
             return Err(ConfigError::ZeroQueueCapacity);
@@ -248,9 +392,38 @@ impl ServeConfigBuilder {
         self
     }
 
-    /// Worker threads draining the queue.
+    /// A **fixed** worker pool: sets `min_workers = max_workers =
+    /// workers` (no autoscaling — the pre-autoscaler behavior).
     pub fn workers(mut self, workers: usize) -> Self {
-        self.cfg.workers = workers;
+        self.cfg.min_workers = workers;
+        self.cfg.max_workers = workers;
+        self
+    }
+
+    /// An **autoscaling** worker pool: starts at `min` workers, grows up
+    /// to `max` against sustained queue depth, and shrinks back on idle.
+    pub fn autoscale(mut self, min: usize, max: usize) -> Self {
+        self.cfg.min_workers = min;
+        self.cfg.max_workers = max;
+        self
+    }
+
+    /// Sustained-depth window before the autoscaler grows the pool.
+    pub fn scale_up_after(mut self, window: Duration) -> Self {
+        self.cfg.scale_up_after = window;
+        self
+    }
+
+    /// Idle window before a worker above `min_workers` retires.
+    pub fn scale_down_idle(mut self, window: Duration) -> Self {
+        self.cfg.scale_down_idle = window;
+        self
+    }
+
+    /// Adds one tenant's weight and quotas (validated by
+    /// [`build`](ServeConfigBuilder::build)).
+    pub fn tenant(mut self, spec: TenantSpec) -> Self {
+        self.cfg.tenants.push(spec);
         self
     }
 
@@ -367,6 +540,60 @@ mod tests {
         for (builder, want) in cases {
             assert_eq!(builder.build().unwrap_err(), want);
         }
+    }
+
+    #[test]
+    fn workers_shorthand_fixes_the_pool_and_autoscale_sets_bounds() {
+        let fixed = ServeConfig::builder().workers(3).build().unwrap();
+        assert_eq!((fixed.min_workers, fixed.max_workers), (3, 3));
+        let scaled = ServeConfig::builder().autoscale(1, 6).build().unwrap();
+        assert_eq!((scaled.min_workers, scaled.max_workers), (1, 6));
+        assert_eq!(
+            ServeConfig::builder().autoscale(4, 2).build().unwrap_err(),
+            ConfigError::WorkerBounds { min: 4, max: 2 }
+        );
+        assert_eq!(
+            ServeConfig::builder().autoscale(0, 2).build().unwrap_err(),
+            ConfigError::ZeroWorkers
+        );
+    }
+
+    #[test]
+    fn tenant_specs_are_validated() {
+        let ok = ServeConfig::builder()
+            .tenant(TenantSpec::new("a").weight(2.0).max_queued(8))
+            .tenant(TenantSpec::new("b").max_in_flight(4))
+            .build()
+            .unwrap();
+        assert_eq!(ok.tenants.len(), 2);
+        assert_eq!(ok.tenants[0].max_queued, Some(8));
+        let dup = ServeConfig::builder()
+            .tenant(TenantSpec::new("a"))
+            .tenant(TenantSpec::new("a"))
+            .build()
+            .unwrap_err();
+        assert_eq!(dup, ConfigError::DuplicateTenant("a".into()));
+        assert_eq!(
+            ServeConfig::builder()
+                .tenant(TenantSpec::new("default"))
+                .build()
+                .unwrap_err(),
+            ConfigError::DuplicateTenant("default".into())
+        );
+        assert!(matches!(
+            ServeConfig::builder()
+                .tenant(TenantSpec::new("a").weight(-1.0))
+                .build()
+                .unwrap_err(),
+            ConfigError::TenantWeight { .. }
+        ));
+        assert_eq!(
+            ServeConfig::builder()
+                .tenant(TenantSpec::new("a").max_queued(0))
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroTenantQuota("a".into())
+        );
     }
 
     #[test]

@@ -61,6 +61,40 @@
 //! flow survives as [`CimServer::serve`], a thin wrapper over the same
 //! machinery.
 //!
+//! **Hot-swap.** A *running* session is reconfigurable:
+//! [`ServeSession::register`] installs a new model (routable the moment
+//! it returns) and [`ServeSession::evict`] removes one — in-flight
+//! requests against the evicted model drain to completion bit-exactly,
+//! new submissions fail with a recoverable [`SubmitError::UnknownModel`],
+//! and the returned [`EvictTicket`] resolves with the reclaimed
+//! [`PreparedCimModel`] once the last admitted request lands. Names are
+//! reusable immediately: re-registering an evicted name atomically routes
+//! new work to the replacement (`tests/churn_stress.rs` hammers this
+//! under multi-producer load).
+//!
+//! **Tenancy.** Requests optionally carry a [`TenantId`]
+//! ([`Request::tenant`]); tenants declared via
+//! [`TenantSpec`] get weighted-fair scheduling — per-class virtual-time
+//! fair queueing, so each tenant's served row share converges to its
+//! weight share under saturation, with idle periods banking no credit —
+//! and admission quotas (`max_queued`, `max_in_flight`) enforced at the
+//! queue with the recoverable [`SubmitError::QuotaExceeded`]. Untagged
+//! requests ride the built-in `"default"` tenant; with a single tenant
+//! the scheduler is exactly the PR 4 class scheduler.
+//!
+//! **Autoscaling.** The worker pool floats between
+//! [`ServeConfig::min_workers`] and [`ServeConfig::max_workers`]: the
+//! pool grows when the queue stays deeper than the live worker count for
+//! `scale_up_after`, and workers above the floor retire after
+//! `scale_down_idle` without work. Resizes never drop or reorder
+//! admitted work — they only change who pops the shared queue.
+//!
+//! **Observability.** [`ServeStats`] carries log-bucketed latency
+//! histograms per class and per tenant ([`LatencyHistogram`]), a
+//! decimating queue-depth time series, per-model and worker-pool
+//! counters, and renders the whole snapshot in Prometheus text
+//! exposition format via [`ServeStats::render_prometheus`].
+//!
 //! **SLO scheduling.** Requests carry an [`Slo`] class, an optional
 //! deadline, and an aging weight: [`Slo::Latency`] work schedules before
 //! [`Slo::Bulk`] work and preempts bulk batch formation (a lingering
@@ -136,6 +170,7 @@
 
 mod completion;
 mod config;
+mod metrics;
 mod queue;
 mod registry;
 mod request;
@@ -144,15 +179,18 @@ mod session;
 mod stream;
 
 pub use completion::{CompletionSet, TicketKey};
-pub use config::{ConfigError, SchedulerPolicy, ServeConfig, ServeConfigBuilder};
+pub use config::{ConfigError, SchedulerPolicy, ServeConfig, ServeConfigBuilder, TenantSpec};
 // Re-exported so `ServeSession::shutdown`'s return type is nameable from
 // this crate alone.
 pub use cq_core::{BackendError, BackendKind, BackendSet, PreparedCimModel, PsumKernel};
+pub use metrics::{
+    DepthSample, LatencyHistogram, ModelStats, TenantStats, WorkerStats, HISTOGRAM_BUCKETS,
+};
 pub use queue::{
     Admission, BackendStats, ClassStats, Completed, ServeStats, Slo, SubmitError, Ticket,
 };
-pub use registry::{ModelId, ModelRegistry};
-pub use request::Request;
+pub use registry::{EvictTicket, ModelId, ModelRegistry, SwapError};
+pub use request::{Request, TenantId};
 pub use server::CimServer;
 pub use session::ServeSession;
 pub use stream::{StreamRequest, StreamSpec};

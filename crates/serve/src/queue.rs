@@ -34,7 +34,10 @@
 //! served bits.
 
 use crate::completion::ReadyList;
-use crate::config::SchedulerPolicy;
+use crate::config::{SchedulerPolicy, TenantSpec};
+use crate::metrics::{
+    DepthSample, DepthSeries, LatencyHistogram, ModelStats, TenantStats, WorkerStats,
+};
 use cq_core::BackendKind;
 use cq_tensor::Tensor;
 use std::collections::VecDeque;
@@ -69,8 +72,20 @@ pub enum SubmitError {
     /// The queue was full under [`Admission::Reject`]; the input is handed
     /// back so the caller can retry or shed the request.
     QueueFull(Tensor),
-    /// No model with this id is registered.
+    /// No **live** model with this id is registered (never registered, or
+    /// evicted from the running session).
     UnknownModel(String),
+    /// The request's tenant is at one of its admission quotas
+    /// (`max_queued` or `max_in_flight`); the input is handed back.
+    /// Quota rejection is always immediate — it never blocks, even under
+    /// [`Admission::Block`] — because a quota is a policy limit, not
+    /// transient backpressure.
+    QuotaExceeded {
+        /// The tenant whose quota was hit.
+        tenant: String,
+        /// The input, handed back for retry or shedding.
+        input: Tensor,
+    },
     /// The [`Request`](crate::Request) was built without
     /// [`batch`](crate::Request::batch) — there is nothing to run.
     MissingInput,
@@ -372,6 +387,9 @@ pub(crate) struct QueuedRequest {
     pub submitted_at: Instant,
     /// Aging-rate multiplier (weighted age = elapsed × weight).
     pub weight: f32,
+    /// Queue-side tenant index (0 = the default tenant, for untagged
+    /// requests).
+    pub tenant: usize,
 }
 
 impl QueuedRequest {
@@ -545,6 +563,33 @@ pub struct ServeStats {
     /// Per-backend counters, indexed by [`BackendKind::index`]
     /// (`scalar`, `simd-f32`, `int-panels`).
     pub backends: [BackendStats; 3],
+    /// Submissions turned away because a tenant quota was at its limit
+    /// (counted separately from capacity [`rejected`](ServeStats::rejected)).
+    pub quota_rejected: u64,
+    /// Models registered onto the **live** session
+    /// ([`ServeSession::register`](crate::ServeSession::register)) —
+    /// models resident at `start()` are not counted.
+    pub hot_registered: u64,
+    /// Models evicted from the live session
+    /// ([`ServeSession::evict`](crate::ServeSession::evict)).
+    pub evictions: u64,
+    /// Log-bucketed submission-to-fulfilment latency histogram of
+    /// [`Slo::Latency`] fulfilments.
+    pub latency_hist: LatencyHistogram,
+    /// Log-bucketed latency histogram of [`Slo::Bulk`] fulfilments.
+    pub bulk_hist: LatencyHistogram,
+    /// Bounded queue-depth time series (sampled after admissions,
+    /// decimated to stay O(1) over long sessions); offsets are relative
+    /// to the first admission.
+    pub queue_depth_series: Vec<DepthSample>,
+    /// Per-tenant counters and histograms, index 0 = the default tenant.
+    pub tenants: Vec<TenantStats>,
+    /// Per-model counters in registry slot order (evicted models keep
+    /// their row). Names and eviction flags are filled by the session
+    /// snapshot; a raw queue snapshot carries empty names.
+    pub models: Vec<ModelStats>,
+    /// Worker-pool gauges (filled by the session snapshot).
+    pub workers: WorkerStats,
 }
 
 impl ServeStats {
@@ -561,15 +606,98 @@ impl ServeStats {
     }
 }
 
-#[derive(Default)]
-struct QueueState {
+/// One tenant's queue-side state: its own per-class FIFO deques, its
+/// weighted-fair virtual clock, its admission quotas, and its counters.
+struct TenantState {
+    name: String,
+    weight: f32,
+    max_queued: Option<usize>,
+    max_in_flight: Option<usize>,
     latency: VecDeque<QueuedRequest>,
     bulk: VecDeque<QueuedRequest>,
+    /// Weighted-fair virtual time: advanced by `rows / weight` per sweep
+    /// served, so at saturation each tenant's served-row share converges
+    /// to its weight share. Bumped to the queue's virtual floor on
+    /// (re)activation so idle time never banks scheduling credit.
+    vtime: f64,
+    /// Admitted-but-not-yet-fulfilled requests (the `max_in_flight`
+    /// quota's meter).
+    in_flight: usize,
+    peak_in_flight: usize,
+    submitted: u64,
+    served: u64,
+    rows: u64,
+    quota_rejected: u64,
+    histogram: LatencyHistogram,
+}
+
+impl TenantState {
+    fn new(spec: &TenantSpec, vtime: f64) -> Self {
+        Self {
+            name: spec.name.clone(),
+            weight: spec.weight,
+            max_queued: spec.max_queued,
+            max_in_flight: spec.max_in_flight,
+            latency: VecDeque::new(),
+            bulk: VecDeque::new(),
+            vtime,
+            in_flight: 0,
+            peak_in_flight: 0,
+            submitted: 0,
+            served: 0,
+            rows: 0,
+            quota_rejected: 0,
+            histogram: LatencyHistogram::new(),
+        }
+    }
+
+    fn queued(&self) -> usize {
+        self.latency.len() + self.bulk.len()
+    }
+
+    fn class_queue(&mut self, class: Slo) -> &mut VecDeque<QueuedRequest> {
+        match class {
+            Slo::Latency => &mut self.latency,
+            Slo::Bulk => &mut self.bulk,
+        }
+    }
+
+    fn class_len(&self, class: Slo) -> usize {
+        match class {
+            Slo::Latency => self.latency.len(),
+            Slo::Bulk => self.bulk.len(),
+        }
+    }
+}
+
+/// Per-model-slot counters (names/eviction flags live in the registry and
+/// are overlaid by the session snapshot).
+#[derive(Default, Clone, Copy)]
+struct ModelCounters {
+    served: u64,
+    sweeps: u64,
+    shards: u64,
+    images: u64,
+}
+
+#[derive(Default)]
+struct QueueState {
+    /// Index 0 is always the default tenant (untagged requests); further
+    /// tenants come from the config or are created on first submission.
+    tenants: Vec<TenantState>,
     latency_shards: VecDeque<ShardTask>,
     bulk_shards: VecDeque<ShardTask>,
     closed: bool,
+    /// Cached queued-request counts (depth checks and class-priority
+    /// decisions are O(1), not O(tenants)).
+    latency_queued: usize,
+    bulk_queued: usize,
+    /// Virtual-time floor: the highest virtual time any sweep was picked
+    /// at. A tenant (re)activating bumps its clock at least here.
+    vfloor: f64,
     submitted: u64,
     rejected: u64,
+    quota_rejected: u64,
     served: u64,
     batches: u64,
     rows_swept: u64,
@@ -579,15 +707,22 @@ struct QueueState {
     depth_samples: u64,
     latency_stats: ClassStats,
     bulk_stats: ClassStats,
+    latency_hist: LatencyHistogram,
+    bulk_hist: LatencyHistogram,
+    depth_series: DepthSeries,
+    started: Option<Instant>,
     sharded_sweeps: u64,
     shards_executed: u64,
     aged_promotions: u64,
     backend_stats: [BackendStats; 3],
+    models: Vec<ModelCounters>,
+    hot_registered: u64,
+    evictions: u64,
 }
 
 impl QueueState {
     fn depth(&self) -> usize {
-        self.latency.len() + self.bulk.len()
+        self.latency_queued + self.bulk_queued
     }
 
     fn class_stats_mut(&mut self, slo: Slo) -> &mut ClassStats {
@@ -595,6 +730,41 @@ impl QueueState {
             Slo::Latency => &mut self.latency_stats,
             Slo::Bulk => &mut self.bulk_stats,
         }
+    }
+
+    fn class_hist_mut(&mut self, slo: Slo) -> &mut LatencyHistogram {
+        match slo {
+            Slo::Latency => &mut self.latency_hist,
+            Slo::Bulk => &mut self.bulk_hist,
+        }
+    }
+
+    fn model_mut(&mut self, model: usize) -> &mut ModelCounters {
+        if self.models.len() <= model {
+            self.models.resize(model + 1, ModelCounters::default());
+        }
+        &mut self.models[model]
+    }
+
+    /// The tenant with the lowest virtual time among those with `class`
+    /// work queued (ties break to the lowest index — the default tenant,
+    /// then configuration order). Caller guarantees the class is
+    /// non-empty. Advances the virtual floor to the winning clock.
+    fn wfq_pick(&mut self, class: Slo) -> usize {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, t) in self.tenants.iter().enumerate() {
+            if t.class_len(class) == 0 {
+                continue;
+            }
+            if best.map_or(true, |(_, v)| t.vtime < v) {
+                best = Some((i, t.vtime));
+            }
+        }
+        let (idx, vtime) = best.expect("wfq_pick on an empty class");
+        if vtime > self.vfloor {
+            self.vfloor = vtime;
+        }
+        idx
     }
 }
 
@@ -607,28 +777,75 @@ pub(crate) struct RequestQueue {
 }
 
 impl RequestQueue {
+    /// A queue with only the built-in default tenant (the unit-test
+    /// shorthand; sessions use [`with_tenants`](RequestQueue::with_tenants)).
+    #[cfg(test)]
     pub(crate) fn new(capacity: usize) -> Self {
+        Self::with_tenants(capacity, &[])
+    }
+
+    /// A queue with the default tenant (index 0, weight 1, no quotas —
+    /// untagged requests land here) plus one [`TenantState`] per
+    /// configured [`TenantSpec`], in configuration order.
+    pub(crate) fn with_tenants(capacity: usize, specs: &[TenantSpec]) -> Self {
         assert!(capacity > 0, "queue capacity must be positive");
+        let mut state = QueueState::default();
+        state
+            .tenants
+            .push(TenantState::new(&TenantSpec::new("default"), 0.0));
+        for spec in specs {
+            state.tenants.push(TenantState::new(spec, 0.0));
+        }
         Self {
             capacity,
-            state: Mutex::new(QueueState::default()),
+            state: Mutex::new(state),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
         }
     }
 
+    /// Resolves a tenant name to its queue-side index, creating an
+    /// unconfigured tenant (weight 1, no quotas) on first sight.
+    pub(crate) fn resolve_tenant(&self, name: &str) -> usize {
+        let mut st = self.state.lock().unwrap();
+        if let Some(i) = st.tenants.iter().position(|t| t.name == name) {
+            return i;
+        }
+        let vtime = st.vfloor;
+        st.tenants
+            .push(TenantState::new(&TenantSpec::new(name), vtime));
+        st.tenants.len() - 1
+    }
+
     /// Admits `req` under `admission` (see [`Admission`]). The capacity
     /// bound covers both classes together; shard tasks (derived from
-    /// already-admitted requests) do not count against it.
+    /// already-admitted requests) do not count against it. Tenant quotas
+    /// are checked first and reject immediately — a quota-capped
+    /// submission never parks on a full queue.
     pub(crate) fn submit(
         &self,
         req: QueuedRequest,
         admission: Admission,
     ) -> Result<(), SubmitError> {
         let mut st = self.state.lock().unwrap();
-        while st.depth() >= self.capacity {
+        loop {
             if st.closed {
                 return Err(SubmitError::Closed(req.input));
+            }
+            let tenant = &mut st.tenants[req.tenant];
+            let quota_hit = tenant.max_queued.is_some_and(|q| tenant.queued() >= q)
+                || tenant.max_in_flight.is_some_and(|q| tenant.in_flight >= q);
+            if quota_hit {
+                tenant.quota_rejected += 1;
+                let name = tenant.name.clone();
+                st.quota_rejected += 1;
+                return Err(SubmitError::QuotaExceeded {
+                    tenant: name,
+                    input: req.input,
+                });
+            }
+            if st.depth() < self.capacity {
+                break;
             }
             match admission {
                 Admission::Reject => {
@@ -638,19 +855,31 @@ impl RequestQueue {
                 Admission::Block => st = self.not_full.wait(st).unwrap(),
             }
         }
-        if st.closed {
-            return Err(SubmitError::Closed(req.input));
-        }
         st.submitted += 1;
         st.class_stats_mut(req.slo).submitted += 1;
         match req.slo {
-            Slo::Latency => st.latency.push_back(req),
-            Slo::Bulk => st.bulk.push_back(req),
+            Slo::Latency => st.latency_queued += 1,
+            Slo::Bulk => st.bulk_queued += 1,
         }
+        let vfloor = st.vfloor;
+        let tenant = &mut st.tenants[req.tenant];
+        // (Re)activation bump: an idle tenant rejoins at the virtual
+        // floor, so idle time never banks scheduling credit.
+        if tenant.queued() == 0 && tenant.vtime < vfloor {
+            tenant.vtime = vfloor;
+        }
+        tenant.submitted += 1;
+        tenant.in_flight += 1;
+        tenant.peak_in_flight = tenant.peak_in_flight.max(tenant.in_flight);
+        tenant.class_queue(req.slo).push_back(req);
         let depth = st.depth();
         st.peak_depth = st.peak_depth.max(depth);
         st.depth_sum += depth as u64;
         st.depth_samples += 1;
+        let now = Instant::now();
+        let started = *st.started.get_or_insert(now);
+        st.depth_series
+            .record(now.saturating_duration_since(started), depth);
         drop(st);
         self.not_empty.notify_one();
         Ok(())
@@ -689,13 +918,31 @@ impl RequestQueue {
         task
     }
 
-    /// Records one fulfilment for per-class accounting.
-    pub(crate) fn note_served(&self, slo: Slo, had_deadline: bool, missed: bool) {
+    /// Records one fulfilment: per-class accounting, the class and tenant
+    /// latency histograms, and the tenant's in-flight meter.
+    pub(crate) fn note_served(
+        &self,
+        slo: Slo,
+        tenant: usize,
+        had_deadline: bool,
+        missed: bool,
+        latency: Duration,
+    ) {
         let mut st = self.state.lock().unwrap();
         let cs = st.class_stats_mut(slo);
         cs.served += 1;
         cs.with_deadline += u64::from(had_deadline);
         cs.missed += u64::from(missed);
+        st.class_hist_mut(slo).record(latency);
+        let t = &mut st.tenants[tenant];
+        t.served += 1;
+        t.in_flight = t.in_flight.saturating_sub(1);
+        t.histogram.record(latency);
+        drop(st);
+        // In-flight quota space freed: a blocked submitter never waits on
+        // this (quotas reject immediately), but wake capacity waiters in
+        // case a fulfilment races a capacity pop notification.
+        self.not_full.notify_all();
     }
 
     /// Attributes one executed sweep of `images` rows to `kind`.
@@ -706,9 +953,27 @@ impl RequestQueue {
         bs.images += images;
     }
 
-    /// Attributes one executed shard task to `kind`.
-    pub(crate) fn note_backend_shard(&self, kind: BackendKind) {
-        self.state.lock().unwrap().backend_stats[kind.index()].shards += 1;
+    /// Attributes one executed shard task to `kind` and to its model.
+    pub(crate) fn note_backend_shard(&self, kind: BackendKind, model: usize) {
+        let mut st = self.state.lock().unwrap();
+        st.backend_stats[kind.index()].shards += 1;
+        st.model_mut(model).shards += 1;
+    }
+
+    /// Current queued-request depth (both classes) — the autoscaler's
+    /// load signal.
+    pub(crate) fn depth(&self) -> usize {
+        self.state.lock().unwrap().depth()
+    }
+
+    /// Counts one model registered onto the live session.
+    pub(crate) fn note_hot_register(&self) {
+        self.state.lock().unwrap().hot_registered += 1;
+    }
+
+    /// Counts one model evicted from the live session.
+    pub(crate) fn note_evicted(&self) {
+        self.state.lock().unwrap().evictions += 1;
     }
 
     /// Installs the session-start snapshot of active frozen-layer counts
@@ -728,7 +993,9 @@ impl RequestQueue {
         self.not_full.notify_all();
     }
 
-    /// Snapshot of the counters.
+    /// Snapshot of the counters. Model names/eviction flags and worker
+    /// gauges are not known at the queue — the session snapshot overlays
+    /// them.
     pub(crate) fn stats(&self) -> ServeStats {
         let st = self.state.lock().unwrap();
         ServeStats {
@@ -750,6 +1017,39 @@ impl RequestQueue {
             shards_executed: st.shards_executed,
             aged_promotions: st.aged_promotions,
             backends: st.backend_stats,
+            quota_rejected: st.quota_rejected,
+            hot_registered: st.hot_registered,
+            evictions: st.evictions,
+            latency_hist: st.latency_hist.clone(),
+            bulk_hist: st.bulk_hist.clone(),
+            queue_depth_series: st.depth_series.snapshot(),
+            tenants: st
+                .tenants
+                .iter()
+                .map(|t| TenantStats {
+                    name: t.name.clone(),
+                    weight: t.weight,
+                    submitted: t.submitted,
+                    served: t.served,
+                    rows: t.rows,
+                    quota_rejected: t.quota_rejected,
+                    peak_in_flight: t.peak_in_flight,
+                    histogram: t.histogram.clone(),
+                })
+                .collect(),
+            models: st
+                .models
+                .iter()
+                .map(|m| ModelStats {
+                    name: String::new(),
+                    served: m.served,
+                    sweeps: m.sweeps,
+                    shards: m.shards,
+                    images: m.images,
+                    evicted: false,
+                })
+                .collect(),
+            workers: WorkerStats::default(),
         }
     }
 }
@@ -760,6 +1060,18 @@ pub(crate) enum Work {
     Sweep(Vec<QueuedRequest>),
     /// A stolen batch segment of someone else's oversized sweep.
     Shard(ShardTask),
+}
+
+/// Outcome of a bounded scheduler poll
+/// ([`BatchScheduler::poll_work`]).
+pub(crate) enum WorkPoll {
+    /// A unit of work to execute.
+    Ready(Work),
+    /// Nothing arrived within the idle bound — the autoscaler's
+    /// retirement signal.
+    Idle,
+    /// The queue is closed and fully drained.
+    Closed,
 }
 
 /// Forms coalesced sweeps from the shared queue under the
@@ -788,24 +1100,30 @@ impl<'q> BatchScheduler<'q> {
         }
     }
 
-    /// Whether **any** queued bulk request's weighted age has crossed the
-    /// aging threshold (always `false` under
-    /// [`SchedulerPolicy::Strict`](crate::SchedulerPolicy)). Scanning the
-    /// whole deque — not just the head — keeps the starvation bound
+    /// The tenant holding the **stalest** queued bulk request — the one
+    /// with the highest weighted age at or past the aging threshold —
+    /// or `None` when nothing is stale (always `None` under
+    /// [`SchedulerPolicy::Strict`](crate::SchedulerPolicy)). Scanning
+    /// every deque — not just the heads — keeps the starvation bound
     /// per-request even with heterogeneous weights: a weight-1.0 request
     /// queued behind a slow-aging weight-0.1 head still trips the
-    /// promotion on its own clock (bulk then drains FIFO from the head,
-    /// so it is reached within the requests ahead of it — bounded by the
-    /// queue capacity). The scan is O(queue depth) under the lock, and
-    /// the depth is bounded by `queue_capacity`.
-    fn bulk_is_stale(&self, st: &QueueState) -> bool {
-        match self.policy.bulk_max_age() {
-            None => false,
-            Some(limit) => {
-                let now = Instant::now();
-                st.bulk.iter().any(|r| r.weighted_age(now) >= limit)
+    /// promotion on its own clock (its tenant's bulk then drains FIFO
+    /// from the head, so it is reached within the requests ahead of it —
+    /// bounded by the queue capacity). The scan is O(queue depth) under
+    /// the lock, and the depth is bounded by `queue_capacity`.
+    fn stale_bulk_tenant(&self, st: &QueueState) -> Option<usize> {
+        let limit = self.policy.bulk_max_age()?;
+        let now = Instant::now();
+        let mut stalest: Option<(usize, Duration)> = None;
+        for (i, t) in st.tenants.iter().enumerate() {
+            for r in &t.bulk {
+                let age = r.weighted_age(now);
+                if age >= limit && stalest.map_or(true, |(_, a)| age > a) {
+                    stalest = Some((i, age));
+                }
             }
         }
+        stalest.map(|(i, _)| i)
     }
 
     /// Blocks for the next unit of work, in priority order:
@@ -836,57 +1154,107 @@ impl<'q> BatchScheduler<'q> {
     ///
     /// A single request larger than the cap is swept alone — the model
     /// chunks it internally (or the shard pool splits it). Returns `None`
-    /// once the queue is closed and drained.
+    /// once the queue is closed and drained. (Unit-test shorthand; the
+    /// worker loop polls [`poll_work`](BatchScheduler::poll_work).)
+    #[cfg(test)]
     pub(crate) fn next_work(&self) -> Option<Work> {
+        match self.poll_work(None) {
+            WorkPoll::Ready(work) => Some(work),
+            WorkPoll::Closed => None,
+            WorkPoll::Idle => unreachable!("unbounded poll never idles out"),
+        }
+    }
+
+    /// [`next_work`](BatchScheduler::next_work) with an optional idle
+    /// bound: when no work arrives within `idle_after` of the call, the
+    /// poll returns [`WorkPoll::Idle`] instead of blocking forever — the
+    /// hook the autoscaler uses to retire surplus workers.
+    pub(crate) fn poll_work(&self, idle_after: Option<Duration>) -> WorkPoll {
         let cap = self.max_batch.unwrap_or(usize::MAX);
+        let idle_deadline = idle_after.map(|d| Instant::now() + d);
         let mut st = self.queue.state.lock().unwrap();
         loop {
             if let Some(task) = st.latency_shards.pop_front() {
                 st.shards_executed += 1;
-                return Some(Work::Shard(task));
+                return WorkPoll::Ready(Work::Shard(task));
             }
             // Aged bulk outranks *pending* latency work; when no latency
             // work is queued, the normal order below serves bulk anyway
-            // (and the promotion counter only counts real overtakes).
-            if !st.latency.is_empty() && self.bulk_is_stale(&st) {
-                st.aged_promotions += 1;
-                return Some(Work::Sweep(self.form_sweep(st, Slo::Bulk, cap)));
-            }
-            if !st.latency.is_empty() {
-                return Some(Work::Sweep(self.form_sweep(st, Slo::Latency, cap)));
+            // (and the promotion counter only counts real overtakes). The
+            // promoted sweep comes from the tenant holding the stalest
+            // request — the starvation bound is per-request, so weighted
+            // fairness yields to it.
+            if st.latency_queued > 0 {
+                if let Some(tenant) = self.stale_bulk_tenant(&st) {
+                    st.aged_promotions += 1;
+                    return WorkPoll::Ready(Work::Sweep(self.form_sweep(
+                        st,
+                        Slo::Bulk,
+                        tenant,
+                        cap,
+                    )));
+                }
+                let tenant = st.wfq_pick(Slo::Latency);
+                return WorkPoll::Ready(Work::Sweep(self.form_sweep(
+                    st,
+                    Slo::Latency,
+                    tenant,
+                    cap,
+                )));
             }
             if let Some(task) = st.bulk_shards.pop_front() {
                 st.shards_executed += 1;
-                return Some(Work::Shard(task));
+                return WorkPoll::Ready(Work::Shard(task));
             }
-            if !st.bulk.is_empty() {
-                return Some(Work::Sweep(self.form_sweep(st, Slo::Bulk, cap)));
+            if st.bulk_queued > 0 {
+                let tenant = st.wfq_pick(Slo::Bulk);
+                return WorkPoll::Ready(Work::Sweep(self.form_sweep(st, Slo::Bulk, tenant, cap)));
             }
             if st.closed {
-                return None;
+                return WorkPoll::Closed;
             }
-            st = self.queue.not_empty.wait(st).unwrap();
+            match idle_deadline {
+                None => st = self.queue.not_empty.wait(st).unwrap(),
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return WorkPoll::Idle;
+                    }
+                    st = self
+                        .queue
+                        .not_empty
+                        .wait_timeout(st, deadline - now)
+                        .unwrap()
+                        .0;
+                }
+            }
         }
     }
 
-    /// Pops the head of `class`'s deque and coalesces the following
-    /// same-model, same-shape run under `cap` (strict FIFO within the
-    /// class: never serves around the head). Only bulk sweeps linger.
+    /// Pops the head of `tenant`'s `class` deque and coalesces the
+    /// following same-model, same-shape run under `cap` (strict FIFO
+    /// within the tenant's class: never serves around the head; sweeps
+    /// never mix tenants, so per-tenant row accounting stays exact). Only
+    /// bulk sweeps linger, and a linger also breaks when **another**
+    /// tenant has bulk queued — one tenant's quiet period must not stall
+    /// the others.
     fn form_sweep(
         &self,
         mut st: std::sync::MutexGuard<'_, QueueState>,
         class: Slo,
+        tenant: usize,
         cap: usize,
     ) -> Vec<QueuedRequest> {
-        fn class_queue(st: &mut QueueState, class: Slo) -> &mut VecDeque<QueuedRequest> {
+        fn pop(st: &mut QueueState, class: Slo, tenant: usize) -> Option<QueuedRequest> {
+            let q = st.tenants[tenant].class_queue(class).pop_front()?;
             match class {
-                Slo::Latency => &mut st.latency,
-                Slo::Bulk => &mut st.bulk,
+                Slo::Latency => st.latency_queued -= 1,
+                Slo::Bulk => st.bulk_queued -= 1,
             }
+            st.tenants[tenant].rows += q.input.dim(0) as u64;
+            Some(q)
         }
-        let first = class_queue(&mut st, class)
-            .pop_front()
-            .expect("form_sweep on an empty class");
+        let first = pop(&mut st, class, tenant).expect("form_sweep on an empty class");
         // Every pop frees capacity *now* — wake blocked submitters before
         // lingering, or they would stall a full `max_wait` behind us.
         self.queue.not_full.notify_all();
@@ -896,13 +1264,13 @@ impl<'q> BatchScheduler<'q> {
         let mut batch = vec![first];
         let deadline = Instant::now() + self.max_wait;
         while rows < cap {
-            match class_queue(&mut st, class).front() {
+            match st.tenants[tenant].class_queue(class).front() {
                 Some(next)
                     if next.model == model
                         && next.input.shape()[1..] == inner[..]
                         && rows + next.input.dim(0) <= cap =>
                 {
-                    let q = class_queue(&mut st, class).pop_front().unwrap();
+                    let q = pop(&mut st, class, tenant).unwrap();
                     rows += q.input.dim(0);
                     batch.push(q);
                     self.queue.not_full.notify_all();
@@ -912,12 +1280,15 @@ impl<'q> BatchScheduler<'q> {
                 Some(_) => break,
                 None => {
                     // Latency sweeps never linger; bulk linger aborts the
-                    // moment higher-priority work shows up.
+                    // moment higher-priority work shows up — or another
+                    // tenant queues bulk work of its own.
+                    let other_bulk = st.bulk_queued > st.tenants[tenant].bulk.len();
                     if class == Slo::Latency
                         || st.closed
-                        || !st.latency.is_empty()
+                        || st.latency_queued > 0
                         || !st.latency_shards.is_empty()
                         || !st.bulk_shards.is_empty()
+                        || other_bulk
                     {
                         break;
                     }
@@ -938,6 +1309,14 @@ impl<'q> BatchScheduler<'q> {
         st.rows_swept += rows as u64;
         st.max_sweep_rows = st.max_sweep_rows.max(rows);
         st.served += batch.len() as u64;
+        // Advance the serving tenant's weighted-fair clock by the rows it
+        // just consumed, normalized by its weight.
+        let t = &mut st.tenants[tenant];
+        t.vtime += rows as f64 / f64::from(t.weight.max(f32::EPSILON));
+        let m = st.model_mut(model);
+        m.sweeps += 1;
+        m.images += rows as u64;
+        m.served += batch.len() as u64;
         batch
     }
 }
@@ -960,6 +1339,7 @@ mod tests {
             deadline: None,
             submitted_at: Instant::now(),
             weight: 1.0,
+            tenant: 0,
         }
     }
 
@@ -1265,6 +1645,7 @@ mod tests {
             deadline: None,
             submitted_at: Instant::now(),
             weight: 1.0,
+            tenant: 0,
         };
         q.submit(req(0, 1), Admission::Block).unwrap();
         q.submit(wide, Admission::Block).unwrap();
@@ -1399,6 +1780,176 @@ mod tests {
         let ticket = Ticket::new(slot.clone(), Slo::Latency, Some(Duration::from_secs(600)));
         slot.fulfill(Tensor::zeros(&[1]));
         assert!(!ticket.wait().missed);
+    }
+
+    fn tenant_req(tenant: usize, rows: usize, slo: Slo) -> QueuedRequest {
+        let mut r = class_req(0, rows, slo);
+        r.tenant = tenant;
+        r
+    }
+
+    /// A `max_queued` quota rejects immediately — even under Block — and
+    /// hands the input back; draining reopens admission.
+    #[test]
+    fn max_queued_quota_rejects_immediately() {
+        let q = RequestQueue::new(16);
+        let a = q.resolve_tenant("a");
+        // Unconfigured tenants get no quotas; pin one on directly.
+        q.state.lock().unwrap().tenants[a].max_queued = Some(2);
+        q.submit(tenant_req(a, 1, Slo::Bulk), Admission::Block)
+            .unwrap();
+        q.submit(tenant_req(a, 1, Slo::Bulk), Admission::Block)
+            .unwrap();
+        match q.submit(tenant_req(a, 3, Slo::Bulk), Admission::Block) {
+            Err(SubmitError::QuotaExceeded { tenant, input }) => {
+                assert_eq!(tenant, "a");
+                assert_eq!(input.dim(0), 3, "input handed back");
+            }
+            other => panic!("expected QuotaExceeded, got {other:?}"),
+        }
+        // Other tenants are unaffected by a's quota.
+        q.submit(req(0, 1), Admission::Block).unwrap();
+        let sched = strict(&q, Some(1), Duration::ZERO);
+        // Drain the default tenant's request (vtime tie breaks to index
+        // 0), then one of a's.
+        next_batch(&sched).unwrap();
+        next_batch(&sched).unwrap();
+        // One slot freed below the quota: admission reopens.
+        q.submit(tenant_req(a, 1, Slo::Bulk), Admission::Block)
+            .unwrap();
+        let s = q.stats();
+        assert_eq!(s.quota_rejected, 1);
+        let ts = s.tenants.iter().find(|t| t.name == "a").unwrap();
+        assert_eq!(ts.quota_rejected, 1);
+        assert_eq!(ts.submitted, 3);
+    }
+
+    /// A `max_in_flight` quota meters admitted-but-unfulfilled requests:
+    /// scheduling alone does not free it — only fulfilment
+    /// (`note_served`) does — and `peak_in_flight` never exceeds it.
+    #[test]
+    fn max_in_flight_quota_waits_for_fulfilment() {
+        let q = RequestQueue::new(16);
+        let a = q.resolve_tenant("a");
+        q.state.lock().unwrap().tenants[a].max_in_flight = Some(1);
+        q.submit(tenant_req(a, 1, Slo::Bulk), Admission::Block)
+            .unwrap();
+        assert!(matches!(
+            q.submit(tenant_req(a, 1, Slo::Bulk), Admission::Reject),
+            Err(SubmitError::QuotaExceeded { .. })
+        ));
+        let sched = strict(&q, Some(1), Duration::ZERO);
+        next_batch(&sched).unwrap();
+        // Scheduled but not fulfilled: still in flight, still capped.
+        assert!(matches!(
+            q.submit(tenant_req(a, 1, Slo::Bulk), Admission::Reject),
+            Err(SubmitError::QuotaExceeded { .. })
+        ));
+        q.note_served(Slo::Bulk, a, false, false, Duration::from_micros(50));
+        q.submit(tenant_req(a, 1, Slo::Bulk), Admission::Block)
+            .unwrap();
+        let ts = q.stats().tenants[a].clone();
+        assert_eq!(ts.peak_in_flight, 1, "never exceeded the quota");
+        assert_eq!(ts.served, 1);
+        assert!(!ts.histogram.is_empty(), "fulfilment recorded a latency");
+    }
+
+    /// Weighted-fair scheduling: under saturation, served-row shares
+    /// follow tenant weights (a 3:1 weight split serves 3:1 rows), with
+    /// ties breaking to the lower tenant index.
+    #[test]
+    fn wfq_serves_rows_proportional_to_weight() {
+        let q = RequestQueue::with_tenants(
+            16,
+            &[TenantSpec::new("a"), TenantSpec::new("b").weight(3.0)],
+        );
+        let (a, b) = (q.resolve_tenant("a"), q.resolve_tenant("b"));
+        for _ in 0..4 {
+            q.submit(tenant_req(a, 1, Slo::Bulk), Admission::Block)
+                .unwrap();
+        }
+        for _ in 0..12 {
+            q.submit(tenant_req(b, 1, Slo::Bulk), Admission::Block)
+                .unwrap();
+        }
+        q.close();
+        let sched = strict(&q, Some(1), Duration::ZERO);
+        let order: Vec<usize> = std::iter::from_fn(|| next_batch(&sched))
+            .map(|batch| batch[0].tenant)
+            .collect();
+        assert_eq!(order.len(), 16);
+        // Saturated prefix (both tenants backlogged through sweep 8 —
+        // a's 4 requests at weight 1 drain one per 4 sweeps): exactly
+        // weight-share interleave, a first on the vtime=0 tie.
+        assert_eq!(&order[..8], &[a, b, b, b, a, b, b, b]);
+        let s = q.stats();
+        assert_eq!(s.tenants[a].rows, 4);
+        assert_eq!(s.tenants[b].rows, 12);
+    }
+
+    /// An idle tenant must not bank scheduling credit: after sitting out
+    /// a busy period it rejoins at the virtual floor and shares from
+    /// there, rather than monopolizing until its stale clock catches up.
+    #[test]
+    fn reactivating_tenant_rejoins_at_the_virtual_floor() {
+        let q = RequestQueue::with_tenants(16, &[TenantSpec::new("a"), TenantSpec::new("b")]);
+        let (a, b) = (q.resolve_tenant("a"), q.resolve_tenant("b"));
+        let sched = strict(&q, Some(1), Duration::ZERO);
+        // b serves 6 rows alone; its clock runs ahead while a idles.
+        for _ in 0..6 {
+            q.submit(tenant_req(b, 1, Slo::Bulk), Admission::Block)
+                .unwrap();
+            next_batch(&sched).unwrap();
+        }
+        // a wakes up with a backlog; both now saturated.
+        for _ in 0..6 {
+            q.submit(tenant_req(a, 1, Slo::Bulk), Admission::Block)
+                .unwrap();
+            q.submit(tenant_req(b, 1, Slo::Bulk), Admission::Block)
+                .unwrap();
+        }
+        q.close();
+        let order: Vec<usize> = std::iter::from_fn(|| next_batch(&sched))
+            .map(|batch| batch[0].tenant)
+            .collect();
+        let a_in_first_half = order[..6].iter().filter(|&&t| t == a).count();
+        assert!(
+            (2..=4).contains(&a_in_first_half),
+            "a must share, not monopolize or starve: {order:?}"
+        );
+    }
+
+    /// The queue snapshot carries the new observability surfaces: class
+    /// histograms, the depth series, and per-model counters keyed by
+    /// slot index.
+    #[test]
+    fn stats_snapshot_carries_histograms_series_and_models() {
+        let q = RequestQueue::new(8);
+        q.submit(class_req(1, 2, Slo::Latency), Admission::Block)
+            .unwrap();
+        q.submit(class_req(1, 1, Slo::Bulk), Admission::Block)
+            .unwrap();
+        let sched = strict(&q, Some(8), Duration::ZERO);
+        next_batch(&sched).unwrap();
+        next_batch(&sched).unwrap();
+        q.note_served(Slo::Latency, 0, true, false, Duration::from_micros(700));
+        q.note_served(Slo::Bulk, 0, false, false, Duration::from_millis(3));
+        let s = q.stats();
+        assert_eq!(s.latency_hist.count(), 1);
+        assert_eq!(s.bulk_hist.count(), 1);
+        assert!(
+            s.latency_hist.quantile(1.0).unwrap() >= Duration::from_micros(700),
+            "quantile upper-bounds the observation"
+        );
+        assert_eq!(s.queue_depth_series.len(), 2, "one sample per admission");
+        assert_eq!(s.models.len(), 2, "model vec grown to slot index 1");
+        assert_eq!(s.models[1].served, 2);
+        assert_eq!(s.models[1].sweeps, 2);
+        assert_eq!(s.models[1].images, 3);
+        let prom = s.render_prometheus();
+        assert!(prom.contains("cq_serve_served_total"));
+        assert!(prom.contains("cq_serve_latency_seconds_bucket{class=\"latency\","));
+        assert!(prom.contains("cq_serve_tenant_served_total{tenant=\"default\"}"));
     }
 
     /// Closing wakes blocked submitters with `Closed` and lets schedulers

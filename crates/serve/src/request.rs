@@ -18,6 +18,27 @@ use crate::registry::ModelId;
 use cq_tensor::Tensor;
 use std::time::Duration;
 
+/// A tenant identity, attached to a request with
+/// [`Request::tenant`](Request::tenant). Tenants configured via
+/// [`TenantSpec`](crate::TenantSpec) get their configured weight and
+/// quotas; unknown tenants are admitted with weight 1 and no quotas;
+/// untagged requests ride the built-in `"default"` tenant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TenantId(pub String);
+
+impl TenantId {
+    /// The tenant's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl<S: Into<String>> From<S> for TenantId {
+    fn from(name: S) -> Self {
+        TenantId(name.into())
+    }
+}
+
 /// Where a request is going: a model name (resolved at submission) or a
 /// pre-resolved registry handle (skips the name lookup on hot paths).
 #[derive(Debug, Clone)]
@@ -42,6 +63,7 @@ pub struct Request {
     pub(crate) slo: Slo,
     pub(crate) deadline: Option<Duration>,
     pub(crate) weight: f32,
+    pub(crate) tenant: Option<TenantId>,
 }
 
 impl Request {
@@ -52,6 +74,7 @@ impl Request {
             slo: Slo::Bulk,
             deadline: None,
             weight: 1.0,
+            tenant: None,
         }
     }
 
@@ -107,6 +130,14 @@ impl Request {
         self.weight = weight;
         self
     }
+
+    /// Tags the request with a tenant for weighted-fair scheduling and
+    /// quota accounting (see [`TenantSpec`](crate::TenantSpec)). Untagged
+    /// requests ride the built-in `"default"` tenant.
+    pub fn tenant(mut self, tenant: impl Into<TenantId>) -> Self {
+        self.tenant = Some(tenant.into());
+        self
+    }
 }
 
 #[cfg(test)]
@@ -121,17 +152,21 @@ mod tests {
         assert_eq!(r.slo, Slo::Bulk);
         assert_eq!(r.deadline, None);
         assert_eq!(r.weight, 1.0);
+        assert_eq!(r.tenant, None, "untagged by default");
 
         let r = Request::to_id(ModelId(3))
             .batch(Tensor::zeros(&[1, 1, 1, 1]))
             .slo(Slo::Latency)
             .deadline(Duration::from_millis(5))
-            .weight(2.5);
+            .weight(2.5)
+            .tenant("acme");
         assert!(matches!(r.target, Target::Id(ModelId(3))));
         assert!(r.input.is_some());
         assert_eq!(r.slo, Slo::Latency);
         assert_eq!(r.deadline, Some(Duration::from_millis(5)));
         assert_eq!(r.weight, 2.5);
+        assert_eq!(r.tenant, Some(TenantId("acme".into())));
+        assert_eq!(r.tenant.unwrap().name(), "acme");
     }
 
     #[test]

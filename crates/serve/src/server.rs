@@ -51,14 +51,8 @@ impl CimServer {
         registry
             .set_backends(&cfg.backends)
             .expect("configured backend chain cannot execute a resident model");
-        let model_backends = registry.primary_backends();
-        let backend_layers = registry.backend_layer_counts();
         Self {
-            core: Arc::new(ServerCore {
-                registry,
-                model_backends,
-                backend_layers,
-            }),
+            core: Arc::new(ServerCore { registry }),
             cfg,
         }
     }
@@ -98,8 +92,6 @@ impl CimServer {
         core.registry.set_max_batch(cfg.max_batch);
         core.registry.set_row_tile_shards(cfg.row_tile_shards);
         core.registry.set_backends(&cfg.backends)?;
-        core.model_backends = core.registry.primary_backends();
-        core.backend_layers = core.registry.backend_layer_counts();
         self.cfg = cfg;
         Ok(())
     }

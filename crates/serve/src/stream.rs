@@ -24,6 +24,9 @@ pub struct StreamRequest {
     pub batch: usize,
     /// Priority class of this request.
     pub slo: Slo,
+    /// Index into [`StreamSpec::tenants`] when the spec names tenants;
+    /// `None` (the built-in `"default"` tenant) otherwise.
+    pub tenant: Option<usize>,
 }
 
 /// Specification of a Poisson-ish open-loop stream.
@@ -42,6 +45,9 @@ pub struct StreamSpec {
     pub latency_fraction: f64,
     /// RNG seed — same seed, same stream.
     pub seed: u64,
+    /// Tenant names to spread requests over (uniformly). Empty means
+    /// every request rides the built-in `"default"` tenant.
+    pub tenants: Vec<String>,
 }
 
 impl StreamSpec {
@@ -75,6 +81,11 @@ impl StreamSpec {
                     } else {
                         Slo::Bulk
                     },
+                    tenant: if self.tenants.is_empty() {
+                        None
+                    } else {
+                        Some(rng.below(self.tenants.len()))
+                    },
                 }
             })
             .collect()
@@ -93,7 +104,22 @@ mod tests {
             batch_choices: vec![1, 2, 4],
             latency_fraction: 0.25,
             seed,
+            tenants: vec![],
         }
+    }
+
+    #[test]
+    fn tenants_are_drawn_only_when_named() {
+        let s = spec(11).generate();
+        assert!(s.iter().all(|r| r.tenant.is_none()), "default tenant");
+        let named = StreamSpec {
+            tenants: vec!["a".into(), "b".into()],
+            ..spec(11)
+        }
+        .generate();
+        assert!(named.iter().all(|r| matches!(r.tenant, Some(0 | 1))));
+        assert!(named.iter().any(|r| r.tenant == Some(0)));
+        assert!(named.iter().any(|r| r.tenant == Some(1)));
     }
 
     #[test]

@@ -210,6 +210,85 @@ fn many_client_hammer_is_bit_exact_with_zero_spawns() {
     assert_eq!(stats.served as usize, n_clients * per_client + 1);
 }
 
+/// Live stats scrapes run concurrently with serving: `session.stats()`,
+/// `render_prometheus`, and the registry's `&self` backend accessors
+/// (`primary_backends`, `backend_layer_counts`) never block on or
+/// corrupt the serving path, and the monotone counters only grow.
+#[test]
+fn stats_scrape_runs_concurrently_with_serving() {
+    let mut registry = ModelRegistry::new();
+    registry.register("m", prepared(33));
+    let session = CimServer::new(
+        registry,
+        ServeConfig::builder()
+            .admission(Admission::Block)
+            .max_batch(Some(2))
+            .max_wait(Duration::from_micros(200))
+            .workers(2)
+            .build()
+            .unwrap(),
+    )
+    .start();
+
+    let served = std::thread::scope(|sc| {
+        let session = &session;
+        let submitter = sc.spawn(move || {
+            let rng = &mut CqRng::new(34);
+            let tickets: Vec<Ticket> = (0..30)
+                .map(|_| {
+                    session
+                        .submit(Request::to("m").batch(request(rng, 1)))
+                        .unwrap()
+                })
+                .collect();
+            let mut served = 0usize;
+            for t in tickets {
+                let _ = t.wait();
+                served += 1;
+            }
+            served
+        });
+        let scraper = sc.spawn(move || {
+            let mut last_served = 0u64;
+            for _ in 0..200 {
+                let stats = session.stats();
+                assert!(stats.served >= last_served, "served count went backwards");
+                last_served = stats.served;
+                assert!(stats.served <= stats.submitted);
+                // The registry accessors take &self — no exclusive lock,
+                // so they are scrapeable mid-flight too.
+                assert_eq!(session.registry().primary_backends().len(), 1);
+                let _layers: [usize; 3] = session.registry().backend_layer_counts();
+                let text = stats.render_prometheus();
+                assert!(text.contains("cq_serve_served_total"));
+                assert!(text.contains("cq_serve_workers{dim=\"live\"}"));
+            }
+            last_served
+        });
+        let served = submitter.join().unwrap();
+        let _ = scraper.join().unwrap();
+        served
+    });
+    assert_eq!(served, 30);
+    let (stats, _) = session.shutdown();
+    assert_eq!(stats.served, 30);
+    assert_eq!(stats.models.len(), 1);
+    assert_eq!(stats.models[0].name, "m");
+    assert!(!stats.models[0].evicted);
+    assert_eq!(stats.models[0].served, 30);
+    assert!(!stats.tenants.is_empty(), "default tenant tracked");
+    assert_eq!(stats.tenants[0].name, "default");
+    assert_eq!(
+        stats.latency_hist.count() + stats.bulk_hist.count(),
+        30,
+        "every fulfilment lands in a class histogram"
+    );
+    assert!(
+        !stats.queue_depth_series.is_empty(),
+        "admissions produce depth samples"
+    );
+}
+
 /// `set_config` is a hard error while unreachable mid-session (the
 /// sessions-only contract), rejects invalid configs loudly, and applies
 /// cleanly between sessions.
@@ -222,7 +301,7 @@ fn set_config_validates_and_is_sessions_only() {
     // directly (fields are public precisely so tests can) to exercise
     // `set_config`'s own validation path.
     let invalid = ServeConfig {
-        workers: 0,
+        min_workers: 0,
         ..ServeConfig::default()
     };
     assert_eq!(
@@ -230,17 +309,28 @@ fn set_config_validates_and_is_sessions_only() {
         Err(ConfigError::ZeroWorkers),
         "invalid config must be rejected, not asserted"
     );
+    let inverted = ServeConfig {
+        min_workers: 3,
+        max_workers: 1,
+        ..ServeConfig::default()
+    };
+    assert_eq!(
+        server.set_config(inverted),
+        Err(ConfigError::WorkerBounds { min: 3, max: 1 }),
+        "inverted autoscale bounds must be rejected"
+    );
     // Between sessions, reconfiguration succeeds and the policy sticks.
     let cfg = ServeConfig::builder().workers(3).build().unwrap();
     server.set_config(cfg).unwrap();
-    assert_eq!(server.config().workers, 3);
+    assert_eq!(server.config().min_workers, 3);
+    assert_eq!(server.config().max_workers, 3, "workers(n) fixes the pool");
     let ((), stats) = server.serve(|_s| {});
     assert_eq!(stats.submitted, 0);
     // Still reconfigurable after a session drained.
     server
         .set_config(ServeConfig::builder().workers(1).build().unwrap())
         .unwrap();
-    assert_eq!(server.config().workers, 1);
+    assert_eq!(server.config().min_workers, 1);
 }
 
 /// Reject admission bounds the queue: some of a fast burst is shed, the
@@ -318,6 +408,7 @@ fn multi_model_residency_is_isolated_and_bit_exact() {
         batch_choices: vec![1, 2, 5],
         latency_fraction: 0.0,
         seed: 99,
+        tenants: vec![],
     }
     .generate();
     let rng = &mut CqRng::new(5);
@@ -379,6 +470,7 @@ fn scheduler_is_deterministic_under_a_seeded_stream() {
         batch_choices: vec![1],
         latency_fraction: 0.0,
         seed: 7,
+        tenants: vec![],
     }
     .generate();
 

@@ -1,0 +1,221 @@
+//! CqRng-driven property tests for per-tenant weighted-fair scheduling
+//! and admission quotas (the workspace is dependency-free, so the
+//! property harness is a seeded loop over randomized scenarios):
+//!
+//! * under saturation, each tenant's served share converges to its
+//!   weight share (measured at a completion cut where every tenant still
+//!   has backlog — total drainage would trivially equalize shares);
+//! * an in-flight quota is never exceeded at any scheduler step
+//!   (`peak_in_flight` is tracked by the queue at every transition), and
+//!   quota rejections are recoverable — retrying producers eventually
+//!   get every request served.
+
+use cq_cim::CimConfig;
+use cq_core::{build_cim_resnet, PreparedCimModel, QuantScheme};
+use cq_nn::{Layer, Mode, ResNetSpec};
+use cq_serve::{
+    Admission, CimServer, CompletionSet, ModelRegistry, Request, ServeConfig, SubmitError,
+    TenantSpec,
+};
+use cq_tensor::{CqRng, Tensor};
+use std::time::Duration;
+
+fn prepared(seed: u64) -> PreparedCimModel {
+    let mut net = build_cim_resnet(
+        ResNetSpec::resnet8(4, 4),
+        &CimConfig::tiny(),
+        &QuantScheme::ours(),
+        seed,
+    );
+    let x = CqRng::new(seed + 1000).normal_tensor(&[2, 3, 12, 12], 1.0);
+    let _ = net.forward(&x, Mode::Eval);
+    PreparedCimModel::new(Box::new(net))
+}
+
+fn input(rng: &mut CqRng) -> Tensor {
+    rng.normal_tensor(&[1, 3, 12, 12], 1.0)
+}
+
+/// Random tenant mixes and weights: at a cut where every tenant still
+/// has queued backlog, served counts track weight shares.
+#[test]
+fn served_share_converges_to_weight_share_under_saturation() {
+    const PER_TENANT: usize = 24;
+    let weight_choices = [1.0f32, 2.0, 4.0];
+    for trial in 0..3u64 {
+        let rng = &mut CqRng::new(4000 + trial);
+        let n_tenants = 2 + rng.below(2); // 2..=3
+        let weights: Vec<f32> = (0..n_tenants)
+            .map(|_| weight_choices[rng.below(weight_choices.len())])
+            .collect();
+        let names: Vec<String> = (0..n_tenants).map(|i| format!("t{i}")).collect();
+
+        let mut builder = ServeConfig::builder()
+            .queue_capacity(n_tenants * PER_TENANT + 4)
+            .admission(Admission::Block)
+            // One worker, one request per sweep: every service decision is
+            // a WFQ pick, so shares are purely the scheduler's doing.
+            .workers(1)
+            .max_batch(Some(1))
+            .max_wait(Duration::ZERO);
+        for (name, w) in names.iter().zip(&weights) {
+            builder = builder.tenant(TenantSpec::new(name.clone()).weight(*w));
+        }
+        let mut registry = ModelRegistry::new();
+        registry.register("m", prepared(40 + trial));
+        let session = CimServer::new(registry, builder.build().unwrap()).start();
+
+        // Interleave submissions round-robin so no tenant gets a
+        // first-mover backlog advantage.
+        let mut inflight = CompletionSet::new();
+        let mut tenant_of: Vec<usize> = Vec::new();
+        for _ in 0..PER_TENANT {
+            for (i, name) in names.iter().enumerate() {
+                let t = session
+                    .submit(Request::to("m").batch(input(rng)).tenant(name.clone()))
+                    .unwrap();
+                inflight.insert(t);
+                tenant_of.push(i);
+            }
+        }
+
+        // Cut where the fastest tenant has served at most ~80% of its
+        // backlog — every tenant is still saturated up to the cut.
+        let total_w: f32 = weights.iter().sum();
+        let max_share = weights.iter().fold(0.0f32, |a, &w| a.max(w)) / total_w;
+        let cut = ((0.8 * PER_TENANT as f32 / max_share) as usize).min(n_tenants * PER_TENANT);
+        let mut served = vec![0usize; n_tenants];
+        for _ in 0..cut {
+            let (key, _) = inflight.wait_any().expect("tickets outstanding");
+            served[tenant_of[key.index()]] += 1;
+        }
+        // Drain the rest before shutdown so the session ends clean.
+        while inflight.wait_any().is_some() {}
+        let (stats, _) = session.shutdown();
+        assert_eq!(stats.served as usize, n_tenants * PER_TENANT);
+
+        for (i, (&got, &w)) in served.iter().zip(&weights).enumerate() {
+            let want = w / total_w;
+            let got_share = got as f64 / cut as f64;
+            // The scheduler is deterministic; the slack only covers the
+            // startup transient (requests served while the queue filled).
+            assert!(
+                (got_share - f64::from(want)).abs() < 0.15,
+                "trial {trial} tenant {i}: served share {got_share:.3} vs \
+                 weight share {want:.3} (weights {weights:?}, cut {cut})"
+            );
+        }
+    }
+}
+
+/// Random in-flight and queued quotas: `QuotaExceeded` fires immediately
+/// (even under Block admission), `peak_in_flight` never exceeds the
+/// quota at any step, and retrying producers get everything served.
+#[test]
+fn quotas_bound_in_flight_at_every_step_and_reject_recoverably() {
+    const REQUESTS: usize = 18;
+    for trial in 0..3u64 {
+        let rng = &mut CqRng::new(5000 + trial);
+        let max_in_flight = 1 + rng.below(3); // 1..=3
+        let max_queued = 1 + rng.below(2); // 1..=2, <= max_in_flight path too
+        let cfg = ServeConfig::builder()
+            .queue_capacity(32)
+            .admission(Admission::Block)
+            .workers(1)
+            .max_batch(Some(2))
+            .max_wait(Duration::ZERO)
+            .tenant(
+                TenantSpec::new("capped")
+                    .weight(1.0)
+                    .max_in_flight(max_in_flight)
+                    .max_queued(max_queued),
+            )
+            .tenant(TenantSpec::new("open").weight(1.0))
+            .build()
+            .unwrap();
+        let mut registry = ModelRegistry::new();
+        registry.register("m", prepared(60 + trial));
+        let session = CimServer::new(registry, cfg).start();
+
+        let mut quota_hits = 0u64;
+        let mut tickets = Vec::new();
+        for i in 0..REQUESTS {
+            // Background traffic from the unquota'd tenant keeps the
+            // worker busy so the capped tenant actually queues.
+            if i % 3 == 0 {
+                tickets.push(
+                    session
+                        .submit(Request::to("m").batch(input(rng)).tenant("open"))
+                        .unwrap(),
+                );
+            }
+            // The capped tenant retries until admitted: QuotaExceeded is
+            // immediate (never blocks) and hands the input back.
+            let mut x = input(rng);
+            loop {
+                match session.submit(Request::to("m").batch(x).tenant("capped")) {
+                    Ok(t) => {
+                        tickets.push(t);
+                        break;
+                    }
+                    Err(SubmitError::QuotaExceeded { tenant, input }) => {
+                        assert_eq!(tenant, "capped");
+                        quota_hits += 1;
+                        x = input; // recovered intact
+                        std::thread::sleep(Duration::from_micros(300));
+                    }
+                    Err(e) => panic!("unexpected submit error: {e:?}"),
+                }
+            }
+        }
+        for t in tickets {
+            let _ = t.wait();
+        }
+        let (stats, _) = session.shutdown();
+
+        let capped = stats
+            .tenants
+            .iter()
+            .find(|t| t.name == "capped")
+            .expect("capped tenant tracked");
+        assert_eq!(capped.served, REQUESTS as u64, "every retry got through");
+        assert!(
+            capped.peak_in_flight <= max_in_flight,
+            "trial {trial}: peak in-flight {} exceeded quota {max_in_flight}",
+            capped.peak_in_flight
+        );
+        assert_eq!(
+            capped.quota_rejected, quota_hits,
+            "queue and client agree on rejection count"
+        );
+        assert!(
+            quota_hits > 0,
+            "trial {trial}: saturation never hit quota {max_in_flight}/{max_queued}"
+        );
+        assert_eq!(stats.quota_rejected, quota_hits, "global counter matches");
+    }
+}
+
+/// An unknown tenant tag is admitted with weight 1 and no quotas (the
+/// create-on-first-sight path), and shows up in the stats snapshot.
+#[test]
+fn unknown_tenants_are_admitted_with_defaults() {
+    let mut registry = ModelRegistry::new();
+    registry.register("m", prepared(70));
+    let session =
+        CimServer::new(registry, ServeConfig::builder().workers(1).build().unwrap()).start();
+    let rng = &mut CqRng::new(71);
+    let t = session
+        .submit(Request::to("m").batch(input(rng)).tenant("walk-in"))
+        .unwrap();
+    let _ = t.wait();
+    let (stats, _) = session.shutdown();
+    let walk_in = stats
+        .tenants
+        .iter()
+        .find(|t| t.name == "walk-in")
+        .expect("unknown tenant tracked on first sight");
+    assert_eq!(walk_in.weight, 1.0);
+    assert_eq!(walk_in.served, 1);
+    assert_eq!(walk_in.quota_rejected, 0);
+}
