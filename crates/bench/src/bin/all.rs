@@ -17,4 +17,5 @@ fn main() {
     println!("{}", experiments::fig8::run(scale));
     println!("{}", experiments::fig9::run(scale));
     println!("{}", experiments::fig10::run(scale));
+    println!("{}", experiments::schemes::run(scale));
 }

@@ -1,0 +1,9 @@
+//! Scheme-zoo comparison: the paper's column-wise LSQ scheme vs BWMA
+//! (binary ±1 weights) vs hybrid-ADC (digitally-carried low splits),
+//! each run QAT → freeze → serve. Emits `BENCH_schemes.json`.
+fn main() {
+    println!(
+        "{}",
+        cq_bench::experiments::schemes::run(cq_bench::Scale::from_env())
+    );
+}

@@ -10,6 +10,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod kernels;
+pub mod schemes;
 pub mod serving;
 pub mod tables;
 pub mod throughput;

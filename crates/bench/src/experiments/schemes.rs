@@ -1,0 +1,255 @@
+//! **Scheme zoo comparison** — the paper's column-wise LSQ scheme
+//! against the two extension schemes riding the same QAT → freeze →
+//! serve path: **BWMA** (binary weights, ±1 codebook, single bit-split)
+//! and **hybrid-ADC** (low-order bit-splits carried digitally past the
+//! ADC). Per scheme: quantized accuracy after scheme-driven training,
+//! ADC cost (conversions and energy per output pixel, discounted for
+//! digitally-carried splits), and frozen-engine serving throughput —
+//! with a frozen-vs-unfrozen bit-exactness check pinned before any
+//! timing. Results go to `BENCH_schemes.json` (a CI artifact).
+
+use crate::experiments::run_scheme;
+use crate::{markdown_table, ExperimentSetting, Scale};
+use cq_core::{for_each_cim_conv, PreparedCimModel, QuantScheme};
+use cq_nn::{Layer, Mode};
+use cq_tensor::{max_threads, CqRng, Tensor};
+use std::time::Instant;
+
+/// One scheme's measured row.
+#[derive(Debug, Clone)]
+pub struct SchemePoint {
+    /// Scheme name ([`QuantScheme::name`]) — the registry/stats key.
+    pub name: String,
+    /// Human-readable scheme label.
+    pub label: String,
+    /// Weight bits after the scheme's config override.
+    pub weight_bits: usize,
+    /// Bit-splits per weight (1 for binary).
+    pub splits: usize,
+    /// Low-order splits carried digitally (0 = all-ADC).
+    pub digital_splits: usize,
+    /// Final quantized test accuracy after scheme-driven training.
+    pub acc: f32,
+    /// Wall-clock training seconds.
+    pub train_seconds: f64,
+    /// ADC conversions per output pixel, summed over layers and
+    /// discounted for digitally-carried splits.
+    pub adc_conversions_per_pixel: usize,
+    /// ADC energy per output pixel (pJ), same discount.
+    pub adc_energy_pj_per_pixel: f64,
+    /// `adc_energy_pj_per_pixel / paper scheme's` (1.0 for the paper row).
+    pub adc_energy_vs_paper: f64,
+    /// Frozen-engine serving throughput (images/sec, best-of reps).
+    pub images_per_sec: f64,
+    /// `images_per_sec / paper scheme's` (1.0 for the paper row).
+    pub speedup_vs_paper: f64,
+    /// Frozen convs dispatching to the integer kernels under `Auto`.
+    pub integer_convs: usize,
+    /// Total frozen CIM convs.
+    pub total_convs: usize,
+}
+
+/// Full result of the scheme-zoo comparison.
+#[derive(Debug, Clone)]
+pub struct SchemesResult {
+    /// Experiment size.
+    pub scale: Scale,
+    /// Effective thread cap during the run.
+    pub threads: usize,
+    /// One row per scheme, paper scheme first.
+    pub rows: Vec<SchemePoint>,
+}
+
+impl SchemesResult {
+    /// Renders the machine-readable report (hand-rolled JSON; the
+    /// workspace is dependency-free).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"scale\": \"{:?}\",\n", self.scale));
+        s.push_str(&format!("  \"threads\": {},\n", self.threads));
+        s.push_str("  \"schemes\": [\n");
+        for (i, p) in self.rows.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"label\": \"{}\", \"weight_bits\": {}, \
+                 \"splits\": {}, \"digital_splits\": {}, \"acc\": {:.4}, \
+                 \"train_seconds\": {:.3}, \"adc_conversions_per_pixel\": {}, \
+                 \"adc_energy_pj_per_pixel\": {:.3}, \"adc_energy_vs_paper\": {:.3}, \
+                 \"images_per_sec\": {:.3}, \"speedup_vs_paper\": {:.3}, \
+                 \"integer_convs\": {}, \"total_convs\": {}}}{}\n",
+                p.name,
+                p.label,
+                p.weight_bits,
+                p.splits,
+                p.digital_splits,
+                p.acc,
+                p.train_seconds,
+                p.adc_conversions_per_pixel,
+                p.adc_energy_pj_per_pixel,
+                p.adc_energy_vs_paper,
+                p.images_per_sec,
+                p.speedup_vs_paper,
+                p.integer_convs,
+                p.total_convs,
+                if i + 1 < self.rows.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// Trains, costs, and serves one scheme end-to-end.
+fn bench_scheme(
+    setting: &ExperimentSetting,
+    scheme: &QuantScheme,
+    seed: u64,
+    requests: usize,
+    reps: usize,
+) -> SchemePoint {
+    let (mut net, result) = run_scheme(setting, scheme, seed);
+
+    // ADC cost, with digitally-carried splits bypassing the converter:
+    // `adc_conversions_per_pixel` counts every physical column, which is
+    // `num_splits` per logical column — scale by the analog split share.
+    let (mut conversions, mut energy) = (0usize, 0.0f64);
+    let (mut weight_bits, mut splits, mut digital) = (0usize, 0usize, 0usize);
+    for_each_cim_conv(&mut net, |c| {
+        let cost = c.cost();
+        let n = c.plan().num_splits;
+        let d = c.digital_splits();
+        conversions += cost.adc_conversions_per_pixel / n * (n - d);
+        energy += cost.adc_energy_pj_per_pixel * (n - d) as f64 / n as f64;
+        weight_bits = c.cim_config().weight_bits as usize;
+        splits = n;
+        digital = d;
+    });
+
+    // Freeze for serving — and pin frozen == unfrozen on this scheme
+    // before timing anything (the bit-exactness contract every scheme
+    // rides).
+    let (c, hw) = (setting.data.channels, setting.data.image_size);
+    let rng = &mut CqRng::new(seed + 90);
+    let probe = rng.normal_tensor(&[1, c, hw, hw], 1.0).map(|v| v.max(0.0));
+    let want = net.forward(&probe, Mode::Eval);
+    let mut pm = PreparedCimModel::new(Box::new(net));
+    pm.set_max_batch(Some(8));
+    assert_eq!(
+        pm.infer(&probe),
+        want,
+        "{}: frozen engine diverged from the unfrozen forward",
+        scheme.name
+    );
+
+    let inputs: Vec<Tensor> = (0..requests)
+        .map(|_| rng.normal_tensor(&[1, c, hw, hw], 1.0).map(|v| v.max(0.0)))
+        .collect();
+    std::hint::black_box(pm.infer_batch(&inputs)); // warm
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        std::hint::black_box(pm.infer_batch(&inputs));
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    let (integer_convs, total_convs) = pm.count_integer_kernels();
+
+    SchemePoint {
+        name: scheme.name.clone(),
+        label: scheme.label.clone(),
+        weight_bits,
+        splits,
+        digital_splits: digital,
+        acc: result.final_test_acc(),
+        train_seconds: result.total_seconds,
+        adc_conversions_per_pixel: conversions,
+        adc_energy_pj_per_pixel: energy,
+        adc_energy_vs_paper: 1.0, // filled against the paper row below
+        images_per_sec: requests as f64 / best.max(1e-9),
+        speedup_vs_paper: 1.0, // filled against the paper row below
+        integer_convs,
+        total_convs,
+    }
+}
+
+/// Measures the three-scheme comparison at `scale`.
+pub fn measure(scale: Scale) -> SchemesResult {
+    let (requests, reps) = match scale {
+        Scale::Ci => (16, 3),
+        Scale::Quick => (64, 3),
+        Scale::Full => (192, 5),
+    };
+    let setting = ExperimentSetting::cifar10(scale, 500);
+    let schemes = [
+        QuantScheme::ours(),
+        QuantScheme::bwma(),
+        QuantScheme::hybrid_adc(),
+    ];
+    let mut rows: Vec<SchemePoint> = schemes
+        .iter()
+        .enumerate()
+        .map(|(i, s)| bench_scheme(&setting, s, 510 + i as u64, requests, reps))
+        .collect();
+    let base_energy = rows[0].adc_energy_pj_per_pixel.max(1e-9);
+    let base_ips = rows[0].images_per_sec.max(1e-9);
+    for row in &mut rows {
+        row.adc_energy_vs_paper = row.adc_energy_pj_per_pixel / base_energy;
+        row.speedup_vs_paper = row.images_per_sec / base_ips;
+    }
+    SchemesResult {
+        scale,
+        threads: max_threads(),
+        rows,
+    }
+}
+
+/// Runs the experiment, writes `BENCH_schemes.json`, and returns the
+/// markdown report.
+pub fn run(scale: Scale) -> String {
+    let r = measure(scale);
+    std::fs::write("BENCH_schemes.json", r.to_json()).expect("write BENCH_schemes.json");
+
+    let rows: Vec<Vec<String>> = r
+        .rows
+        .iter()
+        .map(|p| {
+            vec![
+                p.name.clone(),
+                format!("{}", p.weight_bits),
+                format!("{}/{}", p.splits - p.digital_splits, p.splits),
+                format!("{:.1}%", 100.0 * p.acc),
+                format!("{}", p.adc_conversions_per_pixel),
+                format!("{:.2}x", p.adc_energy_vs_paper),
+                format!("{:.1}", p.images_per_sec),
+                format!("{:.2}x", p.speedup_vs_paper),
+                format!("{}/{}", p.integer_convs, p.total_convs),
+            ]
+        })
+        .collect();
+    let mut out = String::from(
+        "## Scheme zoo — paper LSQ vs BWMA vs hybrid-ADC, QAT \u{2192} freeze \u{2192} serve\n\n",
+    );
+    out.push_str(&format!(
+        "Frozen engine checked bit-identical to the unfrozen forward per \
+         scheme before timing; {} threads ({:?} scale).\n\n",
+        r.threads, r.scale
+    ));
+    out.push_str(&markdown_table(
+        &[
+            "scheme",
+            "w bits",
+            "analog/total splits",
+            "acc",
+            "ADC conv/px",
+            "ADC energy",
+            "img/s",
+            "speedup",
+            "int convs",
+        ],
+        &rows,
+    ));
+    out.push_str(
+        "\nBWMA's single \u{00b1}1 bit-split cuts ADC conversions and rides the \
+         integer fast path; hybrid-ADC trades ADC energy for digital adds on \
+         the low-order splits (written to `BENCH_schemes.json`).\n",
+    );
+    out
+}

@@ -11,7 +11,9 @@
 //! loop with one f32 operation order — so they agree **exactly** at zero
 //! variation; integration tests enforce this.
 
-use crate::{Adc, AdcDigitizer, Crossbar, IdealDigitizer, PsumPipeline, TilingPlan};
+use crate::{
+    Adc, AdcDigitizer, Crossbar, HybridDigitizer, IdealDigitizer, PsumPipeline, TilingPlan,
+};
 use cq_quant::{BitSplit, QuantFormat};
 use cq_tensor::{CqRng, Tensor};
 
@@ -46,6 +48,11 @@ pub struct QuantizedConv {
     pub psum_format: QuantFormat,
     /// Whether partial sums are quantized (false = ideal ADC bypass).
     pub psum_quant: bool,
+    /// Number of **low-order** bit-splits carried digitally, ADC-less-style
+    /// (HCiM): those splits bypass the converter while splits
+    /// `digital_splits..num_splits` still go through the ADC. `0` is the
+    /// classic all-ADC path; ignored when `psum_quant` is false.
+    pub digital_splits: usize,
     /// Optional per-output-channel bias, applied after dequantization.
     pub bias: Option<Vec<f32>>,
 }
@@ -82,13 +89,20 @@ impl QuantizedConv {
         if let Some(b) = &self.bias {
             assert_eq!(b.len(), p.out_ch, "bias length");
         }
-        let half = (1i64 << (self.bit_split.weight_bits() - 1)) as f32;
+        let (lo, hi) = self.bit_split.weight_range();
+        let (lo, hi) = (lo as f32, hi as f32);
         for &w in self.w_int.data() {
             assert!(w.is_finite(), "non-finite weight {w}");
             assert_eq!(w, w.round(), "non-integral weight {w}");
-            assert!((-half..half).contains(&w), "weight {w} out of range");
+            assert!((lo..=hi).contains(&w), "weight {w} out of range");
         }
         assert!(self.act_scale > 0.0, "activation scale");
+        assert!(
+            self.digital_splits <= p.num_splits,
+            "digital_splits {} exceeds num_splits {}",
+            self.digital_splits,
+            p.num_splits
+        );
     }
 
     /// Builds the shared execution pipeline for this description.
@@ -229,7 +243,12 @@ impl CrossbarLayer {
         let psums = self.pipeline.crossbar_psums(&self.arrays, a_int);
         if self.desc.psum_quant {
             let dig = AdcDigitizer::new(self.adc, &self.desc.psum_scales, &self.desc.plan);
-            self.pipeline.reduce(&psums, &dig)
+            if self.desc.digital_splits > 0 {
+                let dig = HybridDigitizer::new(dig, self.desc.digital_splits);
+                self.pipeline.reduce(&psums, &dig)
+            } else {
+                self.pipeline.reduce(&psums, &dig)
+            }
         } else {
             self.pipeline.reduce(&psums, &IdealDigitizer)
         }
@@ -288,7 +307,12 @@ impl CrossbarLayer {
                 let ref_div = (1u64 << (dac_bits as usize * (num_in_slices - 1 - j))) as f32;
                 let scales: Vec<f32> = self.desc.psum_scales.iter().map(|s| s / ref_div).collect();
                 let dig = AdcDigitizer::new(self.adc, &scales, p);
-                self.pipeline.accumulate(&psums, &dig, in_shift, acc);
+                if self.desc.digital_splits > 0 {
+                    let dig = HybridDigitizer::new(dig, self.desc.digital_splits);
+                    self.pipeline.accumulate(&psums, &dig, in_shift, acc);
+                } else {
+                    self.pipeline.accumulate(&psums, &dig, in_shift, acc);
+                }
             } else {
                 self.pipeline
                     .accumulate(&psums, &IdealDigitizer, in_shift, acc);
@@ -331,6 +355,7 @@ mod tests {
             psum_scales,
             psum_format: cfg.psum_format(),
             psum_quant,
+            digital_splits: 0,
             bias: None,
         }
     }

@@ -71,8 +71,8 @@ pub use crossbar::Crossbar;
 pub use engine::{CrossbarLayer, QuantizedConv};
 pub use overhead::{dequant_mults, overhead_class, stored_scale_factors, OverheadClass};
 pub use pipeline::{
-    AdcDigitizer, ColumnDigitizer, IdealDigitizer, IntGroupedWeights, PerturbedDigitizer,
-    PsumPipeline,
+    AdcDigitizer, ColumnDigitizer, HybridDigitizer, IdealDigitizer, IntGroupedWeights,
+    PerturbedDigitizer, PsumPipeline,
 };
 pub use prepared::PreparedConv;
 pub use shard::ShardPlan;

@@ -184,6 +184,70 @@ impl<D: ColumnDigitizer> ColumnDigitizer for PerturbedDigitizer<D> {
     }
 }
 
+/// HCiM-style ADC-less **hybrid digitization**: the `digital_splits`
+/// low-order bit-splits (slice indices `0..digital_splits`, shift weights
+/// `2^(cb·s)`) bypass the converter entirely — their partial sums are
+/// carried digitally, bit-exact — while the high-order splits still go
+/// through the wrapped digitizer (typically an [`AdcDigitizer`]).
+///
+/// `digital_splits == 0` is an exact pass-through to `inner`;
+/// `digital_splits == num_splits` degenerates to [`IdealDigitizer`].
+#[derive(Debug, Clone)]
+pub struct HybridDigitizer<D> {
+    inner: D,
+    digital_splits: usize,
+}
+
+impl<D: ColumnDigitizer> HybridDigitizer<D> {
+    /// Wraps `inner`, routing splits `< digital_splits` around it.
+    pub fn new(inner: D, digital_splits: usize) -> Self {
+        Self {
+            inner,
+            digital_splits,
+        }
+    }
+
+    /// Number of low-order splits carried digitally.
+    pub fn digital_splits(&self) -> usize {
+        self.digital_splits
+    }
+}
+
+impl<D: ColumnDigitizer> ColumnDigitizer for HybridDigitizer<D> {
+    #[inline]
+    fn digitize(&self, analog: f32, split: usize, row_tile: usize, oc: usize) -> f32 {
+        if split < self.digital_splits {
+            analog
+        } else {
+            self.inner.digitize(analog, split, row_tile, oc)
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn digitize_axpy(
+        &self,
+        psums: &[f32],
+        split: usize,
+        row_tile: usize,
+        oc: usize,
+        sw: f32,
+        shift: f32,
+        gain: f32,
+        out: &mut [f32],
+    ) {
+        // A whole column belongs to one split, so the branch is taken once
+        // per column; both legs keep the pinned multiply order.
+        if split < self.digital_splits {
+            for (yv, &pv) in out.iter_mut().zip(psums) {
+                *yv += ((pv * sw) * shift) * gain;
+            }
+        } else {
+            self.inner
+                .digitize_axpy(psums, split, row_tile, oc, sw, shift, gain, out);
+        }
+    }
+}
+
 /// The shared execution layer for one quantized convolution: owns the
 /// tiling geometry, the bit-split shifts, and the merged dequantization
 /// tables (activation scale, per-logical-column weight scales, bias), and
@@ -1209,6 +1273,50 @@ mod tests {
         );
         assert_ne!(clean, noisy1, "sigma > 0 must perturb");
         assert_eq!(noisy1, noisy2, "same seed, same perturbation");
+    }
+
+    /// Hybrid digitization: `digital_splits == 0` is bit-exact the wrapped
+    /// ADC; `digital_splits == num_splits` is bit-exact the ideal bypass;
+    /// anything in between converts only the high-order splits.
+    #[test]
+    fn hybrid_digitizer_interpolates_between_adc_and_ideal() {
+        let (pl, w_int) = small_pipeline();
+        let p = pl.plan().clone();
+        let mut rng = CqRng::new(13);
+        let a_int = rng
+            .uniform_tensor(&[1, p.in_ch, 5, 5], 0.0, 8.0)
+            .map(f32::floor);
+        let mut a_pad = Tensor::zeros(&[1, p.padded_in_ch, 5, 5]);
+        a_pad.data_mut()[..p.in_ch * 25].copy_from_slice(a_int.data());
+        let psums = pl.grouped_psums(&a_pad, &pl.split_grouped_weights(&w_int));
+        // Coarse scales so the ADC grid visibly quantizes.
+        let scales = vec![0.5f32; p.num_splits * p.num_row_tiles * p.out_ch];
+        let adc = Adc::new(QuantFormat::signed(4));
+        let make = |ds: usize| HybridDigitizer::new(AdcDigitizer::new(adc, &scales, &p), ds);
+
+        let full_adc = pl.reduce(&psums, &AdcDigitizer::new(adc, &scales, &p));
+        let ideal = pl.reduce(&psums, &IdealDigitizer);
+        assert_eq!(
+            pl.reduce(&psums, &make(0)),
+            full_adc,
+            "0 digital splits must be the pure-ADC path"
+        );
+        assert_eq!(
+            pl.reduce(&psums, &make(p.num_splits)),
+            ideal,
+            "all-digital must be the ideal bypass"
+        );
+        let hybrid = pl.reduce(&psums, &make(1));
+        assert_ne!(hybrid, full_adc, "hybrid must skip ADC on low splits");
+        assert_ne!(hybrid, ideal, "hybrid must still convert high splits");
+        // Per column: the low split passes through, high splits hit the ADC.
+        let dig = make(1);
+        assert_eq!(dig.digital_splits(), 1);
+        assert_eq!(dig.digitize(0.37, 0, 0, 0), 0.37);
+        assert_eq!(
+            dig.digitize(0.37, 1, 0, 0),
+            AdcDigitizer::new(adc, &scales, &p).digitize(0.37, 1, 0, 0)
+        );
     }
 
     /// Bias and activation scale are applied exactly once, in the engine's

@@ -31,7 +31,8 @@
 
 use crate::pipeline::IntGroupedWeights;
 use crate::{
-    Adc, AdcDigitizer, IdealDigitizer, PsumKernel, PsumPipeline, QuantizedConv, ShardPlan,
+    Adc, AdcDigitizer, HybridDigitizer, IdealDigitizer, PsumKernel, PsumPipeline, QuantizedConv,
+    ShardPlan,
 };
 use cq_quant::{GroupLayout, LsqQuantizer};
 use cq_tensor::{
@@ -434,7 +435,12 @@ impl PreparedConv {
         }
         let y = if self.desc.psum_quant {
             let dig = AdcDigitizer::new(self.adc, &self.desc.psum_scales, &self.desc.plan);
-            self.pipeline.reduce(&psums, &dig)
+            if self.desc.digital_splits > 0 {
+                let dig = HybridDigitizer::new(dig, self.desc.digital_splits);
+                self.pipeline.reduce(&psums, &dig)
+            } else {
+                self.pipeline.reduce(&psums, &dig)
+            }
         } else {
             self.pipeline.reduce(&psums, &IdealDigitizer)
         };
@@ -564,6 +570,7 @@ mod tests {
             psum_scales,
             psum_format: cfg.psum_format(),
             psum_quant,
+            digital_splits: 0,
             bias: Some(vec![0.1, -0.2, 0.0, 0.3, -0.1]),
         }
     }
@@ -583,6 +590,35 @@ mod tests {
             let fast = prepared.infer(&x);
             assert_eq!(fast, slow, "psq={psq}");
         }
+    }
+
+    /// Hybrid (ADC-less low-split) digitization stays bit-identical
+    /// between the prepared path and the crossbar engine, across every
+    /// backend and under row-tile sharding, while differing from the
+    /// pure-ADC path.
+    #[test]
+    fn hybrid_digitization_is_bit_exact_across_paths() {
+        let mut desc = small_desc(true);
+        desc.digital_splits = 1;
+        let engine = CrossbarLayer::new(desc.clone());
+        let prepared = PreparedConv::new(desc.clone());
+        let mut rng = CqRng::new(53);
+        let x = rng.normal_tensor(&[2, 7, 6, 6], 1.0).map(|v| v.max(0.0));
+        let a_int = prepared.quantize_activations(&x);
+        let want = prepared.infer(&x);
+        assert_eq!(want, engine.forward(&a_int), "prepared vs crossbar");
+        let pure_adc = PreparedConv::new(small_desc(true));
+        assert_ne!(want, pure_adc.infer(&x), "hybrid must skip low-split ADC");
+        let mut scalar = PreparedConv::new(desc.clone());
+        scalar.set_backends(BackendSet::scalar()).unwrap();
+        assert_eq!(scalar.infer(&x), want, "scalar backend");
+        let mut int_forced = PreparedConv::new(desc.clone());
+        int_forced.set_psum_kernel(PsumKernel::Int).unwrap();
+        assert_eq!(int_forced.infer(&x), want, "integer backend");
+        let mut sharded = PreparedConv::new(desc);
+        sharded.set_row_tile_shards(Some(2));
+        assert_eq!(sharded.infer(&x), want, "sharded");
+        assert_eq!(sharded.infer(&x), want, "warm-arena sharded");
     }
 
     /// Serving repeatedly on one thread (so every call reuses the same

@@ -37,13 +37,15 @@ use std::collections::HashMap;
 
 use cq_cim::{
     dequant_mults, Adc, AdcDigitizer, BackendError, BackendKind, BackendSet, CimConfig,
-    IdealDigitizer, PreparedConv, PsumKernel, PsumPipeline, QuantizedConv, ShardPlan, TilingPlan,
+    HybridDigitizer, IdealDigitizer, PreparedConv, PsumKernel, PsumPipeline, QuantizedConv,
+    ShardPlan, TilingPlan,
 };
 use cq_nn::{
     accumulate_bias_grad, add_channel_bias, kaiming_conv_init, Layer, Mode, Param, ParamKind,
     ParamView,
 };
 use cq_quant::{BitSplit, Granularity, GroupLayout, LsqQuantizer};
+use cq_scheme::QuantScheme;
 use cq_tensor::{conv2d, conv2d_backward_input, conv2d_backward_weight, CqRng, Tensor};
 
 /// How device variation is injected at inference (paper Eq. (5)).
@@ -111,6 +113,13 @@ pub struct CimConv2d {
     p_gran: Granularity,
     stride: usize,
     pad: usize,
+    /// Low-order bit-splits carried digitally instead of through the ADC
+    /// (ADC-less hybrid digitization); `0` = classic all-ADC.
+    digital_splits: usize,
+    /// Scheme this layer was built from ([`CimConv2d::with_scheme`]) —
+    /// the serving registry's attribution key. `None` when constructed
+    /// directly from granularities.
+    scheme_name: Option<String>,
 
     weight: Param,
     bias: Option<Param>,
@@ -177,6 +186,8 @@ impl CimConv2d {
             p_gran,
             stride,
             pad,
+            digital_splits: 0,
+            scheme_name: None,
             weight: Param::new(weight),
             bias: bias.then(|| Param::new(Tensor::zeros(&[out_ch]))),
             w_quant,
@@ -196,6 +207,58 @@ impl CimConv2d {
             backends: BackendSet::standard(),
             cfg,
         }
+    }
+
+    /// Creates a CIM convolution from a [`QuantScheme`]: the scheme's
+    /// granularities, its weight-quantizer family applied to the macro
+    /// config (binary weights force the degenerate 1-bit single-split
+    /// layout — see [`QuantScheme::apply_to_config`]), its digitization
+    /// strategy resolved against the layer's split count, and its name
+    /// recorded for serving attribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit the configured array
+    /// (see [`TilingPlan::new`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_scheme(
+        in_ch: usize,
+        out_ch: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        cfg: CimConfig,
+        scheme: &QuantScheme,
+        bias: bool,
+        rng: &mut CqRng,
+    ) -> Self {
+        let cfg = scheme.apply_to_config(&cfg);
+        let mut layer = Self::new(
+            in_ch,
+            out_ch,
+            kernel,
+            stride,
+            pad,
+            cfg,
+            scheme.w_gran,
+            scheme.p_gran,
+            bias,
+            rng,
+        );
+        layer.digital_splits = scheme.digital_splits_for(layer.plan.num_splits);
+        layer.scheme_name = Some(scheme.name.clone());
+        layer
+    }
+
+    /// Number of low-order bit-splits carried digitally (0 = all-ADC).
+    pub fn digital_splits(&self) -> usize {
+        self.digital_splits
+    }
+
+    /// The scheme name recorded at construction
+    /// ([`CimConv2d::with_scheme`]), if any.
+    pub fn scheme_name(&self) -> Option<&str> {
+        self.scheme_name.as_deref()
     }
 
     /// When enabled, the next quantized forward pass stores a copy of the
@@ -554,6 +617,7 @@ impl CimConv2d {
             psum_scales,
             psum_format: self.p_quant.format(),
             psum_quant: self.psum_quant_enabled,
+            digital_splits: self.digital_splits,
             bias: self.bias.as_ref().map(|b| b.value.data().to_vec()),
         }
     }
@@ -587,6 +651,15 @@ impl CimConv2d {
         let mut prepared = PreparedConv::with_slice_transform(desc, move |s, slice| {
             Self::apply_variation_to_slice(var, weight_factors.as_ref(), s, slice)
         });
+        // Kernel hint: a single-split ±1 layer (binary weights) always
+        // packs into the integer panels when no variation perturbs the
+        // programmed cells off the integer grid.
+        if self.bit_split.num_splits() == 1 && var.is_none() {
+            debug_assert!(
+                prepared.profile().integer_eligible,
+                "binary-weight layer must be IntPanels-eligible"
+            );
+        }
         prepared.set_row_tile_shards(self.row_tile_shards);
         prepared
             .set_backends(self.backends.clone())
@@ -810,7 +883,11 @@ impl CimConv2d {
         let y = if psum_quant_used {
             let table = self.dense_psum_scales();
             let dig = AdcDigitizer::new(Adc::new(self.p_quant.format()), &table, &p);
-            pipeline.reduce(&psums, &dig)
+            if self.digital_splits > 0 {
+                pipeline.reduce(&psums, &HybridDigitizer::new(dig, self.digital_splits))
+            } else {
+                pipeline.reduce(&psums, &dig)
+            }
         } else {
             pipeline.reduce(&psums, &IdealDigitizer)
         };
@@ -865,7 +942,9 @@ impl CimConv2d {
                     }
                 }
             }
-            let d_psum = if cache.psum_quant_used {
+            // Digitally-carried low-order splits bypass the ADC, so their
+            // gradient bypasses the psum quantizer too (pure identity).
+            let d_psum = if cache.psum_quant_used && s >= self.digital_splits {
                 self.p_quant.backward(&cache.psums[s], &grad_phat, layout)
             } else {
                 grad_phat
@@ -1237,6 +1316,82 @@ mod tests {
                 assert!(v.abs() <= bound, "psum {v} out of bound {bound}");
             }
         }
+    }
+
+    #[test]
+    fn hybrid_scheme_carries_low_splits_digitally() {
+        let scheme = cq_scheme::QuantScheme::hybrid_adc();
+        let mut rng = CqRng::new(31);
+        let mut hybrid =
+            CimConv2d::with_scheme(7, 5, 3, 1, 1, tiny_cfg(), &scheme, false, &mut rng);
+        // tiny cfg: 3 splits; requested 2 digital splits fit unclamped.
+        assert_eq!(hybrid.digital_splits(), 2);
+        assert_eq!(hybrid.scheme_name(), Some("hybrid-adc"));
+        let mut all_adc = make_layer(Granularity::Column, Granularity::Column, 31);
+        let x = relu_input(32, &[1, 7, 6, 6]);
+        let yh = hybrid.forward(&x, Mode::Eval);
+        let ya = all_adc.forward(&x, Mode::Eval);
+        assert_ne!(yh, ya, "bypassing low-split ADCs must change the output");
+        all_adc.set_psum_quant_enabled(false);
+        let yf = all_adc.forward(&x, Mode::Eval);
+        assert_ne!(yh, yf, "one split still digitizes through the ADC");
+        // The hybrid output is closer to ideal than the all-ADC one (two of
+        // three splits carry no conversion error).
+        assert!(
+            yh.max_abs_diff(&yf) <= ya.max_abs_diff(&yf),
+            "hybrid should not be further from ideal than all-ADC"
+        );
+        // QAT through the hybrid path: gradients flow everywhere, and the
+        // analog split still feeds the psum-scale gradient.
+        let y = hybrid.forward(&x, Mode::Train);
+        let gy = CqRng::new(33).normal_tensor(y.shape(), 0.1);
+        let dx = hybrid.backward(&gy);
+        assert!(dx.max_abs() > 0.0, "input gradient flows");
+        assert!(hybrid.weight.grad.max_abs() > 0.0, "weight gradient flows");
+        assert!(
+            hybrid.p_quant.scale_grads().iter().any(|&g| g != 0.0),
+            "psum scale gradient flows through the analog split"
+        );
+    }
+
+    #[test]
+    fn binary_scheme_runs_single_split_integer_fast_path() {
+        let scheme = cq_scheme::QuantScheme::bwma();
+        let mut rng = CqRng::new(41);
+        let mut layer = CimConv2d::with_scheme(7, 5, 3, 1, 1, tiny_cfg(), &scheme, false, &mut rng);
+        assert_eq!(layer.scheme_name(), Some("bwma"));
+        assert_eq!(layer.cim_config().weight_bits, 1);
+        assert_eq!(layer.plan().num_splits, 1, "binary weights = one split");
+        assert_eq!(layer.digital_splits(), 0, "the single split stays analog");
+        let x = relu_input(42, &[1, 7, 6, 6]);
+        let y = layer.forward(&x, Mode::Eval);
+        // Quantized weights are the scaled codebook {-1, 0, +1}.
+        let w_int = layer
+            .w_quant
+            .forward_int(&layer.weight.value.clone(), &layer.w_layout.clone());
+        assert!(w_int
+            .data()
+            .iter()
+            .all(|&v| v == -1.0 || v == 0.0 || v == 1.0));
+        // Freeze: always IntPanels-eligible, bit-exact vs the per-call path.
+        layer.freeze();
+        assert!(
+            layer.integer_kernel_active() || layer.active_backend() != Some(BackendKind::IntPanels),
+            "binary layer rejected by the integer backend"
+        );
+        assert_eq!(layer.forward(&x, Mode::Eval), y, "frozen == unfrozen");
+        layer.set_backends(BackendSet::int()).unwrap();
+        assert!(
+            layer.integer_kernel_active(),
+            "forced IntPanels must engage"
+        );
+        assert_eq!(layer.forward(&x, Mode::Eval), y, "int backend bit-exact");
+        // QAT smoke through the sign STE.
+        layer.set_backends(BackendSet::standard()).unwrap();
+        let y = layer.forward(&x, Mode::Train);
+        let gy = CqRng::new(43).normal_tensor(y.shape(), 0.1);
+        let dx = layer.backward(&gy);
+        assert!(dx.max_abs() > 0.0 && layer.weight.grad.max_abs() > 0.0);
     }
 
     #[test]

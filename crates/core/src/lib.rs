@@ -9,8 +9,9 @@
 //!   bit-split duplication, kernel-intact tiling realized as group
 //!   convolution, shift-and-add, and merged `s_w · s_p` dequantization,
 //!   with full straight-through-estimator gradients for one-stage QAT.
-//! * [`QuantScheme`] — presets for the paper's method and all five
-//!   compared related works (Table I).
+//! * [`QuantScheme`] (re-exported from `cq-scheme`) — the scheme zoo:
+//!   the paper's method, the five compared related works (Table I), and
+//!   the BWMA / hybrid-ADC extensions.
 //! * [`CimConvFactory`] / [`build_cim_resnet`] — model construction.
 //! * [`PreparedCimModel`] — the frozen, batched serving engine: weights
 //!   quantized/bit-split/grouped once at load, micro-batch coalescing,
@@ -44,7 +45,6 @@ mod cim_conv;
 mod cim_linear;
 mod model;
 mod prepared;
-mod scheme;
 
 pub use cim_conv::{CimConv2d, VariationCfg, VariationMode};
 pub use cim_linear::CimLinear;
@@ -61,4 +61,6 @@ pub use model::{
     set_quant_enabled, set_variation, CimConvFactory,
 };
 pub use prepared::{freeze_model, unfreeze_model, PreparedCimModel};
-pub use scheme::{QuantScheme, TrainMethod};
+// The scheme zoo lives in `cq-scheme`; re-exported here because model
+// construction and training consume it everywhere.
+pub use cq_scheme::{Digitization, QuantScheme, TrainMethod, WeightQuant};

@@ -6,7 +6,6 @@
 use crate::{CimConv2d, QuantScheme, VariationCfg, VariationMode};
 use cq_cim::CimConfig;
 use cq_nn::{Conv2d, ConvFactory, ConvRole, Layer, Mode, ResNet, ResNetSpec};
-use cq_quant::Granularity;
 use cq_tensor::{CqRng, Tensor};
 
 /// Builds [`CimConv2d`] body convolutions (and optionally shortcuts) at
@@ -14,8 +13,7 @@ use cq_tensor::{CqRng, Tensor};
 /// following common practice in the partial-sum quantization literature.
 pub struct CimConvFactory {
     cfg: CimConfig,
-    w_gran: Granularity,
-    p_gran: Granularity,
+    scheme: QuantScheme,
     /// Quantize the stem convolution too (default false).
     pub quantize_stem: bool,
     /// Quantize 1×1 projection shortcuts (default true).
@@ -24,12 +22,16 @@ pub struct CimConvFactory {
 }
 
 impl CimConvFactory {
-    /// Creates a factory for the given hardware config and scheme.
+    /// Creates a factory for the given hardware config and scheme. The
+    /// scheme's weight-quantizer family is applied to the macro config per
+    /// layer (binary weights force the 1-bit single-split layout), its
+    /// digitization strategy is resolved against each layer's split
+    /// count, and its name is recorded on every CIM layer for serving
+    /// attribution.
     pub fn new(cfg: CimConfig, scheme: &QuantScheme, seed: u64) -> Self {
         Self {
             cfg,
-            w_gran: scheme.w_gran,
-            p_gran: scheme.p_gran,
+            scheme: scheme.clone(),
             quantize_stem: false,
             quantize_shortcut: true,
             rng: CqRng::new(seed),
@@ -54,15 +56,14 @@ impl ConvFactory for CimConvFactory {
             ConvRole::Body => true,
         };
         if quantize {
-            Box::new(CimConv2d::new(
+            Box::new(CimConv2d::with_scheme(
                 in_ch,
                 out_ch,
                 kernel,
                 stride,
                 pad,
                 self.cfg,
-                self.w_gran,
-                self.p_gran,
+                &self.scheme,
                 false,
                 &mut self.rng,
             ))

@@ -236,6 +236,23 @@ impl PreparedCimModel {
         self.set_backends(kernel.into())
     }
 
+    /// The quantization-scheme name of the model's CIM layers: the first
+    /// layer's recorded scheme ([`crate::CimConv2d::scheme_name`]), or
+    /// `"custom"` when no layer records one (models built straight from
+    /// granularities). The serving registry attributes per-model images
+    /// under this key.
+    pub fn scheme(&mut self) -> String {
+        let mut found: Option<String> = None;
+        for_each_cim_conv(self.model.as_mut(), |c| {
+            if found.is_none() {
+                if let Some(s) = c.scheme_name() {
+                    found = Some(s.to_string());
+                }
+            }
+        });
+        found.unwrap_or_else(|| "custom".into())
+    }
+
     /// Counts `(layers dispatching to the integer kernels, total CIM
     /// layers)` — the observability hook tests and benchmarks use to
     /// assert which kernel actually ran.

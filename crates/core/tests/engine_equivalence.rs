@@ -238,3 +238,78 @@ fn engine_matrix_holds_at_every_pool_width() {
         assert_eq!(y, base, "pool width {w} diverged from width {w0}");
     }
 }
+
+/// The **scheme axis** of the matrix: paper LSQ column-wise, BWMA
+/// (binary ±1 weights, degenerate single bit-split), and hybrid-ADC
+/// (low-order splits carried digitally past the ADC) must all agree
+/// bit-exactly between the fast emulation, the explicit crossbar engine,
+/// the standalone `PreparedConv` on **forced** scalar and int-panels
+/// chains, and the frozen layer on every backend chain.
+#[test]
+fn scheme_axis_bit_exact_across_engines_and_backends() {
+    use cq_core::QuantScheme;
+    for scheme in [
+        QuantScheme::ours(),
+        QuantScheme::bwma(),
+        QuantScheme::hybrid_adc(),
+    ] {
+        let name = scheme.name.as_str();
+        let mut rng = CqRng::new(31);
+        let mut layer =
+            CimConv2d::with_scheme(7, 5, 3, 1, 1, CimConfig::tiny(), &scheme, true, &mut rng);
+        layer.visit_params("", &mut |p| {
+            if p.kind == cq_nn::ParamKind::Bias {
+                for (i, v) in p.value.iter_mut().enumerate() {
+                    *v = 0.01 * i as f32 - 0.02;
+                }
+            }
+        });
+        if scheme.is_binary_weight() {
+            assert_eq!(layer.plan().num_splits, 1, "{name}: binary = one split");
+        }
+        if name == "hybrid-adc" {
+            assert!(
+                layer.digital_splits() > 0,
+                "{name}: low-order splits must bypass the ADC"
+            );
+        }
+        let x = relu_input(32, &[2, 7, 6, 6]);
+        let fast = layer.forward(&x, Mode::Eval);
+
+        let engine = CrossbarLayer::new(layer.to_quantized_conv());
+        let slow = engine.forward(&layer.quantize_activations(&x));
+        assert_eq!(
+            fast,
+            slow,
+            "{name}: crossbar engine diverged (max diff {})",
+            fast.max_abs_diff(&slow)
+        );
+
+        // Forced-scalar and forced-int-panels serving legs, with the
+        // active backend pinned — never trust the chain silently.
+        let mut prepared = PreparedConv::new(layer.to_quantized_conv());
+        prepared.set_backends(BackendSet::scalar()).unwrap();
+        assert_eq!(prepared.active_backend(), BackendKind::Scalar);
+        assert!(!prepared.integer_kernel_active());
+        assert_eq!(fast, prepared.infer(&x), "{name}: scalar leg diverged");
+        prepared.set_backends(BackendSet::int()).unwrap();
+        assert_eq!(prepared.active_backend(), BackendKind::IntPanels);
+        assert!(
+            prepared.integer_kernel_active(),
+            "{name}: every scheme cell here is integer-eligible"
+        );
+        assert_eq!(fast, prepared.infer(&x), "{name}: int-panels leg diverged");
+
+        for (backends, kind) in [
+            (BackendSet::f32(), BackendKind::SimdF32),
+            (BackendSet::int(), BackendKind::IntPanels),
+            (BackendSet::scalar(), BackendKind::Scalar),
+        ] {
+            layer.set_backends(backends).unwrap();
+            layer.freeze();
+            assert_eq!(layer.active_backend(), Some(kind), "{name}: {kind:?}");
+            let frozen = layer.forward(&x, Mode::Eval);
+            assert_eq!(fast, frozen, "{name}: frozen {kind:?} diverged");
+        }
+    }
+}

@@ -252,3 +252,82 @@ fn batch_segment_sharding_rejoins_bit_exactly() {
         assert_eq!(got, want, "max_rows={max_rows}");
     }
 }
+
+/// **Mixed-scheme multi-model serving**: one resident model per scheme
+/// (paper LSQ column-wise, BWMA, hybrid-ADC) in a single session with
+/// batch-segment *and* row-tile sharding on. Every request — small and
+/// oversized — must come back bit-identical to the standalone
+/// whole-model forward of the scheme that served it, and the final stats
+/// must attribute images to all three schemes.
+#[test]
+fn mixed_scheme_multi_model_serve_matches_whole_model() {
+    use cq_serve::{CimServer, ModelRegistry, Request, ServeConfig};
+
+    let schemes = [
+        QuantScheme::ours(),
+        QuantScheme::bwma(),
+        QuantScheme::hybrid_adc(),
+    ];
+    let build = |scheme: &QuantScheme, seed: u64| {
+        let mut net = build_cim_resnet(ResNetSpec::resnet8(4, 4), &CimConfig::tiny(), scheme, seed);
+        let warm = CqRng::new(seed + 1000).normal_tensor(&[2, 3, 12, 12], 1.0);
+        let _ = net.forward(&warm, Mode::Eval);
+        net
+    };
+    let mut refs = Vec::new();
+    let mut registry = ModelRegistry::new();
+    for (i, scheme) in schemes.iter().enumerate() {
+        let seed = 6100 + 10 * i as u64;
+        // Construction is deterministic per seed: the reference net and
+        // the served twin are bit-identical models.
+        refs.push(build(scheme, seed));
+        registry.register(
+            scheme.name.clone(),
+            PreparedCimModel::new(Box::new(build(scheme, seed))),
+        );
+    }
+    let session = CimServer::new(
+        registry,
+        ServeConfig::builder()
+            .workers(2)
+            .max_batch(Some(3))
+            .shard_rows(Some(2))
+            .row_tile_shards(Some(2))
+            .build()
+            .unwrap(),
+    )
+    .start();
+
+    let rng = &mut CqRng::new(6200);
+    let mut tickets = Vec::new();
+    for batch in [1usize, 7] {
+        for (i, scheme) in schemes.iter().enumerate() {
+            let x = rng.normal_tensor(&[batch, 3, 12, 12], 1.0);
+            let t = session
+                .submit(Request::to(scheme.name.as_str()).batch(x.clone()))
+                .unwrap();
+            tickets.push((i, x, t));
+        }
+    }
+    for (i, x, t) in tickets {
+        let want = refs[i].forward(&x, Mode::Eval);
+        assert_eq!(
+            t.wait().output,
+            want,
+            "scheme '{}' diverged from its whole-model forward under \
+             mixed-scheme sharded serving",
+            schemes[i].name
+        );
+    }
+
+    let (stats, _models) = session.shutdown();
+    let by_scheme = stats.images_by_scheme();
+    for scheme in &schemes {
+        let images = by_scheme
+            .iter()
+            .find(|(s, _)| s == &scheme.name)
+            .map(|(_, n)| *n)
+            .unwrap_or(0);
+        assert_eq!(images, 8, "scheme '{}' image attribution", scheme.name);
+    }
+}

@@ -11,6 +11,12 @@
 //! exactly:
 //!
 //! `w = t · 2^(cb·(ns−1)) + Σ_{s<ns−1} u_s · 2^(cb·s)`
+//!
+//! **Binary weights (`weight_bits == 1`)** are the degenerate case: the
+//! codebook is the scaled-±1 set `{-1, +1}` (BWMA-style, not 1-bit two's
+//! complement `{-1, 0}`), the split count is 1, and the single slice *is*
+//! the weight — `split_tensor`/`split_all` take an allocation-free identity
+//! fast path shared by every single-split configuration.
 
 use cq_tensor::Tensor;
 
@@ -68,6 +74,22 @@ impl BitSplit {
         (1u64 << (self.cell_bits as usize * s)) as f32
     }
 
+    /// Inclusive representable weight range `(lo, hi)`.
+    ///
+    /// Two's complement `[-2^(wb-1), 2^(wb-1)-1]` for multi-bit weights;
+    /// the ±1 sign codebook `[-1, 1]` for binary (`weight_bits == 1`)
+    /// weights.
+    pub fn weight_range(&self) -> (i32, i32) {
+        if self.weight_bits == 1 {
+            (-1, 1)
+        } else {
+            (
+                -(1 << (self.weight_bits - 1)),
+                (1 << (self.weight_bits - 1)) - 1,
+            )
+        }
+    }
+
     /// Inclusive value range `(lo, hi)` of slice `s`.
     ///
     /// # Panics
@@ -77,11 +99,8 @@ impl BitSplit {
         assert!(s < self.num_splits(), "slice {s} out of range");
         if s + 1 == self.num_splits() {
             if self.top_bits() == self.weight_bits {
-                // Single slice: the whole signed weight.
-                (
-                    -(1 << (self.weight_bits - 1)),
-                    (1 << (self.weight_bits - 1)) - 1,
-                )
+                // Single slice: the whole weight.
+                self.weight_range()
             } else {
                 let tb = self.top_bits();
                 (-(1 << (tb - 1)), (1 << (tb - 1)) - 1)
@@ -98,13 +117,17 @@ impl BitSplit {
     /// Panics if `w` is outside the signed `weight_bits` range or `s` is out
     /// of range.
     pub fn split_value(&self, w: i32, s: usize) -> i32 {
-        let half = 1i64 << (self.weight_bits - 1);
+        let (lo, hi) = self.weight_range();
         assert!(
-            (w as i64) >= -half && (w as i64) < half,
+            w >= lo && w <= hi,
             "weight {w} outside signed {}-bit range",
             self.weight_bits
         );
         assert!(s < self.num_splits(), "slice {s} out of range");
+        if self.num_splits() == 1 {
+            // Single slice (including the binary ±1 codebook): identity.
+            return w;
+        }
         let u = (w as i64) & ((1i64 << self.weight_bits) - 1); // two's complement bits
         let ns = self.num_splits();
         if s + 1 == ns {
@@ -142,6 +165,14 @@ impl BitSplit {
     /// Panics if any element is not an integer in the signed
     /// `weight_bits` range.
     pub fn split_tensor(&self, w_int: &Tensor, s: usize) -> Tensor {
+        if self.num_splits() == 1 {
+            // Degenerate split (binary ±1 weights, or cb == wb): the single
+            // slice is the weight itself. Skip the per-element slicing map —
+            // one memcpy, no per-split intermediates.
+            assert_eq!(s, 0, "slice {s} out of range");
+            self.debug_validate(w_int);
+            return w_int.clone();
+        }
         w_int.map(|v| {
             debug_assert_eq!(v, v.round(), "bit-split input must be integral, got {v}");
             self.split_value(v as i32, s) as f32
@@ -150,9 +181,28 @@ impl BitSplit {
 
     /// Extracts all slices of an integer-valued tensor, lowest slice first.
     pub fn split_all(&self, w_int: &Tensor) -> Vec<Tensor> {
+        if self.num_splits() == 1 {
+            self.debug_validate(w_int);
+            return vec![w_int.clone()];
+        }
         (0..self.num_splits())
             .map(|s| self.split_tensor(w_int, s))
             .collect()
+    }
+
+    /// Debug-build check that every element is an in-range integer.
+    fn debug_validate(&self, w_int: &Tensor) {
+        if cfg!(debug_assertions) {
+            let (lo, hi) = self.weight_range();
+            for &v in w_int.data() {
+                debug_assert_eq!(v, v.round(), "bit-split input must be integral, got {v}");
+                debug_assert!(
+                    (v as i32) >= lo && (v as i32) <= hi,
+                    "weight {v} outside signed {}-bit range",
+                    self.weight_bits
+                );
+            }
+        }
     }
 }
 
@@ -258,5 +308,77 @@ mod tests {
     #[should_panic(expected = "outside signed")]
     fn out_of_range_weight_panics() {
         BitSplit::new(3, 1).split_value(4, 0);
+    }
+
+    #[test]
+    fn binary_weights_use_the_sign_codebook() {
+        // wb == 1 is the BWMA ±1 codebook, not 1-bit two's complement.
+        let bs = BitSplit::new(1, 1);
+        assert_eq!(bs.num_splits(), 1);
+        assert_eq!(bs.weight_range(), (-1, 1));
+        assert_eq!(bs.slice_range(0), (-1, 1));
+        assert_eq!(bs.shift_weight(0), 1.0);
+        for w in [-1, 0, 1] {
+            assert_eq!(bs.split_value(w, 0), w);
+            assert_eq!(bs.reassemble(&[w]), w);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside signed")]
+    fn binary_weight_out_of_range_panics() {
+        BitSplit::new(1, 1).split_value(2, 0);
+    }
+
+    #[test]
+    fn weight_range_matches_two_complement_above_one_bit() {
+        for wb in 2..=8u32 {
+            let bs = BitSplit::new(wb, 1);
+            assert_eq!(
+                bs.weight_range(),
+                (-(1 << (wb - 1)), (1 << (wb - 1)) - 1),
+                "wb={wb}"
+            );
+        }
+    }
+
+    /// Property test (CqRng): the single-split tensor fast path is
+    /// bit-for-bit the generic per-element `split_value` mapping, for every
+    /// degenerate configuration `wb == cb` including binary.
+    #[test]
+    fn single_split_fast_path_matches_generic_path() {
+        let mut rng = cq_tensor::CqRng::new(0xB175);
+        for wb in 1..=8u32 {
+            let bs = BitSplit::new(wb, wb);
+            assert_eq!(bs.num_splits(), 1);
+            let (lo, hi) = bs.weight_range();
+            let span = (hi - lo + 1) as usize;
+            for trial in 0..32 {
+                let n = 1 + rng.below(64);
+                let w = Tensor::from_vec(
+                    (0..n)
+                        .map(|_| (lo + rng.below(span) as i32) as f32)
+                        .collect(),
+                    &[n],
+                );
+                let fast = bs.split_tensor(&w, 0);
+                let generic: Vec<f32> = w
+                    .data()
+                    .iter()
+                    .map(|&v| bs.split_value(v as i32, 0) as f32)
+                    .collect();
+                assert_eq!(
+                    fast.data(),
+                    &generic[..],
+                    "fast path diverged (wb={wb} trial={trial})"
+                );
+                let all = bs.split_all(&w);
+                assert_eq!(all.len(), 1);
+                assert_eq!(all[0].data(), w.data(), "split_all identity");
+                for &v in w.data() {
+                    assert_eq!(bs.reassemble(&[v as i32]), v as i32);
+                }
+            }
+        }
     }
 }

@@ -145,6 +145,9 @@ pub enum ConfigError {
     ZeroRowTileShards,
     /// [`SchedulerPolicy::Aging`] carried a zero `bulk_max_age`.
     ZeroBulkMaxAge,
+    /// A [`ServeConfig::scheme_allowlist`] entry was the empty string —
+    /// it could never match a scheme name.
+    EmptySchemeAllowlistEntry,
     /// [`CimServer::set_config`](crate::CimServer::set_config) was called
     /// while a serving session still holds the server's shared state.
     SessionActive,
@@ -187,6 +190,9 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroShardRows => "shard_rows must be positive",
             ConfigError::ZeroRowTileShards => "row_tile_shards must be positive",
             ConfigError::ZeroBulkMaxAge => "bulk_max_age must be positive",
+            ConfigError::EmptySchemeAllowlistEntry => {
+                "scheme_allowlist entries must be non-empty scheme names"
+            }
             ConfigError::SessionActive => {
                 "config can only change between sessions: a serving session is still active"
             }
@@ -275,6 +281,19 @@ pub struct ServeConfig {
     /// forcing; an unsatisfiable chain (e.g. bare `int` under variation)
     /// is a [`ConfigError::Backend`] at install time.
     pub backends: BackendSet,
+    /// Quantization-scheme admission policy for **live** registration
+    /// ([`ServeSession::register`](crate::ServeSession::register)): when
+    /// non-empty, a model whose sniffed
+    /// [`QuantScheme`](cq_core::QuantScheme) name
+    /// ([`cq_core::PreparedCimModel::scheme`]) is not listed is refused
+    /// with the recoverable
+    /// [`SwapError::SchemeNotAllowed`](crate::SwapError) — the model is
+    /// handed back untouched. Empty (the default) admits every scheme.
+    /// Pre-session
+    /// [`ModelRegistry::register`](crate::ModelRegistry::register) is not
+    /// gated (the registry is built before its config in many flows); the
+    /// allowlist governs hot-swaps only.
+    pub scheme_allowlist: Vec<String>,
 }
 
 impl Default for ServeConfig {
@@ -293,6 +312,7 @@ impl Default for ServeConfig {
             row_tile_shards: None,
             policy: SchedulerPolicy::Strict,
             backends: BackendSet::standard(),
+            scheme_allowlist: Vec::new(),
         }
     }
 }
@@ -354,6 +374,9 @@ impl ServeConfig {
         }
         if self.policy.bulk_max_age() == Some(Duration::ZERO) {
             return Err(ConfigError::ZeroBulkMaxAge);
+        }
+        if self.scheme_allowlist.iter().any(|s| s.is_empty()) {
+            return Err(ConfigError::EmptySchemeAllowlistEntry);
         }
         Ok(())
     }
@@ -452,6 +475,18 @@ impl ServeConfigBuilder {
         self.backends(kernel.into())
     }
 
+    /// Quantization-scheme allowlist for live registration (empty admits
+    /// every scheme); entries are validated non-empty by
+    /// [`build`](ServeConfigBuilder::build).
+    pub fn scheme_allowlist<I, S>(mut self, schemes: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.cfg.scheme_allowlist = schemes.into_iter().map(Into::into).collect();
+        self
+    }
+
     /// Scheduling policy (strict priority or strict-with-aging).
     pub fn policy(mut self, policy: SchedulerPolicy) -> Self {
         self.cfg.policy = policy;
@@ -536,6 +571,10 @@ mod tests {
                 ServeConfig::builder().bulk_max_age(Duration::ZERO),
                 ConfigError::ZeroBulkMaxAge,
             ),
+            (
+                ServeConfig::builder().scheme_allowlist(["bwma", ""]),
+                ConfigError::EmptySchemeAllowlistEntry,
+            ),
         ];
         for (builder, want) in cases {
             assert_eq!(builder.build().unwrap_err(), want);
@@ -594,6 +633,20 @@ mod tests {
                 .unwrap_err(),
             ConfigError::ZeroTenantQuota("a".into())
         );
+    }
+
+    #[test]
+    fn scheme_allowlist_defaults_open_and_accepts_names() {
+        let open = ServeConfig::builder().build().unwrap();
+        assert!(
+            open.scheme_allowlist.is_empty(),
+            "default admits everything"
+        );
+        let gated = ServeConfig::builder()
+            .scheme_allowlist(["paper-lsq-column", "bwma"])
+            .build()
+            .unwrap();
+        assert_eq!(gated.scheme_allowlist, ["paper-lsq-column", "bwma"]);
     }
 
     #[test]

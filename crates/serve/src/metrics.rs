@@ -197,6 +197,12 @@ pub struct TenantStats {
 pub struct ModelStats {
     /// Registered model name.
     pub name: String,
+    /// Quantization-scheme name of the model
+    /// ([`cq_core::QuantScheme::name`], sniffed at registration) — the key
+    /// [`ServeStats::images_by_scheme`](crate::ServeStats::images_by_scheme)
+    /// aggregates under. Empty on a raw queue snapshot; the session
+    /// overlays it, like `name`.
+    pub scheme: String,
     /// Requests served against this model.
     pub served: u64,
     /// Coalesced sweeps executed against it.
@@ -422,10 +428,24 @@ impl ServeStats {
         );
         for m in &self.models {
             out.push_str(&format!(
-                "cq_serve_model_images_total{{model=\"{}\",evicted=\"{}\"}} {}\n",
+                "cq_serve_model_images_total{{model=\"{}\",scheme=\"{}\",evicted=\"{}\"}} {}\n",
                 escape_label(&m.name),
+                escape_label(&m.scheme),
                 m.evicted,
                 m.images
+            ));
+        }
+
+        push_metric_header(
+            &mut out,
+            "cq_serve_scheme_images_total",
+            "counter",
+            "Images swept per quantization scheme.",
+        );
+        for (scheme, images) in self.images_by_scheme() {
+            out.push_str(&format!(
+                "cq_serve_scheme_images_total{{scheme=\"{}\"}} {images}\n",
+                escape_label(&scheme),
             ));
         }
 

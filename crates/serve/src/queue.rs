@@ -604,6 +604,26 @@ impl ServeStats {
             (self.latency.missed + self.bulk.missed) as f64 / with_deadline as f64
         }
     }
+
+    /// Images swept per quantization scheme, aggregated over
+    /// [`models`](ServeStats::models) in first-seen (slot) order — the
+    /// per-scheme attribution the scheme zoo's A/B serving runs read.
+    /// Evicted models keep contributing to their scheme's total. Empty on
+    /// a raw queue snapshot (scheme names are overlaid by the session,
+    /// like model names).
+    pub fn images_by_scheme(&self) -> Vec<(String, u64)> {
+        let mut totals: Vec<(String, u64)> = Vec::new();
+        for m in &self.models {
+            if m.scheme.is_empty() {
+                continue;
+            }
+            match totals.iter_mut().find(|(s, _)| *s == m.scheme) {
+                Some((_, n)) => *n += m.images,
+                None => totals.push((m.scheme.clone(), m.images)),
+            }
+        }
+        totals
+    }
 }
 
 /// One tenant's queue-side state: its own per-class FIFO deques, its
@@ -1042,6 +1062,7 @@ impl RequestQueue {
                 .iter()
                 .map(|m| ModelStats {
                     name: String::new(),
+                    scheme: String::new(),
                     served: m.served,
                     sweeps: m.sweeps,
                     shards: m.shards,

@@ -39,10 +39,24 @@ pub struct ModelId(pub(crate) usize);
 /// Recoverable: variants that consumed a model hand it back.
 pub enum SwapError {
     /// A live model already holds this name; the offered model is handed
-    /// back untouched.
+    /// back untouched. Registering the same name under a *different*
+    /// quantization scheme is deliberately this same recoverable error —
+    /// never a silent overwrite — and `existing_scheme` names the scheme
+    /// of the live holder so the caller can tell the two cases apart.
     DuplicateName {
         /// The contested name.
         name: String,
+        /// Scheme of the live model already holding the name.
+        existing_scheme: String,
+        /// The model that was not registered.
+        model: PreparedCimModel,
+    },
+    /// The session's [`ServeConfig::scheme_allowlist`](crate::ServeConfig)
+    /// does not admit the offered model's quantization scheme; the model
+    /// is handed back untouched.
+    SchemeNotAllowed {
+        /// The refused model's scheme name.
+        scheme: String,
         /// The model that was not registered.
         model: PreparedCimModel,
     },
@@ -63,9 +77,18 @@ pub enum SwapError {
 impl std::fmt::Debug for SwapError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SwapError::DuplicateName { name, .. } => f
+            SwapError::DuplicateName {
+                name,
+                existing_scheme,
+                ..
+            } => f
                 .debug_struct("DuplicateName")
                 .field("name", name)
+                .field("existing_scheme", existing_scheme)
+                .finish_non_exhaustive(),
+            SwapError::SchemeNotAllowed { scheme, .. } => f
+                .debug_struct("SchemeNotAllowed")
+                .field("scheme", scheme)
                 .finish_non_exhaustive(),
             SwapError::UnknownModel(name) => f.debug_tuple("UnknownModel").field(name).finish(),
             SwapError::Backend { error, .. } => f
@@ -79,8 +102,21 @@ impl std::fmt::Debug for SwapError {
 impl std::fmt::Display for SwapError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SwapError::DuplicateName { name, .. } => {
-                write!(f, "a live model named '{name}' is already registered")
+            SwapError::DuplicateName {
+                name,
+                existing_scheme,
+                ..
+            } => {
+                write!(
+                    f,
+                    "a live model named '{name}' (scheme '{existing_scheme}') is already registered"
+                )
+            }
+            SwapError::SchemeNotAllowed { scheme, .. } => {
+                write!(
+                    f,
+                    "scheme '{scheme}' is not in the session's scheme allowlist"
+                )
             }
             SwapError::UnknownModel(name) => write!(f, "no live model named '{name}'"),
             SwapError::Backend { error, .. } => {
@@ -199,19 +235,25 @@ pub(crate) struct SlotMeta {
     pub(crate) layers: [usize; 3],
 }
 
-/// One residency slot: name, the model (absent once reclaimed), liveness,
-/// and the backend-attribution snapshot.
+/// One residency slot: name, quantization-scheme attribution, the model
+/// (absent once reclaimed), liveness, and the backend-attribution
+/// snapshot.
 struct Slot {
     name: String,
+    /// The model's [`QuantScheme`](cq_core::QuantScheme) name, sniffed at
+    /// registration ([`PreparedCimModel::scheme`]) — immutable per slot,
+    /// so stats scrapes read it without any model lock.
+    scheme: String,
     model: RwLock<Option<PreparedCimModel>>,
     life: Mutex<SlotLife>,
     meta: Mutex<SlotMeta>,
 }
 
 impl Slot {
-    fn new(name: String, model: PreparedCimModel, meta: SlotMeta) -> Arc<Self> {
+    fn new(name: String, scheme: String, model: PreparedCimModel, meta: SlotMeta) -> Arc<Self> {
         Arc::new(Slot {
             name,
+            scheme,
             model: RwLock::new(Some(model)),
             life: Mutex::new(SlotLife {
                 in_flight: 0,
@@ -297,9 +339,11 @@ impl ModelRegistry {
     /// # Panics
     ///
     /// Panics if a live model already holds `name`.
-    pub fn register(&mut self, name: impl Into<String>, model: PreparedCimModel) -> ModelId {
+    pub fn register(&mut self, name: impl Into<String>, mut model: PreparedCimModel) -> ModelId {
+        let scheme = model.scheme();
         match self.register_live(
             name,
+            scheme,
             model,
             SlotMeta {
                 kind: BackendKind::SimdF32,
@@ -320,20 +364,26 @@ impl ModelRegistry {
     ///
     /// # Errors
     ///
-    /// [`SwapError::DuplicateName`] (model handed back) when a live model
-    /// already holds `name`.
+    /// [`SwapError::DuplicateName`] (model handed back, attributing the
+    /// live holder's scheme) when a live model already holds `name` —
+    /// including the same name offered under a different scheme.
     pub(crate) fn register_live(
         &self,
         name: impl Into<String>,
+        scheme: String,
         model: PreparedCimModel,
         meta: SlotMeta,
     ) -> Result<ModelId, SwapError> {
         let name = name.into();
         let mut slots = self.slots.write().unwrap();
-        if slots.iter().any(|s| s.name == name && s.is_live()) {
-            return Err(SwapError::DuplicateName { name, model });
+        if let Some(held) = slots.iter().find(|s| s.name == name && s.is_live()) {
+            return Err(SwapError::DuplicateName {
+                name,
+                existing_scheme: held.scheme.clone(),
+                model,
+            });
         }
-        slots.push(Slot::new(name, model, meta));
+        slots.push(Slot::new(name, scheme, model, meta));
         Ok(ModelId(slots.len() - 1))
     }
 
@@ -497,13 +547,24 @@ impl ModelRegistry {
         self.len() == 0
     }
 
-    /// `(name, evicted)` of every slot, in slot (= [`ModelId`]) order —
-    /// the naming side of per-model stats.
-    pub(crate) fn slot_names(&self) -> Vec<(String, bool)> {
+    /// `(name, scheme, evicted)` of every slot, in slot (= [`ModelId`])
+    /// order — the naming/attribution side of per-model stats.
+    pub(crate) fn slot_names(&self) -> Vec<(String, String, bool)> {
         self.slots()
             .iter()
-            .map(|s| (s.name.clone(), !s.is_live()))
+            .map(|s| (s.name.clone(), s.scheme.clone(), !s.is_live()))
             .collect()
+    }
+
+    /// Quantization-scheme name of a registered model (evicted slots keep
+    /// theirs) — the key [`ServeStats`](crate::ServeStats) aggregates
+    /// per-scheme image counts under.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this registry.
+    pub fn scheme(&self, id: ModelId) -> String {
+        self.slots.read().unwrap()[id.0].scheme.clone()
     }
 
     /// The attribution snapshot of slot `id` (no model lock taken).
@@ -682,6 +743,11 @@ mod tests {
         assert_eq!(registry.id("m"), None, "evicted name hidden from lookup");
         assert!(registry.is_empty());
         assert_eq!(registry.name(id), "m", "slot keeps its name");
+        assert_eq!(
+            registry.scheme(id),
+            "paper-lsq-column",
+            "slot keeps its sniffed scheme"
+        );
         let model = ticket.wait();
         assert_eq!(
             registry.into_models().len(),
@@ -721,6 +787,7 @@ mod tests {
         let v2 = registry
             .register_live(
                 "m",
+                "paper-lsq-column".to_string(),
                 t.wait(),
                 SlotMeta {
                     kind: BackendKind::SimdF32,
@@ -747,9 +814,17 @@ mod tests {
             kind: BackendKind::SimdF32,
             layers: [0; 3],
         };
-        match registry.register_live("m", tiny_model(), meta) {
-            Err(SwapError::DuplicateName { name, model }) => {
+        match registry.register_live("m", "bwma".to_string(), tiny_model(), meta) {
+            Err(SwapError::DuplicateName {
+                name,
+                existing_scheme,
+                model,
+            }) => {
                 assert_eq!(name, "m");
+                assert_eq!(
+                    existing_scheme, "paper-lsq-column",
+                    "error attributes the live holder's scheme, not the offered one"
+                );
                 drop(model); // handed back, reusable
             }
             other => panic!("expected DuplicateName, got {other:?}"),

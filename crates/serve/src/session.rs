@@ -214,14 +214,22 @@ impl ServeSession {
     /// # Errors
     ///
     /// [`SwapError::DuplicateName`] when a live model already holds
-    /// `name`, and [`SwapError::Backend`] when the session's backend
-    /// chain cannot execute the model — both hand the model back.
+    /// `name` (same or different quantization scheme — never a silent
+    /// overwrite), [`SwapError::SchemeNotAllowed`] when the session's
+    /// [`ServeConfig::scheme_allowlist`] refuses the model's scheme, and
+    /// [`SwapError::Backend`] when the session's backend chain cannot
+    /// execute the model — all hand the model back.
     pub fn register(
         &self,
         name: impl Into<String>,
         mut model: PreparedCimModel,
     ) -> Result<ModelId, SwapError> {
         let shared = &self.inner().shared;
+        let scheme = model.scheme();
+        if !shared.cfg.scheme_allowlist.is_empty() && !shared.cfg.scheme_allowlist.contains(&scheme)
+        {
+            return Err(SwapError::SchemeNotAllowed { scheme, model });
+        }
         model.set_max_batch(shared.cfg.max_batch);
         model.set_row_tile_shards(shared.cfg.row_tile_shards);
         if let Err(error) = model.set_backends(shared.cfg.backends.clone()) {
@@ -231,7 +239,10 @@ impl ServeSession {
             kind: model.primary_backend().unwrap_or(BackendKind::SimdF32),
             layers: model.backend_layer_counts(),
         };
-        let id = shared.core.registry.register_live(name, model, meta)?;
+        let id = shared
+            .core
+            .registry
+            .register_live(name, scheme, model, meta)?;
         shared.queue.note_hot_register();
         shared
             .queue
@@ -450,14 +461,16 @@ fn close_and_join(shared: &SessionShared) -> ServeStats {
 }
 
 /// Overlays what only the session knows onto a queue counter snapshot:
-/// model names / eviction flags (registry) and the worker-pool gauges.
+/// model names / scheme attribution / eviction flags (registry) and the
+/// worker-pool gauges.
 fn finalize_stats(shared: &SessionShared, stats: &mut ServeStats) {
     let names = shared.core.registry.slot_names();
     while stats.models.len() < names.len() {
         stats.models.push(ModelStats::default());
     }
-    for (m, (name, evicted)) in stats.models.iter_mut().zip(names) {
+    for (m, (name, scheme, evicted)) in stats.models.iter_mut().zip(names) {
         m.name = name;
+        m.scheme = scheme;
         m.evicted = evicted;
     }
     let pool = shared.pool.lock().unwrap();

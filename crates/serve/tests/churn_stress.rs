@@ -38,6 +38,14 @@ fn prepared(seed: u64) -> PreparedCimModel {
     PreparedCimModel::new(Box::new(warmed_net(seed)))
 }
 
+/// Like [`prepared`] but under an arbitrary quantization scheme.
+fn prepared_with(seed: u64, scheme: &QuantScheme) -> PreparedCimModel {
+    let mut net = build_cim_resnet(ResNetSpec::resnet8(4, 4), &CimConfig::tiny(), scheme, seed);
+    let x = CqRng::new(seed + 1000).normal_tensor(&[2, 3, 12, 12], 1.0);
+    let _ = net.forward(&x, Mode::Eval);
+    PreparedCimModel::new(Box::new(net))
+}
+
 /// Seed of the churned model's `version` build (version 0 is resident at
 /// start; versions 1.. are hot-registered mid-load).
 fn version_seed(version: usize) -> u64 {
@@ -258,11 +266,31 @@ fn duplicate_name_and_unknown_evict_hand_errors_back() {
     let session =
         CimServer::new(registry, ServeConfig::builder().workers(1).build().unwrap()).start();
     match session.register("m", prepared(321)) {
-        Err(cq_serve::SwapError::DuplicateName { name, model }) => {
+        Err(cq_serve::SwapError::DuplicateName {
+            name,
+            existing_scheme,
+            model,
+        }) => {
             assert_eq!(name, "m");
+            assert_eq!(existing_scheme, "paper-lsq-column");
             drop(model); // the rejected model is handed back intact
         }
         other => panic!("duplicate live name must be rejected, got {other:?}"),
+    }
+    // Same name under a *different* scheme: still the recoverable
+    // duplicate error — never a silent overwrite — and the error
+    // attributes the scheme of the live holder, not the offered model.
+    match session.register("m", prepared_with(322, &QuantScheme::bwma())) {
+        Err(cq_serve::SwapError::DuplicateName {
+            name,
+            existing_scheme,
+            model,
+        }) => {
+            assert_eq!(name, "m");
+            assert_eq!(existing_scheme, "paper-lsq-column");
+            drop(model);
+        }
+        other => panic!("cross-scheme duplicate must be rejected, got {other:?}"),
     }
     match session.evict("ghost") {
         Err(cq_serve::SwapError::UnknownModel(name)) => assert_eq!(name, "ghost"),
@@ -271,4 +299,131 @@ fn duplicate_name_and_unknown_evict_hand_errors_back() {
     let (stats, models) = session.shutdown();
     assert_eq!(stats.hot_registered, 0);
     assert_eq!(models.len(), 1);
+}
+
+/// Hot-swap **across quantization schemes**: the paper-scheme model is
+/// evicted and a BWMA model takes over its name mid-load. Pinned: zero
+/// lost tickets, per-version bit-exactness (each ticket matches the
+/// standalone forward of the scheme/version that served it), and the
+/// final stats attribute images to both schemes.
+#[test]
+fn cross_scheme_hot_swap_stays_version_exact_and_attributes_schemes() {
+    let mut registry = ModelRegistry::new();
+    let v0 = registry.register("hot", prepared_with(400, &QuantScheme::ours()));
+    let session = CimServer::new(
+        registry,
+        ServeConfig::builder()
+            .queue_capacity(8)
+            .max_batch(Some(2))
+            .workers(2)
+            .build()
+            .unwrap(),
+    )
+    .start();
+
+    let rng = &mut CqRng::new(8100);
+    let mut before = Vec::new();
+    for _ in 0..5 {
+        let x = rng.normal_tensor(&[1, 3, 12, 12], 1.0);
+        let t = session.submit(Request::to_id(v0).batch(x.clone())).unwrap();
+        before.push((x, t));
+    }
+
+    // Swap the name over to a *different scheme* while tickets resolve.
+    let evict = session.evict("hot").unwrap();
+    let v1 = session
+        .register("hot", prepared_with(401, &QuantScheme::bwma()))
+        .expect("evicted name is reusable under a new scheme");
+    assert_eq!(session.registry().scheme(v1), "bwma");
+    let reclaimed = evict
+        .wait_timeout(Duration::from_secs(60))
+        .expect("v0 drains");
+
+    let mut after = Vec::new();
+    for _ in 0..5 {
+        let x = rng.normal_tensor(&[1, 3, 12, 12], 1.0);
+        let t = session.submit(Request::to_id(v1).batch(x.clone())).unwrap();
+        after.push((x, t));
+    }
+
+    // Zero lost tickets, each bit-exact against the version that served it.
+    let mut ref_v0 = build_cim_resnet(
+        ResNetSpec::resnet8(4, 4),
+        &CimConfig::tiny(),
+        &QuantScheme::ours(),
+        400,
+    );
+    let warm = CqRng::new(1400).normal_tensor(&[2, 3, 12, 12], 1.0);
+    let _ = ref_v0.forward(&warm, Mode::Eval);
+    let mut ref_v1 = build_cim_resnet(
+        ResNetSpec::resnet8(4, 4),
+        &CimConfig::tiny(),
+        &QuantScheme::bwma(),
+        401,
+    );
+    let warm = CqRng::new(1401).normal_tensor(&[2, 3, 12, 12], 1.0);
+    let _ = ref_v1.forward(&warm, Mode::Eval);
+    for (x, t) in before {
+        assert_eq!(t.wait().output, ref_v0.forward(&x, Mode::Eval));
+    }
+    for (x, t) in after {
+        assert_eq!(t.wait().output, ref_v1.forward(&x, Mode::Eval));
+    }
+    drop(reclaimed);
+
+    let (stats, _models) = session.shutdown();
+    assert_eq!(stats.served, 10, "zero lost tickets across the scheme swap");
+    let by_scheme = stats.images_by_scheme();
+    let images_of = |name: &str| {
+        by_scheme
+            .iter()
+            .find(|(s, _)| s == name)
+            .map(|(_, n)| *n)
+            .unwrap_or(0)
+    };
+    assert_eq!(images_of("paper-lsq-column"), 5);
+    assert_eq!(images_of("bwma"), 5);
+    for m in &stats.models {
+        assert!(!m.scheme.is_empty(), "session overlays scheme attribution");
+    }
+    let prom = stats.render_prometheus();
+    assert!(prom.contains("cq_serve_scheme_images_total{scheme=\"bwma\"} 5"));
+    assert!(prom.contains("scheme=\"paper-lsq-column\""));
+}
+
+/// A non-empty `scheme_allowlist` refuses out-of-list schemes on live
+/// registration with a recoverable error that hands the model back;
+/// allowed schemes register normally.
+#[test]
+fn scheme_allowlist_gates_live_registration_recoverably() {
+    let mut registry = ModelRegistry::new();
+    registry.register("seed", prepared(409));
+    let session = CimServer::new(
+        registry,
+        ServeConfig::builder()
+            .workers(1)
+            .scheme_allowlist(["paper-lsq-column"])
+            .build()
+            .unwrap(),
+    )
+    .start();
+
+    let model = match session.register("m", prepared_with(410, &QuantScheme::bwma())) {
+        Err(cq_serve::SwapError::SchemeNotAllowed { scheme, model }) => {
+            assert_eq!(scheme, "bwma");
+            model // handed back untouched — reusable elsewhere
+        }
+        other => panic!("out-of-list scheme must be refused, got {other:?}"),
+    };
+    drop(model);
+
+    session
+        .register("m", prepared_with(411, &QuantScheme::ours()))
+        .expect("allowlisted scheme registers");
+    let x = CqRng::new(5).normal_tensor(&[1, 3, 12, 12], 1.0);
+    let done = session.submit(Request::to("m").batch(x)).unwrap().wait();
+    assert_eq!(done.output.shape(), &[1, 4]);
+    let (stats, models) = session.shutdown();
+    assert_eq!(stats.served, 1);
+    assert_eq!(models.len(), 2, "seed model and the allowlisted register");
 }

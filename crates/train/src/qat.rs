@@ -153,6 +153,48 @@ mod tests {
         assert!(all_quant);
     }
 
+    /// BWMA rides the one-stage schedule: LSQ with a 1-bit signed format
+    /// is the binary STE (rounding lands on {-1, 0, +1}), the bit-split
+    /// degenerates to a single ±1 split, and scale learning still runs.
+    #[test]
+    fn binary_weight_scheme_trains_one_stage_with_ste() {
+        let scheme = QuantScheme::bwma();
+        let (mut net, train_ds, test_ds) = setup(&scheme, 11);
+        let cfg = TrainConfig::quick(2, 2);
+        let r = train_with_scheme(&mut net, &scheme, &train_ds, &test_ds, &cfg);
+        assert_eq!(r.history.len(), 2);
+        assert!(
+            r.history.iter().all(|e| e.train_loss.is_finite()),
+            "binary STE keeps the loss finite"
+        );
+        let (mut binary, mut single_split, mut initialized) = (true, true, true);
+        for_each_cim_conv(&mut net, |c| {
+            binary &= c.weight_quantizer().format().is_binary();
+            single_split &= c.plan().num_splits == 1;
+            initialized &= c.weight_quantizer().is_initialized();
+        });
+        assert!(binary, "BWMA layers quantize weights at 1 signed bit");
+        assert!(single_split, "binary weights degenerate to one bit-split");
+        assert!(initialized, "weight scales trained");
+    }
+
+    /// The hybrid-ADC scheme trains end-to-end with its low-order splits
+    /// carried digitally (gradient = identity through those splits).
+    #[test]
+    fn hybrid_scheme_trains_with_digital_low_splits() {
+        let scheme = QuantScheme::hybrid_adc();
+        let (mut net, train_ds, test_ds) = setup(&scheme, 13);
+        let cfg = TrainConfig::quick(2, 2);
+        let r = train_with_scheme(&mut net, &scheme, &train_ds, &test_ds, &cfg);
+        assert_eq!(r.history.len(), 2);
+        assert!(r.history.iter().all(|e| e.train_loss.is_finite()));
+        let mut hybrid = true;
+        for_each_cim_conv(&mut net, |c| {
+            hybrid &= c.digital_splits() > 0 && c.digital_splits() < c.plan().num_splits;
+        });
+        assert!(hybrid, "every layer carries a strict subset digitally");
+    }
+
     #[test]
     fn two_stage_enables_psq_midway() {
         let scheme = QuantScheme::saxena9();

@@ -1,11 +1,15 @@
 //! Quickstart: train a small ResNet with column-wise weight and
 //! partial-sum quantization (the paper's scheme) on a synthetic
-//! CIFAR-like task, then report accuracy and dequantization overhead.
+//! CIFAR-like task, then report accuracy and dequantization overhead —
+//! and run a non-paper scheme from the zoo (BWMA, binary ±1 weights)
+//! through the same QAT → freeze → serve path.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use column_quant::core::model_dequant_mults;
+use column_quant::core::{model_dequant_mults, PreparedCimModel};
 use column_quant::data::generate;
+use column_quant::nn::{Layer, Mode};
+use column_quant::tensor::CqRng;
 use column_quant::{
     build_cim_resnet, train_with_scheme, CimConfig, QuantScheme, ResNetSpec, SyntheticSpec,
     TrainConfig,
@@ -60,5 +64,34 @@ fn main() {
     assert!(
         result.best_test_acc > 0.25,
         "training should clearly beat 10% chance"
+    );
+
+    // 5. A non-paper scheme from the zoo, end-to-end: BWMA quantizes
+    //    weights to a single ±1 bit-split (always integer-eligible at
+    //    freeze time), trains through the same one-stage QAT, and serves
+    //    through the frozen engine bit-identically to the live forward.
+    let scheme = QuantScheme::bwma();
+    let mut net = build_cim_resnet(ResNetSpec::resnet8(10, 6), &cim, &scheme, 2);
+    println!("\nscheme: {} ({})", scheme.label, scheme.method);
+    let result = train_with_scheme(&mut net, &scheme, &train_ds, &test_ds, &cfg);
+    println!(
+        "BWMA final top-1: {:.2}% after {} epochs",
+        100.0 * result.final_test_acc(),
+        result.history.len()
+    );
+    let probe = CqRng::new(42)
+        .normal_tensor(&[1, 3, 12, 12], 1.0)
+        .map(|v| v.max(0.0));
+    let want = net.forward(&probe, Mode::Eval);
+    let mut served = PreparedCimModel::new(Box::new(net));
+    assert_eq!(
+        served.infer(&probe),
+        want,
+        "frozen BWMA engine must match the live forward bit-for-bit"
+    );
+    let (int_convs, total_convs) = served.count_integer_kernels();
+    println!(
+        "BWMA frozen engine: bit-exact vs live forward, integer kernels \
+         active in {int_convs}/{total_convs} convs"
     );
 }

@@ -12,6 +12,7 @@
 //! | [`quant`] | `cq-quant` | LSQ quantizers with per-group scales, granularities, bit-splitting |
 //! | [`cim`] | `cq-cim` | array tiling, crossbars, ADC/DAC, variation, overhead model, crossbar engine |
 //! | [`nn`] | `cq-nn` | layers with manual autograd, SGD, ResNet-20/18 |
+//! | [`scheme`] | `cq-scheme` | the quantization-scheme zoo: paper LSQ, BWMA binary weights, ADC-less hybrid digitization |
 //! | [`data`] | `cq-data` | synthetic CIFAR-10/100/ImageNet stand-ins, loaders |
 //! | [`core`] | `cq-core` | **the paper's contribution**: `CimConv2d`, schemes, PTQ, variation |
 //! | [`serve`] | `cq-serve` | queued, multi-model serving front-end: bounded queue, batch scheduler, model registry |
@@ -46,6 +47,7 @@ pub use cq_core as core;
 pub use cq_data as data;
 pub use cq_nn as nn;
 pub use cq_quant as quant;
+pub use cq_scheme as scheme;
 pub use cq_serve as serve;
 pub use cq_tensor as tensor;
 pub use cq_train as train;
